@@ -1,0 +1,163 @@
+// Ablation of the design choices called out in DESIGN.md and in the
+// paper's §8 "other alternative heuristics":
+//
+//  A. Local stage: greedy max-δ vs random vs exact optimal (branch &
+//     bound) — optimality gap of the paper's heuristic on small
+//     sequences.
+//  B. Global stage orderings at ψ > 0: matching-set size (paper) vs
+//     sequence length vs auto-correlation vs random — M1 on the TRUCKS
+//     workload.
+
+#include <iomanip>
+#include <iostream>
+
+#include "src/common/random.h"
+#include "src/data/workload.h"
+#include "src/hide/hitting_set.h"
+#include "src/hide/local.h"
+#include "src/hide/sanitizer.h"
+
+namespace seqhide {
+namespace {
+
+void LocalOptimalityGap() {
+  std::cout << "== Ablation A: local heuristic vs optimal (200 random "
+               "sequences, |T|=12, |Sigma|=3) ==\n";
+  Rng rng(20240101);
+  size_t optimal_total = 0, heuristic_total = 0, random_total = 0;
+  size_t heuristic_hits = 0, trials = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    Sequence base;
+    for (int i = 0; i < 12; ++i) {
+      base.Append(static_cast<SymbolId>(rng.NextBounded(3)));
+    }
+    std::vector<Sequence> patterns;
+    patterns.push_back(Sequence{
+        static_cast<SymbolId>(rng.NextBounded(3)),
+        static_cast<SymbolId>(rng.NextBounded(3))});
+
+    OptimalSanitization opt = OptimalSanitizeSequence(base, patterns, {});
+    Sequence h = base;
+    size_t h_marks = SanitizeSequence(&h, patterns, {},
+                                      LocalStrategy::kHeuristic, nullptr)
+                         .marks_introduced;
+    Sequence r = base;
+    Rng rr(trial);
+    size_t r_marks =
+        SanitizeSequence(&r, patterns, {}, LocalStrategy::kRandom, &rr)
+            .marks_introduced;
+
+    optimal_total += opt.num_marks;
+    heuristic_total += h_marks;
+    random_total += r_marks;
+    if (h_marks == opt.num_marks) ++heuristic_hits;
+    ++trials;
+  }
+  std::cout << "  total marks: optimal=" << optimal_total
+            << "  heuristic=" << heuristic_total
+            << "  random=" << random_total << "\n";
+  std::cout << "  heuristic achieves the optimum in " << heuristic_hits
+            << "/" << trials << " cases; mean overhead "
+            << std::fixed << std::setprecision(3)
+            << (optimal_total
+                    ? static_cast<double>(heuristic_total) / optimal_total
+                    : 1.0)
+            << "x optimal\n\n";
+}
+
+void GlobalOrderingComparison() {
+  std::cout << "== Ablation B: global orderings on TRUCKS (M1, psi sweep) "
+               "==\n";
+  ExperimentWorkload w = MakeTrucksWorkload();
+  struct Entry {
+    const char* label;
+    GlobalStrategy strategy;
+  };
+  const Entry entries[] = {
+      {"match-size (paper)", GlobalStrategy::kHeuristic},
+      {"asc-length (sec 8)", GlobalStrategy::kAscendingLength},
+      {"autocorr (sec 8)", GlobalStrategy::kHighAutocorrelationFirst},
+      {"random", GlobalStrategy::kRandom},
+  };
+  std::cout << std::setw(8) << "psi";
+  for (const auto& e : entries) std::cout << std::setw(22) << e.label;
+  std::cout << "\n";
+  for (size_t psi = 0; psi <= 60; psi += 10) {
+    std::cout << std::setw(8) << psi;
+    for (const auto& e : entries) {
+      double m1_sum = 0.0;
+      const size_t runs = e.strategy == GlobalStrategy::kRandom ? 10 : 1;
+      for (size_t run = 0; run < runs; ++run) {
+        SequenceDatabase db = w.db;
+        SanitizeOptions opts;
+        opts.local = LocalStrategy::kHeuristic;
+        opts.global = e.strategy;
+        opts.psi = psi;
+        opts.seed = 1000 + run;
+        auto report = Sanitize(&db, w.sensitive, opts);
+        if (!report.ok()) {
+          std::cout << "\nerror: " << report.status() << "\n";
+          return;
+        }
+        m1_sum += static_cast<double>(report->marks_introduced);
+      }
+      std::cout << std::setw(22) << std::fixed << std::setprecision(1)
+                << (m1_sum / (e.strategy == GlobalStrategy::kRandom ? 10 : 1));
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n";
+}
+
+void LocalStrategyOnTrucks() {
+  std::cout << "== Ablation C: local strategies on TRUCKS (M1, heuristic "
+               "global) ==\n";
+  ExperimentWorkload w = MakeTrucksWorkload();
+  struct Entry {
+    const char* label;
+    LocalStrategy strategy;
+  };
+  const Entry entries[] = {
+      {"greedy max-delta (paper)", LocalStrategy::kHeuristic},
+      {"exhaustive optimal", LocalStrategy::kExhaustive},
+      {"random", LocalStrategy::kRandom},
+  };
+  std::cout << std::setw(8) << "psi";
+  for (const auto& e : entries) std::cout << std::setw(26) << e.label;
+  std::cout << "\n";
+  for (size_t psi = 0; psi <= 60; psi += 20) {
+    std::cout << std::setw(8) << psi;
+    for (const auto& e : entries) {
+      double m1_sum = 0.0;
+      const size_t runs = e.strategy == LocalStrategy::kRandom ? 10 : 1;
+      for (size_t run = 0; run < runs; ++run) {
+        SequenceDatabase db = w.db;
+        SanitizeOptions opts;
+        opts.local = e.strategy;
+        opts.global = GlobalStrategy::kHeuristic;
+        opts.psi = psi;
+        opts.seed = 2000 + run;
+        auto report = Sanitize(&db, w.sensitive, opts);
+        if (!report.ok()) {
+          std::cout << "\nerror: " << report.status() << "\n";
+          return;
+        }
+        m1_sum += static_cast<double>(report->marks_introduced);
+      }
+      std::cout << std::setw(26) << std::fixed << std::setprecision(1)
+                << (m1_sum / static_cast<double>(runs));
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+}  // namespace seqhide
+
+int main() {
+  seqhide::LocalOptimalityGap();
+  seqhide::GlobalOrderingComparison();
+  seqhide::LocalStrategyOnTrucks();
+  return 0;
+}

@@ -1,0 +1,208 @@
+// Micro-benchmarks of the algorithmic kernels (paper §8 lists efficiency
+// as future work; these quantify the implementation choices documented in
+// DESIGN.md §5):
+//   * Lemma 2 count DP,
+//   * Lemma 3 prefix table — paper O(n²m) recurrence vs our O(nm)
+//     prefix-sum variant,
+//   * δ(T[i]) — paper's deletion method (Thm. 2) vs forward×backward,
+//   * constrained counting (gaps / window),
+//   * single-sequence sanitization,
+//   * PrefixSpan vs level-wise mining.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/random.h"
+#include "src/data/workload.h"
+#include "src/hide/local.h"
+#include "src/hide/sanitizer.h"
+#include "src/match/constrained_count.h"
+#include "src/match/count.h"
+#include "src/match/position_delta.h"
+#include "src/match/prefix_table.h"
+#include "src/match/subsequence.h"
+#include "src/mine/inverted_index.h"
+#include "src/mine/level_wise.h"
+#include "src/mine/prefix_span.h"
+
+namespace seqhide {
+namespace {
+
+Sequence MakeSeq(size_t n, size_t alphabet, uint64_t seed) {
+  Rng rng(seed);
+  Sequence out;
+  for (size_t i = 0; i < n; ++i) {
+    out.Append(static_cast<SymbolId>(rng.NextBounded(alphabet)));
+  }
+  return out;
+}
+
+void BM_CountMatchings(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Sequence t = MakeSeq(n, 10, 1);
+  Sequence s = MakeSeq(3, 10, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountMatchings(s, t));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_CountMatchings)->Range(16, 4096)->Complexity(benchmark::oN);
+
+void BM_PrefixTableFast(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Sequence t = MakeSeq(n, 10, 1);
+  Sequence s = MakeSeq(3, 10, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildPrefixEndTable(s, t));
+  }
+}
+BENCHMARK(BM_PrefixTableFast)->Range(16, 1024);
+
+void BM_PrefixTableNaive(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Sequence t = MakeSeq(n, 10, 1);
+  Sequence s = MakeSeq(3, 10, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildPrefixEndTableNaive(s, t));
+  }
+}
+BENCHMARK(BM_PrefixTableNaive)->Range(16, 1024);
+
+void BM_PositionDeltasFast(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Sequence t = MakeSeq(n, 10, 1);
+  Sequence s = MakeSeq(3, 10, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PositionDeltas(s, ConstraintSpec(), t));
+  }
+}
+BENCHMARK(BM_PositionDeltasFast)->Range(16, 1024);
+
+void BM_PositionDeltasByDeletion(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Sequence t = MakeSeq(n, 10, 1);
+  Sequence s = MakeSeq(3, 10, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PositionDeltasByDeletion(s, t));
+  }
+}
+BENCHMARK(BM_PositionDeltasByDeletion)->Range(16, 1024);
+
+void BM_ConstrainedCountGap(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Sequence t = MakeSeq(n, 10, 1);
+  Sequence s = MakeSeq(3, 10, 2);
+  ConstraintSpec spec = ConstraintSpec::UniformGap(0, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountConstrainedMatchings(s, spec, t));
+  }
+}
+BENCHMARK(BM_ConstrainedCountGap)->Range(16, 1024);
+
+void BM_ConstrainedCountWindow(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Sequence t = MakeSeq(n, 10, 1);
+  Sequence s = MakeSeq(3, 10, 2);
+  ConstraintSpec spec = ConstraintSpec::Window(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountConstrainedMatchings(s, spec, t));
+  }
+}
+BENCHMARK(BM_ConstrainedCountWindow)->Range(16, 512);
+
+void BM_SanitizeSequenceHeuristic(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  // Dense in sensitive symbols so there is real work to do.
+  Sequence base = MakeSeq(n, 4, 1);
+  std::vector<Sequence> patterns = {MakeSeq(2, 4, 2), MakeSeq(3, 4, 3)};
+  for (auto _ : state) {
+    Sequence t = base;
+    LocalSanitizeResult r = SanitizeSequence(
+        &t, patterns, {}, LocalStrategy::kHeuristic, nullptr);
+    benchmark::DoNotOptimize(r.marks_introduced);
+  }
+}
+BENCHMARK(BM_SanitizeSequenceHeuristic)->Range(16, 512);
+
+void BM_MinePrefixSpanTrucks(benchmark::State& state) {
+  ExperimentWorkload w = MakeTrucksWorkload();
+  MinerOptions opts;
+  opts.min_support = static_cast<size_t>(state.range(0));
+  opts.max_length = 6;
+  for (auto _ : state) {
+    auto result = MineFrequentSequences(w.db, opts);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_MinePrefixSpanTrucks)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_SupportScan(benchmark::State& state) {
+  RandomDatabaseOptions gen;
+  gen.num_sequences = static_cast<size_t>(state.range(0));
+  gen.min_length = 10;
+  gen.max_length = 30;
+  gen.alphabet_size = 100;
+  gen.seed = 21;
+  SequenceDatabase db = MakeRandomDatabase(gen);
+  Sequence pattern = MakeSeq(2, 100, 22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Support(pattern, db));
+  }
+}
+BENCHMARK(BM_SupportScan)->Range(256, 16384);
+
+void BM_SupportIndexed(benchmark::State& state) {
+  RandomDatabaseOptions gen;
+  gen.num_sequences = static_cast<size_t>(state.range(0));
+  gen.min_length = 10;
+  gen.max_length = 30;
+  gen.alphabet_size = 100;
+  gen.seed = 21;
+  SequenceDatabase db = MakeRandomDatabase(gen);
+  InvertedIndex index(db);
+  Sequence pattern = MakeSeq(2, 100, 22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Support(pattern, db));
+  }
+}
+BENCHMARK(BM_SupportIndexed)->Range(256, 16384);
+
+void BM_SanitizeIndexedVsScan(benchmark::State& state) {
+  const bool use_index = state.range(0) != 0;
+  RandomDatabaseOptions gen;
+  gen.num_sequences = 4096;
+  gen.min_length = 10;
+  gen.max_length = 30;
+  gen.alphabet_size = 100;
+  gen.seed = 23;
+  SequenceDatabase base = MakeRandomDatabase(gen);
+  std::vector<Sequence> patterns = {MakeSeq(2, 100, 24),
+                                    MakeSeq(3, 100, 25)};
+  for (auto _ : state) {
+    SequenceDatabase db = base;
+    SanitizeOptions opts = SanitizeOptions::HH();
+    opts.use_index = use_index;
+    auto report = Sanitize(&db, patterns, opts);
+    benchmark::DoNotOptimize(report.ok());
+  }
+}
+BENCHMARK(BM_SanitizeIndexedVsScan)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"use_index"});
+
+void BM_MineLevelWiseTrucks(benchmark::State& state) {
+  ExperimentWorkload w = MakeTrucksWorkload();
+  MinerOptions opts;
+  opts.min_support = static_cast<size_t>(state.range(0));
+  opts.max_length = 6;
+  for (auto _ : state) {
+    auto result = MineFrequentSequencesLevelWise(w.db, opts);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_MineLevelWiseTrucks)->Arg(10)->Arg(20)->Arg(40);
+
+}  // namespace
+}  // namespace seqhide
+
+BENCHMARK_MAIN();

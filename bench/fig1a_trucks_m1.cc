@@ -1,0 +1,22 @@
+// Figure 1(a): data distortion M1 versus disclosure threshold ψ on the
+// TRUCKS dataset, for the four algorithms HH / HR / RH / RR (random
+// variants averaged over 10 runs, as in the paper).
+//
+// Expected shape (paper §6): HH lowest at every ψ, RR highest; HR below
+// RH at small ψ with a crossover as ψ grows; all curves decrease to 0 as
+// ψ approaches the disjunctive support of the sensitive patterns.
+
+#include "bench/fig_common.h"
+#include "src/data/workload.h"
+
+int main() {
+  using namespace seqhide;
+  ExperimentWorkload w = MakeTrucksWorkload();
+  SweepOptions options;
+  options.psi_values = bench::TrucksPsiGrid();
+  options.algorithms = AlgorithmSpec::PaperFour();
+  options.random_runs = 10;
+  bench::RunAndPrint(w, options, Measure::kM1,
+                     "Figure 1(a): M1 vs psi, TRUCKS");
+  return 0;
+}

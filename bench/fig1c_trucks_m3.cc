@@ -1,0 +1,19 @@
+// Figure 1(c): frequent-pattern support distortion M3 versus ψ on TRUCKS
+// (σ = ψ), four algorithms. Expected shape: HH best, RR worst.
+
+#include "bench/fig_common.h"
+#include "src/data/workload.h"
+
+int main() {
+  using namespace seqhide;
+  ExperimentWorkload w = MakeTrucksWorkload();
+  SweepOptions options;
+  options.psi_values = bench::TrucksPsiGrid(/*min_psi=*/5);
+  options.algorithms = AlgorithmSpec::PaperFour();
+  options.random_runs = 10;
+  options.compute_pattern_measures = true;
+  options.miner_max_length = 4;
+  bench::RunAndPrint(w, options, Measure::kM3,
+                     "Figure 1(c): M3 vs psi (sigma = psi), TRUCKS");
+  return 0;
+}

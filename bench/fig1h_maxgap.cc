@@ -1,0 +1,29 @@
+// Figure 1(h): effect of the max-gap constraint on M1 for HH on TRUCKS.
+// Smaller max gaps mean fewer sensitive occurrences and less distortion.
+
+#include "bench/fig_common.h"
+#include "src/data/workload.h"
+
+int main() {
+  using namespace seqhide;
+  ExperimentWorkload w = MakeTrucksWorkload();
+
+  std::vector<AlgorithmSpec> algorithms;
+  AlgorithmSpec base = AlgorithmSpec::HH();
+  base.label = "no-constraint";
+  algorithms.push_back(base);
+  for (size_t max_gap : {8u, 4u, 2u, 0u}) {
+    AlgorithmSpec spec = AlgorithmSpec::HH();
+    spec.label = "maxgap<=" + std::to_string(max_gap);
+    spec.constraint = ConstraintSpec::UniformGap(0, max_gap);
+    algorithms.push_back(spec);
+  }
+
+  SweepOptions options;
+  options.psi_values = bench::TrucksPsiGrid();
+  options.algorithms = algorithms;
+  bench::RunAndPrint(w, options, Measure::kM1,
+                     "Figure 1(h): M1 vs psi, HH with max-gap constraints, "
+                     "TRUCKS");
+  return 0;
+}

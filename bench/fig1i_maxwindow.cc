@@ -1,0 +1,32 @@
+// Figure 1(i): effect of the max-window constraint on M1 for HH on
+// TRUCKS. The paper notes that constraints *almost always* reduce
+// distortion but the reduction is not guaranteed at every threshold
+// ("due to imperfectness of the heuristics") — the no-window and
+// window=10 curves may cross in places.
+
+#include "bench/fig_common.h"
+#include "src/data/workload.h"
+
+int main() {
+  using namespace seqhide;
+  ExperimentWorkload w = MakeTrucksWorkload();
+
+  std::vector<AlgorithmSpec> algorithms;
+  AlgorithmSpec base = AlgorithmSpec::HH();
+  base.label = "no-window";
+  algorithms.push_back(base);
+  for (size_t window : {10u, 6u, 3u}) {
+    AlgorithmSpec spec = AlgorithmSpec::HH();
+    spec.label = "window<=" + std::to_string(window);
+    spec.constraint = ConstraintSpec::Window(window);
+    algorithms.push_back(spec);
+  }
+
+  SweepOptions options;
+  options.psi_values = bench::TrucksPsiGrid();
+  options.algorithms = algorithms;
+  bench::RunAndPrint(w, options, Measure::kM1,
+                     "Figure 1(i): M1 vs psi, HH with max-window "
+                     "constraints, TRUCKS");
+  return 0;
+}

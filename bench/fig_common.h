@@ -1,0 +1,68 @@
+// Shared harness for the figure-reproduction benches (bench/fig1*.cc).
+//
+// Each bench binary reproduces one panel of the paper's Figure 1: it runs
+// the sweep, prints the paper-style table (rows = disclosure threshold ψ,
+// columns = curves) followed by the same series as CSV, so the output can
+// be eyeballed against the paper or replotted directly.
+
+#ifndef SEQHIDE_BENCH_FIG_COMMON_H_
+#define SEQHIDE_BENCH_FIG_COMMON_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "src/common/logging.h"
+#include "src/eval/experiment.h"
+#include "src/eval/ascii_chart.h"
+#include "src/eval/report.h"
+
+namespace seqhide {
+namespace bench {
+
+// ψ grids used across panels (the paper sweeps the disclosure threshold
+// on the X axis; these grids cover the supports of the calibrated
+// sensitive patterns).
+inline std::vector<size_t> TrucksPsiGrid(size_t min_psi = 0) {
+  std::vector<size_t> out;
+  for (size_t psi = min_psi; psi <= 60; psi += 5) out.push_back(psi);
+  return out;
+}
+
+inline std::vector<size_t> SyntheticPsiGrid(size_t min_psi = 0) {
+  std::vector<size_t> out;
+  for (size_t psi = min_psi; psi <= 200; psi += 20) out.push_back(psi);
+  return out;
+}
+
+inline void PrintWorkloadHeader(const ExperimentWorkload& w) {
+  DatabaseStats stats = w.db.Stats();
+  std::cout << "workload " << w.name << ": |D|=" << stats.num_sequences
+            << " mean_len=" << stats.mean_length
+            << " |Sigma|=" << stats.alphabet_size << "\n";
+  for (size_t i = 0; i < w.sensitive.size(); ++i) {
+    std::cout << "  sensitive S" << i + 1 << " = <"
+              << w.sensitive[i].ToString(w.db.alphabet())
+              << ">  sup=" << w.sensitive_supports[i] << "\n";
+  }
+  std::cout << "  sup(S1 v S2) = " << w.disjunctive_support << "\n\n";
+}
+
+// Runs the sweep and prints table + CSV; aborts the process on error
+// (bench binaries have no one to return a Status to).
+inline void RunAndPrint(const ExperimentWorkload& workload,
+                        const SweepOptions& options, Measure measure,
+                        const std::string& title) {
+  PrintWorkloadHeader(workload);
+  Result<SweepResult> result = RunSweep(workload, options);
+  SEQHIDE_CHECK(result.ok()) << result.status();
+  std::cout << FormatSweepTable(*result, measure, title) << "\n";
+  std::cout << RenderSweepChart(*result, measure) << "\n";
+  std::cout << "csv:\n";
+  WriteSweepCsv(*result, measure, std::cout);
+}
+
+}  // namespace bench
+}  // namespace seqhide
+
+#endif  // SEQHIDE_BENCH_FIG_COMMON_H_

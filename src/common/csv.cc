@@ -1,0 +1,35 @@
+#include "src/common/csv.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace seqhide {
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) *out_ << ',';
+    *out_ << Escape(fields[i]);
+  }
+  *out_ << '\n';
+}
+
+std::string CsvWriter::FormatDouble(double v) {
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc()) return "nan";
+  return std::string(buf, ptr);
+}
+
+std::string CsvWriter::Escape(std::string_view field) {
+  bool needs_quotes = field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace seqhide

@@ -1,0 +1,38 @@
+// CsvWriter: tiny RFC-4180-ish CSV emitter used by the benchmark harnesses
+// to dump figure series next to the human-readable tables. Fields containing
+// separators, quotes, or newlines are quoted and inner quotes doubled.
+
+#ifndef SEQHIDE_COMMON_CSV_H_
+#define SEQHIDE_COMMON_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seqhide {
+
+class CsvWriter {
+ public:
+  // Writes to `out`; the stream must outlive the writer. Does not take
+  // ownership.
+  explicit CsvWriter(std::ostream* out) : out_(out) {}
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  // Writes one row; every field is escaped as needed.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  // Convenience: formats doubles with enough precision to round-trip.
+  static std::string FormatDouble(double v);
+
+ private:
+  static std::string Escape(std::string_view field);
+
+  std::ostream* out_;
+};
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_COMMON_CSV_H_

@@ -1,0 +1,80 @@
+// Minimal logging and invariant-checking facility.
+//
+// SEQHIDE_CHECK(cond) << "context";   aborts when cond is false (all builds)
+// SEQHIDE_DCHECK(cond) << "context";  same, but compiled out in NDEBUG builds
+// SEQHIDE_LOG(INFO|WARN|ERROR) << ...; writes one line to stderr
+//
+// CHECK failures indicate programming errors (violated invariants), not
+// recoverable conditions: recoverable conditions use Status/Result.
+
+#ifndef SEQHIDE_COMMON_LOGGING_H_
+#define SEQHIDE_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace seqhide {
+namespace internal_logging {
+
+enum class Severity { kInfo, kWarn, kError, kFatal };
+
+// Accumulates a message and emits it (to stderr) on destruction; aborts the
+// process for kFatal. One instance per SEQHIDE_LOG/SEQHIDE_CHECK statement.
+class LogMessage {
+ public:
+  LogMessage(Severity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  Severity severity_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed message when a DCHECK is compiled out / a CHECK
+// condition holds. `operator&&` below exploits short-circuiting so the
+// streaming expressions are not even evaluated on the happy path.
+struct Voidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace seqhide
+
+#define SEQHIDE_LOG(severity)                                   \
+  ::seqhide::internal_logging::LogMessage(                      \
+      ::seqhide::internal_logging::Severity::k##severity,       \
+      __FILE__, __LINE__)
+
+#define SEQHIDE_CHECK(cond)                                        \
+  (cond) ? (void)0                                                 \
+         : ::seqhide::internal_logging::Voidify() &                \
+               ::seqhide::internal_logging::LogMessage(            \
+                   ::seqhide::internal_logging::Severity::kFatal,  \
+                   __FILE__, __LINE__)                             \
+                   << "CHECK failed: " #cond " "
+
+#define SEQHIDE_CHECK_EQ(a, b) SEQHIDE_CHECK((a) == (b))
+#define SEQHIDE_CHECK_NE(a, b) SEQHIDE_CHECK((a) != (b))
+#define SEQHIDE_CHECK_LT(a, b) SEQHIDE_CHECK((a) < (b))
+#define SEQHIDE_CHECK_LE(a, b) SEQHIDE_CHECK((a) <= (b))
+#define SEQHIDE_CHECK_GT(a, b) SEQHIDE_CHECK((a) > (b))
+#define SEQHIDE_CHECK_GE(a, b) SEQHIDE_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define SEQHIDE_DCHECK(cond) SEQHIDE_CHECK(true)
+#else
+#define SEQHIDE_DCHECK(cond) SEQHIDE_CHECK(cond)
+#endif
+
+#endif  // SEQHIDE_COMMON_LOGGING_H_

@@ -1,0 +1,72 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components of the library (the Random local/global
+// sanitization strategies, the data simulators, the test-case generators)
+// draw from Rng so that every experiment is reproducible from a single
+// 64-bit seed. The generator is xoshiro256**, seeded via SplitMix64 —
+// fast, high-quality, and independent of the standard library's
+// implementation-defined distributions.
+
+#ifndef SEQHIDE_COMMON_RANDOM_H_
+#define SEQHIDE_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace seqhide {
+
+// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+uint64_t SplitMix64(uint64_t* state);
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over all 64-bit values.
+  uint64_t NextU64();
+
+  // Uniform over [0, bound) with rejection sampling (no modulo bias).
+  // bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform over [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Gaussian (mean, stddev) via Box-Muller.
+  double NextGaussian(double mean, double stddev);
+
+  // True with probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  // Samples an index in [0, weights.size()) proportionally to weights.
+  // Requires at least one strictly positive weight.
+  size_t NextWeighted(const std::vector<double>& weights);
+
+  // Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i + 1));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  // Derives an independent child generator; useful for giving each of N
+  // repetitions its own stream while keeping the parent reproducible.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_COMMON_RANDOM_H_

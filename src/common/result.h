@@ -1,0 +1,83 @@
+// Result<T>: value-or-Status, in the style of absl::StatusOr<T>.
+//
+// A Result either holds a T (status().ok() == true) or a non-OK Status.
+// Accessing value() on an error Result aborts the process via CHECK, so
+// callers must test ok() (or use SEQHIDE_ASSIGN_OR_RETURN) first.
+
+#ifndef SEQHIDE_COMMON_RESULT_H_
+#define SEQHIDE_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/status.h"
+
+namespace seqhide {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Constructs from a value (implicit, mirroring absl::StatusOr).
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  // Constructs from a non-OK status. Passing an OK status is a programming
+  // error (there would be no value to hold).
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    SEQHIDE_CHECK(!status_.ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    SEQHIDE_CHECK(ok()) << "value() on error Result: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    SEQHIDE_CHECK(ok()) << "value() on error Result: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    SEQHIDE_CHECK(ok()) << "value() on error Result: " << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the contained value or `fallback` when in the error state.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace seqhide
+
+// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+// move-assigns the value into `lhs`. Usage:
+//   SEQHIDE_ASSIGN_OR_RETURN(SequenceDatabase db, ReadDatabase(path));
+#define SEQHIDE_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  SEQHIDE_ASSIGN_OR_RETURN_IMPL_(                                  \
+      SEQHIDE_RESULT_CONCAT_(_seqhide_result, __LINE__), lhs, rexpr)
+
+#define SEQHIDE_RESULT_CONCAT_INNER_(a, b) a##b
+#define SEQHIDE_RESULT_CONCAT_(a, b) SEQHIDE_RESULT_CONCAT_INNER_(a, b)
+#define SEQHIDE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#endif  // SEQHIDE_COMMON_RESULT_H_

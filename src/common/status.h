@@ -1,0 +1,114 @@
+// Status: lightweight error-reporting type in the style of rocksdb::Status /
+// absl::Status. The library does not use exceptions (see DESIGN.md); every
+// fallible operation returns a Status or a Result<T> (result.h).
+//
+// A Status is cheap to copy (code + shared message string) and is annotated
+// [[nodiscard]] so that silently dropped errors fail the build.
+
+#ifndef SEQHIDE_COMMON_STATUS_H_
+#define SEQHIDE_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace seqhide {
+
+// Broad error categories. Kept deliberately small: callers that need more
+// detail should inspect the message.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   // caller passed a malformed value
+  kNotFound = 2,          // entity (file, symbol, pattern) does not exist
+  kAlreadyExists = 3,     // duplicate registration
+  kOutOfRange = 4,        // index/position outside valid bounds
+  kFailedPrecondition = 5,  // object not in the required state
+  kIOError = 6,           // filesystem / stream failure
+  kCorruption = 7,        // on-disk data failed to parse
+  kInternal = 8,          // invariant violation that is not the caller's fault
+  kUnimplemented = 9,     // feature intentionally not supported
+};
+
+// Human-readable name of a code ("InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  // Default-constructed Status is OK.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+}  // namespace seqhide
+
+// Propagates a non-OK Status to the caller. Usage:
+//   SEQHIDE_RETURN_IF_ERROR(DoThing());
+#define SEQHIDE_RETURN_IF_ERROR(expr)                  \
+  do {                                                 \
+    ::seqhide::Status _seqhide_status = (expr);        \
+    if (!_seqhide_status.ok()) return _seqhide_status; \
+  } while (0)
+
+#endif  // SEQHIDE_COMMON_STATUS_H_

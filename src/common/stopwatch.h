@@ -1,0 +1,29 @@
+// Stopwatch: monotonic wall-clock timer for the experiment harnesses.
+
+#ifndef SEQHIDE_COMMON_STOPWATCH_H_
+#define SEQHIDE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace seqhide {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_COMMON_STOPWATCH_H_

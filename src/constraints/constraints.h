@@ -1,0 +1,123 @@
+// Occurrence constraints on sensitive patterns (paper §5).
+//
+// Constraints restrict which embeddings of a pattern S in a sequence T
+// count as matchings. They are properties of *occurrences*, not of the
+// pattern string itself:
+//
+//   * per-arrow gap constraints  S[k] ->_{mg}^{Mg} S[k+1]  require that the
+//     number of events strictly between the matched positions of S[k] and
+//     S[k+1] lies in [mg, Mg] (paper's a ->^0 b means "directly followed");
+//   * a max-window constraint Ws requires the whole occurrence to fit in a
+//     window of Ws consecutive positions, i.e. (last - first + 1) <= Ws
+//     (this follows the paper's Lemma 5, where the first index must be
+//     >= j - Ws + 1 for an occurrence ending at j).
+//
+// Gap constraints are local (independent per arrow); the window constraint
+// is global over the occurrence. A ConstraintSpec may combine both.
+
+#ifndef SEQHIDE_CONSTRAINTS_CONSTRAINTS_H_
+#define SEQHIDE_CONSTRAINTS_CONSTRAINTS_H_
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/seq/alphabet.h"
+#include "src/seq/sequence.h"
+
+namespace seqhide {
+
+// Inclusive bounds on the number of events strictly between two matched
+// adjacent pattern symbols. The default is unconstrained.
+struct GapBound {
+  static constexpr size_t kNoMax = std::numeric_limits<size_t>::max();
+
+  size_t min_gap = 0;
+  size_t max_gap = kNoMax;
+
+  bool IsUnconstrained() const { return min_gap == 0 && max_gap == kNoMax; }
+  bool Allows(size_t gap) const { return gap >= min_gap && gap <= max_gap; }
+
+  friend bool operator==(const GapBound&, const GapBound&) = default;
+};
+
+class ConstraintSpec {
+ public:
+  // No constraints: every embedding is a matching (paper §3 semantics).
+  ConstraintSpec() = default;
+
+  // All arrows share the same gap bound.
+  static ConstraintSpec UniformGap(size_t min_gap, size_t max_gap);
+
+  // Only a max-window constraint.
+  static ConstraintSpec Window(size_t max_window);
+
+  // Per-arrow bounds; gaps.size() must equal pattern_length - 1 when
+  // applied (checked by Validate).
+  static ConstraintSpec PerArrow(std::vector<GapBound> gaps);
+
+  ConstraintSpec& SetMaxWindow(size_t ws);
+  ConstraintSpec& SetUniformGap(size_t min_gap, size_t max_gap);
+
+  bool IsUnconstrained() const;
+  bool HasGaps() const;
+  bool HasWindow() const { return max_window_.has_value(); }
+  // True when built with PerArrow (bounds tied to one specific pattern
+  // length); uniform/window-only specs apply to patterns of any length.
+  bool HasPerArrowGaps() const { return !per_arrow_gaps_.empty(); }
+  std::optional<size_t> max_window() const { return max_window_; }
+
+  // Gap bound for the arrow between pattern positions k and k+1 (0-based
+  // arrow index). Uniform specs return the shared bound for any index.
+  GapBound gap(size_t arrow_index) const;
+
+  // Checks structural consistency against a pattern of `pattern_length`
+  // symbols: per-arrow lists must have pattern_length-1 entries, bounds
+  // must satisfy min<=max, a window must be >= pattern_length.
+  Status Validate(size_t pattern_length) const;
+
+  // True iff the 0-based embedding `indices` (strictly increasing positions
+  // of the pattern symbols in T) satisfies every constraint. This is the
+  // definitional predicate used by the brute-force oracle; the DP counting
+  // in match/constrained_count.h must agree with it.
+  bool SatisfiedBy(const std::vector<size_t>& indices) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const ConstraintSpec& a, const ConstraintSpec& b) {
+    return a.uniform_gap_ == b.uniform_gap_ &&
+           a.per_arrow_gaps_ == b.per_arrow_gaps_ &&
+           a.max_window_ == b.max_window_;
+  }
+
+ private:
+  // Exactly one of uniform_gap_ / per_arrow_gaps_ may be set (or neither).
+  std::optional<GapBound> uniform_gap_;
+  std::vector<GapBound> per_arrow_gaps_;
+  std::optional<size_t> max_window_;
+};
+
+// A sensitive pattern together with its occurrence constraints.
+struct ConstrainedPattern {
+  Sequence pattern;
+  ConstraintSpec constraints;
+};
+
+// Parses the textual constrained-pattern syntax used by examples/tools:
+//
+//   "a -> b -> c"                plain pattern, unconstrained arrows
+//   "a ->[0] b ->[2..6] c"      exact gap 0, then gap in [2,6]
+//   "a ->[..3] b ->[1..] c"     max-only / min-only bounds
+//   "a -> b -> c ; window<=10"  optional global window suffix
+//
+// Symbol names are interned into `alphabet`.
+Result<ConstrainedPattern> ParseConstrainedPattern(Alphabet* alphabet,
+                                                   const std::string& text);
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_CONSTRAINTS_CONSTRAINTS_H_

@@ -1,0 +1,64 @@
+// Spatial generalization: the §7.3 distortion operator "generalizations
+// in time and space" made concrete for grid trajectories.
+//
+// Instead of erasing a marked cell entirely (Δ), the cell is coarsened to
+// the name of the region of the grid that contains it — the release keeps
+// approximate location information while the exact cell (and with it the
+// sensitive pattern occurrence) disappears. Region symbols are distinct
+// from every cell symbol, so coarsening cannot re-create a cell-level
+// pattern occurrence; this is verified per sequence anyway, and positions
+// where verification fails keep their Δ.
+
+#ifndef SEQHIDE_DATA_GENERALIZE_H_
+#define SEQHIDE_DATA_GENERALIZE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/constraints/constraints.h"
+#include "src/seq/database.h"
+
+namespace seqhide {
+
+// Maps fine grid cells to coarse regions of `factor`×`factor` cells.
+class GridHierarchy {
+ public:
+  // factor >= 2; e.g. factor 2 groups the paper's 10×10 grid into 5×5
+  // regions of 2×2 cells.
+  static Result<GridHierarchy> Create(size_t factor);
+
+  // 1-based region indices of a 1-based fine cell.
+  std::pair<size_t, size_t> RegionOf(size_t cell_x, size_t cell_y) const;
+
+  // "R<i>S<j>" — deliberately shaped unlike "X<i>Y<j>" so region symbols
+  // can never collide with cell symbols.
+  static std::string RegionName(size_t region_x, size_t region_y);
+
+  size_t factor() const { return factor_; }
+
+ private:
+  explicit GridHierarchy(size_t factor) : factor_(factor) {}
+  size_t factor_;
+};
+
+struct GeneralizeReport {
+  size_t generalized = 0;   // Δs replaced with a region symbol
+  size_t kept_marked = 0;   // Δs kept (original symbol unknown or unsafe)
+};
+
+// Replaces each Δ of `sanitized` with the region symbol of the cell that
+// stood there in `original` (the databases must be row-aligned: same
+// sequence count and lengths, as produced by copying before Sanitize).
+// Positions whose original symbol does not parse as a grid cell — or
+// whose coarsening would re-create a (constrained) occurrence of a
+// sensitive pattern — keep their Δ. `constraints` is empty or parallel
+// to `patterns`.
+Result<GeneralizeReport> GeneralizeMarks(
+    const SequenceDatabase& original, SequenceDatabase* sanitized,
+    const GridHierarchy& hierarchy, const std::vector<Sequence>& patterns,
+    const std::vector<ConstraintSpec>& constraints);
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_DATA_GENERALIZE_H_

@@ -1,0 +1,343 @@
+#include "src/data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/common/random.h"
+
+namespace seqhide {
+namespace {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double Dist(const Vec2& a, const Vec2& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+// Appends GPS fixes along the straight leg from -> to, one every
+// `step_km`, each perturbed by isotropic Gaussian noise. Timestamps
+// advance with the (jittered) speed. The starting point is emitted only
+// when `include_start` (so consecutive legs don't duplicate waypoints).
+void SampleLeg(const Vec2& from, const Vec2& to, double step_km,
+               double noise_km, double speed_kmh, double speed_jitter,
+               bool include_start, Rng* rng, double* clock_minutes,
+               Trajectory* out) {
+  double leg = Dist(from, to);
+  int fixes = std::max(1, static_cast<int>(std::ceil(leg / step_km)));
+  int start_index = include_start ? 0 : 1;
+  for (int i = start_index; i <= fixes; ++i) {
+    double f = static_cast<double>(i) / static_cast<double>(fixes);
+    TrajectoryPoint p;
+    p.x = from.x + f * (to.x - from.x) + rng->NextGaussian(0.0, noise_km);
+    p.y = from.y + f * (to.y - from.y) + rng->NextGaussian(0.0, noise_km);
+    double speed =
+        speed_kmh * (1.0 + rng->NextGaussian(0.0, speed_jitter));
+    speed = std::max(speed, 5.0);
+    if (i > start_index || include_start) {
+      *clock_minutes += (leg / static_cast<double>(fixes)) / speed * 60.0;
+    }
+    p.t = *clock_minutes;
+    out->points.push_back(p);
+  }
+}
+
+Trajectory SampleRoute(const std::vector<Vec2>& waypoints, double step_km,
+                       double noise_km, double speed_kmh,
+                       double speed_jitter, Rng* rng) {
+  SEQHIDE_CHECK_GE(waypoints.size(), 2u);
+  Trajectory out;
+  double clock_minutes = 0.0;
+  for (size_t i = 0; i + 1 < waypoints.size(); ++i) {
+    SampleLeg(waypoints[i], waypoints[i + 1], step_km, noise_km, speed_kmh,
+              speed_jitter, /*include_start=*/i == 0, rng, &clock_minutes,
+              &out);
+  }
+  return out;
+}
+
+// Center of the 1-based grid cell (cx, cy) for `cell_km`-sized cells.
+Vec2 CellCenter(size_t cx, size_t cy, double cell_km) {
+  return Vec2{(static_cast<double>(cx) - 0.5) * cell_km,
+              (static_cast<double>(cy) - 0.5) * cell_km};
+}
+
+// Orders `stops` greedily by nearest neighbor starting from `origin` —
+// delivery-tour-like visiting order.
+void OrderByNearestNeighbor(const Vec2& origin, std::vector<Vec2>* stops) {
+  Vec2 current = origin;
+  for (size_t i = 0; i < stops->size(); ++i) {
+    size_t best = i;
+    for (size_t j = i + 1; j < stops->size(); ++j) {
+      if (Dist(current, (*stops)[j]) < Dist(current, (*stops)[best])) {
+        best = j;
+      }
+    }
+    std::swap((*stops)[i], (*stops)[best]);
+    current = (*stops)[i];
+  }
+}
+
+}  // namespace
+
+GridSpec TruckFieldGrid(const TruckFleetOptions& options) {
+  GridSpec grid;
+  grid.min_x = 0.0;
+  grid.min_y = 0.0;
+  grid.max_x = options.field_size_km;
+  grid.max_y = options.field_size_km;
+  grid.cells_x = 10;
+  grid.cells_y = 10;
+  return grid;
+}
+
+std::vector<Trajectory> GenerateTruckFleet(const TruckFleetOptions& options) {
+  SEQHIDE_CHECK_GE(options.num_sites, 6u)
+      << "need at least 6 sites (4 calibrated + generics)";
+  SEQHIDE_CHECK_GE(options.min_stops, 1u);
+  SEQHIDE_CHECK_GE(options.max_stops, options.min_stops);
+  Rng rng(options.seed);
+  const double cell = options.field_size_km / 10.0;
+
+  // Calibrated delivery sites at the centers of the paper's sensitive
+  // cells: route R1 passes X6Y3 -> X7Y2, route R2 passes X4Y3 -> X5Y3.
+  const Vec2 r1_a = CellCenter(6, 3, cell);
+  const Vec2 r1_b = CellCenter(7, 2, cell);
+  const Vec2 r2_a = CellCenter(4, 3, cell);
+  const Vec2 r2_b = CellCenter(5, 3, cell);
+
+  // Depots in opposite corners of the service area.
+  std::vector<Vec2> depots;
+  depots.push_back(Vec2{0.20 * options.field_size_km,
+                        0.82 * options.field_size_km});
+  depots.push_back(Vec2{0.78 * options.field_size_km,
+                        0.70 * options.field_size_km});
+  while (depots.size() < options.num_depots) {
+    depots.push_back(Vec2{(0.1 + 0.8 * rng.NextDouble()) *
+                              options.field_size_km,
+                          (0.1 + 0.8 * rng.NextDouble()) *
+                              options.field_size_km});
+  }
+
+  // Generic delivery sites, kept away from the four calibrated cells so
+  // that the calibrated supports stay near their targets.
+  std::vector<Vec2> generic_sites;
+  const std::vector<Vec2> reserved = {r1_a, r1_b, r2_a, r2_b};
+  while (generic_sites.size() + 4 < options.num_sites) {
+    Vec2 candidate{(0.08 + 0.84 * rng.NextDouble()) * options.field_size_km,
+                   (0.08 + 0.84 * rng.NextDouble()) * options.field_size_km};
+    bool too_close = false;
+    for (const auto& r : reserved) {
+      if (Dist(candidate, r) < 1.2 * cell) {
+        too_close = true;
+        break;
+      }
+    }
+    if (!too_close) generic_sites.push_back(candidate);
+  }
+  // Zipf-skewed popularity over generic sites.
+  std::vector<double> popularity(generic_sites.size());
+  for (size_t i = 0; i < popularity.size(); ++i) {
+    popularity[i] = 1.0 / static_cast<double>(i + 1);
+  }
+
+  // Category counts scaled from the paper's support table
+  // (36 and 38 of 273, overlapping in 8).
+  const double n = static_cast<double>(options.num_trajectories);
+  const size_t n_both = static_cast<size_t>(std::lround(8.0 / 273.0 * n));
+  const size_t n_r1 =
+      static_cast<size_t>(std::lround(36.0 / 273.0 * n)) - n_both;
+  const size_t n_r2 =
+      static_cast<size_t>(std::lround(38.0 / 273.0 * n)) - n_both;
+
+  std::vector<Trajectory> out;
+  out.reserve(options.num_trajectories);
+  for (size_t i = 0; i < options.num_trajectories; ++i) {
+    const Vec2& depot = depots[rng.NextBounded(depots.size())];
+    std::vector<Vec2> route;
+    route.push_back(depot);
+
+    auto add_generic_stops = [&](size_t count) {
+      std::vector<Vec2> stops;
+      std::vector<double> weights = popularity;
+      for (size_t s = 0; s < count && s < generic_sites.size(); ++s) {
+        size_t pick = rng.NextWeighted(weights);
+        stops.push_back(generic_sites[pick]);
+        weights[pick] = 0.0;  // without replacement
+      }
+      OrderByNearestNeighbor(route.back(), &stops);
+      for (const auto& stop : stops) route.push_back(stop);
+    };
+
+    // Shuttle runs revisit the calibrated leg, producing sequences whose
+    // matching sets have more than one element. A traversal may detour
+    // through neighboring cells (spreading the occurrence's index gap —
+    // the raw material for the §5 constraint experiments).
+    auto traverse = [&](const Vec2& from, const Vec2& to) {
+      route.push_back(from);
+      if (rng.NextBernoulli(options.detour_probability)) {
+        // Perpendicular offset of 1-2 cells at the midpoint.
+        double dx = to.x - from.x;
+        double dy = to.y - from.y;
+        double len = std::max(std::hypot(dx, dy), 1e-9);
+        double offset = cell * (1.0 + rng.NextDouble());
+        Vec2 mid{(from.x + to.x) / 2 - dy / len * offset,
+                 (from.y + to.y) / 2 + dx / len * offset};
+        route.push_back(mid);
+      }
+      route.push_back(to);
+    };
+    auto add_leg = [&](const Vec2& from, const Vec2& to) {
+      traverse(from, to);
+      while (rng.NextBernoulli(options.revisit_probability)) {
+        traverse(from, to);
+      }
+    };
+
+    if (i < n_r1) {
+      // R1 trajectory: a generic stop, then the calibrated leg.
+      add_generic_stops(1);
+      add_leg(r1_a, r1_b);
+    } else if (i < n_r1 + n_r2) {
+      add_generic_stops(1);
+      add_leg(r2_a, r2_b);
+    } else if (i < n_r1 + n_r2 + n_both) {
+      // Supports both patterns: R2's leg then R1's leg.
+      add_leg(r2_a, r2_b);
+      add_leg(r1_a, r1_b);
+    } else {
+      size_t stops = options.min_stops +
+                     rng.NextBounded(options.max_stops - options.min_stops + 1);
+      add_generic_stops(stops);
+    }
+    route.push_back(depot);  // round trip
+
+    out.push_back(SampleRoute(route, options.sample_step_km,
+                              options.gps_noise_km, options.speed_kmh,
+                              options.speed_jitter, &rng));
+  }
+  rng.Shuffle(&out);  // category order must not correlate with position
+  return out;
+}
+
+GridSpec CarTownGrid(const CarMovementOptions& options) {
+  GridSpec grid;
+  grid.min_x = 0.0;
+  grid.min_y = 0.0;
+  grid.max_x = options.town_size_km;
+  grid.max_y = options.town_size_km;
+  grid.cells_x = 10;
+  grid.cells_y = 10;
+  return grid;
+}
+
+std::vector<Trajectory> GenerateCarMovement(
+    const CarMovementOptions& options) {
+  Rng rng(options.seed);
+  const double cell = options.town_size_km / 10.0;
+
+  // Calibrated corridor geometry reproducing the paper's sensitive cells.
+  // The dominant destination A (paper support 172) is approached through
+  // X5Y7 -> X5Y6; the secondary destination B (paper support 99) through
+  // X2Y7 -> X3Y7.
+  const Vec2 corridor_a = CellCenter(5, 7, cell);
+  const Vec2 dest_a = CellCenter(5, 6, cell);
+  const Vec2 corridor_b = CellCenter(2, 7, cell);
+  const Vec2 dest_b = CellCenter(3, 7, cell);
+
+  // Residential zones around the periphery.
+  std::vector<Vec2> homes = {
+      {0.12, 0.15}, {0.85, 0.12}, {0.10, 0.45}, {0.92, 0.52},
+      {0.50, 0.08}, {0.15, 0.90}, {0.88, 0.88}, {0.55, 0.95},
+  };
+  for (auto& h : homes) {
+    h.x *= options.town_size_km;
+    h.y *= options.town_size_km;
+  }
+  homes.resize(std::min(homes.size(), options.num_home_zones));
+
+  // Attraction zones for the "other" trips, kept in the south-east so the
+  // calibrated corridor cells in the north-west stay quiet.
+  std::vector<Vec2> other_attractions = {
+      {0.72, 0.25}, {0.78, 0.72}, {0.35, 0.22}, {0.60, 0.45},
+  };
+  for (auto& a : other_attractions) {
+    a.x *= options.town_size_km;
+    a.y *= options.town_size_km;
+  }
+  other_attractions.resize(
+      std::min(other_attractions.size(), options.num_attraction_zones));
+  std::vector<double> attraction_weights(other_attractions.size());
+  for (size_t i = 0; i < attraction_weights.size(); ++i) {
+    attraction_weights[i] = 1.0 / static_cast<double>(i + 1);
+  }
+
+  // Category counts from the paper's support table: sup A = 172,
+  // sup B = 99, union = 200 (of 300) => 71 support both, 101 only A,
+  // 28 only B.
+  const double n = static_cast<double>(options.num_trajectories);
+  const size_t n_both = static_cast<size_t>(std::lround(71.0 / 300.0 * n));
+  const size_t n_a_only =
+      static_cast<size_t>(std::lround(101.0 / 300.0 * n));
+  const size_t n_b_only = static_cast<size_t>(std::lround(28.0 / 300.0 * n));
+
+  std::vector<Trajectory> out;
+  out.reserve(options.num_trajectories);
+  for (size_t i = 0; i < options.num_trajectories; ++i) {
+    Vec2 home = homes[rng.NextBounded(homes.size())];
+    home.x += rng.NextGaussian(0.0, 0.5);
+    home.y += rng.NextGaussian(0.0, 0.5);
+
+    std::vector<Vec2> route;
+    route.push_back(home);
+    // Drop-off-and-return trips repeat the corridor hop, giving the
+    // supporting sequences multi-element matching sets; detours through
+    // side streets spread the occurrence gaps (fig 1g-i raw material).
+    auto traverse = [&](const Vec2& from, const Vec2& to) {
+      route.push_back(from);
+      if (rng.NextBernoulli(options.detour_probability)) {
+        double dx = to.x - from.x;
+        double dy = to.y - from.y;
+        double len = std::max(std::hypot(dx, dy), 1e-9);
+        double offset = cell * (1.0 + rng.NextDouble());
+        Vec2 mid{(from.x + to.x) / 2 - dy / len * offset,
+                 (from.y + to.y) / 2 + dx / len * offset};
+        route.push_back(mid);
+      }
+      route.push_back(to);
+    };
+    auto add_hop = [&](const Vec2& corridor, const Vec2& dest) {
+      traverse(corridor, dest);
+      while (rng.NextBernoulli(options.revisit_probability)) {
+        traverse(corridor, dest);
+      }
+    };
+    if (i < n_a_only) {
+      add_hop(corridor_a, dest_a);
+    } else if (i < n_a_only + n_b_only) {
+      add_hop(corridor_b, dest_b);
+    } else if (i < n_a_only + n_b_only + n_both) {
+      // Errand chain: B first (via its corridor), then A (via its own).
+      add_hop(corridor_b, dest_b);
+      add_hop(corridor_a, dest_a);
+    } else {
+      const Vec2& attraction =
+          other_attractions[rng.NextWeighted(attraction_weights)];
+      Vec2 jittered = attraction;
+      jittered.x += rng.NextGaussian(0.0, 0.4);
+      jittered.y += rng.NextGaussian(0.0, 0.4);
+      route.push_back(jittered);
+    }
+
+    out.push_back(SampleRoute(route, options.sample_step_km,
+                              options.gps_noise_km, options.speed_kmh,
+                              options.speed_jitter, &rng));
+  }
+  rng.Shuffle(&out);
+  return out;
+}
+
+}  // namespace seqhide

@@ -1,0 +1,112 @@
+// Trajectory simulators substituting for the paper's datasets (§6).
+//
+// The paper evaluates on (a) TRUCKS — 273 real truck trajectories from
+// [Frentzos et al., SSTD'05] — and (b) SYNTHETIC — 300 car trajectories
+// from the CENTRE cellular-network generator [Giannotti et al.,
+// ACM-GIS'05]. Neither artifact is available, so we simulate the closest
+// synthetic equivalents (see DESIGN.md §3): what the hiding algorithm
+// consumes is only the 10×10-grid symbol sequences, so the simulators are
+// calibrated to reproduce the statistics the paper reports — dataset
+// sizes (273/300), mean discretized lengths (≈20.1 / ≈6.8 symbols), and
+// the existence of length-2 patterns at the paper's sensitive-pattern
+// support levels (≈36/38 of 273 and ≈99/172 of 300) with spatially
+// autocorrelated movement.
+//
+// Both generators are deterministic in their seed.
+
+#ifndef SEQHIDE_DATA_GENERATORS_H_
+#define SEQHIDE_DATA_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/grid.h"
+#include "src/data/trajectory.h"
+
+namespace seqhide {
+
+// ---------------------------------------------------------------------------
+// TRUCKS substitute: depot-based delivery round trips.
+// ---------------------------------------------------------------------------
+
+struct TruckFleetOptions {
+  size_t num_trajectories = 273;
+  uint64_t seed = 20070415;  // default calibrated workload
+
+  // Field: 50 km × 50 km; with the 10×10 grid a cell is 5 km × 5 km.
+  double field_size_km = 50.0;
+
+  // Trucks leave one of `num_depots` depots, visit `min_stops..max_stops`
+  // delivery sites drawn by Zipf-skewed popularity, and return.
+  size_t num_depots = 2;
+  size_t num_sites = 14;
+  size_t min_stops = 2;
+  size_t max_stops = 4;
+
+  // Sampling along legs (km between GPS fixes) and per-fix Gaussian noise.
+  double sample_step_km = 1.1;
+  double gps_noise_km = 0.25;
+
+  // Mean speed used to assign timestamps (km/h) and its jitter.
+  double speed_kmh = 45.0;
+  double speed_jitter = 0.15;
+
+  // Probability that a trajectory supporting a sensitive route shuttles
+  // over its calibrated leg a second (or third) time — real delivery
+  // trajectories revisit sites, which gives supporting sequences several
+  // matchings of the sensitive pattern (the regime where the paper's
+  // local heuristic differs measurably from random marking).
+  double revisit_probability = 0.5;
+
+  // Probability that a calibrated leg takes a detour through neighboring
+  // cells instead of the direct road. Detours spread the index gap of the
+  // sensitive occurrences, which is what gives the §5 gap/window
+  // constraints something to filter (fig 1g-i).
+  double detour_probability = 0.5;
+};
+
+std::vector<Trajectory> GenerateTruckFleet(const TruckFleetOptions& options);
+
+// The grid the paper uses over this field (10×10 over 50 km × 50 km).
+GridSpec TruckFieldGrid(const TruckFleetOptions& options);
+
+// ---------------------------------------------------------------------------
+// SYNTHETIC substitute: short commute-style car trips in a town.
+// ---------------------------------------------------------------------------
+
+struct CarMovementOptions {
+  size_t num_trajectories = 300;
+  uint64_t seed = 20070416;  // default calibrated workload
+
+  // Town: 10 km × 10 km; a grid cell is 1 km × 1 km.
+  double town_size_km = 10.0;
+
+  // Cars start in one of `num_home_zones` residential zones and drive to
+  // one of `num_attraction_zones` attraction zones (Zipf-skewed — a
+  // dominant downtown destination produces the paper's high-support
+  // sensitive patterns).
+  size_t num_home_zones = 8;
+  size_t num_attraction_zones = 4;
+
+  double sample_step_km = 0.7;
+  double gps_noise_km = 0.12;
+
+  double speed_kmh = 30.0;
+  double speed_jitter = 0.2;
+
+  // Probability that a corridor trip repeats its corridor->destination
+  // hop (drop-off and return); see TruckFleetOptions::revisit_probability.
+  double revisit_probability = 0.4;
+
+  // Probability that a corridor hop detours through side streets; see
+  // TruckFleetOptions::detour_probability.
+  double detour_probability = 0.4;
+};
+
+std::vector<Trajectory> GenerateCarMovement(const CarMovementOptions& options);
+
+GridSpec CarTownGrid(const CarMovementOptions& options);
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_DATA_GENERATORS_H_

@@ -1,0 +1,70 @@
+// Grid discretization of trajectories (paper §6): the field is divided
+// into a cells_x × cells_y grid; each location maps to the symbol
+// "X<i>Y<j>" with 1-based i, j — exactly the paper's alphabet of 100
+// symbols for a 10×10 grid.
+
+#ifndef SEQHIDE_DATA_GRID_H_
+#define SEQHIDE_DATA_GRID_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "src/common/result.h"
+#include "src/data/trajectory.h"
+#include "src/seq/alphabet.h"
+#include "src/seq/database.h"
+#include "src/seq/sequence.h"
+
+namespace seqhide {
+
+struct GridSpec {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 1.0;
+  double max_y = 1.0;
+  size_t cells_x = 10;
+  size_t cells_y = 10;
+};
+
+class GridDiscretizer {
+ public:
+  // The spec must describe a non-degenerate grid.
+  static Result<GridDiscretizer> Create(const GridSpec& spec);
+
+  // 1-based cell indices of a point; coordinates outside the field are
+  // clamped to the border cells.
+  std::pair<size_t, size_t> CellOf(double x, double y) const;
+
+  // "X<i>Y<j>" for 1-based indices.
+  static std::string CellName(size_t cell_x, size_t cell_y);
+
+  // Inverse of CellName: parses "X<i>Y<j>" back into 1-based indices.
+  // Returns nullopt for names not of that shape (e.g. region symbols).
+  static std::optional<std::pair<size_t, size_t>> ParseCellName(
+      std::string_view name);
+
+  // Maps each trajectory point to its cell symbol. When collapse_repeats
+  // is true (the usual choice — it is what yields the paper's ~20
+  // locations per truck trajectory), consecutive points in the same cell
+  // produce a single symbol.
+  Sequence Discretize(Alphabet* alphabet, const Trajectory& trajectory,
+                      bool collapse_repeats = true) const;
+
+  // Discretizes a whole batch into a fresh database.
+  SequenceDatabase DiscretizeAll(const std::vector<Trajectory>& trajectories,
+                                 bool collapse_repeats = true) const;
+
+  const GridSpec& spec() const { return spec_; }
+
+ private:
+  explicit GridDiscretizer(const GridSpec& spec) : spec_(spec) {}
+
+  GridSpec spec_;
+};
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_DATA_GRID_H_

@@ -1,0 +1,52 @@
+#include "src/data/timed_workload.h"
+
+#include "src/common/logging.h"
+#include "src/data/generators.h"
+
+namespace seqhide {
+
+TimedSequence DiscretizeTimed(const GridDiscretizer& grid, Alphabet* alphabet,
+                              const Trajectory& trajectory) {
+  SEQHIDE_CHECK(alphabet != nullptr);
+  std::vector<TimedEvent> events;
+  SymbolId last = kDeltaSymbol;
+  for (const auto& point : trajectory.points) {
+    auto [cx, cy] = grid.CellOf(point.x, point.y);
+    SymbolId sym = alphabet->Intern(GridDiscretizer::CellName(cx, cy));
+    if (sym == last) continue;  // still in the same cell
+    events.push_back(TimedEvent{sym, point.t});
+    last = sym;
+  }
+  Result<TimedSequence> seq = TimedSequence::Create(std::move(events));
+  SEQHIDE_CHECK(seq.ok()) << "trajectory timestamps must be monotone: "
+                          << seq.status().ToString();
+  return std::move(seq).value();
+}
+
+TimedWorkload MakeTimedTrucksWorkload(uint64_t seed) {
+  TruckFleetOptions options;
+  options.seed = seed;
+  std::vector<Trajectory> trajectories = GenerateTruckFleet(options);
+  auto grid = GridDiscretizer::Create(TruckFieldGrid(options));
+  SEQHIDE_CHECK(grid.ok());
+
+  TimedWorkload w;
+  w.name = "TRUCKS-timed";
+  for (const auto& trajectory : trajectories) {
+    TimedSequence seq = DiscretizeTimed(*grid, &w.alphabet, trajectory);
+    if (!seq.empty()) w.sequences.push_back(std::move(seq));
+  }
+  auto cell_pattern =
+      [&](std::vector<std::pair<size_t, size_t>> cells) {
+        Sequence out;
+        for (const auto& [cx, cy] : cells) {
+          out.Append(w.alphabet.Intern(GridDiscretizer::CellName(cx, cy)));
+        }
+        return out;
+      };
+  w.sensitive.push_back(cell_pattern({{6, 3}, {7, 2}}));
+  w.sensitive.push_back(cell_pattern({{4, 3}, {5, 3}}));
+  return w;
+}
+
+}  // namespace seqhide

@@ -1,0 +1,41 @@
+// Timed experiment workloads: the spatio-temporal bridge the paper's §7.3
+// road map sketches — trajectories become sequences of *timed* cell-entry
+// events, so the §7.2 real-time constraints (gap/window in minutes) apply
+// directly to the mobility data of the §6 evaluation.
+
+#ifndef SEQHIDE_DATA_TIMED_WORKLOAD_H_
+#define SEQHIDE_DATA_TIMED_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/data/grid.h"
+#include "src/data/trajectory.h"
+#include "src/seq/alphabet.h"
+#include "src/seq/sequence.h"
+#include "src/temporal/timed_sequence.h"
+
+namespace seqhide {
+
+// Converts a trajectory into timed cell-entry events: one event per entry
+// into a (new) grid cell, stamped with the entry time. Consecutive fixes
+// in the same cell collapse into the single entry event, exactly like the
+// untimed discretization with collapse_repeats.
+TimedSequence DiscretizeTimed(const GridDiscretizer& grid, Alphabet* alphabet,
+                              const Trajectory& trajectory);
+
+struct TimedWorkload {
+  std::string name;
+  Alphabet alphabet;
+  std::vector<TimedSequence> sequences;
+  std::vector<Sequence> sensitive;  // the paper's TRUCKS patterns
+};
+
+// Timed version of the TRUCKS workload (same simulator and sensitive cell
+// pairs as MakeTrucksWorkload; timestamps are minutes since trip start).
+TimedWorkload MakeTimedTrucksWorkload(uint64_t seed = 20070415);
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_DATA_TIMED_WORKLOAD_H_

@@ -1,0 +1,28 @@
+// Trajectory: continuous movement data of one mobile entity — the raw
+// input of the paper's experimental pipeline (§6), before grid
+// discretization turns it into a symbol sequence.
+
+#ifndef SEQHIDE_DATA_TRAJECTORY_H_
+#define SEQHIDE_DATA_TRAJECTORY_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace seqhide {
+
+struct TrajectoryPoint {
+  double x = 0.0;  // spatial coordinates (km in the bundled simulators)
+  double y = 0.0;
+  double t = 0.0;  // timestamp (minutes since trajectory start)
+};
+
+struct Trajectory {
+  std::vector<TrajectoryPoint> points;
+
+  bool empty() const { return points.empty(); }
+  size_t size() const { return points.size(); }
+};
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_DATA_TRAJECTORY_H_

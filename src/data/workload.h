@@ -1,0 +1,57 @@
+// Experiment workloads: the exact (database, sensitive patterns) pairs the
+// paper's §6 evaluation runs on, rebuilt from the simulators.
+//
+// The paper's sensitive patterns are
+//   TRUCKS:    S_h = { <X6Y3, X7Y2>, <X4Y3, X5Y3> }
+//   SYNTHETIC: S_h = { <X2Y7, X3Y7>, <X5Y7, X5Y6> }
+// and our simulators are calibrated so those same cell pairs reach
+// approximately the paper's reported supports (36/38 of 273, 99/172 of
+// 300). MakeTrucksWorkload/MakeSyntheticWorkload return the discretized
+// database with those patterns; the actual supports are part of the
+// returned struct (reported by bench/table1_supports).
+
+#ifndef SEQHIDE_DATA_WORKLOAD_H_
+#define SEQHIDE_DATA_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/data/generators.h"
+#include "src/seq/database.h"
+#include "src/seq/sequence.h"
+
+namespace seqhide {
+
+struct ExperimentWorkload {
+  std::string name;
+  SequenceDatabase db;
+  std::vector<Sequence> sensitive;       // the paper's two patterns
+  std::vector<size_t> sensitive_supports;  // measured sup_D(S_i)
+  size_t disjunctive_support = 0;          // measured sup_D(S_1 ∨ S_2)
+};
+
+// TRUCKS-substitute workload (default seed = the calibrated workload used
+// across tests, benches and EXPERIMENTS.md).
+ExperimentWorkload MakeTrucksWorkload(uint64_t seed = 20070415);
+
+// SYNTHETIC-substitute workload.
+ExperimentWorkload MakeSyntheticWorkload(uint64_t seed = 20070416);
+
+// Fully synthetic sequence database with controllable size/length/alphabet
+// for scaling benches and property tests (uniform random symbols with a
+// configurable repetition bias).
+struct RandomDatabaseOptions {
+  size_t num_sequences = 100;
+  size_t min_length = 5;
+  size_t max_length = 25;
+  size_t alphabet_size = 50;
+  // Probability that a symbol repeats the previous one (auto-correlation).
+  double repeat_bias = 0.0;
+  uint64_t seed = 1;
+};
+SequenceDatabase MakeRandomDatabase(const RandomDatabaseOptions& options);
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_DATA_WORKLOAD_H_

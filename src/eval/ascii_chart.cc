@@ -1,0 +1,113 @@
+#include "src/eval/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace seqhide {
+namespace {
+
+constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@', '%', '&'};
+
+double CellValue(const SweepCell& cell, Measure measure) {
+  switch (measure) {
+    case Measure::kM1:
+      return cell.m1;
+    case Measure::kM2:
+      return cell.m2;
+    case Measure::kM3:
+      return cell.m3;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+}  // namespace
+
+std::string RenderSweepChart(const SweepResult& result, Measure measure,
+                             const AsciiChartOptions& options) {
+  SEQHIDE_CHECK_GE(options.width, 8u);
+  SEQHIDE_CHECK_GE(options.height, 4u);
+  if (result.psi_values.empty() || result.algorithm_labels.empty()) {
+    return "";
+  }
+
+  // Value range across all finite cells.
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& series : result.cells) {
+    for (const auto& cell : series) {
+      double v = CellValue(cell, measure);
+      if (std::isnan(v)) continue;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (!std::isfinite(lo)) return "";
+  if (hi == lo) hi = lo + 1.0;  // flat series still render
+
+  const size_t psi_lo = result.psi_values.front();
+  const size_t psi_hi = result.psi_values.back();
+  const double psi_span =
+      psi_hi > psi_lo ? static_cast<double>(psi_hi - psi_lo) : 1.0;
+
+  std::vector<std::string> grid(options.height,
+                                std::string(options.width, ' '));
+  auto plot = [&](size_t pi, double value, char glyph) {
+    double fx = (static_cast<double>(result.psi_values[pi]) -
+                 static_cast<double>(psi_lo)) /
+                psi_span;
+    double fy = (value - lo) / (hi - lo);
+    size_t col = std::min(options.width - 1,
+                          static_cast<size_t>(fx * (options.width - 1) + 0.5));
+    size_t row_from_bottom = std::min(
+        options.height - 1,
+        static_cast<size_t>(fy * (options.height - 1) + 0.5));
+    size_t row = options.height - 1 - row_from_bottom;
+    char& cell = grid[row][col];
+    // Overlapping points: keep the earlier series' glyph but show overlap.
+    cell = (cell == ' ') ? glyph : '?';
+  };
+
+  for (size_t ai = 0; ai < result.cells.size(); ++ai) {
+    char glyph = kGlyphs[ai % (sizeof(kGlyphs) / sizeof(kGlyphs[0]))];
+    for (size_t pi = 0; pi < result.cells[ai].size(); ++pi) {
+      double v = CellValue(result.cells[ai][pi], measure);
+      if (!std::isnan(v)) plot(pi, v, glyph);
+    }
+  }
+
+  std::ostringstream out;
+  auto y_label = [&](double v) {
+    std::ostringstream label;
+    label << std::setw(9) << std::setprecision(4) << v;
+    return label.str();
+  };
+  for (size_t row = 0; row < options.height; ++row) {
+    if (row == 0) {
+      out << y_label(hi);
+    } else if (row == options.height - 1) {
+      out << y_label(lo);
+    } else {
+      out << std::string(9, ' ');
+    }
+    out << " |" << grid[row] << "\n";
+  }
+  out << std::string(10, ' ') << '+' << std::string(options.width, '-')
+      << "\n";
+  out << std::string(11, ' ') << "psi: " << psi_lo << " .. " << psi_hi
+      << "\n";
+  out << std::string(11, ' ') << "legend:";
+  for (size_t ai = 0; ai < result.algorithm_labels.size(); ++ai) {
+    out << "  "
+        << kGlyphs[ai % (sizeof(kGlyphs) / sizeof(kGlyphs[0]))] << "="
+        << result.algorithm_labels[ai];
+  }
+  out << "  ('?' = overlap)\n";
+  return out.str();
+}
+
+}  // namespace seqhide

@@ -1,0 +1,28 @@
+// ASCII rendering of sweep series: the figure benches print a quick
+// terminal plot of the curves next to the numeric table, so the shape
+// comparison against the paper's Figure 1 panels needs no plotting tool.
+
+#ifndef SEQHIDE_EVAL_ASCII_CHART_H_
+#define SEQHIDE_EVAL_ASCII_CHART_H_
+
+#include <string>
+
+#include "src/eval/experiment.h"
+#include "src/eval/report.h"
+
+namespace seqhide {
+
+struct AsciiChartOptions {
+  size_t width = 64;   // plot columns (excluding the y-axis gutter)
+  size_t height = 16;  // plot rows
+};
+
+// Renders one measure of a sweep as a scatter chart, one glyph per
+// algorithm, with a legend. NaN cells are skipped. Returns "" when there
+// is nothing finite to plot.
+std::string RenderSweepChart(const SweepResult& result, Measure measure,
+                             const AsciiChartOptions& options = {});
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_EVAL_ASCII_CHART_H_

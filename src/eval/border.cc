@@ -1,0 +1,107 @@
+#include "src/eval/border.h"
+
+#include <vector>
+
+#include "src/match/subsequence.h"
+
+namespace seqhide {
+
+FrequentPatternSet PositiveBorder(const FrequentPatternSet& frequent) {
+  // A pattern can only be dominated by a strictly longer pattern, so
+  // bucket by length and test against longer buckets only.
+  std::vector<std::pair<const Sequence*, size_t>> patterns;
+  size_t max_len = 0;
+  for (const auto& [pattern, support] : frequent.patterns()) {
+    patterns.emplace_back(&pattern, support);
+    max_len = std::max(max_len, pattern.size());
+  }
+  std::vector<std::vector<const Sequence*>> by_length(max_len + 1);
+  for (const auto& [pattern, support] : patterns) {
+    (void)support;
+    by_length[pattern->size()].push_back(pattern);
+  }
+
+  FrequentPatternSet border;
+  for (const auto& [pattern, support] : patterns) {
+    bool maximal = true;
+    for (size_t len = pattern->size() + 1; len <= max_len && maximal;
+         ++len) {
+      for (const Sequence* longer : by_length[len]) {
+        if (IsSubsequence(*pattern, *longer)) {
+          maximal = false;
+          break;
+        }
+      }
+    }
+    if (maximal) border.Add(*pattern, support);
+  }
+  return border;
+}
+
+FrequentPatternSet PositiveBorderOfClosedSet(
+    const FrequentPatternSet& frequent) {
+  // Symbols present anywhere in the collection.
+  std::vector<SymbolId> symbols;
+  {
+    std::vector<bool> seen;
+    for (const auto& [pattern, support] : frequent.patterns()) {
+      (void)support;
+      for (size_t i = 0; i < pattern.size(); ++i) {
+        size_t id = static_cast<size_t>(pattern[i]);
+        if (id >= seen.size()) seen.resize(id + 1, false);
+        seen[id] = true;
+      }
+    }
+    for (size_t id = 0; id < seen.size(); ++id) {
+      if (seen[id]) symbols.push_back(static_cast<SymbolId>(id));
+    }
+  }
+
+  FrequentPatternSet border;
+  for (const auto& [pattern, support] : frequent.patterns()) {
+    bool maximal = true;
+    // Try every single-symbol insertion; downward closure guarantees a
+    // dominating super-pattern implies one of these is present.
+    for (size_t pos = 0; pos <= pattern.size() && maximal; ++pos) {
+      for (SymbolId symbol : symbols) {
+        std::vector<SymbolId> extended;
+        extended.reserve(pattern.size() + 1);
+        for (size_t i = 0; i < pos; ++i) extended.push_back(pattern[i]);
+        extended.push_back(symbol);
+        for (size_t i = pos; i < pattern.size(); ++i) {
+          extended.push_back(pattern[i]);
+        }
+        if (frequent.Contains(Sequence(std::move(extended)))) {
+          maximal = false;
+          break;
+        }
+      }
+    }
+    if (maximal) border.Add(pattern, support);
+  }
+  return border;
+}
+
+Result<double> MeasureBorderDamage(
+    const FrequentPatternSet& frequent_original,
+    const FrequentPatternSet& frequent_sanitized) {
+  return BorderDamageAgainst(PositiveBorder(frequent_original),
+                             frequent_sanitized);
+}
+
+Result<double> BorderDamageAgainst(
+    const FrequentPatternSet& border,
+    const FrequentPatternSet& frequent_sanitized) {
+  if (border.empty()) {
+    return Status::FailedPrecondition(
+        "border damage undefined: the original positive border is empty");
+  }
+  size_t lost = 0;
+  for (const auto& [pattern, support] : border.patterns()) {
+    (void)support;
+    if (!frequent_sanitized.Contains(pattern)) ++lost;
+  }
+  return static_cast<double>(lost) / static_cast<double>(border.size());
+}
+
+}  // namespace seqhide

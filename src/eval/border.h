@@ -1,0 +1,48 @@
+// Border-quality evaluation — an extension beyond the paper's M1/M2/M3,
+// motivated by the border-based hiding literature the paper surveys in §2
+// (Sun & Yu's border approach [26], Menon et al. [19]): the *positive
+// border* (the maximal frequent patterns) is a compact proxy for the
+// whole frequent-pattern collection, so damage to the border is a
+// sharper signal of lost knowledge than raw pattern counts.
+//
+//   border damage = |{P in Bd+(D) : P not frequent in D'}| / |Bd+(D)|
+
+#ifndef SEQHIDE_EVAL_BORDER_H_
+#define SEQHIDE_EVAL_BORDER_H_
+
+#include "src/common/result.h"
+#include "src/mine/pattern_set.h"
+
+namespace seqhide {
+
+// The positive border Bd+ of a frequent pattern collection: members with
+// no proper frequent super-pattern (by the subsequence relation) in the
+// collection. Quadratic in the collection size (evaluation-path code).
+FrequentPatternSet PositiveBorder(const FrequentPatternSet& frequent);
+
+// Fast positive border for *downward-closed* collections (every
+// subsequence of a member within the mining length cap is a member —
+// exactly what MineFrequentSequences produces): P is non-maximal iff some
+// single-symbol insertion into P is in the collection, so the test is
+// |P|+1 times |Σ| membership lookups instead of a quadratic scan.
+// Agrees with PositiveBorder on closed inputs (tested); meaningless on
+// arbitrary collections.
+FrequentPatternSet PositiveBorderOfClosedSet(
+    const FrequentPatternSet& frequent);
+
+// Border damage against a precomputed border (avoids recomputing Bd+ for
+// every sanitized variant in a sweep). `border` must be the positive
+// border of the original collection.
+Result<double> BorderDamageAgainst(const FrequentPatternSet& border,
+                                   const FrequentPatternSet& frequent_sanitized);
+
+// Fraction of the original positive border whose patterns fell out of
+// F(D',σ). 0 = border intact, 1 = border destroyed. Errors when the
+// original border is empty (nothing was frequent).
+Result<double> MeasureBorderDamage(
+    const FrequentPatternSet& frequent_original,
+    const FrequentPatternSet& frequent_sanitized);
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_EVAL_BORDER_H_

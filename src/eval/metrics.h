@@ -1,0 +1,48 @@
+// Distortion measures of the paper's evaluation (§6).
+//
+//  M1 (data distortion): total number of marking symbols Δ in D'.
+//  M2 (frequent pattern distortion):
+//        (|F(D,σ)| − |F(D',σ)|) / |F(D,σ)|
+//  M3 (frequent pattern support distortion):
+//        (1/|F(D',σ)|) · Σ_{S ∈ F(D',σ)} (sup_D(S) − sup_D'(S)) / sup_D(S)
+//
+// Marking never increases a support, so F(D',σ) ⊆ F(D,σ) and both M2 and
+// M3 lie in [0, 1].
+
+#ifndef SEQHIDE_EVAL_METRICS_H_
+#define SEQHIDE_EVAL_METRICS_H_
+
+#include <cstddef>
+
+#include "src/common/result.h"
+#include "src/mine/pattern_set.h"
+#include "src/seq/database.h"
+
+namespace seqhide {
+
+// M1 of a sanitized database (number of Δ symbols it contains).
+size_t MeasureM1(const SequenceDatabase& sanitized);
+
+// M2 from the two mined pattern sets. Errors when F(D,σ) is empty (the
+// measure is undefined) or when F(D',σ) ⊄ F(D,σ) (caller mixed up inputs).
+Result<double> MeasureM2(const FrequentPatternSet& frequent_original,
+                         const FrequentPatternSet& frequent_sanitized);
+
+// M3: average relative support loss over the surviving frequent patterns.
+// `frequent_sanitized` must carry supports w.r.t. D'; original supports
+// are recomputed against `original`. Errors when F(D',σ) is empty (the
+// measure is undefined; the paper's plots only cover thresholds where it
+// is not).
+Result<double> MeasureM3(const SequenceDatabase& original,
+                         const FrequentPatternSet& frequent_sanitized);
+
+// Faster M3: original supports looked up from the mined original set
+// (valid because F(D',σ) ⊆ F(D,σ) carries every surviving pattern's
+// original support). Used by the sweep harness, where F(D,σ) is already
+// available.
+Result<double> MeasureM3(const FrequentPatternSet& frequent_original,
+                         const FrequentPatternSet& frequent_sanitized);
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_EVAL_METRICS_H_

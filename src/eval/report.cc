@@ -1,0 +1,96 @@
+#include "src/eval/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "src/common/csv.h"
+#include "src/common/logging.h"
+
+namespace seqhide {
+namespace {
+
+double CellValue(const SweepCell& cell, Measure measure) {
+  switch (measure) {
+    case Measure::kM1:
+      return cell.m1;
+    case Measure::kM2:
+      return cell.m2;
+    case Measure::kM3:
+      return cell.m3;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+std::string FormatValue(double v, Measure measure) {
+  std::ostringstream out;
+  if (std::isnan(v)) {
+    out << "-";
+  } else if (measure == Measure::kM1) {
+    out << std::fixed << std::setprecision(1) << v;
+  } else {
+    out << std::fixed << std::setprecision(4) << v;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string ToString(Measure m) {
+  switch (m) {
+    case Measure::kM1:
+      return "M1";
+    case Measure::kM2:
+      return "M2";
+    case Measure::kM3:
+      return "M3";
+  }
+  return "?";
+}
+
+std::string FormatSweepTable(const SweepResult& result, Measure measure,
+                             const std::string& title) {
+  std::ostringstream out;
+  out << "== " << title << " ==\n";
+  out << "workload: " << result.workload_name
+      << "   measure: " << ToString(measure) << "\n";
+  size_t longest_label = 0;
+  for (const auto& label : result.algorithm_labels) {
+    longest_label = std::max(longest_label, label.size());
+  }
+  const int width =
+      std::max(12, static_cast<int>(longest_label) + 2);
+  out << std::setw(6) << "psi";
+  for (const auto& label : result.algorithm_labels) {
+    out << std::setw(width) << label;
+  }
+  out << "\n";
+  for (size_t pi = 0; pi < result.psi_values.size(); ++pi) {
+    out << std::setw(6) << result.psi_values[pi];
+    for (size_t ai = 0; ai < result.algorithm_labels.size(); ++ai) {
+      out << std::setw(width)
+          << FormatValue(CellValue(result.cells[ai][pi], measure), measure);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+void WriteSweepCsv(const SweepResult& result, Measure measure,
+                   std::ostream& out) {
+  CsvWriter csv(&out);
+  std::vector<std::string> header = {"psi"};
+  for (const auto& label : result.algorithm_labels) header.push_back(label);
+  csv.WriteRow(header);
+  for (size_t pi = 0; pi < result.psi_values.size(); ++pi) {
+    std::vector<std::string> row = {std::to_string(result.psi_values[pi])};
+    for (size_t ai = 0; ai < result.algorithm_labels.size(); ++ai) {
+      row.push_back(CsvWriter::FormatDouble(
+          CellValue(result.cells[ai][pi], measure)));
+    }
+    csv.WriteRow(row);
+  }
+}
+
+}  // namespace seqhide

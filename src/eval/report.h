@@ -1,0 +1,31 @@
+// Formatting of sweep results as paper-style tables and CSV series.
+//
+// Every figure bench prints (a) a human-readable table whose rows are the
+// ψ values on the figure's X axis and whose columns are the curves, and
+// (b) the same series as CSV for replotting.
+
+#ifndef SEQHIDE_EVAL_REPORT_H_
+#define SEQHIDE_EVAL_REPORT_H_
+
+#include <ostream>
+#include <string>
+
+#include "src/eval/experiment.h"
+
+namespace seqhide {
+
+enum class Measure { kM1, kM2, kM3 };
+
+std::string ToString(Measure m);
+
+// Fixed-width table: one row per ψ, one column per algorithm.
+std::string FormatSweepTable(const SweepResult& result, Measure measure,
+                             const std::string& title);
+
+// CSV with header "psi,<label1>,<label2>,...".
+void WriteSweepCsv(const SweepResult& result, Measure measure,
+                   std::ostream& out);
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_EVAL_REPORT_H_

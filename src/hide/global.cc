@@ -1,0 +1,136 @@
+#include "src/hide/global.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/common/logging.h"
+#include "src/match/constrained_count.h"
+#include "src/match/count.h"
+
+namespace seqhide {
+namespace {
+
+// Fraction of unmarked symbols that are repeats of an earlier symbol in
+// the same sequence; our instantiation of the paper's "auto-correlation"
+// sketch (§8): the more repetitive a sequence, the fewer distinct
+// subsequences it contributes, the cheaper it is to distort.
+double AutocorrelationScore(const Sequence& seq) {
+  std::unordered_set<SymbolId> distinct;
+  size_t real = 0;
+  for (size_t i = 0; i < seq.size(); ++i) {
+    if (!IsRealSymbol(seq[i])) continue;
+    ++real;
+    distinct.insert(seq[i]);
+  }
+  if (real == 0) return 0.0;
+  return 1.0 - static_cast<double>(distinct.size()) /
+                   static_cast<double>(real);
+}
+
+}  // namespace
+
+std::vector<SequenceMatchInfo> ComputeMatchInfo(
+    const SequenceDatabase& db, const std::vector<Sequence>& patterns,
+    const std::vector<ConstraintSpec>& constraints) {
+  SEQHIDE_CHECK(constraints.empty() || constraints.size() == patterns.size())
+      << "constraints must be empty or parallel to patterns";
+  std::vector<SequenceMatchInfo> info(db.size());
+  for (size_t t = 0; t < db.size(); ++t) {
+    info[t].index = t;
+    info[t].pattern_support.resize(patterns.size(), false);
+    uint64_t total = 0;
+    for (size_t p = 0; p < patterns.size(); ++p) {
+      const ConstraintSpec& spec =
+          constraints.empty() ? ConstraintSpec() : constraints[p];
+      uint64_t c = CountConstrainedMatchings(patterns[p], spec, db[t]);
+      info[t].pattern_support[p] = (c > 0);
+      total = SatAdd(total, c);
+    }
+    info[t].matching_count = total;
+  }
+  return info;
+}
+
+std::vector<size_t> SelectSequencesToSanitize(
+    const SequenceDatabase& db, const std::vector<SequenceMatchInfo>& info,
+    GlobalStrategy strategy, size_t psi, Rng* rng) {
+  SEQHIDE_CHECK(strategy != GlobalStrategy::kRandom || rng != nullptr)
+      << "the Random global strategy needs an Rng";
+
+  std::vector<size_t> supporters;
+  for (const auto& i : info) {
+    if (i.matching_count > 0) supporters.push_back(i.index);
+  }
+  if (supporters.size() <= psi) return {};  // already disclosed safely
+  const size_t to_sanitize = supporters.size() - psi;
+
+  switch (strategy) {
+    case GlobalStrategy::kHeuristic:
+      // Ascending matching-set size; ties toward the smaller index.
+      std::stable_sort(supporters.begin(), supporters.end(),
+                       [&](size_t a, size_t b) {
+                         return info[a].matching_count <
+                                info[b].matching_count;
+                       });
+      break;
+    case GlobalStrategy::kRandom:
+      rng->Shuffle(&supporters);
+      break;
+    case GlobalStrategy::kAscendingLength:
+      std::stable_sort(supporters.begin(), supporters.end(),
+                       [&](size_t a, size_t b) {
+                         return db[a].size() < db[b].size();
+                       });
+      break;
+    case GlobalStrategy::kHighAutocorrelationFirst:
+      std::stable_sort(supporters.begin(), supporters.end(),
+                       [&](size_t a, size_t b) {
+                         return AutocorrelationScore(db[a]) >
+                                AutocorrelationScore(db[b]);
+                       });
+      break;
+  }
+  supporters.resize(to_sanitize);
+  std::sort(supporters.begin(), supporters.end());
+  return supporters;
+}
+
+std::vector<size_t> SelectSequencesToSanitizeMultiThreshold(
+    const std::vector<SequenceMatchInfo>& info,
+    const std::vector<size_t>& per_pattern_psi) {
+  std::vector<size_t> supporters;
+  for (const auto& i : info) {
+    if (i.matching_count > 0) supporters.push_back(i.index);
+  }
+  // Most expensive sequences first: they are the ones worth keeping
+  // unsanitized, so give them the first claim on the allowances.
+  std::stable_sort(supporters.begin(), supporters.end(),
+                   [&](size_t a, size_t b) {
+                     return info[a].matching_count > info[b].matching_count;
+                   });
+
+  std::vector<size_t> allowance = per_pattern_psi;
+  std::vector<size_t> to_sanitize;
+  for (size_t t : supporters) {
+    const auto& support = info[t].pattern_support;
+    SEQHIDE_CHECK_EQ(support.size(), allowance.size());
+    bool can_keep = true;
+    for (size_t p = 0; p < support.size(); ++p) {
+      if (support[p] && allowance[p] == 0) {
+        can_keep = false;
+        break;
+      }
+    }
+    if (can_keep) {
+      for (size_t p = 0; p < support.size(); ++p) {
+        if (support[p]) --allowance[p];
+      }
+    } else {
+      to_sanitize.push_back(t);
+    }
+  }
+  std::sort(to_sanitize.begin(), to_sanitize.end());
+  return to_sanitize;
+}
+
+}  // namespace seqhide

@@ -1,0 +1,55 @@
+// Global stage of the sanitization algorithm (paper §4): when ψ > 0, only
+// some of the supporting sequences need to be sanitized. The paper's
+// heuristic sorts sequences in ascending order of matching-set size and
+// sanitizes all but the last ψ (the ψ most expensive ones are disclosed
+// unchanged); this guarantees that at most ψ sequences retain any matching,
+// hence sup_{D'}(S_i) <= ψ for every sensitive pattern.
+
+#ifndef SEQHIDE_HIDE_GLOBAL_H_
+#define SEQHIDE_HIDE_GLOBAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/constraints/constraints.h"
+#include "src/hide/options.h"
+#include "src/seq/database.h"
+
+namespace seqhide {
+
+// Per-sequence statistics driving the global choice.
+struct SequenceMatchInfo {
+  size_t index = 0;           // position in the database
+  uint64_t matching_count = 0;  // |M_{S_h}^T| under constraints
+  // pattern_support[i] is true iff this sequence has a constrained
+  // matching of patterns[i] (drives the per-pattern-ψ extension).
+  std::vector<bool> pattern_support;
+};
+
+// Computes SequenceMatchInfo for every sequence of `db`.
+std::vector<SequenceMatchInfo> ComputeMatchInfo(
+    const SequenceDatabase& db, const std::vector<Sequence>& patterns,
+    const std::vector<ConstraintSpec>& constraints);
+
+// Returns the indices of the sequences to sanitize so that at most `psi`
+// sequences keep a matching. Only supporters (matching_count > 0) are ever
+// selected. `rng` is needed only by GlobalStrategy::kRandom.
+std::vector<size_t> SelectSequencesToSanitize(
+    const SequenceDatabase& db, const std::vector<SequenceMatchInfo>& info,
+    GlobalStrategy strategy, size_t psi, Rng* rng);
+
+// Per-pattern disclosure thresholds (paper §8 future work): chooses a set
+// to sanitize such that for every pattern i at most psi[i] supporters
+// survive. Walks supporters in descending matching-set size (most
+// expensive first) and keeps a supporter unsanitized only while every
+// pattern it supports still has allowance left — for a uniform psi vector
+// this degenerates to a set no larger than the paper's rule produces.
+std::vector<size_t> SelectSequencesToSanitizeMultiThreshold(
+    const std::vector<SequenceMatchInfo>& info,
+    const std::vector<size_t>& per_pattern_psi);
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_HIDE_GLOBAL_H_

@@ -1,0 +1,73 @@
+// The NP-hardness side of the paper (§3.2, Theorem 1) made executable.
+//
+// Theorem 1 reduces HITTING SET (restricted to 2-element subsets, i.e.
+// vertex cover) to Optimal Sequence Sanitization: universe element j
+// becomes the j-th position of a sequence of distinct symbols, and each
+// pair (j, k) becomes a length-2 sensitive pattern <p_j, p_k>. A position
+// set sanitizes T iff the corresponding element set hits every pair, and
+// the optima coincide.
+//
+// This module provides: the reduction itself, an exact branch-and-bound
+// minimum hitting set solver, and an exact branch-and-bound optimal
+// sequence sanitizer (usable on any small instance, constrained or not).
+// Tests use them to validate the reduction end-to-end; the ablation bench
+// uses the optimal sanitizer to measure the greedy heuristic's gap.
+
+#ifndef SEQHIDE_HIDE_HITTING_SET_H_
+#define SEQHIDE_HIDE_HITTING_SET_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/constraints/constraints.h"
+#include "src/seq/alphabet.h"
+#include "src/seq/database.h"
+#include "src/seq/sequence.h"
+
+namespace seqhide {
+
+// A HITTING SET instance restricted (as in the paper's proof) to pairs:
+// universe E = {0, ..., universe_size-1}, collection C of 2-element
+// subsets.
+struct HittingSetInstance {
+  size_t universe_size = 0;
+  std::vector<std::pair<size_t, size_t>> pairs;
+};
+
+// The sanitization instance produced by the Theorem 1 construction.
+struct SanitizationInstance {
+  Alphabet alphabet;                // Σ = {p_1, ..., p_n}
+  Sequence sequence;                // T = <p_1, ..., p_n>
+  std::vector<Sequence> patterns;   // S_i = <p_j, p_k> for C^i = (j, k)
+};
+
+// Builds the Theorem 1 instance. Fails on malformed input (out-of-range
+// or non-distinct pair elements).
+Result<SanitizationInstance> ReduceHittingSetToSanitization(
+    const HittingSetInstance& instance);
+
+// Exact minimum hitting set cardinality (branch and bound on unhit pairs;
+// exponential worst case — intended for the small instances used in tests
+// and benches).
+size_t MinHittingSetSize(const HittingSetInstance& instance);
+
+// An exact optimal sanitization of one sequence.
+struct OptimalSanitization {
+  size_t num_marks = 0;
+  std::vector<size_t> positions;  // one optimal witness, sorted
+};
+
+// Exact minimum-mark sanitization of `seq` w.r.t. the (optionally
+// constrained) patterns, via branch and bound: any sanitization must mark
+// at least one position of any surviving matching, so branch over the
+// positions of one such matching. Exponential worst case; use on small
+// inputs only.
+OptimalSanitization OptimalSanitizeSequence(
+    const Sequence& seq, const std::vector<Sequence>& patterns,
+    const std::vector<ConstraintSpec>& constraints);
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_HIDE_HITTING_SET_H_

@@ -1,0 +1,59 @@
+#include "src/hide/local.h"
+
+#include "src/common/logging.h"
+#include "src/hide/hitting_set.h"
+#include "src/match/position_delta.h"
+
+namespace seqhide {
+
+LocalSanitizeResult SanitizeSequence(
+    Sequence* seq, const std::vector<Sequence>& patterns,
+    const std::vector<ConstraintSpec>& constraints, LocalStrategy strategy,
+    Rng* rng) {
+  SEQHIDE_CHECK(seq != nullptr);
+  SEQHIDE_CHECK(strategy != LocalStrategy::kRandom || rng != nullptr)
+      << "the Random local strategy needs an Rng";
+
+  LocalSanitizeResult result;
+  if (strategy == LocalStrategy::kExhaustive) {
+    OptimalSanitization optimal =
+        OptimalSanitizeSequence(*seq, patterns, constraints);
+    for (size_t pos : optimal.positions) seq->Mark(pos);
+    result.marked_positions = optimal.positions;
+    result.marks_introduced = optimal.num_marks;
+    return result;
+  }
+  for (;;) {
+    std::vector<uint64_t> deltas =
+        PositionDeltasTotal(patterns, constraints, *seq);
+
+    // Positions involved in at least one matching ("reasonable choices").
+    std::vector<size_t> candidates;
+    uint64_t best_delta = 0;
+    size_t best_pos = 0;
+    for (size_t i = 0; i < deltas.size(); ++i) {
+      if (deltas[i] == 0) continue;
+      candidates.push_back(i);
+      if (deltas[i] > best_delta) {
+        best_delta = deltas[i];
+        best_pos = i;
+      }
+    }
+    if (candidates.empty()) break;  // M_{S_h}^T = ∅ — sanitized.
+
+    size_t chosen;
+    if (strategy == LocalStrategy::kHeuristic) {
+      // Ties break toward the smallest index (deterministic replays).
+      chosen = best_pos;
+    } else {
+      chosen = candidates[static_cast<size_t>(
+          rng->NextBounded(candidates.size()))];
+    }
+    seq->Mark(chosen);
+    result.marked_positions.push_back(chosen);
+    ++result.marks_introduced;
+  }
+  return result;
+}
+
+}  // namespace seqhide

@@ -1,0 +1,43 @@
+// Local stage of the sanitization algorithm (paper §4): given one sequence
+// T with M_{S_h}^T ≠ ∅, choose positions to mark until M_{S_h}^T = ∅.
+//
+// Heuristic strategy: mark argmax_i δ(T[i]) (the position involved in the
+// most matchings), recompute, repeat — the paper's Sanitize(T, S_h).
+// Random strategy: mark a uniformly random position among those involved
+// in at least one matching (δ > 0).
+//
+// Termination: every chosen position has δ > 0, so each mark removes at
+// least one matching and the (finite) matching count strictly decreases.
+
+#ifndef SEQHIDE_HIDE_LOCAL_H_
+#define SEQHIDE_HIDE_LOCAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/constraints/constraints.h"
+#include "src/hide/options.h"
+#include "src/seq/sequence.h"
+
+namespace seqhide {
+
+// Outcome of sanitizing one sequence.
+struct LocalSanitizeResult {
+  size_t marks_introduced = 0;
+  // Positions marked, in the order chosen (useful for audits and tests).
+  std::vector<size_t> marked_positions;
+};
+
+// Destroys every (constrained) matching of every pattern in `patterns`
+// within *seq by marking positions per `strategy`. `constraints` is empty
+// (all unconstrained) or parallel to `patterns`. `rng` is required only
+// for LocalStrategy::kRandom and may be null otherwise.
+LocalSanitizeResult SanitizeSequence(
+    Sequence* seq, const std::vector<Sequence>& patterns,
+    const std::vector<ConstraintSpec>& constraints, LocalStrategy strategy,
+    Rng* rng);
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_HIDE_LOCAL_H_

@@ -1,0 +1,55 @@
+#include "src/hide/options.h"
+
+namespace seqhide {
+
+std::string ToString(LocalStrategy s) {
+  switch (s) {
+    case LocalStrategy::kHeuristic:
+      return "H";
+    case LocalStrategy::kRandom:
+      return "R";
+    case LocalStrategy::kExhaustive:
+      return "Opt";
+  }
+  return "?";
+}
+
+std::string ToString(GlobalStrategy s) {
+  switch (s) {
+    case GlobalStrategy::kHeuristic:
+      return "H";
+    case GlobalStrategy::kRandom:
+      return "R";
+    case GlobalStrategy::kAscendingLength:
+      return "Len";
+    case GlobalStrategy::kHighAutocorrelationFirst:
+      return "Auto";
+  }
+  return "?";
+}
+
+SanitizeOptions SanitizeOptions::HR(uint64_t seed) {
+  SanitizeOptions o;
+  o.local = LocalStrategy::kHeuristic;
+  o.global = GlobalStrategy::kRandom;
+  o.seed = seed;
+  return o;
+}
+
+SanitizeOptions SanitizeOptions::RH(uint64_t seed) {
+  SanitizeOptions o;
+  o.local = LocalStrategy::kRandom;
+  o.global = GlobalStrategy::kHeuristic;
+  o.seed = seed;
+  return o;
+}
+
+SanitizeOptions SanitizeOptions::RR(uint64_t seed) {
+  SanitizeOptions o;
+  o.local = LocalStrategy::kRandom;
+  o.global = GlobalStrategy::kRandom;
+  o.seed = seed;
+  return o;
+}
+
+}  // namespace seqhide

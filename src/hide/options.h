@@ -1,0 +1,99 @@
+// Option types for the sanitization algorithm (paper §4, §6).
+//
+// The paper's evaluation crosses two orthogonal strategy choices:
+//   * local  — how positions are picked inside one sequence;
+//   * global — which sequences get sanitized when ψ > 0;
+// yielding HH, HR, RH, RR (Heuristic/Random at each level). The extra
+// global orderings implement the "other alternative heuristics" sketched
+// in the paper's future work (§8) and feed the ablation bench.
+
+#ifndef SEQHIDE_HIDE_OPTIONS_H_
+#define SEQHIDE_HIDE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace seqhide {
+
+enum class LocalStrategy {
+  // Paper's local heuristic: repeatedly mark the position involved in the
+  // most matchings (argmax δ), until no matching remains.
+  kHeuristic,
+  // Baseline: mark a uniformly random position among those involved in at
+  // least one matching (the "reasonable choices" of §6).
+  kRandom,
+  // Exact minimum-mark sanitization via branch and bound (the NP-hard
+  // optimum of §3.2). Exponential worst case — for evaluation and
+  // ablation on short sequences, not production use.
+  kExhaustive,
+};
+
+enum class GlobalStrategy {
+  // Paper's global heuristic: ascending matching-set size; the ψ sequences
+  // with the largest matching sets are left untouched.
+  kHeuristic,
+  // Baseline: a uniformly random subset of the supporting sequences is
+  // left untouched.
+  kRandom,
+  // §8 future-work alternative: prefer sanitizing short sequences (they
+  // potentially support fewer subsequences, so marking them destroys less).
+  kAscendingLength,
+  // §8 future-work alternative: prefer sanitizing highly auto-correlated
+  // sequences (few distinct symbols relative to length => few distinct
+  // subsequences at risk).
+  kHighAutocorrelationFirst,
+};
+
+std::string ToString(LocalStrategy s);
+std::string ToString(GlobalStrategy s);
+
+struct SanitizeOptions {
+  LocalStrategy local = LocalStrategy::kHeuristic;
+  GlobalStrategy global = GlobalStrategy::kHeuristic;
+
+  // Disclosure threshold ψ: every sensitive pattern must end with support
+  // <= psi in the sanitized database (Problem 1, requirement 1).
+  size_t psi = 0;
+
+  // Multiple disclosure thresholds (paper §8 future work). When non-empty
+  // it must be parallel to the pattern list and overrides `psi`:
+  // sup_{D'}(S_i) <= per_pattern_psi[i] for each i.
+  std::vector<size_t> per_pattern_psi;
+
+  // Seed for the Random strategies; two runs with equal seeds and inputs
+  // are identical.
+  uint64_t seed = 1;
+
+  // When true, Sanitize() re-checks the disclosure requirement on exit and
+  // returns Internal on violation (a sanity net; costs one support scan).
+  bool verify = true;
+
+  // Efficiency knobs (paper §8 lists large-dataset efficiency as future
+  // work; these do not change any result, only wall time):
+  //
+  // Prune non-supporting sequences with an inverted symbol index before
+  // running the counting DP on them. Off by default: for one-shot
+  // sanitization the index build usually costs more than the pruning
+  // saves (the counting DP is O(nm) per row anyway) — enable it when the
+  // pattern symbols are rare, so candidates << |D|, or when sequences are
+  // long. bench_kernels (BM_SanitizeIndexedVsScan) measures the
+  // trade-off; results are identical either way.
+  bool use_index = false;
+  // Threads for the per-sequence sanitization stage (sequences are
+  // independent). Output is bit-identical for any thread count: the
+  // Random local strategy derives a per-sequence generator from `seed`
+  // and the sequence's index.
+  size_t num_threads = 1;
+
+  // Shorthand constructors for the paper's four named algorithms.
+  static SanitizeOptions HH() { return SanitizeOptions{}; }
+  static SanitizeOptions HR(uint64_t seed = 1);
+  static SanitizeOptions RH(uint64_t seed = 1);
+  static SanitizeOptions RR(uint64_t seed = 1);
+};
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_HIDE_OPTIONS_H_

@@ -1,0 +1,236 @@
+#include "src/hide/sanitizer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "src/common/logging.h"
+#include "src/common/random.h"
+#include "src/common/stopwatch.h"
+#include "src/hide/global.h"
+#include "src/hide/local.h"
+#include "src/match/constrained_count.h"
+#include "src/match/count.h"
+#include "src/mine/inverted_index.h"
+
+namespace seqhide {
+namespace {
+
+Status ValidateInputs(const SequenceDatabase& db,
+                      const std::vector<Sequence>& patterns,
+                      const std::vector<ConstraintSpec>& constraints,
+                      const SanitizeOptions& opts) {
+  (void)db;
+  if (patterns.empty()) {
+    return Status::InvalidArgument("no sensitive patterns given");
+  }
+  std::set<Sequence> seen;
+  for (const auto& p : patterns) {
+    if (p.empty()) {
+      return Status::InvalidArgument("sensitive pattern must be non-empty");
+    }
+    for (size_t i = 0; i < p.size(); ++i) {
+      if (!IsRealSymbol(p[i])) {
+        return Status::InvalidArgument(
+            "sensitive pattern contains the marking symbol");
+      }
+    }
+    if (!seen.insert(p).second) {
+      return Status::InvalidArgument(
+          "duplicate sensitive pattern: " + p.DebugString() +
+          " (duplicates would double-count matchings)");
+    }
+  }
+  if (!constraints.empty() && constraints.size() != patterns.size()) {
+    return Status::InvalidArgument(
+        "constraints list must be empty or have one entry per pattern");
+  }
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    SEQHIDE_RETURN_IF_ERROR(constraints[i].Validate(patterns[i].size()));
+  }
+  if (!opts.per_pattern_psi.empty() &&
+      opts.per_pattern_psi.size() != patterns.size()) {
+    return Status::InvalidArgument(
+        "per_pattern_psi must be empty or have one entry per pattern");
+  }
+  return Status::OK();
+}
+
+// Constrained support of `pattern` in db: rows with >= 1 valid occurrence.
+// `index` (optional) prunes the rows that need the DP.
+size_t ConstrainedSupport(const SequenceDatabase& db, const Sequence& pattern,
+                          const ConstraintSpec& spec,
+                          const InvertedIndex* index) {
+  size_t count = 0;
+  if (index != nullptr) {
+    for (size_t t : index->CandidateSupporters(pattern)) {
+      if (HasConstrainedMatch(pattern, spec, db[t])) ++count;
+    }
+    return count;
+  }
+  for (const auto& seq : db.sequences()) {
+    if (HasConstrainedMatch(pattern, spec, seq)) ++count;
+  }
+  return count;
+}
+
+// Index-pruned version of ComputeMatchInfo: non-candidate sequences get a
+// zero matching count without running any DP.
+std::vector<SequenceMatchInfo> ComputeMatchInfoIndexed(
+    const SequenceDatabase& db, const std::vector<Sequence>& patterns,
+    const std::vector<ConstraintSpec>& constraints,
+    const InvertedIndex& index) {
+  std::vector<SequenceMatchInfo> info(db.size());
+  for (size_t t = 0; t < db.size(); ++t) {
+    info[t].index = t;
+    info[t].pattern_support.resize(patterns.size(), false);
+  }
+  for (size_t p = 0; p < patterns.size(); ++p) {
+    const ConstraintSpec& spec =
+        constraints.empty() ? ConstraintSpec() : constraints[p];
+    for (size_t t : index.CandidateSupporters(patterns[p])) {
+      uint64_t c = CountConstrainedMatchings(patterns[p], spec, db[t]);
+      info[t].pattern_support[p] = (c > 0);
+      info[t].matching_count = SatAdd(info[t].matching_count, c);
+    }
+  }
+  return info;
+}
+
+}  // namespace
+
+std::string SanitizeReport::ToString() const {
+  std::ostringstream out;
+  out << "SanitizeReport{marks=" << marks_introduced
+      << " sequences_sanitized=" << sequences_sanitized
+      << " supporters_before=" << sequences_supporting_before
+      << " supports_before=[";
+  for (size_t i = 0; i < supports_before.size(); ++i) {
+    if (i > 0) out << ",";
+    out << supports_before[i];
+  }
+  out << "] supports_after=[";
+  for (size_t i = 0; i < supports_after.size(); ++i) {
+    if (i > 0) out << ",";
+    out << supports_after[i];
+  }
+  out << "] elapsed=" << elapsed_seconds << "s}";
+  return out.str();
+}
+
+Result<SanitizeReport> Sanitize(SequenceDatabase* db,
+                                const std::vector<Sequence>& patterns,
+                                const std::vector<ConstraintSpec>& constraints,
+                                const SanitizeOptions& opts) {
+  SEQHIDE_CHECK(db != nullptr);
+  SEQHIDE_RETURN_IF_ERROR(ValidateInputs(*db, patterns, constraints, opts));
+
+  Stopwatch timer;
+  SanitizeReport report;
+  Rng rng(opts.seed);
+
+  // Optional inverted index: prunes the sequences that need any DP work.
+  std::optional<InvertedIndex> index;
+  if (opts.use_index) index.emplace(*db);
+  const InvertedIndex* index_ptr = index ? &*index : nullptr;
+
+  auto spec_for = [&](size_t p) -> const ConstraintSpec& {
+    static const ConstraintSpec kUnconstrained;
+    return constraints.empty() ? kUnconstrained : constraints[p];
+  };
+
+  for (size_t p = 0; p < patterns.size(); ++p) {
+    report.supports_before.push_back(
+        ConstrainedSupport(*db, patterns[p], spec_for(p), index_ptr));
+  }
+
+  // Stage 1 of Algorithm 1: matching-set sizes for every sequence.
+  std::vector<SequenceMatchInfo> info =
+      index ? ComputeMatchInfoIndexed(*db, patterns, constraints, *index)
+            : ComputeMatchInfo(*db, patterns, constraints);
+  for (const auto& i : info) {
+    if (i.matching_count > 0) ++report.sequences_supporting_before;
+  }
+
+  // Stage 2: pick the victims.
+  std::vector<size_t> victims;
+  if (!opts.per_pattern_psi.empty()) {
+    victims =
+        SelectSequencesToSanitizeMultiThreshold(info, opts.per_pattern_psi);
+  } else {
+    victims =
+        SelectSequencesToSanitize(*db, info, opts.global, opts.psi, &rng);
+  }
+
+  // Stage 3: destroy all matchings inside each victim. Victims are
+  // independent, so the stage parallelizes; a per-victim generator keyed
+  // on (seed, sequence index) makes the result identical for any thread
+  // count.
+  auto sanitize_victim = [&](size_t t) -> size_t {
+    Rng local_rng(opts.seed ^ (0x9e3779b97f4a7c15ULL * (t + 1)));
+    LocalSanitizeResult local = SanitizeSequence(
+        db->mutable_sequence(t), patterns, constraints, opts.local,
+        &local_rng);
+    SEQHIDE_DCHECK(local.marks_introduced > 0)
+        << "selected sequence had no matchings";
+    return local.marks_introduced;
+  };
+  const size_t threads =
+      std::max<size_t>(1, std::min(opts.num_threads, victims.size()));
+  if (threads <= 1) {
+    for (size_t t : victims) report.marks_introduced += sanitize_victim(t);
+  } else {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> total_marks{0};
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (size_t w = 0; w < threads; ++w) {
+      pool.emplace_back([&] {
+        for (;;) {
+          size_t slot = next.fetch_add(1);
+          if (slot >= victims.size()) return;
+          total_marks.fetch_add(sanitize_victim(victims[slot]));
+        }
+      });
+    }
+    for (auto& worker : pool) worker.join();
+    report.marks_introduced = total_marks.load();
+  }
+  report.sequences_sanitized = victims.size();
+
+  // The database changed; the pre-sanitization index is stale.
+  index.reset();
+  index_ptr = nullptr;
+
+  for (size_t p = 0; p < patterns.size(); ++p) {
+    report.supports_after.push_back(
+        ConstrainedSupport(*db, patterns[p], spec_for(p), nullptr));
+  }
+  report.elapsed_seconds = timer.ElapsedSeconds();
+
+  if (opts.verify) {
+    for (size_t p = 0; p < patterns.size(); ++p) {
+      size_t limit =
+          opts.per_pattern_psi.empty() ? opts.psi : opts.per_pattern_psi[p];
+      if (report.supports_after[p] > limit) {
+        return Status::Internal(
+            "disclosure requirement violated after sanitization: pattern " +
+            std::to_string(p) + " has support " +
+            std::to_string(report.supports_after[p]) + " > " +
+            std::to_string(limit));
+      }
+    }
+  }
+  return report;
+}
+
+Result<SanitizeReport> Sanitize(SequenceDatabase* db,
+                                const std::vector<Sequence>& patterns,
+                                const SanitizeOptions& opts) {
+  return Sanitize(db, patterns, {}, opts);
+}
+
+}  // namespace seqhide

@@ -1,0 +1,72 @@
+// Sanitizer: the paper's Algorithm 1 — the end-to-end polynomial
+// sanitization pipeline for the Sequence Hiding Problem (Problem 1).
+//
+// Given a database D, sensitive patterns S_h (optionally with occurrence
+// constraints, §5), and a disclosure threshold ψ:
+//   1. compute the (constrained) matching-set size of every T ∈ D
+//      (Lemma 2 / Lemmas 4-5 DPs);
+//   2. choose which sequences to sanitize (global stage, hide/global.h);
+//   3. destroy every matching in each chosen sequence by marking positions
+//      (local stage, hide/local.h).
+// The result satisfies sup_{D'}(S_i) ≤ ψ for every sensitive pattern.
+//
+// This header is the main public entry point of the library.
+
+#ifndef SEQHIDE_HIDE_SANITIZER_H_
+#define SEQHIDE_HIDE_SANITIZER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/constraints/constraints.h"
+#include "src/hide/options.h"
+#include "src/seq/database.h"
+
+namespace seqhide {
+
+// What happened during one Sanitize() call.
+struct SanitizeReport {
+  // Total Δ symbols introduced — the paper's M1 data-distortion measure.
+  size_t marks_introduced = 0;
+
+  // Number of sequences that were modified.
+  size_t sequences_sanitized = 0;
+
+  // Number of sequences that had at least one (constrained) matching
+  // before sanitization (= the disjunctive support of S_h).
+  size_t sequences_supporting_before = 0;
+
+  // Per-pattern supports before/after (unconstrained support when the
+  // pattern is unconstrained; constrained-match support otherwise).
+  std::vector<size_t> supports_before;
+  std::vector<size_t> supports_after;
+
+  double elapsed_seconds = 0.0;
+
+  std::string ToString() const;
+};
+
+// Sanitizes `db` in place. `constraints` must be empty (all patterns
+// unconstrained) or parallel to `patterns`.
+//
+// Errors:
+//   InvalidArgument — empty/duplicate patterns, a pattern containing Δ,
+//                     malformed constraints, mismatched per-pattern ψ list.
+//   Internal        — post-verification failed (only with opts.verify).
+Result<SanitizeReport> Sanitize(SequenceDatabase* db,
+                                const std::vector<Sequence>& patterns,
+                                const std::vector<ConstraintSpec>& constraints,
+                                const SanitizeOptions& opts);
+
+// Convenience overload: no constraints.
+Result<SanitizeReport> Sanitize(SequenceDatabase* db,
+                                const std::vector<Sequence>& patterns,
+                                const SanitizeOptions& opts);
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_HIDE_SANITIZER_H_

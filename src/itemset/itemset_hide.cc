@@ -1,0 +1,173 @@
+#include "src/itemset/itemset_hide.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/match/count.h"
+
+namespace seqhide {
+namespace {
+
+// δ(T[pos]) under constraints: matchings lost if the element at `pos`
+// were emptied. Recomputed by the two-level inner loop after each item
+// removal.
+uint64_t PositionDelta(const std::vector<ItemsetSequence>& patterns,
+                       const std::vector<ConstraintSpec>& constraints,
+                       const ItemsetSequence& seq, size_t pos) {
+  uint64_t base = CountItemsetMatchingsTotal(patterns, constraints, seq);
+  ItemsetSequence cleared = seq;
+  *cleared.mutable_element(pos) = Itemset();
+  uint64_t without =
+      CountItemsetMatchingsTotal(patterns, constraints, cleared);
+  SEQHIDE_DCHECK(without <= base);
+  return base - without;
+}
+
+size_t ConstrainedItemsetSupport(const ItemsetSequence& pattern,
+                                 const ConstraintSpec& spec,
+                                 const ItemsetDatabase& db) {
+  size_t support = 0;
+  for (const auto& seq : db.sequences()) {
+    if (CountItemsetMatchings(pattern, spec, seq) > 0) ++support;
+  }
+  return support;
+}
+
+}  // namespace
+
+ItemsetSanitizeResult SanitizeItemsetSequence(
+    ItemsetSequence* seq, const std::vector<ItemsetSequence>& patterns) {
+  return SanitizeItemsetSequence(seq, patterns, {});
+}
+
+ItemsetSanitizeResult SanitizeItemsetSequence(
+    ItemsetSequence* seq, const std::vector<ItemsetSequence>& patterns,
+    const std::vector<ConstraintSpec>& constraints) {
+  SEQHIDE_CHECK(seq != nullptr);
+  SEQHIDE_CHECK(constraints.empty() || constraints.size() == patterns.size())
+      << "constraints must be empty or parallel to patterns";
+  ItemsetSanitizeResult result;
+  for (;;) {
+    // Level 1: the position heuristic (argmax δ), as for simple sequences.
+    std::vector<uint64_t> deltas =
+        ItemsetPositionDeltas(patterns, constraints, *seq);
+    size_t best_pos = 0;
+    uint64_t best_delta = 0;
+    for (size_t i = 0; i < deltas.size(); ++i) {
+      if (deltas[i] > best_delta) {
+        best_delta = deltas[i];
+        best_pos = i;
+      }
+    }
+    if (best_delta == 0) break;  // sanitized
+
+    // Level 2: greedy item marking inside the chosen element until the
+    // element participates in no matching.
+    while (PositionDelta(patterns, constraints, *seq, best_pos) > 0) {
+      const Itemset& element = (*seq)[best_pos];
+      SEQHIDE_CHECK(!element.empty());
+      uint64_t current =
+          CountItemsetMatchingsTotal(patterns, constraints, *seq);
+      SymbolId best_item = element.items().front();
+      uint64_t best_reduction = 0;
+      for (SymbolId item : element.items()) {
+        ItemsetSequence trial = *seq;
+        trial.mutable_element(best_pos)->Remove(item);
+        uint64_t after =
+            CountItemsetMatchingsTotal(patterns, constraints, trial);
+        SEQHIDE_DCHECK(after <= current);
+        uint64_t reduction = current - after;
+        if (reduction > best_reduction) {
+          best_reduction = reduction;
+          best_item = item;
+        }
+      }
+      if (best_reduction == 0) {
+        // No single item removal helps (unreachable while δ(pos) > 0;
+        // guard against an infinite loop anyway).
+        break;
+      }
+      seq->mutable_element(best_pos)->Remove(best_item);
+      result.marks.emplace_back(best_pos, best_item);
+      ++result.items_marked;
+    }
+  }
+  return result;
+}
+
+Result<ItemsetHideReport> HideItemsetPatterns(
+    ItemsetDatabase* db, const std::vector<ItemsetSequence>& patterns,
+    size_t psi) {
+  return HideItemsetPatterns(db, patterns, {}, psi);
+}
+
+Result<ItemsetHideReport> HideItemsetPatterns(
+    ItemsetDatabase* db, const std::vector<ItemsetSequence>& patterns,
+    const std::vector<ConstraintSpec>& constraints, size_t psi) {
+  SEQHIDE_CHECK(db != nullptr);
+  if (patterns.empty()) {
+    return Status::InvalidArgument("no sensitive patterns given");
+  }
+  if (!constraints.empty() && constraints.size() != patterns.size()) {
+    return Status::InvalidArgument(
+        "constraints list must be empty or have one entry per pattern");
+  }
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    const ItemsetSequence& p = patterns[i];
+    if (p.empty()) {
+      return Status::InvalidArgument("sensitive pattern must be non-empty");
+    }
+    for (size_t e = 0; e < p.size(); ++e) {
+      if (p[e].empty()) {
+        return Status::InvalidArgument(
+            "sensitive pattern elements must be non-empty itemsets");
+      }
+    }
+    if (!constraints.empty()) {
+      SEQHIDE_RETURN_IF_ERROR(constraints[i].Validate(p.size()));
+    }
+  }
+
+  auto spec_for = [&](size_t p) -> const ConstraintSpec& {
+    static const ConstraintSpec kUnconstrained;
+    return constraints.empty() ? kUnconstrained : constraints[p];
+  };
+
+  ItemsetHideReport report;
+  for (size_t p = 0; p < patterns.size(); ++p) {
+    report.supports_before.push_back(
+        ConstrainedItemsetSupport(patterns[p], spec_for(p), *db));
+  }
+
+  // Global heuristic: ascending matching-set size among supporters.
+  std::vector<std::pair<uint64_t, size_t>> supporters;  // (count, index)
+  for (size_t t = 0; t < db->size(); ++t) {
+    uint64_t c = CountItemsetMatchingsTotal(patterns, constraints, (*db)[t]);
+    if (c > 0) supporters.emplace_back(c, t);
+  }
+  if (supporters.size() > psi) {
+    std::stable_sort(supporters.begin(), supporters.end());
+    supporters.resize(supporters.size() - psi);
+    for (const auto& [count, t] : supporters) {
+      (void)count;
+      ItemsetSanitizeResult r = SanitizeItemsetSequence(
+          db->mutable_sequence(t), patterns, constraints);
+      report.items_marked += r.items_marked;
+      ++report.sequences_sanitized;
+    }
+  }
+
+  for (size_t p = 0; p < patterns.size(); ++p) {
+    report.supports_after.push_back(
+        ConstrainedItemsetSupport(patterns[p], spec_for(p), *db));
+  }
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    if (report.supports_after[i] > psi) {
+      return Status::Internal(
+          "itemset disclosure requirement violated after sanitization");
+    }
+  }
+  return report;
+}
+
+}  // namespace seqhide

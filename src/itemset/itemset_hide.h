@@ -1,0 +1,63 @@
+// Sanitization of itemset sequences (paper §7.1).
+//
+// Marking is finer-grained than in the simple-sequence case: inside the
+// chosen element there may be many item subsets whose removal breaks the
+// inclusion S[j] ⊆ T[i]. The paper proposes a two-level hierarchical
+// heuristic: (1) choose the *position* with the simple-sequence heuristic
+// (argmax δ), then (2) choose *items* inside that element greedily by
+// matching-set reduction. We mark items one at a time, each time removing
+// the item whose deletion reduces the total matching count the most,
+// until the chosen position participates in no matching; the outer loop
+// repeats until the sequence is sanitized.
+
+#ifndef SEQHIDE_ITEMSET_ITEMSET_HIDE_H_
+#define SEQHIDE_ITEMSET_ITEMSET_HIDE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/itemset/itemset_match.h"
+#include "src/itemset/itemset_sequence.h"
+
+namespace seqhide {
+
+struct ItemsetSanitizeResult {
+  size_t items_marked = 0;  // M1 analogue: number of items removed
+  // (position, item) pairs in marking order.
+  std::vector<std::pair<size_t, SymbolId>> marks;
+};
+
+// Destroys every matching of every pattern within *seq.
+ItemsetSanitizeResult SanitizeItemsetSequence(
+    ItemsetSequence* seq, const std::vector<ItemsetSequence>& patterns);
+
+// Constrained variant (§7.1 composed with §5): only occurrences
+// satisfying the per-pattern constraints are destroyed. `constraints` is
+// empty (all unconstrained) or parallel to `patterns`.
+ItemsetSanitizeResult SanitizeItemsetSequence(
+    ItemsetSequence* seq, const std::vector<ItemsetSequence>& patterns,
+    const std::vector<ConstraintSpec>& constraints);
+
+struct ItemsetHideReport {
+  size_t items_marked = 0;
+  size_t sequences_sanitized = 0;
+  std::vector<size_t> supports_before;
+  std::vector<size_t> supports_after;
+};
+
+// Database-level hiding with disclosure threshold ψ: the global heuristic
+// (ascending matching-set size) picks which supporters to sanitize, as in
+// the simple-sequence Algorithm 1.
+Result<ItemsetHideReport> HideItemsetPatterns(
+    ItemsetDatabase* db, const std::vector<ItemsetSequence>& patterns,
+    size_t psi);
+
+// Constrained variant; supports in the report are constrained supports.
+Result<ItemsetHideReport> HideItemsetPatterns(
+    ItemsetDatabase* db, const std::vector<ItemsetSequence>& patterns,
+    const std::vector<ConstraintSpec>& constraints, size_t psi);
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_ITEMSET_ITEMSET_HIDE_H_

@@ -1,0 +1,126 @@
+#include "src/itemset/itemset_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/common/string_util.h"
+
+namespace seqhide {
+namespace {
+
+// Parses one "(a,b,c)" group starting at text[*pos] == '('; advances *pos
+// past the closing parenthesis.
+Result<Itemset> ParseElement(std::string_view text, size_t* pos,
+                             Alphabet* alphabet, size_t line_no) {
+  size_t close = text.find(')', *pos);
+  if (close == std::string_view::npos) {
+    return Status::Corruption("line " + std::to_string(line_no) +
+                              ": unterminated '('");
+  }
+  std::string_view body = text.substr(*pos + 1, close - *pos - 1);
+  *pos = close + 1;
+  std::vector<SymbolId> items;
+  for (const std::string& token : Split(body, ',', /*skip_empty=*/true)) {
+    std::string_view name = Trim(token);
+    if (name.empty()) continue;
+    if (name == Alphabet::DeltaToken()) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": reserved marking token inside itemset");
+    }
+    items.push_back(alphabet->Intern(name));
+  }
+  // "()" is legal in *data*: it is what a fully marked element looks like
+  // after sanitization (the itemset analogue of Δ), so sanitized
+  // databases round-trip. Patterns reject empty elements at the API.
+  return Itemset(std::move(items));
+}
+
+}  // namespace
+
+namespace {
+
+Result<ItemsetSequence> ParseLine(std::string_view trimmed,
+                                  Alphabet* alphabet, size_t line_no) {
+  ItemsetSequence seq;
+  size_t pos = 0;
+  while (pos < trimmed.size()) {
+    char c = trimmed[pos];
+    if (c == ' ' || c == '\t') {
+      ++pos;
+      continue;
+    }
+    if (c != '(') {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": expected '(' but found '" +
+                                std::string(1, c) + "'");
+    }
+    SEQHIDE_ASSIGN_OR_RETURN(Itemset element,
+                             ParseElement(trimmed, &pos, alphabet, line_no));
+    seq.Append(std::move(element));
+  }
+  if (seq.empty()) {
+    return Status::Corruption("line " + std::to_string(line_no) +
+                              ": sequence with no elements");
+  }
+  return seq;
+}
+
+}  // namespace
+
+Result<ItemsetSequence> ParseItemsetSequenceLine(Alphabet* alphabet,
+                                                 const std::string& line) {
+  return ParseLine(Trim(line), alphabet, /*line_no=*/1);
+}
+
+Result<ItemsetDatabase> ReadItemsetDatabase(std::istream& in) {
+  ItemsetDatabase db;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    SEQHIDE_ASSIGN_OR_RETURN(ItemsetSequence seq,
+                             ParseLine(trimmed, &db.alphabet(), line_no));
+    db.Add(std::move(seq));
+  }
+  if (in.bad()) return Status::IOError("stream read failure");
+  return db;
+}
+
+Result<ItemsetDatabase> ReadItemsetDatabaseFromString(
+    const std::string& text) {
+  std::istringstream in(text);
+  return ReadItemsetDatabase(in);
+}
+
+Result<ItemsetDatabase> ReadItemsetDatabaseFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  return ReadItemsetDatabase(in);
+}
+
+Status WriteItemsetDatabase(const ItemsetDatabase& db, std::ostream& out) {
+  out << "# seqhide itemset-sequence database; |D|=" << db.size() << "\n";
+  for (const auto& seq : db.sequences()) {
+    out << seq.ToString(db.alphabet()) << "\n";
+  }
+  if (!out) return Status::IOError("stream write failure");
+  return Status::OK();
+}
+
+std::string WriteItemsetDatabaseToString(const ItemsetDatabase& db) {
+  std::ostringstream out;
+  Status s = WriteItemsetDatabase(db, out);
+  (void)s;  // string streams cannot fail
+  return out.str();
+}
+
+Status WriteItemsetDatabaseToFile(const ItemsetDatabase& db,
+                                  const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  return WriteItemsetDatabase(db, out);
+}
+
+}  // namespace seqhide

@@ -1,0 +1,37 @@
+// Text serialization of itemset-sequence databases.
+//
+// Format (one sequence per line; '#' comments and blank lines ignored):
+//   (bread,milk) (beer) (bread,diapers)
+// Elements are parenthesized, items comma-separated. Items are interned
+// into the database's shared alphabet. Round-trips ItemsetDatabase.
+
+#ifndef SEQHIDE_ITEMSET_ITEMSET_IO_H_
+#define SEQHIDE_ITEMSET_ITEMSET_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/itemset/itemset_sequence.h"
+
+namespace seqhide {
+
+// Parses a single "(a,b) (c)" line into an itemset sequence (used both by
+// the database reader and for pattern arguments in tools). Empty elements
+// "()" are allowed in data lines; callers that parse *patterns* should
+// reject sequences containing empty elements.
+Result<ItemsetSequence> ParseItemsetSequenceLine(Alphabet* alphabet,
+                                                 const std::string& line);
+
+Result<ItemsetDatabase> ReadItemsetDatabase(std::istream& in);
+Result<ItemsetDatabase> ReadItemsetDatabaseFromString(const std::string& text);
+Result<ItemsetDatabase> ReadItemsetDatabaseFromFile(const std::string& path);
+
+Status WriteItemsetDatabase(const ItemsetDatabase& db, std::ostream& out);
+std::string WriteItemsetDatabaseToString(const ItemsetDatabase& db);
+Status WriteItemsetDatabaseToFile(const ItemsetDatabase& db,
+                                  const std::string& path);
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_ITEMSET_ITEMSET_IO_H_

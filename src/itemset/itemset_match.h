@@ -1,0 +1,73 @@
+// Matching machinery for itemset sequences (paper §7.1).
+//
+// "The main difference lies in how to find the matches: it is not an
+// equality test but a set inclusion test — if S[j] ⊆ T[i] we got a
+// match." The counting DP of Lemma 2 carries over verbatim with the
+// comparison swapped, as does the δ decomposition.
+
+#ifndef SEQHIDE_ITEMSET_ITEMSET_MATCH_H_
+#define SEQHIDE_ITEMSET_ITEMSET_MATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/constraints/constraints.h"
+#include "src/itemset/itemset_sequence.h"
+
+namespace seqhide {
+
+// U ⊑ V with element-wise set inclusion.
+bool IsItemsetSubsequence(const ItemsetSequence& pattern,
+                          const ItemsetSequence& seq);
+
+// sup_D(S) over an itemset database.
+size_t ItemsetSupport(const ItemsetSequence& pattern,
+                      const ItemsetDatabase& db);
+
+// |M_S^T| via the Lemma 2 DP with ⊆ tests; saturating (see match/count.h).
+uint64_t CountItemsetMatchings(const ItemsetSequence& pattern,
+                               const ItemsetSequence& seq);
+
+uint64_t CountItemsetMatchingsTotal(
+    const std::vector<ItemsetSequence>& patterns, const ItemsetSequence& seq);
+
+// Exhaustive enumeration of position tuples (test oracle).
+std::vector<std::vector<size_t>> EnumerateItemsetMatchings(
+    const ItemsetSequence& pattern, const ItemsetSequence& seq,
+    size_t cap = 0);
+
+// δ(T[i]) per position, summed over patterns: forward×backward product,
+// O(n·m) per pattern.
+std::vector<uint64_t> ItemsetPositionDeltas(
+    const std::vector<ItemsetSequence>& patterns, const ItemsetSequence& seq);
+
+// --- constrained variants (§7.1 composed with §5) -------------------------
+// Gap and max-window constraints apply to itemset occurrences verbatim:
+// the constraint acts on the matched *positions*, and the element-level
+// test is set inclusion instead of equality.
+
+// Constrained matching count (Lemma 4/5 DPs with ⊆ tests).
+uint64_t CountItemsetMatchings(const ItemsetSequence& pattern,
+                               const ConstraintSpec& spec,
+                               const ItemsetSequence& seq);
+
+uint64_t CountItemsetMatchingsTotal(
+    const std::vector<ItemsetSequence>& patterns,
+    const std::vector<ConstraintSpec>& constraints,
+    const ItemsetSequence& seq);
+
+// Constrained enumeration oracle.
+std::vector<std::vector<size_t>> EnumerateItemsetMatchings(
+    const ItemsetSequence& pattern, const ConstraintSpec& spec,
+    const ItemsetSequence& seq, size_t cap);
+
+// Constrained δ (matchings lost when the element at each position is
+// emptied); computed by empty-and-recount, correct under any spec.
+std::vector<uint64_t> ItemsetPositionDeltas(
+    const std::vector<ItemsetSequence>& patterns,
+    const std::vector<ConstraintSpec>& constraints,
+    const ItemsetSequence& seq);
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_ITEMSET_ITEMSET_MATCH_H_

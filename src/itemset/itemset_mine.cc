@@ -1,0 +1,108 @@
+#include "src/itemset/itemset_mine.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/itemset/itemset_match.h"
+
+namespace seqhide {
+namespace {
+
+// Canonical growth: i-extensions may only add items strictly greater than
+// the current maximum of the last element. Each pattern is then generated
+// exactly once (its growth chain is determined by its own structure).
+std::vector<ItemsetSequence> Extensions(
+    const ItemsetSequence& base, const std::vector<SymbolId>& frequent_items) {
+  std::vector<ItemsetSequence> out;
+  // s-extension: new single-item element at the end.
+  for (SymbolId item : frequent_items) {
+    ItemsetSequence extended = base;
+    extended.Append(Itemset{item});
+    out.push_back(std::move(extended));
+  }
+  // i-extension: grow the last element.
+  if (!base.empty()) {
+    const Itemset& last = base[base.size() - 1];
+    SymbolId max_item = last.items().back();
+    for (SymbolId item : frequent_items) {
+      if (item <= max_item) continue;
+      ItemsetSequence extended = base;
+      std::vector<SymbolId> items = last.items();
+      items.push_back(item);
+      *extended.mutable_element(extended.size() - 1) =
+          Itemset(std::move(items));
+      out.push_back(std::move(extended));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<FrequentItemsetPatterns> MineFrequentItemsetSequences(
+    const ItemsetDatabase& db, const ItemsetMinerOptions& options) {
+  if (options.min_support == 0) {
+    return Status::InvalidArgument(
+        "min_support must be >= 1 (sigma = 0 makes the result infinite)");
+  }
+  if (options.max_items != 0 && options.min_items > options.max_items) {
+    return Status::InvalidArgument("min_items > max_items");
+  }
+
+  // Frequent single items.
+  std::map<SymbolId, size_t> item_support;
+  for (const auto& seq : db.sequences()) {
+    std::vector<SymbolId> seen;
+    for (size_t e = 0; e < seq.size(); ++e) {
+      for (SymbolId item : seq[e].items()) seen.push_back(item);
+    }
+    std::sort(seen.begin(), seen.end());
+    seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+    for (SymbolId item : seen) ++item_support[item];
+  }
+  std::vector<SymbolId> frequent_items;
+  for (const auto& [item, support] : item_support) {
+    if (support >= options.min_support) frequent_items.push_back(item);
+  }
+
+  FrequentItemsetPatterns result;
+  auto add_if_in_window = [&](const ItemsetSequence& pattern,
+                              size_t support) -> Status {
+    size_t items = pattern.TotalItems();
+    if (items < options.min_items) return Status::OK();
+    if (options.max_patterns != 0 && result.size() >= options.max_patterns) {
+      return Status::OutOfRange(
+          "frequent pattern count exceeded max_patterns cap");
+    }
+    result.emplace(pattern, support);
+    return Status::OK();
+  };
+
+  std::vector<ItemsetSequence> frontier;
+  for (SymbolId item : frequent_items) {
+    ItemsetSequence p;
+    p.Append(Itemset{item});
+    SEQHIDE_RETURN_IF_ERROR(add_if_in_window(p, item_support[item]));
+    frontier.push_back(std::move(p));
+  }
+
+  while (!frontier.empty()) {
+    std::vector<ItemsetSequence> next;
+    for (const ItemsetSequence& base : frontier) {
+      if (options.max_items != 0 &&
+          base.TotalItems() >= options.max_items) {
+        continue;
+      }
+      for (ItemsetSequence& candidate : Extensions(base, frequent_items)) {
+        size_t support = ItemsetSupport(candidate, db);
+        if (support < options.min_support) continue;
+        SEQHIDE_RETURN_IF_ERROR(add_if_in_window(candidate, support));
+        next.push_back(std::move(candidate));
+      }
+    }
+    frontier = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace seqhide

@@ -1,0 +1,46 @@
+// Frequent mining for itemset sequences — the classical sequential-pattern
+// setting [Agrawal & Srikant, ICDE'95] that §7.1 extends the hiding
+// framework to. Needed to evaluate itemset hiding with the M2/M3-style
+// distortion measures.
+//
+// Level-wise candidate generation in the GSP style: a pattern grows
+// either by appending a new single-item element (s-extension) or by
+// adding an item to its last element (i-extension). Both preserve the
+// a-priori property for this growth order (every generated pattern's
+// generator is a sub-pattern with support >= the pattern's), and every
+// frequent pattern is reachable from its "generator chain", so the
+// enumeration is complete (cross-checked against brute force in tests).
+
+#ifndef SEQHIDE_ITEMSET_ITEMSET_MINE_H_
+#define SEQHIDE_ITEMSET_ITEMSET_MINE_H_
+
+#include <cstddef>
+#include <map>
+
+#include "src/common/result.h"
+#include "src/itemset/itemset_sequence.h"
+
+namespace seqhide {
+
+struct ItemsetMinerOptions {
+  size_t min_support = 1;  // σ >= 1
+
+  // Bounds on the *total item count* of a pattern (0 = unbounded max).
+  size_t min_items = 1;
+  size_t max_items = 0;
+
+  // Safety cap on the result size (0 = unlimited); exceeding it returns
+  // OutOfRange rather than a truncated result.
+  size_t max_patterns = 0;
+};
+
+// The mined set: pattern -> support, in canonical order.
+using FrequentItemsetPatterns = std::map<ItemsetSequence, size_t>;
+
+// Mines every itemset-sequence pattern with support >= σ.
+Result<FrequentItemsetPatterns> MineFrequentItemsetSequences(
+    const ItemsetDatabase& db, const ItemsetMinerOptions& options);
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_ITEMSET_ITEMSET_MINE_H_

@@ -1,0 +1,79 @@
+#include "src/itemset/itemset_sequence.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace seqhide {
+namespace {
+
+void Normalize(std::vector<SymbolId>* items) {
+  std::sort(items->begin(), items->end());
+  items->erase(std::unique(items->begin(), items->end()), items->end());
+  for (SymbolId s : *items) {
+    SEQHIDE_CHECK(IsRealSymbol(s)) << "itemsets hold real symbols only";
+  }
+}
+
+}  // namespace
+
+Itemset::Itemset(std::vector<SymbolId> items) : items_(std::move(items)) {
+  Normalize(&items_);
+}
+
+Itemset::Itemset(std::initializer_list<SymbolId> items) : items_(items) {
+  Normalize(&items_);
+}
+
+bool Itemset::Contains(SymbolId item) const {
+  return std::binary_search(items_.begin(), items_.end(), item);
+}
+
+bool Itemset::IsSubsetOf(const Itemset& other) const {
+  return std::includes(other.items_.begin(), other.items_.end(),
+                       items_.begin(), items_.end());
+}
+
+bool Itemset::Remove(SymbolId item) {
+  auto it = std::lower_bound(items_.begin(), items_.end(), item);
+  if (it == items_.end() || *it != item) return false;
+  items_.erase(it);
+  return true;
+}
+
+std::string Itemset::ToString(const Alphabet& alphabet) const {
+  std::string out = "(";
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += alphabet.Name(items_[i]);
+  }
+  out += ")";
+  return out;
+}
+
+Itemset* ItemsetSequence::mutable_element(size_t i) {
+  SEQHIDE_CHECK_LT(i, elements_.size());
+  return &elements_[i];
+}
+
+size_t ItemsetSequence::TotalItems() const {
+  size_t total = 0;
+  for (const auto& e : elements_) total += e.size();
+  return total;
+}
+
+std::string ItemsetSequence::ToString(const Alphabet& alphabet) const {
+  std::string out;
+  for (size_t i = 0; i < elements_.size(); ++i) {
+    if (i > 0) out += " ";
+    out += elements_[i].ToString(alphabet);
+  }
+  return out;
+}
+
+ItemsetSequence* ItemsetDatabase::mutable_sequence(size_t i) {
+  SEQHIDE_CHECK_LT(i, sequences_.size());
+  return &sequences_[i];
+}
+
+}  // namespace seqhide

@@ -1,0 +1,147 @@
+#include "src/match/constrained_count.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/match/count.h"
+
+namespace seqhide {
+namespace {
+
+// Gap-valid embeddings of `pattern` in the slice seq[first..last]
+// (0-based, inclusive) that end exactly at `last`. Used by the Lemma 5
+// windowed evaluation; `spec`'s window is ignored here (the slice *is*
+// the window).
+uint64_t CountGapMatchingsEndingAt(const Sequence& pattern,
+                                   const ConstraintSpec& spec,
+                                   const Sequence& seq, size_t first,
+                                   size_t last) {
+  const size_t m = pattern.size();
+  SEQHIDE_DCHECK(last < seq.size());
+  if (m == 0) return 0;
+  if (seq[last] != pattern[m - 1]) return 0;
+
+  // ends[k-1][j] = gap-valid embeddings of S[1..k] within the slice,
+  // ending exactly at absolute position j. Only positions in
+  // [first, last] participate.
+  std::vector<std::vector<uint64_t>> ends(
+      m, std::vector<uint64_t>(seq.size(), 0));
+  for (size_t j = first; j <= last; ++j) {
+    if (seq[j] == pattern[0]) ends[0][j] = 1;
+  }
+  for (size_t k = 1; k < m; ++k) {
+    const GapBound bound = spec.gap(k - 1);
+    for (size_t j = first; j <= last; ++j) {
+      if (seq[j] != pattern[k]) continue;
+      // Predecessor l must satisfy: first <= l < j and
+      // bound.Allows(j - l - 1), i.e. l in [j-1-Mg, j-1-mg].
+      if (j == 0) continue;
+      size_t hi = (j - 1 >= bound.min_gap) ? j - 1 - bound.min_gap : 0;
+      if (j - 1 < bound.min_gap) continue;
+      size_t lo = first;
+      if (bound.max_gap != GapBound::kNoMax && j >= 1 + bound.max_gap &&
+          j - 1 - bound.max_gap > lo) {
+        lo = j - 1 - bound.max_gap;
+      }
+      uint64_t sum = 0;
+      for (size_t l = lo; l <= hi; ++l) {
+        sum = SatAdd(sum, ends[k - 1][l]);
+      }
+      ends[k][j] = sum;
+    }
+  }
+  return ends[m - 1][last];
+}
+
+// Total gap-valid (window-free) matchings: Σ_j Q[m][j].
+uint64_t CountGapMatchings(const Sequence& pattern, const ConstraintSpec& spec,
+                           const Sequence& seq) {
+  PrefixEndTable q = BuildGapEndTable(pattern, spec, seq);
+  return TotalFromPrefixEndTable(q);
+}
+
+// Lemma 5: sum over ending positions j of the count of (gap-valid)
+// embeddings confined to the window [j - Ws + 1, j] that end exactly at j.
+uint64_t CountWindowedMatchings(const Sequence& pattern,
+                                const ConstraintSpec& spec,
+                                const Sequence& seq) {
+  const size_t ws = *spec.max_window();
+  uint64_t total = 0;
+  for (size_t j = 0; j < seq.size(); ++j) {
+    size_t first = (j + 1 >= ws) ? j + 1 - ws : 0;
+    total = SatAdd(total,
+                   CountGapMatchingsEndingAt(pattern, spec, seq, first, j));
+  }
+  return total;
+}
+
+}  // namespace
+
+PrefixEndTable BuildGapEndTable(const Sequence& pattern,
+                                const ConstraintSpec& spec,
+                                const Sequence& seq) {
+  const size_t m = pattern.size();
+  const size_t n = seq.size();
+  PrefixEndTable table(m + 1, std::vector<uint64_t>(n + 1, 0));
+  table[0][0] = 1;
+  if (m == 0) return table;
+
+  // k = 1: any occurrence of the first symbol (no incoming arrow).
+  for (size_t j = 1; j <= n; ++j) {
+    if (IsRealSymbol(seq[j - 1]) && seq[j - 1] == pattern[0]) table[1][j] = 1;
+  }
+  // k >= 2: restrict the predecessor span per Lemma 4. In 1-based paper
+  // indexing the predecessor l of an occurrence ending at j satisfies
+  // l in [j-1-Mg, j-1-mg] (intersected with [1, j-1]).
+  for (size_t k = 2; k <= m; ++k) {
+    const GapBound bound = spec.gap(k - 2);
+    for (size_t j = 1; j <= n; ++j) {
+      const SymbolId t = seq[j - 1];
+      if (!IsRealSymbol(t) || pattern[k - 1] != t) continue;
+      if (j - 1 < 1 || j - 1 < bound.min_gap) continue;
+      size_t hi = j - 1 - bound.min_gap;
+      if (hi < 1) continue;
+      size_t lo = 1;
+      if (bound.max_gap != GapBound::kNoMax && j >= 2 + bound.max_gap) {
+        lo = std::max<size_t>(lo, j - 1 - bound.max_gap);
+      }
+      uint64_t sum = 0;
+      for (size_t l = lo; l <= hi; ++l) {
+        sum = SatAdd(sum, table[k - 1][l]);
+      }
+      table[k][j] = sum;
+    }
+  }
+  return table;
+}
+
+uint64_t CountConstrainedMatchings(const Sequence& pattern,
+                                   const ConstraintSpec& spec,
+                                   const Sequence& seq) {
+  SEQHIDE_DCHECK(spec.Validate(pattern.size()).ok())
+      << spec.Validate(pattern.size()).ToString();
+  if (spec.IsUnconstrained()) return CountMatchings(pattern, seq);
+  if (!spec.HasWindow()) return CountGapMatchings(pattern, spec, seq);
+  return CountWindowedMatchings(pattern, spec, seq);
+}
+
+uint64_t CountConstrainedMatchingsTotal(
+    const std::vector<Sequence>& patterns,
+    const std::vector<ConstraintSpec>& constraints, const Sequence& seq) {
+  SEQHIDE_CHECK(constraints.empty() || constraints.size() == patterns.size())
+      << "constraints must be empty or parallel to patterns";
+  uint64_t total = 0;
+  for (size_t p = 0; p < patterns.size(); ++p) {
+    const ConstraintSpec& spec =
+        constraints.empty() ? ConstraintSpec() : constraints[p];
+    total = SatAdd(total, CountConstrainedMatchings(patterns[p], spec, seq));
+  }
+  return total;
+}
+
+bool HasConstrainedMatch(const Sequence& pattern, const ConstraintSpec& spec,
+                         const Sequence& seq) {
+  return CountConstrainedMatchings(pattern, spec, seq) > 0;
+}
+
+}  // namespace seqhide

@@ -1,0 +1,59 @@
+// Matching-set-size computation under occurrence constraints
+// (paper §5, Lemmas 4 and 5).
+//
+// * Gap constraints (Lemma 4): the Q table is the gap-aware analogue of
+//   the Lemma 3 prefix table — Q[k][j] counts gap-valid embeddings of the
+//   length-k prefix ending exactly at T[j]; the predecessor index span is
+//   restricted by the arrow's [mg, Mg].
+// * Max-window constraint (Lemma 5): for each ending index j, embeddings
+//   must start at index >= j - Ws + 1; the count is obtained by building
+//   the (gap-aware) table over the window T[j-Ws+1 .. j] and reading the
+//   entry that ends exactly at j.
+// * Conjunction: the window computation simply uses Q instead of P, as in
+//   the paper's closing remark of §5.
+//
+// All counts saturate (see count.h).
+
+#ifndef SEQHIDE_MATCH_CONSTRAINED_COUNT_H_
+#define SEQHIDE_MATCH_CONSTRAINED_COUNT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/constraints/constraints.h"
+#include "src/match/prefix_table.h"
+#include "src/seq/sequence.h"
+
+namespace seqhide {
+
+// Q[k][j] (k in [0,m], j in [0,n], 1-based content like PrefixEndTable):
+// gap-valid embeddings of S[1..k] ending exactly at T[j]. Ignores any
+// window constraint in `spec` (the window is applied by
+// CountConstrainedMatchings via Lemma 5). With unconstrained gaps this
+// degenerates to BuildPrefixEndTable's table entry-wise (tested).
+PrefixEndTable BuildGapEndTable(const Sequence& pattern,
+                                const ConstraintSpec& spec,
+                                const Sequence& seq);
+
+// |{matchings of `pattern` in `seq` satisfying `spec`}|. Dispatches:
+// unconstrained -> Lemma 2 count; gaps only -> Σ_j Q[m][j]; window
+// (with or without gaps) -> Lemma 5 windowed evaluation.
+uint64_t CountConstrainedMatchings(const Sequence& pattern,
+                                   const ConstraintSpec& spec,
+                                   const Sequence& seq);
+
+// Σ over patterns (constraints[i] applies to patterns[i]; `constraints`
+// may be empty meaning all-unconstrained).
+uint64_t CountConstrainedMatchingsTotal(
+    const std::vector<Sequence>& patterns,
+    const std::vector<ConstraintSpec>& constraints, const Sequence& seq);
+
+// Constrained support: number of database rows with at least one valid
+// occurrence. (With constraints, "supports" means "has a constrained
+// matching", which the hiding problem uses as the disclosure predicate.)
+bool HasConstrainedMatch(const Sequence& pattern, const ConstraintSpec& spec,
+                         const Sequence& seq);
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_MATCH_CONSTRAINED_COUNT_H_

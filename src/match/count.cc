@@ -1,0 +1,36 @@
+#include "src/match/count.h"
+
+#include "src/common/logging.h"
+
+namespace seqhide {
+
+uint64_t CountMatchings(const Sequence& pattern, const Sequence& seq) {
+  const size_t m = pattern.size();
+  const size_t n = seq.size();
+  if (m == 0) return 1;  // the empty embedding
+  if (m > n) return 0;
+
+  // One row per pattern prefix, rolled over sequence positions.
+  // row[i] = number of embeddings of S[0..i-1] in the prefix of T seen so
+  // far. Iterating i downward lets us update in place (row[i] depends on
+  // the previous column's row[i] and row[i-1]).
+  std::vector<uint64_t> row(m + 1, 0);
+  row[0] = 1;
+  for (size_t j = 0; j < n; ++j) {
+    const SymbolId t = seq[j];
+    if (!IsRealSymbol(t)) continue;  // Δ matches nothing
+    for (size_t i = m; i >= 1; --i) {
+      if (pattern[i - 1] == t) row[i] = SatAdd(row[i], row[i - 1]);
+    }
+  }
+  return row[m];
+}
+
+uint64_t CountMatchingsTotal(const std::vector<Sequence>& patterns,
+                             const Sequence& seq) {
+  uint64_t total = 0;
+  for (const auto& p : patterns) total = SatAdd(total, CountMatchings(p, seq));
+  return total;
+}
+
+}  // namespace seqhide

@@ -1,0 +1,53 @@
+// Polynomial matching-set-size computation (paper Lemma 2).
+//
+// |M_S^T| can be exponential in |T| (Lemma 1: up to ~binom(n, n/2)), so all
+// counts use saturating uint64 arithmetic: once a count reaches
+// kCountSaturated it sticks there. The sanitization heuristics only compare
+// counts, and comparisons involving saturated values still order correctly
+// against non-saturated ones.
+
+#ifndef SEQHIDE_MATCH_COUNT_H_
+#define SEQHIDE_MATCH_COUNT_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/seq/sequence.h"
+
+namespace seqhide {
+
+// Counts saturate at this value instead of overflowing.
+inline constexpr uint64_t kCountSaturated =
+    std::numeric_limits<uint64_t>::max();
+
+// a + b clamped to kCountSaturated.
+inline uint64_t SatAdd(uint64_t a, uint64_t b) {
+  uint64_t sum = a + b;
+  return (sum < a) ? kCountSaturated : sum;
+}
+
+// a * b clamped to kCountSaturated.
+inline uint64_t SatMul(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kCountSaturated / b) return kCountSaturated;
+  return a * b;
+}
+
+// |M_S^T| via the O(|T|·|S|) dynamic program of Lemma 2:
+//   P(i, j) = P(i, j-1)                 if S[i] != T[j]
+//   P(i, j) = P(i, j-1) + P(i-1, j-1)   if S[i] == T[j]
+// with P(0, j) = 1 and P(i, 0) = 0 for i > 0. Δ positions in T match
+// nothing. The empty pattern has exactly one (empty) matching.
+uint64_t CountMatchings(const Sequence& pattern, const Sequence& seq);
+
+// |M_{S_h}^T| = Σ_S |M_S^T|. Exact because matchings of distinct patterns
+// are distinct tuples (see matching_set.h). Patterns must be pairwise
+// distinct for this to equal the size of the union; the Sanitizer
+// deduplicates S_h on entry.
+uint64_t CountMatchingsTotal(const std::vector<Sequence>& patterns,
+                             const Sequence& seq);
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_MATCH_COUNT_H_

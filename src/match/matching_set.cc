@@ -1,0 +1,89 @@
+#include "src/match/matching_set.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace seqhide {
+namespace {
+
+// Depth-first enumeration: extend the partial embedding `prefix` (next
+// pattern symbol index = prefix.size()) with every feasible position.
+// Gap constraints prune during recursion; the window constraint is checked
+// incrementally against the first chosen position.
+void Enumerate(const Sequence& pattern, const Sequence& seq,
+               const ConstraintSpec& constraints, size_t cap,
+               Matching* prefix, std::vector<Matching>* out) {
+  if (cap != 0 && out->size() >= cap) return;
+  size_t k = prefix->size();
+  if (k == pattern.size()) {
+    out->push_back(*prefix);
+    return;
+  }
+  size_t start = prefix->empty() ? 0 : prefix->back() + 1;
+  for (size_t j = start; j < seq.size(); ++j) {
+    if (seq[j] != pattern[k]) continue;
+    if (!prefix->empty()) {
+      size_t between = j - prefix->back() - 1;
+      if (!constraints.gap(k - 1).Allows(between)) continue;
+    }
+    if (constraints.max_window().has_value() && !prefix->empty()) {
+      size_t span = j - prefix->front() + 1;
+      if (span > *constraints.max_window()) break;  // spans only grow with j
+    }
+    prefix->push_back(j);
+    Enumerate(pattern, seq, constraints, cap, prefix, out);
+    prefix->pop_back();
+    if (cap != 0 && out->size() >= cap) return;
+  }
+}
+
+}  // namespace
+
+std::vector<Matching> EnumerateMatchings(const Sequence& pattern,
+                                         const Sequence& seq,
+                                         const ConstraintSpec& constraints,
+                                         size_t cap) {
+  SEQHIDE_CHECK(!pattern.empty()) << "cannot enumerate the empty pattern";
+  std::vector<Matching> out;
+  Matching prefix;
+  Enumerate(pattern, seq, constraints, cap, &prefix, &out);
+  return out;
+}
+
+std::vector<Matching> EnumerateMatchings(const Sequence& pattern,
+                                         const Sequence& seq, size_t cap) {
+  return EnumerateMatchings(pattern, seq, ConstraintSpec(), cap);
+}
+
+std::vector<TaggedMatching> EnumerateMatchingsOfSet(
+    const std::vector<Sequence>& patterns, const Sequence& seq,
+    const std::vector<ConstraintSpec>& constraints, size_t cap) {
+  SEQHIDE_CHECK(constraints.empty() || constraints.size() == patterns.size())
+      << "constraints must be empty or parallel to patterns";
+  std::vector<TaggedMatching> out;
+  for (size_t p = 0; p < patterns.size(); ++p) {
+    const ConstraintSpec& spec =
+        constraints.empty() ? ConstraintSpec() : constraints[p];
+    size_t remaining = (cap == 0) ? 0 : (cap > out.size() ? cap - out.size() : 1);
+    if (cap != 0 && out.size() >= cap) break;
+    for (auto& m : EnumerateMatchings(patterns[p], seq, spec, remaining)) {
+      out.push_back(TaggedMatching{p, std::move(m)});
+    }
+  }
+  return out;
+}
+
+size_t CountMatchingsInvolvingPosition(const Sequence& pattern,
+                                       const Sequence& seq,
+                                       const ConstraintSpec& constraints,
+                                       size_t pos) {
+  size_t count = 0;
+  for (const Matching& m :
+       EnumerateMatchings(pattern, seq, constraints, /*cap=*/0)) {
+    if (std::find(m.begin(), m.end(), pos) != m.end()) ++count;
+  }
+  return count;
+}
+
+}  // namespace seqhide

@@ -1,0 +1,137 @@
+#include "src/match/position_delta.h"
+
+#include "src/common/logging.h"
+#include "src/match/constrained_count.h"
+#include "src/match/count.h"
+#include "src/match/prefix_table.h"
+
+namespace seqhide {
+namespace {
+
+// bwd[k][j] (k in [0,m], j in [0,n-1] 0-based positions): number of
+// gap-valid embeddings of the suffix S[k+1..m] (1-based pattern indexing)
+// entirely at positions > j, where arrow k's gap constraint binds between
+// position j and the suffix's first matched position. bwd[m][j] = 1.
+//
+// Returned flattened as rows k = 0..m over n+1 "virtual" anchor positions:
+// index j = position in T; an extra anchor value is not needed because the
+// sanitizer only queries j that hold a real symbol.
+std::vector<std::vector<uint64_t>> BuildSuffixExtensionTable(
+    const Sequence& pattern, const ConstraintSpec& spec,
+    const Sequence& seq) {
+  const size_t m = pattern.size();
+  const size_t n = seq.size();
+  std::vector<std::vector<uint64_t>> bwd(m + 1,
+                                         std::vector<uint64_t>(n, 0));
+  for (size_t j = 0; j < n; ++j) bwd[m][j] = 1;
+  // Rows k = m-1 down to 1. In this loop `k` counts consumed prefix
+  // symbols, so the next suffix symbol is S[k+1] = pattern[k] (0-based),
+  // and the arrow S[k] -> S[k+1] has 0-based arrow index k - 1.
+  for (size_t k = m - 1; k >= 1; --k) {
+    const GapBound bound = spec.gap(k - 1);
+    for (size_t j = 0; j < n; ++j) {
+      uint64_t sum = 0;
+      // l ranges over positions after j whose gap (l - j - 1) is allowed.
+      size_t lo = j + 1 + bound.min_gap;
+      size_t hi = (bound.max_gap == GapBound::kNoMax)
+                      ? n - 1
+                      : std::min(n - 1, j + 1 + bound.max_gap);
+      for (size_t l = lo; l <= hi && l < n; ++l) {
+        if (seq[l] == pattern[k]) {
+          sum = SatAdd(sum, bwd[k + 1][l]);
+        }
+      }
+      bwd[k][j] = sum;
+    }
+  }
+  return bwd;
+}
+
+}  // namespace
+
+std::vector<uint64_t> PositionDeltas(const Sequence& pattern,
+                                     const ConstraintSpec& spec,
+                                     const Sequence& seq) {
+  SEQHIDE_CHECK(!pattern.empty());
+  const size_t m = pattern.size();
+  const size_t n = seq.size();
+  std::vector<uint64_t> deltas(n, 0);
+  if (n == 0) return deltas;
+
+  if (spec.HasWindow()) {
+    // The window couples both halves of the embedding through the first
+    // matched position; use the always-correct mark-and-recount method.
+    return PositionDeltasByMarking(pattern, spec, seq);
+  }
+
+  // fwd[k][j] (1-based j): gap-valid embeddings of S[1..k] ending at j.
+  PrefixEndTable fwd = spec.HasGaps() ? BuildGapEndTable(pattern, spec, seq)
+                                      : BuildPrefixEndTable(pattern, seq);
+  std::vector<std::vector<uint64_t>> bwd =
+      BuildSuffixExtensionTable(pattern, spec, seq);
+
+  for (size_t j = 0; j < n; ++j) {
+    if (!IsRealSymbol(seq[j])) continue;
+    uint64_t total = 0;
+    for (size_t k = 1; k <= m; ++k) {
+      if (pattern[k - 1] != seq[j]) continue;
+      // fwd uses 1-based columns: position j (0-based) is column j+1.
+      total = SatAdd(total, SatMul(fwd[k][j + 1], bwd[k][j]));
+    }
+    deltas[j] = total;
+  }
+  return deltas;
+}
+
+std::vector<uint64_t> PositionDeltasTotal(
+    const std::vector<Sequence>& patterns,
+    const std::vector<ConstraintSpec>& constraints, const Sequence& seq) {
+  SEQHIDE_CHECK(constraints.empty() || constraints.size() == patterns.size())
+      << "constraints must be empty or parallel to patterns";
+  std::vector<uint64_t> total(seq.size(), 0);
+  for (size_t p = 0; p < patterns.size(); ++p) {
+    const ConstraintSpec& spec =
+        constraints.empty() ? ConstraintSpec() : constraints[p];
+    std::vector<uint64_t> d = PositionDeltas(patterns[p], spec, seq);
+    for (size_t j = 0; j < seq.size(); ++j) {
+      total[j] = SatAdd(total[j], d[j]);
+    }
+  }
+  return total;
+}
+
+std::vector<uint64_t> PositionDeltasByDeletion(const Sequence& pattern,
+                                               const Sequence& seq) {
+  const uint64_t base = CountMatchings(pattern, seq);
+  std::vector<uint64_t> deltas(seq.size(), 0);
+  for (size_t i = 0; i < seq.size(); ++i) {
+    if (!IsRealSymbol(seq[i])) continue;
+    std::vector<SymbolId> reduced;
+    reduced.reserve(seq.size() - 1);
+    for (size_t j = 0; j < seq.size(); ++j) {
+      if (j != i) reduced.push_back(seq[j]);
+    }
+    uint64_t without = CountMatchings(pattern, Sequence(std::move(reduced)));
+    SEQHIDE_DCHECK(without <= base);
+    deltas[i] = base - without;
+  }
+  return deltas;
+}
+
+std::vector<uint64_t> PositionDeltasByMarking(const Sequence& pattern,
+                                              const ConstraintSpec& spec,
+                                              const Sequence& seq) {
+  const uint64_t base = CountConstrainedMatchings(pattern, spec, seq);
+  std::vector<uint64_t> deltas(seq.size(), 0);
+  for (size_t i = 0; i < seq.size(); ++i) {
+    if (!IsRealSymbol(seq[i])) continue;
+    Sequence marked = seq;
+    marked.Mark(i);
+    uint64_t without = CountConstrainedMatchings(pattern, spec, marked);
+    SEQHIDE_DCHECK(without <= base);
+    deltas[i] = base - without;
+  }
+  return deltas;
+}
+
+}  // namespace seqhide

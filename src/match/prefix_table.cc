@@ -1,0 +1,69 @@
+#include "src/match/prefix_table.h"
+
+#include "src/common/logging.h"
+#include "src/match/count.h"
+
+namespace seqhide {
+
+PrefixEndTable BuildPrefixEndTable(const Sequence& pattern,
+                                   const Sequence& seq) {
+  const size_t m = pattern.size();
+  const size_t n = seq.size();
+  PrefixEndTable table(m + 1, std::vector<uint64_t>(n + 1, 0));
+  table[0][0] = 1;
+
+  // running[k] = Σ_{l<=j_processed} table[k][l]; lets each entry be filled
+  // in O(1). Row k consumes running sums of row k-1.
+  std::vector<uint64_t> running(m + 1, 0);
+  running[0] = 1;  // table[0][0]
+
+  // Process columns left to right; for column j, table[k][j] depends on
+  // the running sum of row k-1 over columns < j.
+  for (size_t j = 1; j <= n; ++j) {
+    const SymbolId t = seq[j - 1];
+    // Fill the column top-down using the running sums *before* including
+    // column j, iterating k downward so row k-1's running sum is still
+    // "columns < j" when row k reads it... k ascending also works because
+    // we add column j to running[] only after computing the whole column.
+    std::vector<uint64_t> column(m + 1, 0);
+    if (IsRealSymbol(t)) {
+      for (size_t k = 1; k <= m; ++k) {
+        if (pattern[k - 1] == t) column[k] = running[k - 1];
+      }
+    }
+    for (size_t k = 1; k <= m; ++k) {
+      table[k][j] = column[k];
+      running[k] = SatAdd(running[k], column[k]);
+    }
+  }
+  return table;
+}
+
+PrefixEndTable BuildPrefixEndTableNaive(const Sequence& pattern,
+                                        const Sequence& seq) {
+  const size_t m = pattern.size();
+  const size_t n = seq.size();
+  PrefixEndTable table(m + 1, std::vector<uint64_t>(n + 1, 0));
+  table[0][0] = 1;
+  for (size_t k = 1; k <= m; ++k) {
+    for (size_t j = 1; j <= n; ++j) {
+      const SymbolId t = seq[j - 1];
+      if (!IsRealSymbol(t) || pattern[k - 1] != t) continue;
+      // Paper's recurrence: sum of all ways the (k-1)-prefix ends strictly
+      // before j. (For k=1 this is table[0][0] = 1.)
+      uint64_t sum = 0;
+      for (size_t l = 0; l < j; ++l) sum = SatAdd(sum, table[k - 1][l]);
+      table[k][j] = sum;
+    }
+  }
+  return table;
+}
+
+uint64_t TotalFromPrefixEndTable(const PrefixEndTable& table) {
+  SEQHIDE_CHECK(!table.empty());
+  uint64_t total = 0;
+  for (uint64_t v : table.back()) total = SatAdd(total, v);
+  return total;
+}
+
+}  // namespace seqhide

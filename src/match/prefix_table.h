@@ -1,0 +1,48 @@
+// Prefix-ending-position match tables (paper Lemma 3).
+//
+// P[k][j] = number of matchings of the length-k prefix of S that end
+// *exactly* at position j of T (both 1-based here, matching the paper;
+// row/column 0 are the boundary cases). Example 3 of the paper: for
+// T = <a,a,b,c,c,b,a,e>, S = <a,b,c>, P[2][3] = 2 because <a,b> has two
+// embeddings ending exactly at T[3]=b.
+//
+// The paper's recurrence fills each of the n·m entries with an O(n) sum,
+// giving O(n²·m); carrying a running prefix sum per row reduces this to
+// O(n·m). Both are provided: the naive form documents the paper, the fast
+// form is the production path, and tests assert they agree entry-wise.
+//
+// This table is strictly more informative than the Lemma 2 count —
+// |M_S^T| = Σ_j P[m][j] — and is the basis for pushing gap and window
+// constraints into the counting (constrained_count.h).
+
+#ifndef SEQHIDE_MATCH_PREFIX_TABLE_H_
+#define SEQHIDE_MATCH_PREFIX_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/seq/sequence.h"
+
+namespace seqhide {
+
+// Table indexed [k][j] with k in [0, m], j in [0, n]. P[0][0] = 1,
+// P[0][j>0] = 0 (the empty prefix "ends" only at the virtual position 0),
+// P[k>0][0] = 0.
+using PrefixEndTable = std::vector<std::vector<uint64_t>>;
+
+// O(n·m) prefix-sum implementation (production path).
+PrefixEndTable BuildPrefixEndTable(const Sequence& pattern,
+                                   const Sequence& seq);
+
+// Literal transcription of the paper's Lemma 3 recurrence
+// (P_k^{j} = Σ_{l<j} P_{k-1}^{l} when S[k] = T[j]); O(n²·m). Test oracle.
+PrefixEndTable BuildPrefixEndTableNaive(const Sequence& pattern,
+                                        const Sequence& seq);
+
+// Σ_j table[m][j] — total matchings recovered from a prefix table. Used by
+// tests to tie Lemma 3 back to Lemma 2.
+uint64_t TotalFromPrefixEndTable(const PrefixEndTable& table);
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_MATCH_PREFIX_TABLE_H_

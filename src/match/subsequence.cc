@@ -1,0 +1,68 @@
+#include "src/match/subsequence.h"
+
+#include "src/common/logging.h"
+
+namespace seqhide {
+namespace {
+
+void DCheckPatternHasNoDelta(const Sequence& pattern) {
+#ifndef NDEBUG
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    SEQHIDE_DCHECK(IsRealSymbol(pattern[i]))
+        << "patterns must not contain the marking symbol";
+  }
+#else
+  (void)pattern;
+#endif
+}
+
+}  // namespace
+
+bool IsSubsequence(const Sequence& pattern, const Sequence& seq) {
+  DCheckPatternHasNoDelta(pattern);
+  size_t k = 0;
+  for (size_t j = 0; j < seq.size() && k < pattern.size(); ++j) {
+    if (seq[j] == pattern[k]) ++k;
+  }
+  return k == pattern.size();
+}
+
+std::optional<std::vector<size_t>> FirstEmbedding(const Sequence& pattern,
+                                                  const Sequence& seq) {
+  DCheckPatternHasNoDelta(pattern);
+  std::vector<size_t> indices;
+  indices.reserve(pattern.size());
+  size_t k = 0;
+  for (size_t j = 0; j < seq.size() && k < pattern.size(); ++j) {
+    if (seq[j] == pattern[k]) {
+      indices.push_back(j);
+      ++k;
+    }
+  }
+  if (k != pattern.size()) return std::nullopt;
+  return indices;
+}
+
+size_t Support(const Sequence& pattern, const SequenceDatabase& db) {
+  size_t count = 0;
+  for (const auto& seq : db.sequences()) {
+    if (IsSubsequence(pattern, seq)) ++count;
+  }
+  return count;
+}
+
+size_t SupportAny(const std::vector<Sequence>& patterns,
+                  const SequenceDatabase& db) {
+  size_t count = 0;
+  for (const auto& seq : db.sequences()) {
+    for (const auto& pattern : patterns) {
+      if (IsSubsequence(pattern, seq)) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace seqhide

@@ -1,0 +1,42 @@
+#include "src/mine/constrained_miner.h"
+
+#include "src/match/constrained_count.h"
+
+namespace seqhide {
+
+size_t ConstrainedSupport(const Sequence& pattern, const ConstraintSpec& spec,
+                          const SequenceDatabase& db) {
+  size_t count = 0;
+  for (const auto& seq : db.sequences()) {
+    if (HasConstrainedMatch(pattern, spec, seq)) ++count;
+  }
+  return count;
+}
+
+Result<FrequentPatternSet> MineConstrainedFrequentSequences(
+    const SequenceDatabase& db, const ConstraintSpec& uniform_spec,
+    const MinerOptions& opts) {
+  if (uniform_spec.HasPerArrowGaps()) {
+    return Status::InvalidArgument(
+        "constrained mining needs a uniform (or window-only) spec; "
+        "per-arrow bounds are tied to a single pattern length");
+  }
+  // Candidate generation: unconstrained mining is a complete superset
+  // (constrained support <= unconstrained support).
+  SEQHIDE_ASSIGN_OR_RETURN(FrequentPatternSet candidates,
+                           MineFrequentSequences(db, opts));
+  FrequentPatternSet result;
+  for (const auto& [pattern, unconstrained_support] : candidates.patterns()) {
+    (void)unconstrained_support;
+    // A window must be able to fit the pattern; skip impossible lengths.
+    if (uniform_spec.HasWindow() &&
+        *uniform_spec.max_window() < pattern.size()) {
+      continue;
+    }
+    size_t support = ConstrainedSupport(pattern, uniform_spec, db);
+    if (support >= opts.min_support) result.Add(pattern, support);
+  }
+  return result;
+}
+
+}  // namespace seqhide

@@ -1,0 +1,106 @@
+#include "src/mine/prefix_span.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/common/logging.h"
+
+namespace seqhide {
+namespace {
+
+// One entry of a pseudo-projected database: sequence id + the position
+// right after the leftmost embedding of the current prefix.
+struct Projection {
+  size_t seq_index;
+  size_t next_pos;
+};
+
+class PrefixSpanMiner {
+ public:
+  PrefixSpanMiner(const SequenceDatabase& db, const MinerOptions& opts)
+      : db_(db), opts_(opts) {}
+
+  Result<FrequentPatternSet> Mine() {
+    if (opts_.min_support == 0) {
+      return Status::InvalidArgument(
+          "min_support must be >= 1 (sigma = 0 makes F(D,sigma) infinite)");
+    }
+    if (opts_.max_length != 0 && opts_.min_length > opts_.max_length) {
+      return Status::InvalidArgument("min_length > max_length");
+    }
+    // Root projection: every sequence from position 0.
+    std::vector<Projection> root;
+    root.reserve(db_.size());
+    for (size_t i = 0; i < db_.size(); ++i) {
+      root.push_back(Projection{i, 0});
+    }
+    Sequence prefix;
+    Status s = Grow(prefix, root);
+    if (!s.ok()) return s;
+    return std::move(result_);
+  }
+
+ private:
+  // Extends `prefix` by every frequent symbol of the projected database.
+  Status Grow(Sequence& prefix, const std::vector<Projection>& projection) {
+    if (opts_.max_length != 0 && prefix.size() >= opts_.max_length) {
+      return Status::OK();
+    }
+    // Count, per symbol, the number of distinct supporting sequences and
+    // remember the leftmost occurrence per (symbol, sequence) to build the
+    // child projections in one pass.
+    std::unordered_map<SymbolId, std::vector<Projection>> extensions;
+    for (const Projection& p : projection) {
+      const Sequence& seq = db_[p.seq_index];
+      // The leftmost occurrence of each symbol after next_pos.
+      std::unordered_map<SymbolId, size_t> first_occurrence;
+      for (size_t j = p.next_pos; j < seq.size(); ++j) {
+        SymbolId sym = seq[j];
+        if (!IsRealSymbol(sym)) continue;
+        first_occurrence.emplace(sym, j);  // emplace keeps the leftmost
+      }
+      for (const auto& [sym, pos] : first_occurrence) {
+        extensions[sym].push_back(Projection{p.seq_index, pos + 1});
+      }
+    }
+    // Deterministic order: ascending symbol id.
+    std::vector<SymbolId> symbols;
+    symbols.reserve(extensions.size());
+    for (const auto& [sym, projs] : extensions) {
+      if (projs.size() >= opts_.min_support) symbols.push_back(sym);
+    }
+    std::sort(symbols.begin(), symbols.end());
+
+    for (SymbolId sym : symbols) {
+      const std::vector<Projection>& child = extensions[sym];
+      prefix.Append(sym);
+      if (prefix.size() >= opts_.min_length) {
+        if (opts_.max_patterns != 0 && result_.size() >= opts_.max_patterns) {
+          return Status::OutOfRange(
+              "frequent pattern count exceeded max_patterns cap");
+        }
+        result_.Add(prefix, child.size());
+      }
+      SEQHIDE_RETURN_IF_ERROR(Grow(prefix, child));
+      // Remove the last symbol (Sequence has no pop; rebuild).
+      std::vector<SymbolId> symbols_copy = prefix.symbols();
+      symbols_copy.pop_back();
+      prefix = Sequence(std::move(symbols_copy));
+    }
+    return Status::OK();
+  }
+
+  const SequenceDatabase& db_;
+  const MinerOptions opts_;
+  FrequentPatternSet result_;
+};
+
+}  // namespace
+
+Result<FrequentPatternSet> MineFrequentSequences(const SequenceDatabase& db,
+                                                 const MinerOptions& opts) {
+  PrefixSpanMiner miner(db, opts);
+  return miner.Mine();
+}
+
+}  // namespace seqhide

@@ -1,0 +1,123 @@
+// Class patterns: a first step toward the paper's §8 future-work item
+// "patterns as arbitrary regular expressions".
+//
+// The paper's pattern language is the RE subclass Σ* a Σ* b Σ* c Σ*
+// (fixed symbols separated by arbitrary gaps). Class patterns generalize
+// each fixed symbol to a *symbol class* — an explicit set of alternatives
+// ("[X6Y3 X6Y4]": either cell) or the wildcard "." (any symbol) — i.e.
+// the RE subclass Σ* C1 Σ* C2 Σ* ... Σ* where each Ci is a character
+// class. The entire matching/δ/sanitization machinery carries over with
+// the symbol-equality test replaced by class membership; occurrence
+// constraints (§5 gaps and window) compose unchanged.
+//
+// Text syntax (ParseClassPattern):
+//   "login [basket buy] . checkout"
+//    ^literal ^class      ^wildcard
+
+#ifndef SEQHIDE_REPAT_CLASS_PATTERN_H_
+#define SEQHIDE_REPAT_CLASS_PATTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/result.h"
+#include "src/constraints/constraints.h"
+#include "src/seq/database.h"
+#include "src/seq/sequence.h"
+
+namespace seqhide {
+
+// One pattern position: a set of admissible symbols or the wildcard.
+class SymbolClass {
+ public:
+  // Class of explicit alternatives (must be non-empty).
+  static SymbolClass Of(std::vector<SymbolId> symbols);
+  static SymbolClass Literal(SymbolId symbol) { return Of({symbol}); }
+  // Matches every real symbol (never Δ).
+  static SymbolClass Wildcard();
+
+  bool is_wildcard() const { return wildcard_; }
+  const std::vector<SymbolId>& symbols() const { return symbols_; }
+
+  // Membership test; Δ matches no class, including the wildcard.
+  bool Matches(SymbolId symbol) const;
+
+  std::string ToString(const Alphabet& alphabet) const;
+
+ private:
+  SymbolClass() = default;
+
+  bool wildcard_ = false;
+  std::vector<SymbolId> symbols_;  // sorted, deduplicated
+};
+
+class ClassPattern {
+ public:
+  ClassPattern() = default;
+  explicit ClassPattern(std::vector<SymbolClass> classes)
+      : classes_(std::move(classes)) {}
+
+  size_t size() const { return classes_.size(); }
+  bool empty() const { return classes_.empty(); }
+  const SymbolClass& operator[](size_t i) const { return classes_[i]; }
+
+  void Append(SymbolClass c) { classes_.push_back(std::move(c)); }
+
+  // Lift of a plain sequence: every position becomes a literal class.
+  static ClassPattern FromSequence(const Sequence& seq);
+
+  std::string ToString(const Alphabet& alphabet) const;
+
+ private:
+  std::vector<SymbolClass> classes_;
+};
+
+// Parses the whitespace syntax described above; names are interned.
+Result<ClassPattern> ParseClassPattern(Alphabet* alphabet,
+                                       const std::string& text);
+
+// --- matching ------------------------------------------------------------
+
+// True iff some embedding of `pattern` exists in `seq` satisfying `spec`.
+bool HasClassMatch(const ClassPattern& pattern, const ConstraintSpec& spec,
+                   const Sequence& seq);
+
+// Number of (constrained) embeddings; saturating (see match/count.h).
+uint64_t CountClassMatchings(const ClassPattern& pattern,
+                             const ConstraintSpec& spec, const Sequence& seq);
+
+// Exhaustive oracle.
+std::vector<std::vector<size_t>> EnumerateClassMatchings(
+    const ClassPattern& pattern, const ConstraintSpec& spec,
+    const Sequence& seq, size_t cap = 0);
+
+// Support of the class pattern over a database.
+size_t ClassSupport(const ClassPattern& pattern, const ConstraintSpec& spec,
+                    const SequenceDatabase& db);
+
+// δ(T[i]) totalled over patterns (constraints empty or parallel).
+std::vector<uint64_t> ClassPositionDeltas(
+    const std::vector<ClassPattern>& patterns,
+    const std::vector<ConstraintSpec>& constraints, const Sequence& seq);
+
+// --- hiding --------------------------------------------------------------
+
+struct ClassHideReport {
+  size_t marks_introduced = 0;
+  size_t sequences_sanitized = 0;
+  std::vector<size_t> supports_before;
+  std::vector<size_t> supports_after;
+};
+
+// Algorithm 1 lifted to class patterns: hide every pattern down to
+// support <= psi using the greedy max-δ local heuristic and the
+// ascending-matching-count global heuristic.
+Result<ClassHideReport> HideClassPatterns(
+    SequenceDatabase* db, const std::vector<ClassPattern>& patterns,
+    const std::vector<ConstraintSpec>& constraints, size_t psi);
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_REPAT_CLASS_PATTERN_H_

@@ -1,0 +1,38 @@
+#include "src/seq/alphabet.h"
+
+#include "src/common/logging.h"
+
+namespace seqhide {
+
+SymbolId Alphabet::Intern(std::string_view name) {
+  SEQHIDE_CHECK(!name.empty()) << "symbol names must be non-empty";
+  SEQHIDE_CHECK(name != DeltaToken())
+      << "the Δ token is reserved and cannot be interned";
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+Result<SymbolId> Alphabet::Lookup(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) {
+    return Status::NotFound("symbol not in alphabet: " + std::string(name));
+  }
+  return it->second;
+}
+
+const std::string& Alphabet::Name(SymbolId id) const {
+  if (id == kDeltaSymbol) return DeltaToken();
+  SEQHIDE_CHECK(Contains(id)) << "symbol id out of range: " << id;
+  return names_[static_cast<size_t>(id)];
+}
+
+const std::string& Alphabet::DeltaToken() {
+  static const std::string* kToken = new std::string("^");
+  return *kToken;
+}
+
+}  // namespace seqhide

@@ -1,0 +1,59 @@
+// Alphabet: bidirectional mapping between symbol names (e.g. grid cells
+// "X6Y3", web pages, event codes) and dense SymbolIds.
+//
+// All sequences in one SequenceDatabase share one Alphabet so that equal
+// ids mean equal symbols across the database and the sensitive patterns.
+
+#ifndef SEQHIDE_SEQ_ALPHABET_H_
+#define SEQHIDE_SEQ_ALPHABET_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/seq/types.h"
+
+namespace seqhide {
+
+class Alphabet {
+ public:
+  Alphabet() = default;
+
+  Alphabet(const Alphabet&) = default;
+  Alphabet& operator=(const Alphabet&) = default;
+  Alphabet(Alphabet&&) noexcept = default;
+  Alphabet& operator=(Alphabet&&) noexcept = default;
+
+  // Returns the id of `name`, interning it if new.
+  SymbolId Intern(std::string_view name);
+
+  // Returns the id of `name` or NotFound. Never modifies the alphabet.
+  Result<SymbolId> Lookup(std::string_view name) const;
+
+  // Name of `id`. `id` must be a valid real symbol of this alphabet, or
+  // kDeltaSymbol (rendered as kDeltaToken).
+  const std::string& Name(SymbolId id) const;
+
+  // Number of distinct real symbols (|Σ|).
+  size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+  // True if `id` is a real symbol interned in this alphabet.
+  bool Contains(SymbolId id) const {
+    return id >= 0 && static_cast<size_t>(id) < names_.size();
+  }
+
+  // Textual rendering of Δ in the on-disk format and debug strings.
+  static const std::string& DeltaToken();
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, SymbolId> ids_;
+};
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_SEQ_ALPHABET_H_

@@ -1,0 +1,38 @@
+#include "src/seq/database.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace seqhide {
+
+Sequence* SequenceDatabase::mutable_sequence(size_t i) {
+  SEQHIDE_CHECK_LT(i, sequences_.size());
+  return &sequences_[i];
+}
+
+DatabaseStats SequenceDatabase::Stats() const {
+  DatabaseStats stats;
+  stats.num_sequences = sequences_.size();
+  stats.alphabet_size = alphabet_.size();
+  if (sequences_.empty()) return stats;
+  stats.min_length = sequences_.front().size();
+  stats.max_length = sequences_.front().size();
+  for (const auto& seq : sequences_) {
+    stats.total_symbols += seq.size();
+    stats.total_marks += seq.MarkCount();
+    stats.min_length = std::min(stats.min_length, seq.size());
+    stats.max_length = std::max(stats.max_length, seq.size());
+  }
+  stats.mean_length = static_cast<double>(stats.total_symbols) /
+                      static_cast<double>(stats.num_sequences);
+  return stats;
+}
+
+size_t SequenceDatabase::TotalMarkCount() const {
+  size_t count = 0;
+  for (const auto& seq : sequences_) count += seq.MarkCount();
+  return count;
+}
+
+}  // namespace seqhide

@@ -1,0 +1,71 @@
+#include "src/seq/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/common/string_util.h"
+
+namespace seqhide {
+
+Result<SequenceDatabase> ReadDatabase(std::istream& in) {
+  SequenceDatabase db;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    Sequence seq;
+    for (const std::string& token : SplitWhitespace(trimmed)) {
+      if (token == Alphabet::DeltaToken()) {
+        seq.Append(kDeltaSymbol);
+      } else {
+        seq.Append(db.alphabet().Intern(token));
+      }
+    }
+    if (seq.empty()) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": sequence with no symbols");
+    }
+    db.Add(std::move(seq));
+  }
+  if (in.bad()) return Status::IOError("stream read failure");
+  return db;
+}
+
+Result<SequenceDatabase> ReadDatabaseFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  return ReadDatabase(in);
+}
+
+Result<SequenceDatabase> ReadDatabaseFromString(const std::string& text) {
+  std::istringstream in(text);
+  return ReadDatabase(in);
+}
+
+Status WriteDatabase(const SequenceDatabase& db, std::ostream& out) {
+  out << "# seqhide sequence database; |D|=" << db.size()
+      << " |Sigma|=" << db.alphabet().size() << "\n";
+  for (const auto& seq : db.sequences()) {
+    out << seq.ToString(db.alphabet()) << "\n";
+  }
+  if (!out) return Status::IOError("stream write failure");
+  return Status::OK();
+}
+
+Status WriteDatabaseToFile(const SequenceDatabase& db,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  return WriteDatabase(db, out);
+}
+
+std::string WriteDatabaseToString(const SequenceDatabase& db) {
+  std::ostringstream out;
+  Status s = WriteDatabase(db, out);
+  (void)s;  // string streams cannot fail
+  return out.str();
+}
+
+}  // namespace seqhide

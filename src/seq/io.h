@@ -1,0 +1,35 @@
+// Text serialization of sequence databases.
+//
+// Format (one sequence per line):
+//   # comment lines and blank lines are ignored
+//   X6Y3 X7Y2 ^ X5Y3
+// Symbols are whitespace-separated tokens; "^" denotes the marking symbol Δ
+// (Alphabet::DeltaToken()). The format round-trips sanitized databases.
+
+#ifndef SEQHIDE_SEQ_IO_H_
+#define SEQHIDE_SEQ_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/seq/database.h"
+
+namespace seqhide {
+
+// Parses a database from a stream / file / string. Unknown symbols are
+// interned; a Δ token becomes a marked position.
+Result<SequenceDatabase> ReadDatabase(std::istream& in);
+Result<SequenceDatabase> ReadDatabaseFromFile(const std::string& path);
+Result<SequenceDatabase> ReadDatabaseFromString(const std::string& text);
+
+// Serializes `db` (including Δ marks) in the format above.
+Status WriteDatabase(const SequenceDatabase& db, std::ostream& out);
+Status WriteDatabaseToFile(const SequenceDatabase& db,
+                           const std::string& path);
+std::string WriteDatabaseToString(const SequenceDatabase& db);
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_SEQ_IO_H_

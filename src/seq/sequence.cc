@@ -1,0 +1,79 @@
+#include "src/seq/sequence.h"
+
+#include "src/common/logging.h"
+
+namespace seqhide {
+
+Sequence Sequence::FromNames(Alphabet* alphabet,
+                             const std::vector<std::string>& names) {
+  std::vector<SymbolId> ids;
+  ids.reserve(names.size());
+  for (const auto& n : names) ids.push_back(alphabet->Intern(n));
+  return Sequence(std::move(ids));
+}
+
+SymbolId Sequence::at(size_t pos) const {
+  SEQHIDE_CHECK_LT(pos, symbols_.size());
+  return symbols_[pos];
+}
+
+void Sequence::Mark(size_t pos) {
+  SEQHIDE_CHECK_LT(pos, symbols_.size());
+  symbols_[pos] = kDeltaSymbol;
+}
+
+bool Sequence::IsMarked(size_t pos) const {
+  SEQHIDE_CHECK_LT(pos, symbols_.size());
+  return symbols_[pos] == kDeltaSymbol;
+}
+
+size_t Sequence::MarkCount() const {
+  size_t count = 0;
+  for (SymbolId s : symbols_) {
+    if (s == kDeltaSymbol) ++count;
+  }
+  return count;
+}
+
+Sequence Sequence::WithoutMarks() const {
+  std::vector<SymbolId> kept;
+  kept.reserve(symbols_.size());
+  for (SymbolId s : symbols_) {
+    if (s != kDeltaSymbol) kept.push_back(s);
+  }
+  return Sequence(std::move(kept));
+}
+
+std::string Sequence::ToString(const Alphabet& alphabet) const {
+  std::string out;
+  for (size_t i = 0; i < symbols_.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += alphabet.Name(symbols_[i]);
+  }
+  return out;
+}
+
+std::string Sequence::DebugString() const {
+  std::string out = "<";
+  for (size_t i = 0; i < symbols_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(symbols_[i]);
+  }
+  out += ">";
+  return out;
+}
+
+size_t SequenceHash::operator()(const Sequence& s) const {
+  // FNV-1a over the id bytes; adequate for container use.
+  uint64_t h = 1469598103934665603ULL;
+  for (SymbolId id : s.symbols()) {
+    uint32_t u = static_cast<uint32_t>(id);
+    for (int shift = 0; shift < 32; shift += 8) {
+      h ^= (u >> shift) & 0xffu;
+      h *= 1099511628211ULL;
+    }
+  }
+  return static_cast<size_t>(h);
+}
+
+}  // namespace seqhide

@@ -1,0 +1,88 @@
+// Sequence: a finite sequence of symbols, possibly containing Δ marks.
+//
+// This is the value type manipulated by both sides of the problem: input
+// database rows T ∈ D (which get marked during sanitization) and sensitive
+// patterns S ∈ S_h (which never contain Δ). Positions are 0-based in code;
+// doc comments quoting the paper use the paper's 1-based convention.
+
+#ifndef SEQHIDE_SEQ_SEQUENCE_H_
+#define SEQHIDE_SEQ_SEQUENCE_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/seq/alphabet.h"
+#include "src/seq/types.h"
+
+namespace seqhide {
+
+class Sequence {
+ public:
+  Sequence() = default;
+  explicit Sequence(std::vector<SymbolId> symbols)
+      : symbols_(std::move(symbols)) {}
+  Sequence(std::initializer_list<SymbolId> symbols) : symbols_(symbols) {}
+
+  Sequence(const Sequence&) = default;
+  Sequence& operator=(const Sequence&) = default;
+  Sequence(Sequence&&) noexcept = default;
+  Sequence& operator=(Sequence&&) noexcept = default;
+
+  // Builds a sequence by interning each name into `alphabet`.
+  static Sequence FromNames(Alphabet* alphabet,
+                            const std::vector<std::string>& names);
+
+  size_t size() const { return symbols_.size(); }
+  bool empty() const { return symbols_.empty(); }
+
+  SymbolId operator[](size_t pos) const { return symbols_[pos]; }
+  SymbolId at(size_t pos) const;
+
+  const std::vector<SymbolId>& symbols() const { return symbols_; }
+
+  void Append(SymbolId s) { symbols_.push_back(s); }
+
+  // Replaces the symbol at `pos` with Δ (the paper's "marking" operator).
+  // Marking an already-marked position is a no-op.
+  void Mark(size_t pos);
+
+  bool IsMarked(size_t pos) const;
+
+  // Number of Δ symbols in this sequence (the per-sequence contribution to
+  // measure M1).
+  size_t MarkCount() const;
+
+  // Copy with all Δ positions removed (the paper's optional second-stage
+  // "deletion" treatment of Δ).
+  Sequence WithoutMarks() const;
+
+  // "a b ^ c" using names from `alphabet` (Δ rendered as the Δ token).
+  std::string ToString(const Alphabet& alphabet) const;
+
+  // "<0,1,-1,2>" using raw ids; for debugging and test failure messages.
+  std::string DebugString() const;
+
+  friend bool operator==(const Sequence& a, const Sequence& b) {
+    return a.symbols_ == b.symbols_;
+  }
+
+  // Lexicographic order on symbol ids; makes Sequence usable as a map key
+  // and gives mining output a canonical order.
+  friend bool operator<(const Sequence& a, const Sequence& b) {
+    return a.symbols_ < b.symbols_;
+  }
+
+ private:
+  std::vector<SymbolId> symbols_;
+};
+
+// Hash functor so Sequence can key unordered containers.
+struct SequenceHash {
+  size_t operator()(const Sequence& s) const;
+};
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_SEQ_SEQUENCE_H_

@@ -1,0 +1,28 @@
+// Fundamental vocabulary types for the sequence model (paper §3.1).
+//
+// A sequence T = <t_1, ..., t_n> is a finite sequence of symbols from an
+// alphabet Σ. Sanitization replaces chosen symbols with a special marking
+// symbol Δ ∉ Σ (paper §3.1, assumption 2). We represent symbols by dense
+// non-negative integer ids and Δ by the reserved id kDeltaSymbol.
+
+#ifndef SEQHIDE_SEQ_TYPES_H_
+#define SEQHIDE_SEQ_TYPES_H_
+
+#include <cstdint>
+
+namespace seqhide {
+
+// Dense id of a symbol in an Alphabet. Valid symbols are >= 0.
+using SymbolId = int32_t;
+
+// The marking symbol Δ. It is not part of any alphabet: Δ matches no
+// pattern symbol, so marking can only remove subsequence occurrences and
+// never creates new ones (paper §4).
+inline constexpr SymbolId kDeltaSymbol = -1;
+
+// True for ids that denote a real alphabet symbol (not Δ).
+inline constexpr bool IsRealSymbol(SymbolId s) { return s >= 0; }
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_SEQ_TYPES_H_

@@ -1,0 +1,69 @@
+#include "src/temporal/timed_hide.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/match/count.h"
+
+namespace seqhide {
+
+size_t TimedSupport(const Sequence& pattern, const TimeConstraintSpec& spec,
+                    const std::vector<TimedSequence>& db) {
+  size_t support = 0;
+  for (const auto& seq : db) {
+    if (CountTimedMatchings(pattern, spec, seq) > 0) ++support;
+  }
+  return support;
+}
+
+Result<TimedHideReport> HideTimedPatterns(std::vector<TimedSequence>* db,
+                                          const std::vector<Sequence>& patterns,
+                                          const TimeConstraintSpec& spec,
+                                          size_t psi) {
+  SEQHIDE_CHECK(db != nullptr);
+  if (patterns.empty()) {
+    return Status::InvalidArgument("no sensitive patterns given");
+  }
+  for (const auto& p : patterns) {
+    if (p.empty()) {
+      return Status::InvalidArgument("sensitive pattern must be non-empty");
+    }
+  }
+  SEQHIDE_RETURN_IF_ERROR(spec.Validate());
+
+  TimedHideReport report;
+  for (const auto& p : patterns) {
+    report.supports_before.push_back(TimedSupport(p, spec, *db));
+  }
+
+  // Global stage: ascending total matching count among supporters.
+  std::vector<std::pair<uint64_t, size_t>> supporters;
+  for (size_t t = 0; t < db->size(); ++t) {
+    uint64_t total = 0;
+    for (const auto& p : patterns) {
+      total = SatAdd(total, CountTimedMatchings(p, spec, (*db)[t]));
+    }
+    if (total > 0) supporters.emplace_back(total, t);
+  }
+  if (supporters.size() > psi) {
+    std::stable_sort(supporters.begin(), supporters.end());
+    supporters.resize(supporters.size() - psi);
+    for (const auto& [count, t] : supporters) {
+      (void)count;
+      TimedSanitizeResult r = SanitizeTimedSequence(&(*db)[t], patterns, spec);
+      report.marks_introduced += r.marks_introduced;
+      ++report.sequences_sanitized;
+    }
+  }
+
+  for (size_t p = 0; p < patterns.size(); ++p) {
+    report.supports_after.push_back(TimedSupport(patterns[p], spec, *db));
+    if (report.supports_after[p] > psi) {
+      return Status::Internal(
+          "timed disclosure requirement violated after sanitization");
+    }
+  }
+  return report;
+}
+
+}  // namespace seqhide

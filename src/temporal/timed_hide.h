@@ -1,0 +1,39 @@
+// Database-level hiding for timed sequences (§7.2): Algorithm 1's global
+// stage (ascending matching-count selection with disclosure threshold ψ)
+// over TimedSequence rows, with the greedy time-aware local stage of
+// timed_match.h.
+
+#ifndef SEQHIDE_TEMPORAL_TIMED_HIDE_H_
+#define SEQHIDE_TEMPORAL_TIMED_HIDE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/seq/sequence.h"
+#include "src/temporal/timed_match.h"
+#include "src/temporal/timed_sequence.h"
+
+namespace seqhide {
+
+struct TimedHideReport {
+  size_t marks_introduced = 0;
+  size_t sequences_sanitized = 0;
+  std::vector<size_t> supports_before;  // rows with >= 1 valid occurrence
+  std::vector<size_t> supports_after;
+};
+
+// Timed support: rows with at least one time-valid occurrence.
+size_t TimedSupport(const Sequence& pattern, const TimeConstraintSpec& spec,
+                    const std::vector<TimedSequence>& db);
+
+// Hides every pattern down to support <= psi. All patterns share one time
+// constraint spec (the common §7.2 setting: one time policy per release).
+Result<TimedHideReport> HideTimedPatterns(std::vector<TimedSequence>* db,
+                                          const std::vector<Sequence>& patterns,
+                                          const TimeConstraintSpec& spec,
+                                          size_t psi);
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_TEMPORAL_TIMED_HIDE_H_

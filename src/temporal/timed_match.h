@@ -1,0 +1,47 @@
+// Matching and hiding for timed sequences (paper §7.2): the Lemma 3/4/5
+// machinery with gap/window spans measured on the events' real time tags.
+
+#ifndef SEQHIDE_TEMPORAL_TIMED_MATCH_H_
+#define SEQHIDE_TEMPORAL_TIMED_MATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/seq/sequence.h"
+#include "src/temporal/timed_sequence.h"
+
+namespace seqhide {
+
+// Number of embeddings of `pattern` in `seq` whose consecutive matched
+// events satisfy the time-gap bounds and whose total duration satisfies
+// the window bound. Saturating counts (see match/count.h).
+uint64_t CountTimedMatchings(const Sequence& pattern,
+                             const TimeConstraintSpec& spec,
+                             const TimedSequence& seq);
+
+// Exhaustive enumeration (test oracle).
+std::vector<std::vector<size_t>> EnumerateTimedMatchings(
+    const Sequence& pattern, const TimeConstraintSpec& spec,
+    const TimedSequence& seq, size_t cap = 0);
+
+// δ per position via mark-and-recount (timestamps make the fwd×bwd
+// decomposition window-coupled, so the always-correct method is used).
+std::vector<uint64_t> TimedPositionDeltas(
+    const std::vector<Sequence>& patterns, const TimeConstraintSpec& spec,
+    const TimedSequence& seq);
+
+struct TimedSanitizeResult {
+  size_t marks_introduced = 0;
+  std::vector<size_t> marked_positions;
+};
+
+// Greedy max-δ sanitization of one timed sequence (all valid occurrences
+// of all patterns destroyed).
+TimedSanitizeResult SanitizeTimedSequence(TimedSequence* seq,
+                                          const std::vector<Sequence>& patterns,
+                                          const TimeConstraintSpec& spec);
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_TEMPORAL_TIMED_MATCH_H_

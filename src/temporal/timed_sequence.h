@@ -1,0 +1,78 @@
+// Timed sequences: events annotated with real time tags (paper §7.2).
+//
+// Gap and window constraints are expressed in *time units* instead of
+// index distances; "the adaptation is straightforward, since the basic
+// method only needs the indices, which can be located using the
+// associated real time tags".
+
+#ifndef SEQHIDE_TEMPORAL_TIMED_SEQUENCE_H_
+#define SEQHIDE_TEMPORAL_TIMED_SEQUENCE_H_
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/seq/alphabet.h"
+#include "src/seq/sequence.h"
+#include "src/seq/types.h"
+
+namespace seqhide {
+
+struct TimedEvent {
+  SymbolId symbol = kDeltaSymbol;
+  double time = 0.0;
+};
+
+// A sequence of events with non-decreasing timestamps.
+class TimedSequence {
+ public:
+  TimedSequence() = default;
+
+  // Events must be time-ordered (validated).
+  static Result<TimedSequence> Create(std::vector<TimedEvent> events);
+
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  const TimedEvent& operator[](size_t i) const { return events_[i]; }
+
+  // Marks the event at `pos` (symbol becomes Δ; the timestamp stays, as a
+  // marked event still occupies its instant).
+  void Mark(size_t pos);
+  bool IsMarked(size_t pos) const { return events_[pos].symbol == kDeltaSymbol; }
+  size_t MarkCount() const;
+
+  // The symbols only (timestamps dropped) — bridges to the index-based
+  // machinery and to debugging output.
+  Sequence Symbols() const;
+
+  std::string ToString(const Alphabet& alphabet) const;
+
+ private:
+  explicit TimedSequence(std::vector<TimedEvent> events)
+      : events_(std::move(events)) {}
+
+  std::vector<TimedEvent> events_;
+};
+
+// Real-time occurrence constraints: bounds on the time elapsed between
+// consecutive matched events, and on the overall occurrence duration.
+struct TimeConstraintSpec {
+  static constexpr double kNoBound = std::numeric_limits<double>::infinity();
+
+  double min_gap_time = 0.0;      // t(next) - t(prev) >= min_gap_time
+  double max_gap_time = kNoBound;  // t(next) - t(prev) <= max_gap_time
+  double max_window_time = kNoBound;  // t(last) - t(first) <= max_window_time
+
+  bool IsUnconstrained() const {
+    return min_gap_time <= 0.0 && max_gap_time == kNoBound &&
+           max_window_time == kNoBound;
+  }
+  Status Validate() const;
+};
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_TEMPORAL_TIMED_SEQUENCE_H_

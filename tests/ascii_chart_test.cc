@@ -1,0 +1,88 @@
+#include "src/eval/ascii_chart.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace seqhide {
+namespace {
+
+SweepResult MakeResult() {
+  SweepResult r;
+  r.workload_name = "test";
+  r.psi_values = {0, 10, 20};
+  r.algorithm_labels = {"HH", "RR"};
+  r.cells.resize(2, std::vector<SweepCell>(3));
+  r.cells[0][0].m1 = 100;
+  r.cells[0][1].m1 = 50;
+  r.cells[0][2].m1 = 0;
+  r.cells[1][0].m1 = 120;
+  r.cells[1][1].m1 = 80;
+  r.cells[1][2].m1 = 10;
+  return r;
+}
+
+TEST(AsciiChartTest, ContainsLegendAndAxis) {
+  std::string chart = RenderSweepChart(MakeResult(), Measure::kM1);
+  EXPECT_NE(chart.find("*=HH"), std::string::npos);
+  EXPECT_NE(chart.find("+=RR"), std::string::npos);
+  EXPECT_NE(chart.find("psi: 0 .. 20"), std::string::npos);
+  EXPECT_NE(chart.find("120"), std::string::npos);  // max label
+  EXPECT_NE(chart.find("0"), std::string::npos);    // min label
+}
+
+TEST(AsciiChartTest, HasRequestedDimensions) {
+  AsciiChartOptions options;
+  options.width = 20;
+  options.height = 6;
+  std::string chart = RenderSweepChart(MakeResult(), Measure::kM1, options);
+  // height rows + axis + psi line + legend line.
+  size_t lines = std::count(chart.begin(), chart.end(), '\n');
+  EXPECT_EQ(lines, options.height + 3);
+}
+
+TEST(AsciiChartTest, PlotsGlyphsForEverySeries) {
+  std::string chart = RenderSweepChart(MakeResult(), Measure::kM1);
+  // Points may overlap ('?'), but with these values at least one '*' and
+  // one '+' must be visible in the grid area (before the legend line).
+  size_t legend = chart.find("legend:");
+  ASSERT_NE(legend, std::string::npos);
+  std::string grid = chart.substr(0, legend);
+  EXPECT_NE(grid.find('*'), std::string::npos);
+  EXPECT_NE(grid.find('+'), std::string::npos);
+}
+
+TEST(AsciiChartTest, EmptyWhenNothingFinite) {
+  SweepResult r = MakeResult();
+  for (auto& series : r.cells) {
+    for (auto& cell : series) {
+      cell.m2 = std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+  EXPECT_EQ(RenderSweepChart(r, Measure::kM2), "");
+  SweepResult empty;
+  EXPECT_EQ(RenderSweepChart(empty, Measure::kM1), "");
+}
+
+TEST(AsciiChartTest, FlatSeriesStillRenders) {
+  SweepResult r = MakeResult();
+  for (auto& series : r.cells) {
+    for (auto& cell : series) cell.m1 = 42.0;
+  }
+  std::string chart = RenderSweepChart(r, Measure::kM1);
+  EXPECT_NE(chart.find('?'), std::string::npos);  // all points overlap
+}
+
+TEST(AsciiChartTest, SinglePsiValue) {
+  SweepResult r;
+  r.psi_values = {5};
+  r.algorithm_labels = {"HH"};
+  r.cells.resize(1, std::vector<SweepCell>(1));
+  r.cells[0][0].m1 = 7.0;
+  std::string chart = RenderSweepChart(r, Measure::kM1);
+  EXPECT_NE(chart.find("psi: 5 .. 5"), std::string::npos);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace seqhide

@@ -1,0 +1,83 @@
+#!/bin/sh
+# End-to-end smoke test of the seqhide_cli binary (registered in CTest).
+# $1 = path to the seqhide_cli binary.
+set -eu
+
+CLI="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+cat > "$WORK/db.txt" <<EOF
+a b c d
+a b x c
+b c a
+a a b c c b a e
+x y z
+EOF
+
+# stats
+"$CLI" stats --db "$WORK/db.txt" | grep -q "sequences       5"
+
+# support (constrained + unconstrained)
+OUT="$("$CLI" support --db "$WORK/db.txt" --pattern "a -> b -> c")"
+echo "$OUT" | grep -q "support=3"
+
+# mine
+"$CLI" mine --db "$WORK/db.txt" --sigma 2 --top 3 | grep -q "frequent patterns"
+
+# sanitize (keep deltas), verify hidden
+"$CLI" sanitize --db "$WORK/db.txt" --out "$WORK/out.txt" \
+    --pattern "a -> b -> c" --psi 0 --algo HH > "$WORK/log.txt"
+grep -q "supports_after=\[0\]" "$WORK/log.txt"
+"$CLI" support --db "$WORK/out.txt" --pattern "a -> b -> c" | grep -q "support=0"
+grep -q '\^' "$WORK/out.txt"   # deltas kept
+
+# sanitize with stage2 replacement: no deltas in the release
+"$CLI" sanitize --db "$WORK/db.txt" --out "$WORK/out2.txt" \
+    --pattern "a -> b -> c" --psi 0 --stage2 replace > /dev/null
+if grep -q '\^' "$WORK/out2.txt"; then
+  echo "FAIL: deltas survived stage2 replace"; exit 1
+fi
+"$CLI" support --db "$WORK/out2.txt" --pattern "a -> b -> c" | grep -q "support=0"
+
+# psi > 0 leaves at most psi supporters
+"$CLI" sanitize --db "$WORK/db.txt" --out "$WORK/out3.txt" \
+    --pattern "a -> b -> c" --psi 2 --algo RR --seed 7 > /dev/null
+SUP="$("$CLI" support --db "$WORK/out3.txt" --pattern "a -> b -> c" \
+      | sed 's/.*support=\([0-9]*\).*/\1/')"
+[ "$SUP" -le 2 ]
+
+# itemset format (paper section 7.1)
+cat > "$WORK/baskets.txt" <<EOF
+(formula,diapers) (coupon)
+(formula) (coupon)
+(snacks) (wipes)
+(formula) (snacks)
+EOF
+"$CLI" stats --db "$WORK/baskets.txt" --format itemset | grep -q "sequences       4"
+"$CLI" mine --db "$WORK/baskets.txt" --format itemset --sigma 2 \
+  | grep -q "(formula) (coupon)"
+"$CLI" sanitize --db "$WORK/baskets.txt" --out "$WORK/baskets_out.txt" \
+  --format itemset --pattern "(formula) (coupon)" --psi 0 > "$WORK/ilog.txt"
+grep -q "support 2 -> 0" "$WORK/ilog.txt"
+if "$CLI" mine --db "$WORK/baskets_out.txt" --format itemset --sigma 2 \
+    | grep -q "(formula) (coupon)"; then
+  echo "FAIL: itemset pattern still frequent after hiding"; exit 1
+fi
+if "$CLI" sanitize --db "$WORK/baskets.txt" --out /dev/null \
+    --format itemset --pattern "() (coupon)" --psi 0 > /dev/null 2>&1; then
+  echo "FAIL: empty pattern element accepted"; exit 1
+fi
+if "$CLI" stats --db "$WORK/baskets.txt" --format bogus > /dev/null 2>&1; then
+  echo "FAIL: bogus format accepted"; exit 1
+fi
+
+# usage errors exit 1
+if "$CLI" bogus-command > /dev/null 2>&1; then
+  echo "FAIL: bogus command accepted"; exit 1
+fi
+if "$CLI" mine --db "$WORK/db.txt" > /dev/null 2>&1; then
+  echo "FAIL: mine without --sigma accepted"; exit 1
+fi
+
+echo "cli smoke test passed"

@@ -1,0 +1,141 @@
+#include "src/constraints/constraints.h"
+
+#include <gtest/gtest.h>
+
+namespace seqhide {
+namespace {
+
+TEST(GapBoundTest, DefaultUnconstrained) {
+  GapBound g;
+  EXPECT_TRUE(g.IsUnconstrained());
+  EXPECT_TRUE(g.Allows(0));
+  EXPECT_TRUE(g.Allows(1000000));
+}
+
+TEST(GapBoundTest, AllowsRespectsBounds) {
+  GapBound g{2, 6};
+  EXPECT_FALSE(g.Allows(0));
+  EXPECT_FALSE(g.Allows(1));
+  EXPECT_TRUE(g.Allows(2));
+  EXPECT_TRUE(g.Allows(6));
+  EXPECT_FALSE(g.Allows(7));
+}
+
+TEST(ConstraintSpecTest, DefaultIsUnconstrained) {
+  ConstraintSpec spec;
+  EXPECT_TRUE(spec.IsUnconstrained());
+  EXPECT_FALSE(spec.HasGaps());
+  EXPECT_FALSE(spec.HasWindow());
+  EXPECT_TRUE(spec.Validate(3).ok());
+}
+
+TEST(ConstraintSpecTest, UniformGapAppliesToAllArrows) {
+  ConstraintSpec spec = ConstraintSpec::UniformGap(1, 3);
+  EXPECT_TRUE(spec.HasGaps());
+  EXPECT_EQ(spec.gap(0), (GapBound{1, 3}));
+  EXPECT_EQ(spec.gap(5), (GapBound{1, 3}));
+}
+
+TEST(ConstraintSpecTest, PerArrowValidatesLength) {
+  ConstraintSpec spec =
+      ConstraintSpec::PerArrow({GapBound{0, 0}, GapBound{2, 6}});
+  EXPECT_TRUE(spec.Validate(3).ok());
+  EXPECT_FALSE(spec.Validate(2).ok());
+  EXPECT_FALSE(spec.Validate(4).ok());
+  EXPECT_TRUE(spec.HasPerArrowGaps());
+}
+
+TEST(ConstraintSpecTest, WindowMustFitPattern) {
+  ConstraintSpec spec = ConstraintSpec::Window(2);
+  EXPECT_TRUE(spec.Validate(2).ok());
+  EXPECT_FALSE(spec.Validate(3).ok());
+}
+
+TEST(ConstraintSpecTest, InvalidGapBoundRejected) {
+  ConstraintSpec spec = ConstraintSpec::UniformGap(5, 2);
+  EXPECT_FALSE(spec.Validate(2).ok());
+}
+
+TEST(ConstraintSpecTest, SatisfiedByChecksGaps) {
+  ConstraintSpec spec =
+      ConstraintSpec::PerArrow({GapBound{0, 0}, GapBound{2, 6}});
+  EXPECT_TRUE(spec.SatisfiedBy({1, 2, 5}));   // gaps 0 and 2
+  EXPECT_FALSE(spec.SatisfiedBy({1, 3, 6}));  // first gap 1 > max 0
+  EXPECT_FALSE(spec.SatisfiedBy({1, 2, 3}));  // second gap 0 < min 2
+  EXPECT_TRUE(spec.SatisfiedBy({1, 2, 9}));   // second gap 9-2-1 = 6 = max
+  EXPECT_FALSE(spec.SatisfiedBy({1, 2, 10}));  // gap 7 > 6
+}
+
+TEST(ConstraintSpecTest, SatisfiedByChecksWindow) {
+  ConstraintSpec spec = ConstraintSpec::Window(4);
+  EXPECT_TRUE(spec.SatisfiedBy({0, 3}));   // span 4
+  EXPECT_FALSE(spec.SatisfiedBy({0, 4}));  // span 5
+  EXPECT_TRUE(spec.SatisfiedBy({7}));      // singleton span 1
+}
+
+TEST(ConstraintSpecTest, ToStringIsInformative) {
+  EXPECT_EQ(ConstraintSpec().ToString(), "unconstrained");
+  EXPECT_NE(ConstraintSpec::UniformGap(1, 2).ToString().find("gap"),
+            std::string::npos);
+  EXPECT_NE(ConstraintSpec::Window(5).ToString().find("window<=5"),
+            std::string::npos);
+}
+
+class ParsePatternTest : public ::testing::Test {
+ protected:
+  Alphabet alphabet_;
+};
+
+TEST_F(ParsePatternTest, PlainPattern) {
+  auto r = ParseConstrainedPattern(&alphabet_, "a -> b -> c");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->pattern.size(), 3u);
+  EXPECT_TRUE(r->constraints.IsUnconstrained());
+}
+
+TEST_F(ParsePatternTest, ExactGapAnnotation) {
+  auto r = ParseConstrainedPattern(&alphabet_, "a ->[0] b ->[2..6] c");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->constraints.gap(0), (GapBound{0, 0}));
+  EXPECT_EQ(r->constraints.gap(1), (GapBound{2, 6}));
+}
+
+TEST_F(ParsePatternTest, OpenEndedBounds) {
+  auto r = ParseConstrainedPattern(&alphabet_, "a ->[..3] b ->[1..] c");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->constraints.gap(0), (GapBound{0, 3}));
+  EXPECT_EQ(r->constraints.gap(1), (GapBound{1, GapBound::kNoMax}));
+}
+
+TEST_F(ParsePatternTest, WindowSuffix) {
+  auto r = ParseConstrainedPattern(&alphabet_, "a -> b ; window<=10");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_TRUE(r->constraints.HasWindow());
+  EXPECT_EQ(*r->constraints.max_window(), 10u);
+}
+
+TEST_F(ParsePatternTest, SingleSymbol) {
+  auto r = ParseConstrainedPattern(&alphabet_, "lonely");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->pattern.size(), 1u);
+}
+
+TEST_F(ParsePatternTest, RejectsMalformedInputs) {
+  EXPECT_FALSE(ParseConstrainedPattern(&alphabet_, "").ok());
+  EXPECT_FALSE(ParseConstrainedPattern(&alphabet_, "a ->").ok());
+  EXPECT_FALSE(ParseConstrainedPattern(&alphabet_, "-> a").ok());
+  EXPECT_FALSE(ParseConstrainedPattern(&alphabet_, "a b").ok());
+  EXPECT_FALSE(ParseConstrainedPattern(&alphabet_, "a ->[5..2] b").ok());
+  EXPECT_FALSE(ParseConstrainedPattern(&alphabet_, "a ->[x] b").ok());
+  EXPECT_FALSE(ParseConstrainedPattern(&alphabet_, "a -> b ; window<=0").ok());
+  EXPECT_FALSE(ParseConstrainedPattern(&alphabet_, "a -> b ; win<=3").ok());
+  // Window smaller than the pattern cannot be satisfied.
+  EXPECT_FALSE(
+      ParseConstrainedPattern(&alphabet_, "a -> b -> c ; window<=2").ok());
+  // The reserved marking token is not a symbol.
+  EXPECT_FALSE(ParseConstrainedPattern(&alphabet_, "a -> ^").ok());
+  EXPECT_FALSE(ParseConstrainedPattern(&alphabet_, "^").ok());
+}
+
+}  // namespace
+}  // namespace seqhide

@@ -1,0 +1,110 @@
+#include "src/match/count.h"
+
+#include <gtest/gtest.h>
+
+#include "src/match/matching_set.h"
+#include "tests/test_util.h"
+
+namespace seqhide {
+namespace {
+
+using testutil::RandomSeq;
+using testutil::Seq;
+
+TEST(SatArithmeticTest, AddSaturates) {
+  EXPECT_EQ(SatAdd(1, 2), 3u);
+  EXPECT_EQ(SatAdd(kCountSaturated, 1), kCountSaturated);
+  EXPECT_EQ(SatAdd(kCountSaturated - 1, 1), kCountSaturated);
+  EXPECT_EQ(SatAdd(kCountSaturated, kCountSaturated), kCountSaturated);
+  EXPECT_EQ(SatAdd(0, 0), 0u);
+}
+
+TEST(SatArithmeticTest, MulSaturates) {
+  EXPECT_EQ(SatMul(3, 4), 12u);
+  EXPECT_EQ(SatMul(0, kCountSaturated), 0u);
+  EXPECT_EQ(SatMul(kCountSaturated, 1), kCountSaturated);
+  EXPECT_EQ(SatMul(1ull << 33, 1ull << 33), kCountSaturated);
+}
+
+TEST(CountMatchingsTest, PaperExampleHasFourMatchings) {
+  Alphabet a;
+  EXPECT_EQ(CountMatchings(Seq(&a, "a b c"), Seq(&a, "a a b c c b a e")),
+            4u);
+}
+
+TEST(CountMatchingsTest, EmptyPatternCountsOne) {
+  Alphabet a;
+  EXPECT_EQ(CountMatchings(Sequence{}, Seq(&a, "a b")), 1u);
+  EXPECT_EQ(CountMatchings(Sequence{}, Sequence{}), 1u);
+}
+
+TEST(CountMatchingsTest, PatternLongerThanSequenceIsZero) {
+  Alphabet a;
+  EXPECT_EQ(CountMatchings(Seq(&a, "a b"), Seq(&a, "a")), 0u);
+}
+
+TEST(CountMatchingsTest, Lemma1WorstCaseIsBinomial) {
+  // S and T over one repeated symbol: |M| = C(|T|, |S|) (Lemma 1).
+  Alphabet a;
+  Sequence t = Seq(&a, "x x x x x x x x x x");  // n = 10
+  Sequence s = Seq(&a, "x x x x x");            // k = 5
+  EXPECT_EQ(CountMatchings(s, t), 252u);        // C(10,5)
+}
+
+TEST(CountMatchingsTest, DeltaNeverMatches) {
+  Alphabet a;
+  Sequence t = Seq(&a, "a b a b");
+  Sequence s = Seq(&a, "a b");
+  EXPECT_EQ(CountMatchings(s, t), 3u);
+  t.Mark(0);
+  EXPECT_EQ(CountMatchings(s, t), 1u);
+  t.Mark(3);
+  EXPECT_EQ(CountMatchings(s, t), 0u);
+}
+
+TEST(CountMatchingsTest, SaturationOnHugeUniformInput) {
+  // C(140, 70) >> 2^64: the count must clamp, not wrap.
+  Sequence t, s;
+  for (int i = 0; i < 140; ++i) t.Append(0);
+  for (int i = 0; i < 70; ++i) s.Append(0);
+  EXPECT_EQ(CountMatchings(s, t), kCountSaturated);
+}
+
+TEST(CountMatchingsTotalTest, SumsOverPatterns) {
+  Alphabet a;
+  Sequence t = Seq(&a, "a b a b");
+  std::vector<Sequence> patterns = {Seq(&a, "a b"), Seq(&a, "b a")};
+  EXPECT_EQ(CountMatchingsTotal(patterns, t), 4u);  // 3 + 1
+  EXPECT_EQ(CountMatchingsTotal({}, t), 0u);
+}
+
+// Property: the Lemma 2 DP equals exhaustive enumeration on random inputs.
+TEST(CountMatchingsTest, PropertyMatchesEnumeration) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 300; ++trial) {
+    size_t n = 1 + rng.NextBounded(12);
+    size_t m = 1 + rng.NextBounded(4);
+    size_t sigma = 1 + rng.NextBounded(4);
+    Sequence t = RandomSeq(&rng, n, sigma);
+    Sequence s = RandomSeq(&rng, m, sigma);
+    EXPECT_EQ(CountMatchings(s, t), EnumerateMatchings(s, t).size())
+        << "trial " << trial << " t=" << t.DebugString()
+        << " s=" << s.DebugString();
+  }
+}
+
+// Property: marking a position never increases the count.
+TEST(CountMatchingsTest, PropertyMarkingIsMonotone) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t n = 2 + rng.NextBounded(10);
+    Sequence t = RandomSeq(&rng, n, 3);
+    Sequence s = RandomSeq(&rng, 1 + rng.NextBounded(3), 3);
+    uint64_t before = CountMatchings(s, t);
+    t.Mark(rng.NextBounded(n));
+    EXPECT_LE(CountMatchings(s, t), before);
+  }
+}
+
+}  // namespace
+}  // namespace seqhide

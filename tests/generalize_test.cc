@@ -1,0 +1,115 @@
+#include "src/data/generalize.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/grid.h"
+#include "src/data/workload.h"
+#include "src/hide/sanitizer.h"
+#include "src/match/subsequence.h"
+
+namespace seqhide {
+namespace {
+
+TEST(GridHierarchyTest, RejectsTrivialFactor) {
+  EXPECT_FALSE(GridHierarchy::Create(0).ok());
+  EXPECT_FALSE(GridHierarchy::Create(1).ok());
+  EXPECT_TRUE(GridHierarchy::Create(2).ok());
+}
+
+TEST(GridHierarchyTest, RegionOfGroupsCells) {
+  auto h = GridHierarchy::Create(2);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->RegionOf(1, 1), (std::pair<size_t, size_t>{1, 1}));
+  EXPECT_EQ(h->RegionOf(2, 2), (std::pair<size_t, size_t>{1, 1}));
+  EXPECT_EQ(h->RegionOf(3, 2), (std::pair<size_t, size_t>{2, 1}));
+  EXPECT_EQ(h->RegionOf(10, 10), (std::pair<size_t, size_t>{5, 5}));
+  auto h5 = GridHierarchy::Create(5);
+  ASSERT_TRUE(h5.ok());
+  EXPECT_EQ(h5->RegionOf(6, 3), (std::pair<size_t, size_t>{2, 1}));
+}
+
+TEST(GridHierarchyTest, RegionNamesCannotCollideWithCellNames) {
+  std::string region = GridHierarchy::RegionName(3, 4);
+  EXPECT_EQ(region, "R3S4");
+  EXPECT_FALSE(GridDiscretizer::ParseCellName(region).has_value());
+}
+
+TEST(ParseCellNameTest, RoundTripAndRejects) {
+  EXPECT_EQ(GridDiscretizer::ParseCellName("X6Y3"),
+            (std::pair<size_t, size_t>{6, 3}));
+  EXPECT_EQ(GridDiscretizer::ParseCellName("X10Y10"),
+            (std::pair<size_t, size_t>{10, 10}));
+  EXPECT_FALSE(GridDiscretizer::ParseCellName("").has_value());
+  EXPECT_FALSE(GridDiscretizer::ParseCellName("Y3X6").has_value());
+  EXPECT_FALSE(GridDiscretizer::ParseCellName("X6").has_value());
+  EXPECT_FALSE(GridDiscretizer::ParseCellName("X0Y1").has_value());
+  EXPECT_FALSE(GridDiscretizer::ParseCellName("XaYb").has_value());
+  EXPECT_FALSE(GridDiscretizer::ParseCellName("home").has_value());
+}
+
+TEST(GeneralizeMarksTest, CoarsensDeltasOnTrucks) {
+  ExperimentWorkload w = MakeTrucksWorkload();
+  SequenceDatabase sanitized = w.db;
+  auto report = Sanitize(&sanitized, w.sensitive, SanitizeOptions::HH());
+  ASSERT_TRUE(report.ok());
+  ASSERT_GT(sanitized.TotalMarkCount(), 0u);
+
+  auto hierarchy = GridHierarchy::Create(2);
+  ASSERT_TRUE(hierarchy.ok());
+  auto generalize =
+      GeneralizeMarks(w.db, &sanitized, *hierarchy, w.sensitive, {});
+  ASSERT_TRUE(generalize.ok()) << generalize.status();
+  EXPECT_GT(generalize->generalized, 0u);
+  EXPECT_EQ(generalize->generalized + generalize->kept_marked,
+            report->marks_introduced);
+  // Patterns stay hidden after coarsening.
+  for (const auto& p : w.sensitive) {
+    EXPECT_EQ(Support(p, sanitized), 0u);
+  }
+  // Coarsened release keeps region-level information: region symbols
+  // appear where cells were erased.
+  bool found_region = false;
+  for (const auto& seq : sanitized.sequences()) {
+    for (size_t i = 0; i < seq.size(); ++i) {
+      if (IsRealSymbol(seq[i]) &&
+          sanitized.alphabet().Name(seq[i]).front() == 'R') {
+        found_region = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_region);
+}
+
+TEST(GeneralizeMarksTest, RowMismatchRejected) {
+  SequenceDatabase a, b;
+  a.AddFromNames({"X1Y1"});
+  auto hierarchy = GridHierarchy::Create(2);
+  ASSERT_TRUE(hierarchy.ok());
+  EXPECT_TRUE(GeneralizeMarks(a, &b, *hierarchy, {}, {})
+                  .status()
+                  .IsInvalidArgument());
+  b.AddFromNames({"X1Y1", "X2Y2"});
+  EXPECT_TRUE(GeneralizeMarks(a, &b, *hierarchy, {}, {})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(GeneralizeMarksTest, NonCellSymbolsKeepDelta) {
+  SequenceDatabase original;
+  original.AddFromNames({"login", "buy"});
+  SequenceDatabase sanitized = original;
+  sanitized.mutable_sequence(0)->Mark(0);
+  auto hierarchy = GridHierarchy::Create(2);
+  ASSERT_TRUE(hierarchy.ok());
+  Sequence pattern =
+      Sequence::FromNames(&sanitized.alphabet(), {"login", "buy"});
+  auto report =
+      GeneralizeMarks(original, &sanitized, *hierarchy, {pattern}, {});
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->generalized, 0u);
+  EXPECT_EQ(report->kept_marked, 1u);
+  EXPECT_TRUE(sanitized[0].IsMarked(0));
+}
+
+}  // namespace
+}  // namespace seqhide

@@ -1,0 +1,91 @@
+#include "src/data/grid.h"
+
+#include <gtest/gtest.h>
+
+namespace seqhide {
+namespace {
+
+GridSpec UnitTenByTen() {
+  GridSpec spec;
+  spec.max_x = 10.0;
+  spec.max_y = 10.0;
+  return spec;
+}
+
+TEST(GridTest, CreateRejectsDegenerateSpecs) {
+  GridSpec bad = UnitTenByTen();
+  bad.max_x = 0.0;
+  EXPECT_FALSE(GridDiscretizer::Create(bad).ok());
+  bad = UnitTenByTen();
+  bad.cells_x = 0;
+  EXPECT_FALSE(GridDiscretizer::Create(bad).ok());
+}
+
+TEST(GridTest, CellOfMapsInterior) {
+  auto grid = GridDiscretizer::Create(UnitTenByTen());
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(grid->CellOf(0.5, 0.5), (std::pair<size_t, size_t>{1, 1}));
+  EXPECT_EQ(grid->CellOf(9.5, 9.5), (std::pair<size_t, size_t>{10, 10}));
+  EXPECT_EQ(grid->CellOf(5.5, 2.5), (std::pair<size_t, size_t>{6, 3}));
+}
+
+TEST(GridTest, CellOfClampsOutOfField) {
+  auto grid = GridDiscretizer::Create(UnitTenByTen());
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(grid->CellOf(-3.0, 5.5), (std::pair<size_t, size_t>{1, 6}));
+  EXPECT_EQ(grid->CellOf(25.0, 11.0), (std::pair<size_t, size_t>{10, 10}));
+}
+
+TEST(GridTest, BoundaryBelongsToUpperCell) {
+  auto grid = GridDiscretizer::Create(UnitTenByTen());
+  ASSERT_TRUE(grid.ok());
+  // x = 1.0 is the left edge of cell 2.
+  EXPECT_EQ(grid->CellOf(1.0, 0.0).first, 2u);
+  // The far field edge maps into the last cell, not one past it.
+  EXPECT_EQ(grid->CellOf(10.0, 10.0), (std::pair<size_t, size_t>{10, 10}));
+}
+
+TEST(GridTest, CellNameFormat) {
+  EXPECT_EQ(GridDiscretizer::CellName(6, 3), "X6Y3");
+  EXPECT_EQ(GridDiscretizer::CellName(10, 10), "X10Y10");
+}
+
+TEST(GridTest, DiscretizeCollapsesRepeats) {
+  auto grid = GridDiscretizer::Create(UnitTenByTen());
+  ASSERT_TRUE(grid.ok());
+  Trajectory t;
+  t.points = {{0.5, 0.5, 0.0}, {0.6, 0.7, 1.0}, {1.5, 0.5, 2.0},
+              {1.6, 0.6, 3.0}, {0.4, 0.4, 4.0}};
+  Alphabet alphabet;
+  Sequence collapsed = grid->Discretize(&alphabet, t, true);
+  EXPECT_EQ(collapsed.ToString(alphabet), "X1Y1 X2Y1 X1Y1");
+  Sequence raw = grid->Discretize(&alphabet, t, false);
+  EXPECT_EQ(raw.size(), 5u);
+}
+
+TEST(GridTest, DiscretizeAllSharesAlphabetAndSkipsEmpty) {
+  auto grid = GridDiscretizer::Create(UnitTenByTen());
+  ASSERT_TRUE(grid.ok());
+  Trajectory t1;
+  t1.points = {{0.5, 0.5, 0.0}};
+  Trajectory t2;  // empty
+  Trajectory t3;
+  t3.points = {{0.5, 0.5, 0.0}, {8.5, 8.5, 1.0}};
+  SequenceDatabase db = grid->DiscretizeAll({t1, t2, t3});
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_EQ(db[0][0], db[1][0]) << "same cell must intern to the same id";
+}
+
+TEST(GridTest, NonSquareGrid) {
+  GridSpec spec;
+  spec.max_x = 4.0;
+  spec.max_y = 2.0;
+  spec.cells_x = 4;
+  spec.cells_y = 2;
+  auto grid = GridDiscretizer::Create(spec);
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(grid->CellOf(3.5, 1.5), (std::pair<size_t, size_t>{4, 2}));
+}
+
+}  // namespace
+}  // namespace seqhide

@@ -1,0 +1,106 @@
+#include "src/mine/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/workload.h"
+#include "src/match/subsequence.h"
+#include "tests/test_util.h"
+
+namespace seqhide {
+namespace {
+
+using testutil::Seq;
+
+TEST(InvertedIndexTest, CandidatesContainSymbols) {
+  SequenceDatabase db;
+  db.AddFromNames({"a", "b", "c"});
+  db.AddFromNames({"b", "c"});
+  db.AddFromNames({"a", "c"});
+  InvertedIndex index(db);
+  EXPECT_EQ(index.CandidateSupporters(Seq(&db.alphabet(), "a")),
+            (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(index.CandidateSupporters(Seq(&db.alphabet(), "a b")),
+            (std::vector<size_t>{0}));
+  EXPECT_EQ(index.CandidateSupporters(Seq(&db.alphabet(), "c")),
+            (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(InvertedIndexTest, MultiplicityPrunes) {
+  SequenceDatabase db;
+  db.AddFromNames({"a", "b", "a"});  // two a's
+  db.AddFromNames({"a", "b"});       // one a
+  InvertedIndex index(db);
+  EXPECT_EQ(index.CandidateSupporters(Seq(&db.alphabet(), "a a")),
+            (std::vector<size_t>{0}));
+}
+
+TEST(InvertedIndexTest, CandidatesAreSupersetNotExact) {
+  SequenceDatabase db;
+  db.AddFromNames({"b", "a"});  // contains both symbols, wrong order
+  InvertedIndex index(db);
+  Sequence ab = Seq(&db.alphabet(), "a b");
+  EXPECT_EQ(index.CandidateSupporters(ab), (std::vector<size_t>{0}));
+  EXPECT_EQ(index.Support(ab, db), 0u) << "verification rejects it";
+}
+
+TEST(InvertedIndexTest, MarkedPositionsNotIndexed) {
+  SequenceDatabase db;
+  db.AddFromNames({"a", "b"});
+  db.mutable_sequence(0)->Mark(0);
+  InvertedIndex index(db);
+  EXPECT_TRUE(index.CandidateSupporters(Seq(&db.alphabet(), "a")).empty());
+}
+
+TEST(InvertedIndexTest, UnionOverPatterns) {
+  SequenceDatabase db;
+  db.AddFromNames({"a"});
+  db.AddFromNames({"b"});
+  db.AddFromNames({"c"});
+  InvertedIndex index(db);
+  std::vector<Sequence> patterns = {Seq(&db.alphabet(), "a"),
+                                    Seq(&db.alphabet(), "b")};
+  EXPECT_EQ(index.CandidateSupportersAny(patterns),
+            (std::vector<size_t>{0, 1}));
+}
+
+TEST(InvertedIndexTest, EmptyDatabase) {
+  SequenceDatabase db;
+  db.alphabet().Intern("a");
+  InvertedIndex index(db);
+  EXPECT_TRUE(index.CandidateSupporters(Seq(&db.alphabet(), "a")).empty());
+  EXPECT_EQ(index.TotalPostings(), 0u);
+}
+
+// Property: indexed support equals the scan-based support on random
+// databases and patterns.
+TEST(InvertedIndexTest, PropertySupportMatchesScan) {
+  Rng rng(9753);
+  for (int trial = 0; trial < 40; ++trial) {
+    RandomDatabaseOptions gen;
+    gen.num_sequences = 40;
+    gen.min_length = 2;
+    gen.max_length = 15;
+    gen.alphabet_size = 8;
+    gen.seed = rng.NextU64();
+    SequenceDatabase db = MakeRandomDatabase(gen);
+    InvertedIndex index(db);
+    for (int p = 0; p < 10; ++p) {
+      Sequence pattern =
+          testutil::RandomSeq(&rng, 1 + rng.NextBounded(4), 8);
+      EXPECT_EQ(index.Support(pattern, db), Support(pattern, db))
+          << "trial " << trial << " pattern " << pattern.DebugString();
+    }
+  }
+}
+
+TEST(InvertedIndexTest, TrucksWorkloadSupportsMatch) {
+  ExperimentWorkload w = MakeTrucksWorkload();
+  InvertedIndex index(w.db);
+  for (size_t i = 0; i < w.sensitive.size(); ++i) {
+    EXPECT_EQ(index.Support(w.sensitive[i], w.db), w.sensitive_supports[i]);
+  }
+  EXPECT_GT(index.TotalPostings(), 0u);
+}
+
+}  // namespace
+}  // namespace seqhide

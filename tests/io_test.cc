@@ -1,0 +1,87 @@
+#include "src/seq/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace seqhide {
+namespace {
+
+TEST(IoTest, ParsesBasicDatabase) {
+  auto db = ReadDatabaseFromString("a b c\nb c\n");
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->size(), 2u);
+  EXPECT_EQ((*db)[0].size(), 3u);
+  EXPECT_EQ((*db)[1].size(), 2u);
+  EXPECT_EQ(db->alphabet().size(), 3u);
+}
+
+TEST(IoTest, SkipsCommentsAndBlankLines) {
+  auto db = ReadDatabaseFromString("# header\n\na b\n   \n# tail\nc\n");
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->size(), 2u);
+}
+
+TEST(IoTest, ParsesDeltaToken) {
+  auto db = ReadDatabaseFromString("a ^ b\n");
+  ASSERT_TRUE(db.ok());
+  ASSERT_EQ(db->size(), 1u);
+  EXPECT_TRUE((*db)[0].IsMarked(1));
+  EXPECT_EQ(db->TotalMarkCount(), 1u);
+  EXPECT_EQ(db->alphabet().size(), 2u) << "Delta must not be interned";
+}
+
+TEST(IoTest, SharedAlphabetAcrossLines) {
+  auto db = ReadDatabaseFromString("x y\ny x\n");
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)[0][0], (*db)[1][1]);
+  EXPECT_EQ((*db)[0][1], (*db)[1][0]);
+}
+
+TEST(IoTest, RoundTripsThroughString) {
+  auto db = ReadDatabaseFromString("a b c\nd ^ f\n");
+  ASSERT_TRUE(db.ok());
+  std::string text = WriteDatabaseToString(*db);
+  auto again = ReadDatabaseFromString(text);
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->size(), db->size());
+  for (size_t i = 0; i < db->size(); ++i) {
+    EXPECT_EQ((*again)[i].ToString(again->alphabet()),
+              (*db)[i].ToString(db->alphabet()));
+  }
+}
+
+TEST(IoTest, RoundTripsThroughFile) {
+  auto db = ReadDatabaseFromString("p q\nr ^ s\n");
+  ASSERT_TRUE(db.ok());
+  std::string path = testing::TempDir() + "/seqhide_io_test.txt";
+  ASSERT_TRUE(WriteDatabaseToFile(*db, path).ok());
+  auto again = ReadDatabaseFromFile(path);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->size(), 2u);
+  EXPECT_EQ(again->TotalMarkCount(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, MissingFileIsIOError) {
+  auto db = ReadDatabaseFromFile("/nonexistent/path/db.txt");
+  EXPECT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsIOError());
+}
+
+TEST(IoTest, EmptyInputYieldsEmptyDatabase) {
+  auto db = ReadDatabaseFromString("");
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE(db->empty());
+}
+
+TEST(IoTest, HeaderCommentInOutput) {
+  auto db = ReadDatabaseFromString("a b\n");
+  ASSERT_TRUE(db.ok());
+  std::string text = WriteDatabaseToString(*db);
+  EXPECT_EQ(text.substr(0, 1), "#");
+}
+
+}  // namespace
+}  // namespace seqhide

@@ -1,0 +1,57 @@
+#include "src/common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace seqhide {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  SEQHIDE_CHECK(true) << "never evaluated";
+  SEQHIDE_CHECK_EQ(1, 1);
+  SEQHIDE_CHECK_NE(1, 2);
+  SEQHIDE_CHECK_LT(1, 2);
+  SEQHIDE_CHECK_LE(2, 2);
+  SEQHIDE_CHECK_GT(3, 2);
+  SEQHIDE_CHECK_GE(3, 3);
+}
+
+TEST(CheckTest, StreamedArgumentsNotEvaluatedOnSuccess) {
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return "expensive";
+  };
+  SEQHIDE_CHECK(true) << expensive();
+  EXPECT_EQ(evaluations, 0) << "short-circuit must skip the stream";
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(SEQHIDE_CHECK(false) << "boom message",
+               "CHECK failed: false.*boom message");
+}
+
+TEST(CheckDeathTest, ComparisonMacrosReportExpression) {
+  EXPECT_DEATH(SEQHIDE_CHECK_EQ(1, 2), "CHECK failed");
+  EXPECT_DEATH(SEQHIDE_CHECK_LT(5, 3), "CHECK failed");
+}
+
+TEST(CheckDeathTest, MessageIncludesFileAndLine) {
+  EXPECT_DEATH(SEQHIDE_CHECK(false), "logging_test.cc");
+}
+
+TEST(DCheckTest, BehavesPerBuildMode) {
+#ifdef NDEBUG
+  SEQHIDE_DCHECK(false) << "compiled out in release";
+#else
+  EXPECT_DEATH(SEQHIDE_DCHECK(false), "CHECK failed");
+#endif
+}
+
+TEST(LogTest, InfoDoesNotAbort) {
+  SEQHIDE_LOG(Info) << "informational message";
+  SEQHIDE_LOG(Warn) << "warning message";
+  SEQHIDE_LOG(Error) << "error message (non-fatal)";
+}
+
+}  // namespace
+}  // namespace seqhide

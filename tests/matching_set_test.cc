@@ -1,0 +1,104 @@
+#include "src/match/matching_set.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace seqhide {
+namespace {
+
+using testutil::Seq;
+
+// The running example of the paper (Definition 1): S = <a,b,c>,
+// T = <a,a,b,c,c,b,a,e> has M_S^T = {(1,3,4), (1,3,5), (2,3,4), (2,3,5)}
+// in the paper's 1-based indexing — 0-based here.
+TEST(MatchingSetTest, PaperDefinitionOneExample) {
+  Alphabet a;
+  Sequence t = Seq(&a, "a a b c c b a e");
+  Sequence s = Seq(&a, "a b c");
+  auto matchings = EnumerateMatchings(s, t);
+  ASSERT_EQ(matchings.size(), 4u);
+  EXPECT_EQ(matchings[0], (Matching{0, 2, 3}));
+  EXPECT_EQ(matchings[1], (Matching{0, 2, 4}));
+  EXPECT_EQ(matchings[2], (Matching{1, 2, 3}));
+  EXPECT_EQ(matchings[3], (Matching{1, 2, 4}));
+}
+
+TEST(MatchingSetTest, NoMatchIsEmpty) {
+  Alphabet a;
+  EXPECT_TRUE(EnumerateMatchings(Seq(&a, "z"), Seq(&a, "a b")).empty());
+}
+
+TEST(MatchingSetTest, CapLimitsOutput) {
+  Alphabet a;
+  Sequence t = Seq(&a, "a a a a a");
+  Sequence s = Seq(&a, "a a");
+  EXPECT_EQ(EnumerateMatchings(s, t).size(), 10u);  // C(5,2)
+  EXPECT_EQ(EnumerateMatchings(s, t, 3).size(), 3u);
+}
+
+TEST(MatchingSetTest, MarkedPositionsExcluded) {
+  Alphabet a;
+  Sequence t = Seq(&a, "a a b c c b a e");
+  t.Mark(2);  // the b at paper position 3 — kills every matching
+  EXPECT_TRUE(EnumerateMatchings(Seq(&a, "a b c"), t).empty());
+}
+
+TEST(MatchingSetTest, GapConstraintsFilter) {
+  Alphabet a;
+  Sequence t = Seq(&a, "a a b c c b a e");
+  Sequence s = Seq(&a, "a b c");
+  // Paper §5 example: a ->(max gap 0) b ->(gap in [2,6]) c has no valid
+  // occurrence in T (c follows b only with gap 0 or 1).
+  ConstraintSpec spec = ConstraintSpec::PerArrow(
+      {GapBound{0, 0}, GapBound{2, 6}});
+  EXPECT_TRUE(EnumerateMatchings(s, t, spec).empty());
+  // Relaxing the second arrow to [0,6] admits the occurrences through b=3.
+  ConstraintSpec relaxed = ConstraintSpec::PerArrow(
+      {GapBound{0, 0}, GapBound{0, 6}});
+  EXPECT_EQ(EnumerateMatchings(s, t, relaxed).size(), 2u);  // (2,3,4),(2,3,5)
+}
+
+TEST(MatchingSetTest, WindowConstraintFilters) {
+  Alphabet a;
+  Sequence t = Seq(&a, "a x x x b");
+  Sequence s = Seq(&a, "a b");
+  EXPECT_EQ(EnumerateMatchings(s, t).size(), 1u);
+  EXPECT_TRUE(
+      EnumerateMatchings(s, t, ConstraintSpec::Window(4)).empty());
+  EXPECT_EQ(EnumerateMatchings(s, t, ConstraintSpec::Window(5)).size(), 1u);
+}
+
+TEST(MatchingSetTest, SetUnionTagsPatterns) {
+  Alphabet a;
+  Sequence t = Seq(&a, "a b a b");
+  std::vector<Sequence> patterns = {Seq(&a, "a b"), Seq(&a, "b a")};
+  auto tagged = EnumerateMatchingsOfSet(patterns, t, {});
+  // <a,b>: (0,1),(0,3),(2,3); <b,a>: (1,2).
+  EXPECT_EQ(tagged.size(), 4u);
+  size_t first = 0, second = 0;
+  for (const auto& m : tagged) {
+    if (m.pattern_index == 0) ++first;
+    if (m.pattern_index == 1) ++second;
+  }
+  EXPECT_EQ(first, 3u);
+  EXPECT_EQ(second, 1u);
+}
+
+TEST(MatchingSetTest, CountInvolvingPositionPaperExample) {
+  Alphabet a;
+  Sequence t = Seq(&a, "a a b c c b a e");
+  Sequence s = Seq(&a, "a b c");
+  // Paper Example 2: δ(T[1]) = 2, δ(T[2]) = 2, δ(T[3]) = 4.
+  EXPECT_EQ(CountMatchingsInvolvingPosition(s, t, {}, 0), 2u);
+  EXPECT_EQ(CountMatchingsInvolvingPosition(s, t, {}, 1), 2u);
+  EXPECT_EQ(CountMatchingsInvolvingPosition(s, t, {}, 2), 4u);
+  EXPECT_EQ(CountMatchingsInvolvingPosition(s, t, {}, 3), 2u);
+  EXPECT_EQ(CountMatchingsInvolvingPosition(s, t, {}, 4), 2u);
+  EXPECT_EQ(CountMatchingsInvolvingPosition(s, t, {}, 5), 0u);
+  EXPECT_EQ(CountMatchingsInvolvingPosition(s, t, {}, 6), 0u);
+  EXPECT_EQ(CountMatchingsInvolvingPosition(s, t, {}, 7), 0u);
+}
+
+}  // namespace
+}  // namespace seqhide

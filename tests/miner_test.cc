@@ -1,0 +1,173 @@
+#include "src/mine/prefix_span.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/workload.h"
+#include "src/match/subsequence.h"
+#include "src/mine/level_wise.h"
+#include "tests/test_util.h"
+
+namespace seqhide {
+namespace {
+
+using testutil::Seq;
+
+SequenceDatabase TinyDb() {
+  SequenceDatabase db;
+  db.AddFromNames({"a", "b", "c"});
+  db.AddFromNames({"a", "c"});
+  db.AddFromNames({"b", "a", "c"});
+  return db;
+}
+
+TEST(PrefixSpanTest, MinesExpectedPatterns) {
+  SequenceDatabase db = TinyDb();
+  MinerOptions opts;
+  opts.min_support = 2;
+  auto result = MineFrequentSequences(db, opts);
+  ASSERT_TRUE(result.ok()) << result.status();
+  Alphabet& a = db.alphabet();
+  // sup(a)=3, sup(b)=2, sup(c)=3, sup(ac)=3, sup(bc)=2, sup(ab)=1,
+  // sup(abc)=1, sup(ba)=1 ...
+  EXPECT_EQ(result->SupportOf(Seq(&a, "a")), 3u);
+  EXPECT_EQ(result->SupportOf(Seq(&a, "b")), 2u);
+  EXPECT_EQ(result->SupportOf(Seq(&a, "c")), 3u);
+  EXPECT_EQ(result->SupportOf(Seq(&a, "a c")), 3u);
+  EXPECT_EQ(result->SupportOf(Seq(&a, "b c")), 2u);
+  EXPECT_FALSE(result->Contains(Seq(&a, "a b")));
+  EXPECT_EQ(result->size(), 5u);
+}
+
+TEST(PrefixSpanTest, SigmaZeroRejected) {
+  SequenceDatabase db = TinyDb();
+  MinerOptions opts;
+  opts.min_support = 0;
+  EXPECT_TRUE(MineFrequentSequences(db, opts).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      MineFrequentSequencesLevelWise(db, opts).status().IsInvalidArgument());
+}
+
+TEST(PrefixSpanTest, LengthWindow) {
+  SequenceDatabase db = TinyDb();
+  MinerOptions opts;
+  opts.min_support = 2;
+  opts.min_length = 2;
+  auto result = MineFrequentSequences(db, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);  // "a c", "b c"
+  opts.min_length = 1;
+  opts.max_length = 1;
+  result = MineFrequentSequences(db, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 3u);  // a, b, c
+  opts.min_length = 2;
+  opts.max_length = 1;
+  EXPECT_TRUE(MineFrequentSequences(db, opts).status().IsInvalidArgument());
+}
+
+TEST(PrefixSpanTest, MaxPatternsCapFires) {
+  SequenceDatabase db = TinyDb();
+  MinerOptions opts;
+  opts.min_support = 1;
+  opts.max_patterns = 3;
+  EXPECT_TRUE(MineFrequentSequences(db, opts).status().IsOutOfRange());
+}
+
+TEST(PrefixSpanTest, DeltaPositionsIgnored) {
+  SequenceDatabase db;
+  db.AddFromNames({"a", "b"});
+  db.AddFromNames({"a", "b"});
+  db.mutable_sequence(1)->Mark(1);
+  MinerOptions opts;
+  opts.min_support = 2;
+  auto result = MineFrequentSequences(db, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->Contains(Seq(&db.alphabet(), "a")));
+  EXPECT_FALSE(result->Contains(Seq(&db.alphabet(), "b")));
+  EXPECT_FALSE(result->Contains(Seq(&db.alphabet(), "a b")));
+}
+
+TEST(PrefixSpanTest, SupportsAreActualSupports) {
+  SequenceDatabase db = TinyDb();
+  MinerOptions opts;
+  opts.min_support = 1;
+  auto result = MineFrequentSequences(db, opts);
+  ASSERT_TRUE(result.ok());
+  for (const auto& [pattern, support] : result->patterns()) {
+    EXPECT_EQ(support, Support(pattern, db))
+        << pattern.ToString(db.alphabet());
+  }
+}
+
+TEST(PrefixSpanTest, EmptyDatabaseMinesNothing) {
+  SequenceDatabase db;
+  MinerOptions opts;
+  opts.min_support = 1;
+  auto result = MineFrequentSequences(db, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+// Completeness cross-check: PrefixSpan and the level-wise miner agree
+// exactly (patterns and supports) on random databases.
+TEST(MinerCrossCheckTest, PropertyPrefixSpanEqualsLevelWise) {
+  Rng rng(1357);
+  for (int trial = 0; trial < 30; ++trial) {
+    RandomDatabaseOptions gen;
+    gen.num_sequences = 12;
+    gen.min_length = 2;
+    gen.max_length = 8;
+    gen.alphabet_size = 4;
+    gen.repeat_bias = trial % 2 == 0 ? 0.0 : 0.4;
+    gen.seed = rng.NextU64();
+    SequenceDatabase db = MakeRandomDatabase(gen);
+    // Mark a couple of random positions to exercise Δ handling.
+    for (int k = 0; k < 3; ++k) {
+      size_t idx = rng.NextBounded(db.size());
+      size_t pos = rng.NextBounded(db[idx].size());
+      db.mutable_sequence(idx)->Mark(pos);
+    }
+    MinerOptions opts;
+    opts.min_support = 2 + rng.NextBounded(4);
+    auto a = MineFrequentSequences(db, opts);
+    auto b = MineFrequentSequencesLevelWise(db, opts);
+    ASSERT_TRUE(a.ok()) << a.status();
+    ASSERT_TRUE(b.ok()) << b.status();
+    EXPECT_EQ(*a, *b) << "trial " << trial << " sigma=" << opts.min_support;
+  }
+}
+
+TEST(LevelWiseTest, MatchesPrefixSpanOnTinyDb) {
+  SequenceDatabase db = TinyDb();
+  for (size_t sigma = 1; sigma <= 3; ++sigma) {
+    MinerOptions opts;
+    opts.min_support = sigma;
+    auto a = MineFrequentSequences(db, opts);
+    auto b = MineFrequentSequencesLevelWise(db, opts);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(*a, *b) << "sigma=" << sigma;
+  }
+}
+
+TEST(PatternSetTest, CountMissingFrom) {
+  Alphabet a;
+  FrequentPatternSet big, small;
+  big.Add(Seq(&a, "x"), 5);
+  big.Add(Seq(&a, "y"), 4);
+  big.Add(Seq(&a, "x y"), 3);
+  small.Add(Seq(&a, "x"), 5);
+  EXPECT_EQ(big.CountMissingFrom(small), 2u);
+  EXPECT_EQ(small.CountMissingFrom(big), 0u);
+}
+
+TEST(PatternSetTest, ToStringListsPatterns) {
+  Alphabet a;
+  FrequentPatternSet set;
+  set.Add(Seq(&a, "x y"), 3);
+  std::string text = set.ToString(a);
+  EXPECT_NE(text.find("x y"), std::string::npos);
+  EXPECT_NE(text.find("sup=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace seqhide

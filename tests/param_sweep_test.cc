@@ -1,0 +1,194 @@
+// Parameterized sweeps over the experiment space: every (workload ×
+// algorithm × ψ) cell and every constraint family is checked against the
+// problem definition's hard requirements (Problem 1: sup_{D'}(S_i) <= ψ)
+// and against the counting oracle.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/data/workload.h"
+#include "src/hide/sanitizer.h"
+#include "src/match/constrained_count.h"
+#include "src/match/matching_set.h"
+#include "src/match/subsequence.h"
+#include "tests/test_util.h"
+
+namespace seqhide {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Disclosure guarantee across the full algorithm grid on both workloads.
+// ---------------------------------------------------------------------------
+
+struct AlgoParam {
+  const char* name;
+  LocalStrategy local;
+  GlobalStrategy global;
+};
+
+class DisclosureSweepTest
+    : public ::testing::TestWithParam<std::tuple<AlgoParam, size_t, bool>> {
+};
+
+TEST_P(DisclosureSweepTest, SupportNeverExceedsPsi) {
+  const auto& [algo, psi, use_synthetic] = GetParam();
+  static const ExperimentWorkload* trucks =
+      new ExperimentWorkload(MakeTrucksWorkload());
+  static const ExperimentWorkload* synthetic =
+      new ExperimentWorkload(MakeSyntheticWorkload());
+  const ExperimentWorkload& w = use_synthetic ? *synthetic : *trucks;
+
+  SequenceDatabase db = w.db;
+  SanitizeOptions opts;
+  opts.local = algo.local;
+  opts.global = algo.global;
+  opts.psi = psi;
+  opts.seed = 97;
+  auto report = Sanitize(&db, w.sensitive, opts);
+  ASSERT_TRUE(report.ok()) << report.status();
+  for (const auto& pattern : w.sensitive) {
+    EXPECT_LE(Support(pattern, db), psi) << algo.name;
+  }
+  // Non-supporters are never touched.
+  for (size_t t = 0; t < db.size(); ++t) {
+    if (!IsSubsequence(w.sensitive[0], w.db[t]) &&
+        !IsSubsequence(w.sensitive[1], w.db[t])) {
+      EXPECT_EQ(db[t].MarkCount(), 0u);
+    }
+  }
+}
+
+std::string DisclosureParamName(
+    const ::testing::TestParamInfo<std::tuple<AlgoParam, size_t, bool>>&
+        info) {
+  return std::string(std::get<0>(info.param).name) + "_psi" +
+         std::to_string(std::get<1>(info.param)) +
+         (std::get<2>(info.param) ? "_synthetic" : "_trucks");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsByPsiByWorkload, DisclosureSweepTest,
+    ::testing::Combine(
+        ::testing::Values(
+            AlgoParam{"HH", LocalStrategy::kHeuristic,
+                      GlobalStrategy::kHeuristic},
+            AlgoParam{"HR", LocalStrategy::kHeuristic,
+                      GlobalStrategy::kRandom},
+            AlgoParam{"RH", LocalStrategy::kRandom,
+                      GlobalStrategy::kHeuristic},
+            AlgoParam{"RR", LocalStrategy::kRandom,
+                      GlobalStrategy::kRandom}),
+        ::testing::Values(0, 7, 25, 60),
+        ::testing::Bool()),
+    DisclosureParamName);
+
+// ---------------------------------------------------------------------------
+// Constraint families: counting DP == filtered enumeration, per family.
+// ---------------------------------------------------------------------------
+
+struct SpecFactory {
+  const char* name;
+  ConstraintSpec (*make)(size_t pattern_len, size_t seq_len, Rng* rng);
+};
+
+class ConstraintFamilyTest : public ::testing::TestWithParam<SpecFactory> {};
+
+std::string SpecFamilyName(const ::testing::TestParamInfo<SpecFactory>& info) {
+  return std::string(info.param.name);
+}
+
+TEST_P(ConstraintFamilyTest, CountMatchesFilteredEnumeration) {
+  const SpecFactory& factory = GetParam();
+  Rng rng(31415);
+  for (int trial = 0; trial < 120; ++trial) {
+    size_t n = 1 + rng.NextBounded(12);
+    size_t m = 1 + rng.NextBounded(4);
+    Sequence t = testutil::RandomSeq(&rng, n, 3);
+    Sequence s = testutil::RandomSeq(&rng, m, 3);
+    ConstraintSpec spec = factory.make(m, n, &rng);
+    size_t expected = 0;
+    for (const Matching& matching : EnumerateMatchings(s, t)) {
+      if (spec.SatisfiedBy(matching)) ++expected;
+    }
+    EXPECT_EQ(CountConstrainedMatchings(s, spec, t), expected)
+        << factory.name << " trial " << trial << " t=" << t.DebugString()
+        << " s=" << s.DebugString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, ConstraintFamilyTest,
+    ::testing::Values(
+        SpecFactory{"unconstrained",
+                    +[](size_t, size_t, Rng*) { return ConstraintSpec(); }},
+        SpecFactory{"min_gap",
+                    +[](size_t, size_t, Rng* rng) {
+                      return ConstraintSpec::UniformGap(
+                          rng->NextBounded(4), GapBound::kNoMax);
+                    }},
+        SpecFactory{"max_gap",
+                    +[](size_t, size_t, Rng* rng) {
+                      return ConstraintSpec::UniformGap(
+                          0, rng->NextBounded(5));
+                    }},
+        SpecFactory{"gap_range",
+                    +[](size_t, size_t, Rng* rng) {
+                      size_t lo = rng->NextBounded(3);
+                      return ConstraintSpec::UniformGap(
+                          lo, lo + rng->NextBounded(3));
+                    }},
+        SpecFactory{"window",
+                    +[](size_t m, size_t n, Rng* rng) {
+                      return ConstraintSpec::Window(m + rng->NextBounded(n));
+                    }},
+        SpecFactory{"gap_and_window",
+                    +[](size_t m, size_t n, Rng* rng) {
+                      ConstraintSpec spec = ConstraintSpec::UniformGap(
+                          rng->NextBounded(2), 2 + rng->NextBounded(3));
+                      spec.SetMaxWindow(m + rng->NextBounded(n));
+                      return spec;
+                    }}),
+    SpecFamilyName);
+
+// ---------------------------------------------------------------------------
+// Alphabet-density sweep: the heuristics stay correct from near-unary
+// alphabets (huge matching sets) to sparse ones (rare matches).
+// ---------------------------------------------------------------------------
+
+class AlphabetDensityTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(AlphabetDensityTest, HidingWorksAtEveryDensity) {
+  const size_t alphabet_size = GetParam();
+  Rng rng(1000 + alphabet_size);
+  RandomDatabaseOptions gen;
+  gen.num_sequences = 25;
+  gen.min_length = 4;
+  gen.max_length = 14;
+  gen.alphabet_size = alphabet_size;
+  gen.seed = rng.NextU64();
+  SequenceDatabase base = MakeRandomDatabase(gen);
+  std::vector<Sequence> patterns = {
+      testutil::RandomSeq(&rng, 2, alphabet_size)};
+
+  for (size_t psi : {0u, 5u}) {
+    SequenceDatabase db = base;
+    SanitizeOptions opts = SanitizeOptions::HH();
+    opts.psi = psi;
+    auto report = Sanitize(&db, patterns, opts);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_LE(Support(patterns[0], db), psi)
+        << "alphabet=" << alphabet_size;
+  }
+}
+
+std::string DensityName(const ::testing::TestParamInfo<size_t>& info) {
+  return "alphabet" + std::to_string(info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, AlphabetDensityTest,
+                         ::testing::Values(1, 2, 3, 8, 32, 128),
+                         DensityName);
+
+}  // namespace
+}  // namespace seqhide

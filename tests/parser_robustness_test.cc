@@ -1,0 +1,99 @@
+// Robustness fuzzing (deterministic) of every text-input surface: random
+// byte soup and structured-but-mutated inputs must never crash — each
+// parse either succeeds or returns a Status.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/random.h"
+#include "src/constraints/constraints.h"
+#include "src/repat/class_pattern.h"
+#include "src/seq/io.h"
+
+namespace seqhide {
+namespace {
+
+std::string RandomBytes(Rng* rng, size_t max_len) {
+  // Printable-ish alphabet plus the special characters of our syntaxes.
+  static constexpr char kChars[] =
+      "abcxyz0189 \t[]->.;<=^#\n_";
+  std::string out;
+  size_t len = rng->NextBounded(max_len + 1);
+  for (size_t i = 0; i < len; ++i) {
+    out += kChars[rng->NextBounded(sizeof(kChars) - 1)];
+  }
+  return out;
+}
+
+TEST(ParserRobustnessTest, ConstrainedPatternParserNeverCrashes) {
+  Rng rng(8080);
+  size_t ok_count = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    Alphabet alphabet;
+    auto result = ParseConstrainedPattern(&alphabet, RandomBytes(&rng, 40));
+    if (result.ok()) {
+      ++ok_count;
+      EXPECT_GT(result->pattern.size(), 0u);
+      EXPECT_TRUE(result->constraints.Validate(result->pattern.size()).ok());
+    } else {
+      EXPECT_TRUE(result.status().IsInvalidArgument());
+    }
+  }
+  // Some random inputs are valid single-symbol patterns.
+  EXPECT_GT(ok_count, 0u);
+}
+
+TEST(ParserRobustnessTest, ClassPatternParserNeverCrashes) {
+  Rng rng(8081);
+  size_t ok_count = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    Alphabet alphabet;
+    auto result = ParseClassPattern(&alphabet, RandomBytes(&rng, 40));
+    if (result.ok()) {
+      ++ok_count;
+      EXPECT_GT(result->size(), 0u);
+    } else {
+      EXPECT_TRUE(result.status().IsInvalidArgument());
+    }
+  }
+  EXPECT_GT(ok_count, 0u);
+}
+
+TEST(ParserRobustnessTest, DatabaseReaderNeverCrashes) {
+  Rng rng(8082);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string text = RandomBytes(&rng, 120);
+    auto result = ReadDatabaseFromString(text);
+    if (result.ok()) {
+      // Round trip must also succeed.
+      std::string rewritten = WriteDatabaseToString(*result);
+      auto again = ReadDatabaseFromString(rewritten);
+      ASSERT_TRUE(again.ok()) << "round-trip failed on: " << text;
+      EXPECT_EQ(again->size(), result->size());
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, MutatedValidPatternsDegradeGracefully) {
+  // Start from a valid constrained pattern and flip random characters.
+  const std::string base = "a ->[0] b ->[2..6] c ; window<=10";
+  Rng rng(8083);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = base;
+    size_t flips = 1 + rng.NextBounded(3);
+    for (size_t f = 0; f < flips; ++f) {
+      size_t pos = rng.NextBounded(mutated.size());
+      mutated[pos] = static_cast<char>('!' + rng.NextBounded(90));
+    }
+    Alphabet alphabet;
+    auto result = ParseConstrainedPattern(&alphabet, mutated);
+    if (result.ok()) {
+      EXPECT_TRUE(
+          result->constraints.Validate(result->pattern.size()).ok());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace seqhide

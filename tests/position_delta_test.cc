@@ -1,0 +1,122 @@
+#include "src/match/position_delta.h"
+
+#include <gtest/gtest.h>
+
+#include "src/match/matching_set.h"
+#include "tests/test_util.h"
+
+namespace seqhide {
+namespace {
+
+using testutil::RandomSeq;
+using testutil::Seq;
+
+// Paper Example 2: δ(T[1]) = 2, δ(T[2]) = 2, δ(T[3]) = 4 for
+// S = <a,b,c>, T = <a,a,b,c,c,b,a,e>.
+TEST(PositionDeltaTest, PaperExampleTwo) {
+  Alphabet a;
+  Sequence t = Seq(&a, "a a b c c b a e");
+  Sequence s = Seq(&a, "a b c");
+  std::vector<uint64_t> expected = {2, 2, 4, 2, 2, 0, 0, 0};
+  EXPECT_EQ(PositionDeltas(s, ConstraintSpec(), t), expected);
+  EXPECT_EQ(PositionDeltasByDeletion(s, t), expected);
+  EXPECT_EQ(PositionDeltasByMarking(s, ConstraintSpec(), t), expected);
+}
+
+TEST(PositionDeltaTest, SingleSymbolPattern) {
+  Alphabet a;
+  Sequence t = Seq(&a, "x y x");
+  Sequence s = Seq(&a, "x");
+  EXPECT_EQ(PositionDeltas(s, ConstraintSpec(), t),
+            (std::vector<uint64_t>{1, 0, 1}));
+}
+
+TEST(PositionDeltaTest, MarkedPositionsHaveZeroDelta) {
+  Alphabet a;
+  Sequence t = Seq(&a, "a b a b");
+  t.Mark(0);
+  Sequence s = Seq(&a, "a b");
+  std::vector<uint64_t> d = PositionDeltas(s, ConstraintSpec(), t);
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[2], 1u);  // only matching (2,3) remains
+  EXPECT_EQ(d[3], 1u);
+}
+
+TEST(PositionDeltaTest, TotalAggregatesPatterns) {
+  Alphabet a;
+  Sequence t = Seq(&a, "a b a b");
+  std::vector<Sequence> patterns = {Seq(&a, "a b"), Seq(&a, "b a")};
+  std::vector<uint64_t> d = PositionDeltasTotal(patterns, {}, t);
+  // <a,b>: (0,1),(0,3),(2,3); <b,a>: (1,2).
+  // δ(0)=2, δ(1)=2 (1 from <a,b> at (0,1), 1 from <b,a>), δ(2)=2, δ(3)=2.
+  EXPECT_EQ(d, (std::vector<uint64_t>{2, 2, 2, 2}));
+}
+
+TEST(PositionDeltaTest, GapConstrainedExample) {
+  Alphabet a;
+  Sequence t = Seq(&a, "a x b b");
+  Sequence s = Seq(&a, "a b");
+  // Unconstrained: (0,2), (0,3). Max gap 1: only (0,2).
+  ConstraintSpec spec = ConstraintSpec::UniformGap(0, 1);
+  std::vector<uint64_t> d = PositionDeltas(s, spec, t);
+  EXPECT_EQ(d, (std::vector<uint64_t>{1, 0, 1, 0}));
+}
+
+TEST(PositionDeltaTest, WindowConstrainedFallsBackToMarking) {
+  Alphabet a;
+  Sequence t = Seq(&a, "a b x a x x b");
+  Sequence s = Seq(&a, "a b");
+  ConstraintSpec spec = ConstraintSpec::Window(4);
+  // Valid under window 4: (0,1) span 2 and (3,6) span 4.
+  std::vector<uint64_t> d = PositionDeltas(s, spec, t);
+  EXPECT_EQ(d, (std::vector<uint64_t>{1, 1, 0, 1, 0, 0, 1}));
+}
+
+// Property: all three δ computations agree with the brute-force
+// definition (count of matchings involving the position) across random
+// inputs and specs.
+TEST(PositionDeltaTest, PropertyAllMethodsAgreeWithBruteForce) {
+  Rng rng(90210);
+  for (int trial = 0; trial < 300; ++trial) {
+    size_t n = 1 + rng.NextBounded(10);
+    size_t m = 1 + rng.NextBounded(4);
+    Sequence t = RandomSeq(&rng, n, 3);
+    Sequence s = RandomSeq(&rng, m, 3);
+
+    ConstraintSpec spec;
+    switch (rng.NextBounded(4)) {
+      case 0:
+        break;
+      case 1:
+        spec = ConstraintSpec::UniformGap(rng.NextBounded(2),
+                                          rng.NextBounded(2) + 2);
+        break;
+      case 2:
+        spec = ConstraintSpec::Window(m + rng.NextBounded(n));
+        break;
+      case 3:
+        spec = ConstraintSpec::UniformGap(0, 2 + rng.NextBounded(2));
+        spec.SetMaxWindow(m + rng.NextBounded(n));
+        break;
+    }
+
+    std::vector<uint64_t> fast = PositionDeltas(s, spec, t);
+    std::vector<uint64_t> marking = PositionDeltasByMarking(s, spec, t);
+    ASSERT_EQ(fast.size(), n);
+    for (size_t i = 0; i < n; ++i) {
+      size_t brute = CountMatchingsInvolvingPosition(s, t, spec, i);
+      EXPECT_EQ(fast[i], brute)
+          << "fast method, trial " << trial << " pos " << i
+          << " t=" << t.DebugString() << " s=" << s.DebugString()
+          << " spec=" << spec.ToString();
+      EXPECT_EQ(marking[i], brute)
+          << "marking method, trial " << trial << " pos " << i;
+    }
+    if (spec.IsUnconstrained()) {
+      EXPECT_EQ(PositionDeltasByDeletion(s, t), fast);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace seqhide

@@ -1,0 +1,151 @@
+// Integration tests pinning the paper's qualitative experimental claims
+// (§6) on the calibrated workloads — the same checks EXPERIMENTS.md
+// documents, executed in miniature so regressions surface in CI:
+//
+//   * the support table is near the paper's values;
+//   * HH introduces the least distortion, RR the most, at every ψ;
+//   * M1 decreases monotonically in ψ and reaches 0 past the supporters;
+//   * tighter gap constraints never increase HH's distortion (much);
+//   * M2/M3 stay in [0,1] and order HH before RR.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/eval/experiment.h"
+#include "src/eval/report.h"
+#include "src/hide/sanitizer.h"
+#include "src/match/subsequence.h"
+
+namespace seqhide {
+namespace {
+
+class ReproductionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    trucks_ = new ExperimentWorkload(MakeTrucksWorkload());
+    synthetic_ = new ExperimentWorkload(MakeSyntheticWorkload());
+  }
+  static void TearDownTestSuite() {
+    delete trucks_;
+    trucks_ = nullptr;
+    delete synthetic_;
+    synthetic_ = nullptr;
+  }
+
+  static ExperimentWorkload* trucks_;
+  static ExperimentWorkload* synthetic_;
+};
+
+ExperimentWorkload* ReproductionTest::trucks_ = nullptr;
+ExperimentWorkload* ReproductionTest::synthetic_ = nullptr;
+
+TEST_F(ReproductionTest, SupportTableNearPaper) {
+  // Paper: TRUCKS 36/38, union 66 of 273.
+  EXPECT_NEAR(trucks_->sensitive_supports[0], 36.0, 8.0);
+  EXPECT_NEAR(trucks_->sensitive_supports[1], 38.0, 8.0);
+  EXPECT_NEAR(trucks_->disjunctive_support, 66.0, 12.0);
+  // Paper: SYNTHETIC 99/172, union 200 of 300.
+  EXPECT_NEAR(synthetic_->sensitive_supports[0], 99.0, 20.0);
+  EXPECT_NEAR(synthetic_->sensitive_supports[1], 172.0, 25.0);
+  EXPECT_NEAR(synthetic_->disjunctive_support, 200.0, 25.0);
+}
+
+TEST_F(ReproductionTest, Figure1aOrderingHolds) {
+  SweepOptions opts;
+  opts.psi_values = {0, 20, 40};
+  opts.algorithms = AlgorithmSpec::PaperFour();
+  opts.random_runs = 4;
+  auto result = RunSweep(*trucks_, opts);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Index: 0=HH, 1=HR, 2=RH, 3=RR.
+  for (size_t pi = 0; pi < opts.psi_values.size(); ++pi) {
+    double hh = result->cells[0][pi].m1;
+    double hr = result->cells[1][pi].m1;
+    double rh = result->cells[2][pi].m1;
+    double rr = result->cells[3][pi].m1;
+    EXPECT_LE(hh, hr + 1e-9) << "psi=" << opts.psi_values[pi];
+    EXPECT_LE(hh, rh + 1e-9) << "psi=" << opts.psi_values[pi];
+    EXPECT_LE(hr, rr + 1e-9) << "psi=" << opts.psi_values[pi];
+    EXPECT_LE(rh, rr + 1e-9) << "psi=" << opts.psi_values[pi];
+  }
+}
+
+TEST_F(ReproductionTest, M1MonotoneInPsiAndVanishes) {
+  SweepOptions opts;
+  opts.psi_values = {0, 10, 30, 50, 70, 100};
+  opts.algorithms = {AlgorithmSpec::HH()};
+  auto result = RunSweep(*trucks_, opts);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const auto& hh = result->cells[0];
+  for (size_t i = 1; i < hh.size(); ++i) {
+    EXPECT_LE(hh[i].m1, hh[i - 1].m1 + 1e-9);
+  }
+  // ψ=100 > disjunctive support (~66): nothing to hide.
+  EXPECT_DOUBLE_EQ(hh.back().m1, 0.0);
+}
+
+TEST_F(ReproductionTest, Figure1gConstraintLevelsReduceDistortion) {
+  std::vector<AlgorithmSpec> algorithms;
+  algorithms.push_back(AlgorithmSpec::HH());
+  for (size_t level : {1u, 2u, 3u}) {
+    AlgorithmSpec spec = AlgorithmSpec::HH();
+    spec.label = "mingap" + std::to_string(level);
+    spec.constraint = ConstraintSpec::UniformGap(level, GapBound::kNoMax);
+    algorithms.push_back(spec);
+  }
+  SweepOptions opts;
+  opts.psi_values = {0, 20};
+  opts.algorithms = algorithms;
+  auto result = RunSweep(*trucks_, opts);
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (size_t pi = 0; pi < opts.psi_values.size(); ++pi) {
+    for (size_t level = 1; level < algorithms.size(); ++level) {
+      // The paper notes small non-monotonicities are possible; allow 10%.
+      EXPECT_LE(result->cells[level][pi].m1,
+                result->cells[level - 1][pi].m1 * 1.10 + 2.0)
+          << "level " << level << " psi " << opts.psi_values[pi];
+    }
+    // The strongest constraint must be a clear improvement over none.
+    EXPECT_LT(result->cells[3][pi].m1, result->cells[0][pi].m1);
+  }
+}
+
+TEST_F(ReproductionTest, PatternMeasuresOrderedAndBounded) {
+  SweepOptions opts;
+  opts.psi_values = {20};
+  opts.algorithms = {AlgorithmSpec::HH(), AlgorithmSpec::RR()};
+  opts.random_runs = 3;
+  opts.compute_pattern_measures = true;
+  opts.miner_max_length = 4;
+  auto result = RunSweep(*trucks_, opts);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const SweepCell& hh = result->cells[0][0];
+  const SweepCell& rr = result->cells[1][0];
+  for (const SweepCell* cell : {&hh, &rr}) {
+    ASSERT_FALSE(std::isnan(cell->m2));
+    ASSERT_FALSE(std::isnan(cell->m3));
+    EXPECT_GE(cell->m2, 0.0);
+    EXPECT_LE(cell->m2, 1.0);
+    EXPECT_GE(cell->m3, 0.0);
+    EXPECT_LE(cell->m3, 1.0);
+  }
+  EXPECT_LE(hh.m2, rr.m2 + 1e-9);
+  EXPECT_LE(hh.m3, rr.m3 + 1e-9);
+}
+
+TEST_F(ReproductionTest, SyntheticDisclosureGuarantee) {
+  for (size_t psi : {0u, 50u, 150u}) {
+    SequenceDatabase db = synthetic_->db;
+    SanitizeOptions opts = SanitizeOptions::HH();
+    opts.psi = psi;
+    auto report = Sanitize(&db, synthetic_->sensitive, opts);
+    ASSERT_TRUE(report.ok()) << report.status();
+    for (const auto& p : synthetic_->sensitive) {
+      EXPECT_LE(Support(p, db), psi);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace seqhide

@@ -1,0 +1,211 @@
+#include "src/hide/second_stage.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/workload.h"
+#include "src/hide/sanitizer.h"
+#include "src/match/constrained_count.h"
+#include "src/match/count.h"
+#include "src/match/subsequence.h"
+#include "tests/test_util.h"
+
+namespace seqhide {
+namespace {
+
+using testutil::Seq;
+
+TEST(DeleteMarksTest, RemovesDeltasAndCounts) {
+  SequenceDatabase db;
+  db.AddFromNames({"a", "b", "c"});
+  db.AddFromNames({"d", "e"});
+  db.mutable_sequence(0)->Mark(1);
+  db.mutable_sequence(1)->Mark(0);
+  db.mutable_sequence(1)->Mark(1);
+  EXPECT_EQ(DeleteMarks(&db), 3u);
+  // The fully marked sequence is dropped.
+  ASSERT_EQ(db.size(), 1u);
+  EXPECT_EQ(db[0], (Sequence{0, 2}));
+  EXPECT_EQ(db.TotalMarkCount(), 0u);
+}
+
+TEST(DeleteMarksTest, NoMarksIsNoOp) {
+  SequenceDatabase db;
+  db.AddFromNames({"a", "b"});
+  EXPECT_EQ(DeleteMarks(&db), 0u);
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(DeleteMarksTest, CannotRegenerateSensitivePatterns) {
+  // Deletion shifts positions but creates no new subsequences.
+  Rng rng(414);
+  for (int trial = 0; trial < 50; ++trial) {
+    SequenceDatabase db;
+    for (int i = 0; i < 10; ++i) {
+      Sequence s = testutil::RandomSeq(&rng, 4 + rng.NextBounded(8), 4);
+      db.Add(s);
+    }
+    std::vector<Sequence> patterns = {testutil::RandomSeq(&rng, 2, 4)};
+    auto report = Sanitize(&db, patterns, SanitizeOptions::HH());
+    ASSERT_TRUE(report.ok());
+    DeleteMarks(&db);
+    EXPECT_EQ(Support(patterns[0], db), 0u) << "trial " << trial;
+  }
+}
+
+class ReplaceMarksTest : public ::testing::Test {
+ protected:
+  // A sanitized database with Δs and a rich alphabet of neutral symbols.
+  void SetUp() override {
+    db_.AddFromNames({"a", "b", "c", "n1"});
+    db_.AddFromNames({"a", "b", "n2", "c"});
+    db_.AddFromNames({"n1", "n2", "n3"});
+    patterns_ = {Seq(&db_.alphabet(), "a b c")};
+    auto report = Sanitize(&db_, patterns_, SanitizeOptions::HH());
+    ASSERT_TRUE(report.ok());
+    ASSERT_GT(db_.TotalMarkCount(), 0u);
+  }
+
+  SequenceDatabase db_;
+  std::vector<Sequence> patterns_;
+};
+
+TEST_F(ReplaceMarksTest, LeastHarmReplacesEverythingSafely) {
+  ReplaceOptions options;
+  auto report = ReplaceMarks(&db_, patterns_, {}, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GT(report->replaced, 0u);
+  EXPECT_EQ(report->deleted, 0u);
+  EXPECT_EQ(db_.TotalMarkCount(), 0u);
+  EXPECT_EQ(Support(patterns_[0], db_), 0u);
+}
+
+TEST_F(ReplaceMarksTest, RandomSafeAlsoKeepsPatternHidden) {
+  ReplaceOptions options;
+  options.strategy = ReplacementStrategy::kRandomSafe;
+  options.seed = 99;
+  auto report = ReplaceMarks(&db_, patterns_, {}, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(db_.TotalMarkCount(), 0u);
+  EXPECT_EQ(Support(patterns_[0], db_), 0u);
+}
+
+TEST_F(ReplaceMarksTest, SequenceLengthsPreservedByReplacement) {
+  std::vector<size_t> lengths;
+  for (const auto& s : db_.sequences()) lengths.push_back(s.size());
+  auto report = ReplaceMarks(&db_, patterns_, {}, ReplaceOptions());
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(db_.size(), lengths.size());
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    EXPECT_EQ(db_[i].size(), lengths[i]);
+  }
+}
+
+TEST(ReplaceMarksEdgeTest, ValidatesInputs) {
+  SequenceDatabase db;
+  db.AddFromNames({"a"});
+  EXPECT_TRUE(
+      ReplaceMarks(&db, {}, {}, ReplaceOptions()).status().IsInvalidArgument());
+  Sequence a = Seq(&db.alphabet(), "a");
+  EXPECT_TRUE(ReplaceMarks(&db, {a}, {ConstraintSpec(), ConstraintSpec()},
+                           ReplaceOptions())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ReplaceMarksEdgeTest, StuckDeltaIsDeletedWhenRequested) {
+  // Alphabet = {x}; pattern <x>; the marked position has no safe symbol.
+  SequenceDatabase db;
+  db.AddFromNames({"x", "x"});
+  std::vector<Sequence> patterns = {Seq(&db.alphabet(), "x")};
+  auto sanitize = Sanitize(&db, patterns, SanitizeOptions::HH());
+  ASSERT_TRUE(sanitize.ok());
+  EXPECT_EQ(db.TotalMarkCount(), 2u);
+
+  SequenceDatabase keep = db;
+  ReplaceOptions del;
+  del.delete_when_stuck = true;
+  auto report = ReplaceMarks(&db, patterns, {}, del);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->replaced, 0u);
+  EXPECT_EQ(report->deleted, 2u);
+  EXPECT_EQ(db.size(), 0u);  // the fully marked row disappears
+
+  ReplaceOptions hold;
+  hold.delete_when_stuck = false;
+  auto report2 = ReplaceMarks(&keep, patterns, {}, hold);
+  ASSERT_TRUE(report2.ok());
+  EXPECT_EQ(report2->kept_marked, 2u);
+  EXPECT_EQ(keep.TotalMarkCount(), 2u);
+}
+
+TEST(ReplaceMarksEdgeTest, ConstrainedPatternsRespectedDuringReplacement) {
+  SequenceDatabase db;
+  db.AddFromNames({"a", "b", "f1", "f2"});
+  std::vector<Sequence> patterns = {Seq(&db.alphabet(), "a b")};
+  std::vector<ConstraintSpec> specs = {ConstraintSpec::UniformGap(0, 0)};
+  auto sanitize = Sanitize(&db, patterns, specs, SanitizeOptions::HH());
+  ASSERT_TRUE(sanitize.ok());
+  ASSERT_GT(db.TotalMarkCount(), 0u);
+  auto report = ReplaceMarks(&db, patterns, specs, ReplaceOptions());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(db.TotalMarkCount(), 0u);
+  EXPECT_EQ(CountConstrainedMatchingsTotal(patterns, specs, db[0]), 0u);
+}
+
+// Property: across random databases, replacement never re-creates an
+// occurrence and fills every Δ (there is always a neutral symbol in a
+// 6-symbol alphabet with a 2-symbol pattern).
+TEST(ReplaceMarksPropertyTest, NeverRegenerates) {
+  Rng rng(515);
+  for (int trial = 0; trial < 40; ++trial) {
+    RandomDatabaseOptions gen;
+    gen.num_sequences = 15;
+    gen.min_length = 4;
+    gen.max_length = 10;
+    gen.alphabet_size = 6;
+    gen.seed = rng.NextU64();
+    SequenceDatabase db = MakeRandomDatabase(gen);
+    std::vector<Sequence> patterns = {testutil::RandomSeq(&rng, 2, 6)};
+    auto s = Sanitize(&db, patterns, SanitizeOptions::HH());
+    ASSERT_TRUE(s.ok());
+    ReplaceOptions options;
+    options.strategy = trial % 2 == 0 ? ReplacementStrategy::kLeastHarm
+                                      : ReplacementStrategy::kRandomSafe;
+    options.seed = trial;
+    auto report = ReplaceMarks(&db, patterns, {}, options);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_EQ(Support(patterns[0], db), 0u) << "trial " << trial;
+    EXPECT_EQ(db.TotalMarkCount(), 0u) << "trial " << trial;
+  }
+}
+
+TEST(FakePatternAuditTest, MarkingAloneNeverCreatesFakes) {
+  SequenceDatabase original;
+  for (int i = 0; i < 8; ++i) original.AddFromNames({"a", "b", "c", "d"});
+  std::vector<Sequence> patterns = {Seq(&original.alphabet(), "b c")};
+  SequenceDatabase released = original;
+  auto s = Sanitize(&released, patterns, SanitizeOptions::HH());
+  ASSERT_TRUE(s.ok());
+  auto fakes = CountFakeFrequentPatterns(original, released, 3, 4);
+  ASSERT_TRUE(fakes.ok()) << fakes.status();
+  EXPECT_EQ(*fakes, 0u);
+}
+
+TEST(FakePatternAuditTest, DetectsInjectedFakes) {
+  SequenceDatabase original;
+  original.AddFromNames({"a", "b"});
+  original.AddFromNames({"a", "c"});
+  original.AddFromNames({"a", "d"});
+  // Released: someone replaced symbols making "a e" frequent.
+  SequenceDatabase released;
+  released.alphabet() = original.alphabet();
+  SymbolId a = *original.alphabet().Lookup("a");
+  SymbolId e = released.alphabet().Intern("e");
+  for (int i = 0; i < 3; ++i) released.Add(Sequence{a, e});
+  auto fakes = CountFakeFrequentPatterns(original, released, 2, 4);
+  ASSERT_TRUE(fakes.ok());
+  EXPECT_GE(*fakes, 2u);  // at least "e" and "a e"
+}
+
+}  // namespace
+}  // namespace seqhide

@@ -1,0 +1,150 @@
+#include "src/seq/sequence.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "src/seq/alphabet.h"
+#include "src/seq/database.h"
+
+namespace seqhide {
+namespace {
+
+TEST(AlphabetTest, InternIsIdempotent) {
+  Alphabet a;
+  SymbolId x = a.Intern("x");
+  EXPECT_EQ(a.Intern("x"), x);
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(AlphabetTest, IdsAreDense) {
+  Alphabet a;
+  EXPECT_EQ(a.Intern("a"), 0);
+  EXPECT_EQ(a.Intern("b"), 1);
+  EXPECT_EQ(a.Intern("c"), 2);
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(AlphabetTest, LookupFindsAndFails) {
+  Alphabet a;
+  SymbolId x = a.Intern("x");
+  auto found = a.Lookup("x");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, x);
+  EXPECT_TRUE(a.Lookup("missing").status().IsNotFound());
+  EXPECT_EQ(a.size(), 1u) << "Lookup must not intern";
+}
+
+TEST(AlphabetTest, NameRoundTrip) {
+  Alphabet a;
+  SymbolId x = a.Intern("X6Y3");
+  EXPECT_EQ(a.Name(x), "X6Y3");
+  EXPECT_EQ(a.Name(kDeltaSymbol), Alphabet::DeltaToken());
+}
+
+TEST(AlphabetTest, ContainsChecksRange) {
+  Alphabet a;
+  a.Intern("a");
+  EXPECT_TRUE(a.Contains(0));
+  EXPECT_FALSE(a.Contains(1));
+  EXPECT_FALSE(a.Contains(kDeltaSymbol));
+}
+
+TEST(AlphabetDeathTest, DeltaTokenCannotBeInterned) {
+  Alphabet a;
+  EXPECT_DEATH(a.Intern(Alphabet::DeltaToken()), "reserved");
+}
+
+TEST(SequenceTest, FromNamesInterns) {
+  Alphabet a;
+  Sequence s = Sequence::FromNames(&a, {"x", "y", "x"});
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], s[2]);
+  EXPECT_NE(s[0], s[1]);
+}
+
+TEST(SequenceTest, MarkingReplacesWithDelta) {
+  Sequence s{0, 1, 2};
+  EXPECT_FALSE(s.IsMarked(1));
+  s.Mark(1);
+  EXPECT_TRUE(s.IsMarked(1));
+  EXPECT_EQ(s[1], kDeltaSymbol);
+  EXPECT_EQ(s.MarkCount(), 1u);
+}
+
+TEST(SequenceTest, WithoutMarksDropsDeltas) {
+  Sequence s{0, 1, 2, 3};
+  s.Mark(1);
+  s.Mark(3);
+  EXPECT_EQ(s.WithoutMarks(), (Sequence{0, 2}));
+  EXPECT_EQ(s.MarkCount(), 2u);
+}
+
+TEST(SequenceTest, ToStringUsesAlphabetAndDeltaToken) {
+  Alphabet a;
+  Sequence s = Sequence::FromNames(&a, {"u", "v", "w"});
+  s.Mark(1);
+  EXPECT_EQ(s.ToString(a), "u " + Alphabet::DeltaToken() + " w");
+}
+
+TEST(SequenceTest, ComparisonIsLexicographic) {
+  EXPECT_LT((Sequence{0, 1}), (Sequence{0, 2}));
+  EXPECT_LT((Sequence{0}), (Sequence{0, 0}));
+  EXPECT_EQ((Sequence{1, 2}), (Sequence{1, 2}));
+}
+
+TEST(SequenceTest, HashDistinguishesSequences) {
+  SequenceHash h;
+  std::unordered_set<size_t> hashes;
+  hashes.insert(h(Sequence{0, 1}));
+  hashes.insert(h(Sequence{1, 0}));
+  hashes.insert(h(Sequence{0, 1, 0}));
+  hashes.insert(h(Sequence{}));
+  EXPECT_EQ(hashes.size(), 4u);
+  EXPECT_EQ(h(Sequence{2, 3}), h(Sequence{2, 3}));
+}
+
+TEST(DatabaseTest, StatsComputeAggregates) {
+  SequenceDatabase db;
+  db.AddFromNames({"a", "b", "c"});
+  db.AddFromNames({"a"});
+  db.AddFromNames({"b", "c"});
+  DatabaseStats stats = db.Stats();
+  EXPECT_EQ(stats.num_sequences, 3u);
+  EXPECT_EQ(stats.total_symbols, 6u);
+  EXPECT_EQ(stats.min_length, 1u);
+  EXPECT_EQ(stats.max_length, 3u);
+  EXPECT_DOUBLE_EQ(stats.mean_length, 2.0);
+  EXPECT_EQ(stats.alphabet_size, 3u);
+  EXPECT_EQ(stats.total_marks, 0u);
+}
+
+TEST(DatabaseTest, EmptyStats) {
+  SequenceDatabase db;
+  DatabaseStats stats = db.Stats();
+  EXPECT_EQ(stats.num_sequences, 0u);
+  EXPECT_EQ(stats.total_symbols, 0u);
+}
+
+TEST(DatabaseTest, TotalMarkCountTracksMarks) {
+  SequenceDatabase db;
+  db.AddFromNames({"a", "b"});
+  db.AddFromNames({"c", "d", "e"});
+  EXPECT_EQ(db.TotalMarkCount(), 0u);
+  db.mutable_sequence(0)->Mark(0);
+  db.mutable_sequence(1)->Mark(2);
+  EXPECT_EQ(db.TotalMarkCount(), 2u);
+  EXPECT_EQ(db.Stats().total_marks, 2u);
+}
+
+TEST(DatabaseTest, CopyIsDeep) {
+  SequenceDatabase db;
+  db.AddFromNames({"a", "b"});
+  SequenceDatabase copy = db;
+  copy.mutable_sequence(0)->Mark(0);
+  EXPECT_EQ(db.TotalMarkCount(), 0u);
+  EXPECT_EQ(copy.TotalMarkCount(), 1u);
+}
+
+}  // namespace
+}  // namespace seqhide

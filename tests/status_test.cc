@@ -1,0 +1,101 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/result.h"
+
+namespace seqhide {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int code = 0; code <= 9; ++code) {
+    EXPECT_NE(StatusCodeToString(static_cast<StatusCode>(code)), "Unknown");
+  }
+}
+
+TEST(StatusTest, PredicatesMatchCodes) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_FALSE(Status::NotFound("x").IsIOError());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+}
+
+Status FailsThenPropagates() {
+  SEQHIDE_RETURN_IF_ERROR(Status::Corruption("inner"));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  Status s = FailsThenPropagates();
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_EQ(s.message(), "inner");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  SEQHIDE_ASSIGN_OR_RETURN(int h, Half(x));
+  return Half(h);
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  Result<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  Result<int> r = Status::Internal("boom");
+  EXPECT_DEATH({ (void)r.value(); }, "value\\(\\) on error Result");
+}
+
+}  // namespace
+}  // namespace seqhide

@@ -1,0 +1,95 @@
+#include "src/common/string_util.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/csv.h"
+
+#include <sstream>
+
+namespace seqhide {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  EXPECT_EQ(Split("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, EmptyPiecesKeptByDefault) {
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+}
+
+TEST(SplitTest, SkipEmpty) {
+  EXPECT_EQ(Split(",a,,b,", ',', /*skip_empty=*/true),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(SplitTest, EmptyInput) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_TRUE(Split("", ',', true).empty());
+}
+
+TEST(SplitWhitespaceTest, CollapsesRuns) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\n c  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   \t\n ").empty());
+}
+
+TEST(TrimTest, RemovesEdges) {
+  EXPECT_EQ(Trim("  abc  "), "abc");
+  EXPECT_EQ(Trim("abc"), "abc");
+  EXPECT_EQ(Trim(" \t\n "), "");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("a b"), "a b");
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(ParseInt64Test, ValidAndInvalid) {
+  EXPECT_EQ(ParseInt64("42"), 42);
+  EXPECT_EQ(ParseInt64("-7"), -7);
+  EXPECT_EQ(ParseInt64("  13 "), 13);
+  EXPECT_FALSE(ParseInt64("").has_value());
+  EXPECT_FALSE(ParseInt64("x").has_value());
+  EXPECT_FALSE(ParseInt64("4.5").has_value());
+  EXPECT_FALSE(ParseInt64("12abc").has_value());
+}
+
+TEST(ParseDoubleTest, ValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-2"), -2.0);
+  EXPECT_FALSE(ParseDouble("").has_value());
+  EXPECT_FALSE(ParseDouble("1.2.3").has_value());
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("window<=10", "window<="));
+  EXPECT_FALSE(StartsWith("win", "window"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+}
+
+TEST(CsvWriterTest, PlainRow) {
+  std::ostringstream out;
+  CsvWriter csv(&out);
+  csv.WriteRow({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(CsvWriterTest, EscapesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter csv(&out);
+  csv.WriteRow({"a,b", "say \"hi\"", "line\nbreak"});
+  EXPECT_EQ(out.str(), "\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST(CsvWriterTest, FormatDoubleRoundTrips) {
+  EXPECT_EQ(CsvWriter::FormatDouble(0.5), "0.5");
+  EXPECT_EQ(*ParseDouble(CsvWriter::FormatDouble(1.0 / 3.0)), 1.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace seqhide

@@ -1,0 +1,82 @@
+#include "src/match/subsequence.h"
+
+#include <gtest/gtest.h>
+
+#include "src/seq/database.h"
+#include "tests/test_util.h"
+
+namespace seqhide {
+namespace {
+
+using testutil::Seq;
+
+TEST(IsSubsequenceTest, BasicCases) {
+  Alphabet a;
+  Sequence t = Seq(&a, "a a b c c b a e");
+  EXPECT_TRUE(IsSubsequence(Seq(&a, "a b c"), t));
+  EXPECT_TRUE(IsSubsequence(Seq(&a, "a"), t));
+  EXPECT_TRUE(IsSubsequence(Seq(&a, "a a b c c b a e"), t));
+  EXPECT_FALSE(IsSubsequence(Seq(&a, "e a"), t));
+  EXPECT_FALSE(IsSubsequence(Seq(&a, "c c c"), t));
+}
+
+TEST(IsSubsequenceTest, EmptyPatternAlwaysMatches) {
+  Alphabet a;
+  EXPECT_TRUE(IsSubsequence(Sequence{}, Seq(&a, "x y")));
+  EXPECT_TRUE(IsSubsequence(Sequence{}, Sequence{}));
+}
+
+TEST(IsSubsequenceTest, PatternLongerThanSequence) {
+  Alphabet a;
+  EXPECT_FALSE(IsSubsequence(Seq(&a, "x y"), Seq(&a, "x")));
+}
+
+TEST(IsSubsequenceTest, MarkedPositionsNeverMatch) {
+  Alphabet a;
+  Sequence t = Seq(&a, "a b c");
+  Sequence pattern = Seq(&a, "a b");
+  EXPECT_TRUE(IsSubsequence(pattern, t));
+  t.Mark(1);  // b -> Δ
+  EXPECT_FALSE(IsSubsequence(pattern, t));
+  EXPECT_TRUE(IsSubsequence(Seq(&a, "a c"), t));
+}
+
+TEST(FirstEmbeddingTest, ReturnsLeftmostPositions) {
+  Alphabet a;
+  Sequence t = Seq(&a, "a a b c c b a e");
+  auto embedding = FirstEmbedding(Seq(&a, "a b c"), t);
+  ASSERT_TRUE(embedding.has_value());
+  EXPECT_EQ(*embedding, (std::vector<size_t>{0, 2, 3}));
+}
+
+TEST(FirstEmbeddingTest, NulloptWhenAbsent) {
+  Alphabet a;
+  EXPECT_FALSE(FirstEmbedding(Seq(&a, "z"), Seq(&a, "a b")).has_value());
+}
+
+TEST(SupportTest, CountsSupportingSequences) {
+  SequenceDatabase db;
+  db.AddFromNames({"a", "b", "c"});
+  db.AddFromNames({"b", "a", "c"});
+  db.AddFromNames({"a", "c"});
+  Sequence ab = Seq(&db.alphabet(), "a b");
+  EXPECT_EQ(Support(ab, db), 1u);
+  EXPECT_EQ(Support(Seq(&db.alphabet(), "a c"), db), 3u);
+  EXPECT_EQ(Support(Seq(&db.alphabet(), "c a"), db), 0u);
+}
+
+TEST(SupportAnyTest, DisjunctiveSupport) {
+  SequenceDatabase db;
+  db.AddFromNames({"a", "b"});
+  db.AddFromNames({"b", "c"});
+  db.AddFromNames({"c", "d"});
+  std::vector<Sequence> patterns = {Seq(&db.alphabet(), "a b"),
+                                    Seq(&db.alphabet(), "b c")};
+  EXPECT_EQ(SupportAny(patterns, db), 2u);
+  // Each sequence counted once even if it supports both.
+  db.AddFromNames({"a", "b", "c"});
+  EXPECT_EQ(SupportAny(patterns, db), 3u);
+}
+
+}  // namespace
+}  // namespace seqhide

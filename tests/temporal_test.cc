@@ -1,0 +1,178 @@
+#include "src/temporal/timed_match.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/random.h"
+#include "src/temporal/timed_sequence.h"
+#include "tests/test_util.h"
+
+namespace seqhide {
+namespace {
+
+TimedSequence MakeTimed(std::vector<std::pair<SymbolId, double>> events) {
+  std::vector<TimedEvent> list;
+  for (auto [sym, t] : events) list.push_back(TimedEvent{sym, t});
+  auto r = TimedSequence::Create(std::move(list));
+  EXPECT_TRUE(r.ok());
+  return *r;
+}
+
+TEST(TimedSequenceTest, RejectsUnorderedTimestamps) {
+  auto r = TimedSequence::Create(
+      {TimedEvent{0, 2.0}, TimedEvent{1, 1.0}});
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(TimedSequenceTest, MarkKeepsTimestamp) {
+  TimedSequence t = MakeTimed({{0, 1.0}, {1, 2.0}});
+  t.Mark(0);
+  EXPECT_TRUE(t.IsMarked(0));
+  EXPECT_DOUBLE_EQ(t[0].time, 1.0);
+  EXPECT_EQ(t.MarkCount(), 1u);
+}
+
+TEST(TimeConstraintSpecTest, Validation) {
+  TimeConstraintSpec ok;
+  EXPECT_TRUE(ok.Validate().ok());
+  EXPECT_TRUE(ok.IsUnconstrained());
+  TimeConstraintSpec bad;
+  bad.min_gap_time = 5.0;
+  bad.max_gap_time = 2.0;
+  EXPECT_FALSE(bad.Validate().ok());
+  TimeConstraintSpec neg;
+  neg.min_gap_time = -1.0;
+  EXPECT_FALSE(neg.Validate().ok());
+}
+
+TEST(TimedCountTest, UnconstrainedMatchesIndexSemantics) {
+  // a@0 a@1 b@2: <a,b> embeds twice regardless of times.
+  TimedSequence t = MakeTimed({{0, 0.0}, {0, 1.0}, {1, 2.0}});
+  Sequence pattern{0, 1};
+  EXPECT_EQ(CountTimedMatchings(pattern, {}, t), 2u);
+}
+
+TEST(TimedCountTest, MinGapFiltersCloseEvents) {
+  TimedSequence t = MakeTimed({{0, 0.0}, {1, 0.5}, {1, 3.0}});
+  Sequence pattern{0, 1};
+  TimeConstraintSpec spec;
+  spec.min_gap_time = 1.0;
+  EXPECT_EQ(CountTimedMatchings(pattern, spec, t), 1u);  // only b@3.0
+}
+
+TEST(TimedCountTest, MaxGapFiltersDistantEvents) {
+  TimedSequence t = MakeTimed({{0, 0.0}, {1, 0.5}, {1, 3.0}});
+  Sequence pattern{0, 1};
+  TimeConstraintSpec spec;
+  spec.max_gap_time = 1.0;
+  EXPECT_EQ(CountTimedMatchings(pattern, spec, t), 1u);  // only b@0.5
+}
+
+TEST(TimedCountTest, WindowBoundsTotalDuration) {
+  // a@0 b@1 c@5: window 4 kills <a,b,c> (duration 5) but allows <a,b>.
+  TimedSequence t = MakeTimed({{0, 0.0}, {1, 1.0}, {2, 5.0}});
+  TimeConstraintSpec spec;
+  spec.max_window_time = 4.0;
+  EXPECT_EQ(CountTimedMatchings(Sequence{0, 1, 2}, spec, t), 0u);
+  EXPECT_EQ(CountTimedMatchings(Sequence{0, 1}, spec, t), 1u);
+  spec.max_window_time = 5.0;
+  EXPECT_EQ(CountTimedMatchings(Sequence{0, 1, 2}, spec, t), 1u);
+}
+
+TEST(TimedCountTest, MarkedEventsNeverMatch) {
+  TimedSequence t = MakeTimed({{0, 0.0}, {1, 1.0}});
+  Sequence pattern{0, 1};
+  EXPECT_EQ(CountTimedMatchings(pattern, {}, t), 1u);
+  t.Mark(1);
+  EXPECT_EQ(CountTimedMatchings(pattern, {}, t), 0u);
+}
+
+// Property: the DP agrees with brute-force enumeration under random
+// specs and event layouts.
+TEST(TimedCountTest, PropertyAgreesWithEnumeration) {
+  Rng rng(616);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t n = 1 + rng.NextBounded(8);
+    std::vector<TimedEvent> events;
+    double clock = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      clock += rng.NextDouble() * 2.0;
+      events.push_back(
+          TimedEvent{static_cast<SymbolId>(rng.NextBounded(3)), clock});
+    }
+    auto t = TimedSequence::Create(std::move(events));
+    ASSERT_TRUE(t.ok());
+    Sequence pattern = testutil::RandomSeq(&rng, 1 + rng.NextBounded(3), 3);
+
+    TimeConstraintSpec spec;
+    if (rng.NextBernoulli(0.5)) spec.min_gap_time = rng.NextDouble();
+    if (rng.NextBernoulli(0.5)) {
+      spec.max_gap_time = spec.min_gap_time + rng.NextDouble() * 3.0;
+    }
+    if (rng.NextBernoulli(0.5)) {
+      spec.max_window_time = rng.NextDouble() * 6.0;
+    }
+    ASSERT_TRUE(spec.Validate().ok());
+
+    EXPECT_EQ(CountTimedMatchings(pattern, spec, *t),
+              EnumerateTimedMatchings(pattern, spec, *t).size())
+        << "trial " << trial;
+  }
+}
+
+TEST(TimedDeltaTest, MatchesBruteForce) {
+  Rng rng(717);
+  for (int trial = 0; trial < 60; ++trial) {
+    size_t n = 1 + rng.NextBounded(7);
+    std::vector<TimedEvent> events;
+    double clock = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      clock += rng.NextDouble();
+      events.push_back(
+          TimedEvent{static_cast<SymbolId>(rng.NextBounded(2)), clock});
+    }
+    auto t = TimedSequence::Create(std::move(events));
+    ASSERT_TRUE(t.ok());
+    std::vector<Sequence> patterns = {
+        testutil::RandomSeq(&rng, 1 + rng.NextBounded(2), 2)};
+    TimeConstraintSpec spec;
+    spec.max_gap_time = 1.5;
+
+    std::vector<uint64_t> deltas = TimedPositionDeltas(patterns, spec, *t);
+    for (size_t pos = 0; pos < n; ++pos) {
+      size_t brute = 0;
+      for (const auto& m :
+           EnumerateTimedMatchings(patterns[0], spec, *t)) {
+        if (std::find(m.begin(), m.end(), pos) != m.end()) ++brute;
+      }
+      EXPECT_EQ(deltas[pos], brute) << "trial " << trial << " pos " << pos;
+    }
+  }
+}
+
+TEST(TimedSanitizeTest, RemovesAllValidOccurrences) {
+  // Clinical-style events: symptom@0, drug@1, reaction@1.5 — hide
+  // "drug shortly followed by reaction".
+  TimedSequence t = MakeTimed({{0, 0.0}, {1, 1.0}, {2, 1.5}, {1, 5.0}});
+  TimeConstraintSpec spec;
+  spec.max_gap_time = 1.0;
+  std::vector<Sequence> patterns = {Sequence{1, 2}};
+  TimedSanitizeResult r = SanitizeTimedSequence(&t, patterns, spec);
+  EXPECT_EQ(r.marks_introduced, 1u);
+  EXPECT_EQ(CountTimedMatchings(patterns[0], spec, t), 0u);
+  // The drug@5.0 event is not part of any close pair and survives.
+  EXPECT_FALSE(t.IsMarked(3));
+}
+
+TEST(TimedSanitizeTest, NoValidOccurrencesNoMarks) {
+  TimedSequence t = MakeTimed({{0, 0.0}, {1, 10.0}});
+  TimeConstraintSpec spec;
+  spec.max_gap_time = 1.0;
+  TimedSanitizeResult r = SanitizeTimedSequence(&t, {Sequence{0, 1}}, spec);
+  EXPECT_EQ(r.marks_introduced, 0u);
+  EXPECT_EQ(t.MarkCount(), 0u);
+}
+
+}  // namespace
+}  // namespace seqhide

@@ -1,0 +1,35 @@
+// Shared helpers for the seqhide test suite.
+
+#ifndef SEQHIDE_TESTS_TEST_UTIL_H_
+#define SEQHIDE_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/string_util.h"
+#include "src/seq/alphabet.h"
+#include "src/seq/sequence.h"
+
+namespace seqhide {
+namespace testutil {
+
+// Builds a sequence from whitespace-separated symbol names, interning
+// into `alphabet`. "a a b c" -> <a,a,b,c>.
+inline Sequence Seq(Alphabet* alphabet, const std::string& text) {
+  return Sequence::FromNames(alphabet, SplitWhitespace(text));
+}
+
+// Random sequence of `length` symbols drawn from ids [0, alphabet_size).
+inline Sequence RandomSeq(Rng* rng, size_t length, size_t alphabet_size) {
+  Sequence out;
+  for (size_t i = 0; i < length; ++i) {
+    out.Append(static_cast<SymbolId>(rng->NextBounded(alphabet_size)));
+  }
+  return out;
+}
+
+}  // namespace testutil
+}  // namespace seqhide
+
+#endif  // SEQHIDE_TESTS_TEST_UTIL_H_

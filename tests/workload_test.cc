@@ -1,0 +1,160 @@
+#include "src/data/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/generators.h"
+#include "src/match/subsequence.h"
+
+namespace seqhide {
+namespace {
+
+TEST(GeneratorTest, TruckFleetIsDeterministic) {
+  TruckFleetOptions opts;
+  opts.num_trajectories = 20;
+  auto a = GenerateTruckFleet(opts);
+  auto b = GenerateTruckFleet(opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size());
+    for (size_t j = 0; j < a[i].size(); ++j) {
+      EXPECT_DOUBLE_EQ(a[i].points[j].x, b[i].points[j].x);
+      EXPECT_DOUBLE_EQ(a[i].points[j].y, b[i].points[j].y);
+    }
+  }
+  opts.seed += 1;
+  auto c = GenerateTruckFleet(opts);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size() && !any_diff; ++i) {
+    if (a[i].size() != c[i].size()) any_diff = true;
+  }
+  // Different seeds produce different data (length profile suffices).
+  EXPECT_TRUE(any_diff || a[0].points[0].x != c[0].points[0].x);
+}
+
+TEST(GeneratorTest, TimestampsAreMonotone) {
+  TruckFleetOptions topts;
+  topts.num_trajectories = 10;
+  for (const auto& traj : GenerateTruckFleet(topts)) {
+    for (size_t j = 1; j < traj.size(); ++j) {
+      EXPECT_GE(traj.points[j].t, traj.points[j - 1].t);
+    }
+  }
+  CarMovementOptions copts;
+  copts.num_trajectories = 10;
+  for (const auto& traj : GenerateCarMovement(copts)) {
+    for (size_t j = 1; j < traj.size(); ++j) {
+      EXPECT_GE(traj.points[j].t, traj.points[j - 1].t);
+    }
+  }
+}
+
+TEST(WorkloadTest, TrucksMatchesPaperScale) {
+  ExperimentWorkload w = MakeTrucksWorkload();
+  EXPECT_EQ(w.name, "TRUCKS");
+  EXPECT_EQ(w.db.size(), 273u);  // paper: 273 trajectories
+  DatabaseStats stats = w.db.Stats();
+  // Paper: 20.1 symbols per trajectory on average; accept a band.
+  EXPECT_GT(stats.mean_length, 12.0);
+  EXPECT_LT(stats.mean_length, 30.0);
+  // Alphabet is the 10x10 grid (not every cell need be visited).
+  EXPECT_LE(stats.alphabet_size, 100u);
+  EXPECT_GT(stats.alphabet_size, 30u);
+}
+
+TEST(WorkloadTest, TrucksSensitiveSupportsNearPaper) {
+  ExperimentWorkload w = MakeTrucksWorkload();
+  ASSERT_EQ(w.sensitive.size(), 2u);
+  ASSERT_EQ(w.sensitive_supports.size(), 2u);
+  // Paper: 36 and 38 of 273, union 66. The simulator is calibrated, not
+  // exact — accept ±50%.
+  EXPECT_GE(w.sensitive_supports[0], 18u);
+  EXPECT_LE(w.sensitive_supports[0], 60u);
+  EXPECT_GE(w.sensitive_supports[1], 19u);
+  EXPECT_LE(w.sensitive_supports[1], 60u);
+  EXPECT_GE(w.disjunctive_support, 33u);
+  EXPECT_LE(w.disjunctive_support, 110u);
+  // Struct fields agree with direct measurement.
+  EXPECT_EQ(w.sensitive_supports[0], Support(w.sensitive[0], w.db));
+  EXPECT_EQ(w.disjunctive_support, SupportAny(w.sensitive, w.db));
+}
+
+TEST(WorkloadTest, SyntheticMatchesPaperScale) {
+  ExperimentWorkload w = MakeSyntheticWorkload();
+  EXPECT_EQ(w.name, "SYNTHETIC");
+  EXPECT_EQ(w.db.size(), 300u);  // paper: 300 trajectories
+  DatabaseStats stats = w.db.Stats();
+  // Paper: 6.8 symbols per trajectory on average.
+  EXPECT_GT(stats.mean_length, 4.0);
+  EXPECT_LT(stats.mean_length, 12.0);
+}
+
+TEST(WorkloadTest, SyntheticSensitiveSupportsNearPaper) {
+  ExperimentWorkload w = MakeSyntheticWorkload();
+  // Paper: 99 and 172 of 300, union 200. Accept generous bands.
+  EXPECT_GE(w.sensitive_supports[0], 60u);
+  EXPECT_LE(w.sensitive_supports[0], 150u);
+  EXPECT_GE(w.sensitive_supports[1], 120u);
+  EXPECT_LE(w.sensitive_supports[1], 230u);
+  EXPECT_GE(w.disjunctive_support, 150u);
+  EXPECT_LE(w.disjunctive_support, 260u);
+  // The second pattern dominates, as in the paper.
+  EXPECT_GT(w.sensitive_supports[1], w.sensitive_supports[0]);
+}
+
+TEST(WorkloadTest, PatternsUseTheSharedAlphabet) {
+  ExperimentWorkload w = MakeTrucksWorkload();
+  for (const auto& p : w.sensitive) {
+    for (size_t i = 0; i < p.size(); ++i) {
+      EXPECT_TRUE(w.db.alphabet().Contains(p[i]));
+    }
+  }
+}
+
+TEST(RandomDatabaseTest, RespectsOptions) {
+  RandomDatabaseOptions opts;
+  opts.num_sequences = 40;
+  opts.min_length = 3;
+  opts.max_length = 7;
+  opts.alphabet_size = 5;
+  SequenceDatabase db = MakeRandomDatabase(opts);
+  EXPECT_EQ(db.size(), 40u);
+  EXPECT_EQ(db.alphabet().size(), 5u);
+  DatabaseStats stats = db.Stats();
+  EXPECT_GE(stats.min_length, 3u);
+  EXPECT_LE(stats.max_length, 7u);
+}
+
+TEST(RandomDatabaseTest, RepeatBiasIncreasesAutocorrelation) {
+  RandomDatabaseOptions low;
+  low.num_sequences = 50;
+  low.min_length = 10;
+  low.max_length = 10;
+  low.alphabet_size = 20;
+  low.repeat_bias = 0.0;
+  low.seed = 3;
+  RandomDatabaseOptions high = low;
+  high.repeat_bias = 0.8;
+  auto count_repeats = [](const SequenceDatabase& db) {
+    size_t repeats = 0;
+    for (const auto& s : db.sequences()) {
+      for (size_t i = 1; i < s.size(); ++i) {
+        if (s[i] == s[i - 1]) ++repeats;
+      }
+    }
+    return repeats;
+  };
+  EXPECT_GT(count_repeats(MakeRandomDatabase(high)) ,
+            count_repeats(MakeRandomDatabase(low)) * 3);
+}
+
+TEST(RandomDatabaseTest, SeedDeterminism) {
+  RandomDatabaseOptions opts;
+  opts.seed = 77;
+  SequenceDatabase a = MakeRandomDatabase(opts);
+  SequenceDatabase b = MakeRandomDatabase(opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace seqhide

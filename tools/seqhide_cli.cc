@@ -1,0 +1,375 @@
+// seqhide_cli — command-line front end for the library.
+//
+//   seqhide_cli stats    --db FILE
+//   seqhide_cli support  --db FILE --pattern "a -> b"...
+//   seqhide_cli mine     --db FILE --sigma N [--max-len N] [--top N]
+//   seqhide_cli sanitize --db FILE --out FILE --pattern "a ->[0] b"...
+//                        [--psi N] [--algo HH|HR|RH|RR] [--seed N]
+//                        [--threads N] [--stage2 keep|delete|replace]
+//
+// Patterns use the constrained-pattern syntax of
+// src/constraints/constraints.h ("a ->[0] b ->[2..6] c ; window<=10").
+// Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/string_util.h"
+#include "src/constraints/constraints.h"
+#include "src/eval/metrics.h"
+#include "src/hide/sanitizer.h"
+#include "src/hide/second_stage.h"
+#include "src/itemset/itemset_hide.h"
+#include "src/itemset/itemset_io.h"
+#include "src/itemset/itemset_match.h"
+#include "src/itemset/itemset_mine.h"
+#include "src/match/subsequence.h"
+#include "src/mine/constrained_miner.h"
+#include "src/mine/prefix_span.h"
+#include "src/seq/io.h"
+
+namespace seqhide {
+namespace {
+
+struct ParsedArgs {
+  std::string command;
+  std::map<std::string, std::string> flags;       // last value wins
+  std::vector<std::string> patterns;              // repeated --pattern
+};
+
+void PrintUsage() {
+  std::cerr <<
+      "usage: seqhide_cli COMMAND [flags]\n"
+      "commands:\n"
+      "  stats    --db FILE [--format seq|itemset]\n"
+      "  support  --db FILE --pattern P [--pattern P ...]\n"
+      "  mine     --db FILE --sigma N [--max-len N] [--top N]\n"
+      "           [--format seq|itemset]\n"
+      "  sanitize --db FILE --out FILE --pattern P [--pattern P ...]\n"
+      "           [--psi N] [--algo HH|HR|RH|RR] [--seed N] [--threads N]\n"
+      "           [--stage2 keep|delete|replace] [--format seq|itemset]\n"
+      "pattern syntax (seq):     \"a -> b\", \"a ->[0] b ->[2..6] c ; "
+      "window<=10\"\n"
+      "pattern syntax (itemset): \"(formula) (coupon,snacks)\"\n";
+}
+
+// "--format itemset" switches stats/mine/sanitize to the classical
+// itemset-sequence setting (paper section 7.1).
+Result<bool> IsItemsetFormat(
+    const std::map<std::string, std::string>& flags) {
+  auto it = flags.find("format");
+  if (it == flags.end() || it->second == "seq") return false;
+  if (it->second == "itemset") return true;
+  return Status::InvalidArgument("--format must be 'seq' or 'itemset'");
+}
+
+bool ParseArgs(int argc, char** argv, ParsedArgs* out) {
+  if (argc < 2) return false;
+  out->command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag.size() < 3 || flag[0] != '-' || flag[1] != '-') return false;
+    flag = flag.substr(2);
+    if (i + 1 >= argc) return false;
+    std::string value = argv[++i];
+    if (flag == "pattern") {
+      out->patterns.push_back(value);
+    } else {
+      out->flags[flag] = value;
+    }
+  }
+  return true;
+}
+
+Result<size_t> FlagAsSize(const ParsedArgs& args, const std::string& name,
+                          size_t fallback) {
+  auto it = args.flags.find(name);
+  if (it == args.flags.end()) return fallback;
+  auto v = ParseInt64(it->second);
+  if (!v.has_value() || *v < 0) {
+    return Status::InvalidArgument("--" + name + " needs a non-negative int");
+  }
+  return static_cast<size_t>(*v);
+}
+
+Result<SequenceDatabase> LoadDb(const ParsedArgs& args) {
+  auto it = args.flags.find("db");
+  if (it == args.flags.end()) {
+    return Status::InvalidArgument("--db FILE is required");
+  }
+  return ReadDatabaseFromFile(it->second);
+}
+
+Result<std::vector<ConstrainedPattern>> ParsePatterns(
+    const ParsedArgs& args, Alphabet* alphabet) {
+  if (args.patterns.empty()) {
+    return Status::InvalidArgument("at least one --pattern is required");
+  }
+  std::vector<ConstrainedPattern> out;
+  for (const std::string& text : args.patterns) {
+    SEQHIDE_ASSIGN_OR_RETURN(ConstrainedPattern p,
+                             ParseConstrainedPattern(alphabet, text));
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+Result<std::string> DbPath(const ParsedArgs& args) {
+  auto it = args.flags.find("db");
+  if (it == args.flags.end()) {
+    return Status::InvalidArgument("--db FILE is required");
+  }
+  return it->second;
+}
+
+Status RunStatsItemset(const ParsedArgs& args) {
+  SEQHIDE_ASSIGN_OR_RETURN(std::string path, DbPath(args));
+  SEQHIDE_ASSIGN_OR_RETURN(ItemsetDatabase db,
+                           ReadItemsetDatabaseFromFile(path));
+  size_t elements = 0, items = 0, empty_elements = 0;
+  for (const auto& seq : db.sequences()) {
+    elements += seq.size();
+    items += seq.TotalItems();
+    for (size_t e = 0; e < seq.size(); ++e) {
+      if (seq[e].empty()) ++empty_elements;
+    }
+  }
+  std::cout << "sequences       " << db.size() << "\n"
+            << "alphabet        " << db.alphabet().size() << "\n"
+            << "total elements  " << elements << "\n"
+            << "total items     " << items << "\n"
+            << "empty (marked)  " << empty_elements << "\n";
+  return Status::OK();
+}
+
+Status RunMineItemset(const ParsedArgs& args) {
+  SEQHIDE_ASSIGN_OR_RETURN(std::string path, DbPath(args));
+  SEQHIDE_ASSIGN_OR_RETURN(ItemsetDatabase db,
+                           ReadItemsetDatabaseFromFile(path));
+  SEQHIDE_ASSIGN_OR_RETURN(size_t sigma, FlagAsSize(args, "sigma", 0));
+  if (sigma == 0) {
+    return Status::InvalidArgument("--sigma N (>=1) is required");
+  }
+  ItemsetMinerOptions opts;
+  opts.min_support = sigma;
+  SEQHIDE_ASSIGN_OR_RETURN(opts.max_items, FlagAsSize(args, "max-len", 0));
+  SEQHIDE_ASSIGN_OR_RETURN(size_t top, FlagAsSize(args, "top", 0));
+  SEQHIDE_ASSIGN_OR_RETURN(FrequentItemsetPatterns mined,
+                           MineFrequentItemsetSequences(db, opts));
+  std::cout << "# " << mined.size() << " frequent itemset patterns (sigma="
+            << sigma << ")\n";
+  size_t printed = 0;
+  for (const auto& [pattern, support] : mined) {
+    if (top != 0 && printed >= top) {
+      std::cout << "... (" << mined.size() - printed << " more)\n";
+      break;
+    }
+    std::cout << support << "\t" << pattern.ToString(db.alphabet()) << "\n";
+    ++printed;
+  }
+  return Status::OK();
+}
+
+Status RunSanitizeItemset(const ParsedArgs& args) {
+  SEQHIDE_ASSIGN_OR_RETURN(std::string path, DbPath(args));
+  SEQHIDE_ASSIGN_OR_RETURN(ItemsetDatabase db,
+                           ReadItemsetDatabaseFromFile(path));
+  auto out_it = args.flags.find("out");
+  if (out_it == args.flags.end()) {
+    return Status::InvalidArgument("--out FILE is required");
+  }
+  if (args.patterns.empty()) {
+    return Status::InvalidArgument("at least one --pattern is required");
+  }
+  std::vector<ItemsetSequence> patterns;
+  for (const std::string& text : args.patterns) {
+    SEQHIDE_ASSIGN_OR_RETURN(
+        ItemsetSequence p,
+        ParseItemsetSequenceLine(&db.alphabet(), text));
+    for (size_t e = 0; e < p.size(); ++e) {
+      if (p[e].empty()) {
+        return Status::InvalidArgument(
+            "pattern elements must be non-empty: " + text);
+      }
+    }
+    patterns.push_back(std::move(p));
+  }
+  SEQHIDE_ASSIGN_OR_RETURN(size_t psi, FlagAsSize(args, "psi", 0));
+  SEQHIDE_ASSIGN_OR_RETURN(ItemsetHideReport report,
+                           HideItemsetPatterns(&db, patterns, psi));
+  std::cout << "items marked: " << report.items_marked
+            << "  sequences sanitized: " << report.sequences_sanitized
+            << "\n";
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    std::cout << "pattern " << i + 1 << ": support "
+              << report.supports_before[i] << " -> "
+              << report.supports_after[i] << "\n";
+  }
+  SEQHIDE_RETURN_IF_ERROR(WriteItemsetDatabaseToFile(db, out_it->second));
+  std::cout << "wrote " << out_it->second << "\n";
+  return Status::OK();
+}
+
+Status RunStats(const ParsedArgs& args) {
+  SEQHIDE_ASSIGN_OR_RETURN(SequenceDatabase db, LoadDb(args));
+  DatabaseStats stats = db.Stats();
+  std::cout << "sequences       " << stats.num_sequences << "\n"
+            << "alphabet        " << stats.alphabet_size << "\n"
+            << "total symbols   " << stats.total_symbols << "\n"
+            << "marked (delta)  " << stats.total_marks << "\n"
+            << "length min/mean/max  " << stats.min_length << " / "
+            << stats.mean_length << " / " << stats.max_length << "\n";
+  return Status::OK();
+}
+
+Status RunSupport(const ParsedArgs& args) {
+  SEQHIDE_ASSIGN_OR_RETURN(SequenceDatabase db, LoadDb(args));
+  SEQHIDE_ASSIGN_OR_RETURN(std::vector<ConstrainedPattern> patterns,
+                           ParsePatterns(args, &db.alphabet()));
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    size_t constrained =
+        ConstrainedSupport(patterns[i].pattern, patterns[i].constraints, db);
+    std::cout << "pattern " << i + 1 << ": \"" << args.patterns[i]
+              << "\"  support=" << constrained;
+    if (!patterns[i].constraints.IsUnconstrained()) {
+      std::cout << "  (unconstrained support="
+                << Support(patterns[i].pattern, db) << ")";
+    }
+    std::cout << "\n";
+  }
+  return Status::OK();
+}
+
+Status RunMine(const ParsedArgs& args) {
+  SEQHIDE_ASSIGN_OR_RETURN(SequenceDatabase db, LoadDb(args));
+  SEQHIDE_ASSIGN_OR_RETURN(size_t sigma, FlagAsSize(args, "sigma", 0));
+  if (sigma == 0) {
+    return Status::InvalidArgument("--sigma N (>=1) is required");
+  }
+  MinerOptions opts;
+  opts.min_support = sigma;
+  SEQHIDE_ASSIGN_OR_RETURN(opts.max_length, FlagAsSize(args, "max-len", 0));
+  SEQHIDE_ASSIGN_OR_RETURN(size_t top, FlagAsSize(args, "top", 0));
+  SEQHIDE_ASSIGN_OR_RETURN(FrequentPatternSet mined,
+                           MineFrequentSequences(db, opts));
+  std::cout << "# " << mined.size() << " frequent patterns (sigma=" << sigma
+            << ")\n";
+  size_t printed = 0;
+  for (const auto& [pattern, support] : mined.patterns()) {
+    if (top != 0 && printed >= top) {
+      std::cout << "... (" << mined.size() - printed << " more)\n";
+      break;
+    }
+    std::cout << support << "\t" << pattern.ToString(db.alphabet()) << "\n";
+    ++printed;
+  }
+  return Status::OK();
+}
+
+Status RunSanitize(const ParsedArgs& args) {
+  SEQHIDE_ASSIGN_OR_RETURN(SequenceDatabase db, LoadDb(args));
+  auto out_it = args.flags.find("out");
+  if (out_it == args.flags.end()) {
+    return Status::InvalidArgument("--out FILE is required");
+  }
+  SEQHIDE_ASSIGN_OR_RETURN(std::vector<ConstrainedPattern> parsed,
+                           ParsePatterns(args, &db.alphabet()));
+
+  std::vector<Sequence> patterns;
+  std::vector<ConstraintSpec> constraints;
+  bool any_constrained = false;
+  for (auto& p : parsed) {
+    patterns.push_back(std::move(p.pattern));
+    if (!p.constraints.IsUnconstrained()) any_constrained = true;
+    constraints.push_back(std::move(p.constraints));
+  }
+  if (!any_constrained) constraints.clear();
+
+  SanitizeOptions opts;
+  SEQHIDE_ASSIGN_OR_RETURN(opts.psi, FlagAsSize(args, "psi", 0));
+  SEQHIDE_ASSIGN_OR_RETURN(opts.seed, FlagAsSize(args, "seed", 1));
+  SEQHIDE_ASSIGN_OR_RETURN(opts.num_threads, FlagAsSize(args, "threads", 1));
+  std::string algo = "HH";
+  if (auto it = args.flags.find("algo"); it != args.flags.end()) {
+    algo = it->second;
+  }
+  if (algo == "HH") {
+    opts.local = LocalStrategy::kHeuristic;
+    opts.global = GlobalStrategy::kHeuristic;
+  } else if (algo == "HR") {
+    opts.local = LocalStrategy::kHeuristic;
+    opts.global = GlobalStrategy::kRandom;
+  } else if (algo == "RH") {
+    opts.local = LocalStrategy::kRandom;
+    opts.global = GlobalStrategy::kHeuristic;
+  } else if (algo == "RR") {
+    opts.local = LocalStrategy::kRandom;
+    opts.global = GlobalStrategy::kRandom;
+  } else {
+    return Status::InvalidArgument("--algo must be HH, HR, RH or RR");
+  }
+
+  SEQHIDE_ASSIGN_OR_RETURN(SanitizeReport report,
+                           Sanitize(&db, patterns, constraints, opts));
+  std::cout << report.ToString() << "\n";
+
+  std::string stage2 = "keep";
+  if (auto it = args.flags.find("stage2"); it != args.flags.end()) {
+    stage2 = it->second;
+  }
+  if (stage2 == "delete") {
+    std::cout << "stage2: deleted " << DeleteMarks(&db) << " marks\n";
+  } else if (stage2 == "replace") {
+    ReplaceOptions replace_options;
+    replace_options.seed = opts.seed;
+    SEQHIDE_ASSIGN_OR_RETURN(
+        ReplaceReport stage2_report,
+        ReplaceMarks(&db, patterns, constraints, replace_options));
+    std::cout << "stage2: replaced " << stage2_report.replaced << ", deleted "
+              << stage2_report.deleted << "\n";
+  } else if (stage2 != "keep") {
+    return Status::InvalidArgument("--stage2 must be keep, delete or replace");
+  }
+
+  SEQHIDE_RETURN_IF_ERROR(WriteDatabaseToFile(db, out_it->second));
+  std::cout << "wrote " << out_it->second << "\n";
+  return Status::OK();
+}
+
+int Main(int argc, char** argv) {
+  ParsedArgs args;
+  if (!ParseArgs(argc, argv, &args)) {
+    PrintUsage();
+    return 1;
+  }
+  Result<bool> itemset = IsItemsetFormat(args.flags);
+  if (!itemset.ok()) {
+    std::cerr << "error: " << itemset.status() << "\n";
+    return 1;
+  }
+  Status status = Status::OK();
+  if (args.command == "stats") {
+    status = *itemset ? RunStatsItemset(args) : RunStats(args);
+  } else if (args.command == "support") {
+    status = RunSupport(args);
+  } else if (args.command == "mine") {
+    status = *itemset ? RunMineItemset(args) : RunMine(args);
+  } else if (args.command == "sanitize") {
+    status = *itemset ? RunSanitizeItemset(args) : RunSanitize(args);
+  } else {
+    PrintUsage();
+    return 1;
+  }
+  if (!status.ok()) {
+    std::cerr << "error: " << status << "\n";
+    return status.IsInvalidArgument() ? 1 : 2;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace seqhide
+
+int main(int argc, char** argv) { return seqhide::Main(argc, argv); }
