@@ -16,13 +16,38 @@
 #include "src/hide/hitting_set.h"
 #include "src/hide/local.h"
 #include "src/hide/sanitizer.h"
+#include "src/obs/metrics.h"
 
 namespace seqhide {
 namespace {
 
+// Prints the obs counters a section moved, so its cost can be attributed
+// to δ-recomputations / DP rows rather than guessed. RAII: snapshot on
+// entry, delta on exit.
+class SectionCounters {
+ public:
+  SectionCounters() : before_(obs::MetricsRegistry::Default().Snapshot()) {}
+  ~SectionCounters() {
+    obs::MetricsSnapshot delta = obs::SnapshotDelta(
+        before_, obs::MetricsRegistry::Default().Snapshot());
+    bool any = false;
+    for (const auto& [name, value] : delta.counters) {
+      if (value == 0) continue;
+      if (!any) std::cout << "  -- counters this section:\n";
+      any = true;
+      std::cout << "     " << name << " = " << value << "\n";
+    }
+    if (any) std::cout << "\n";
+  }
+
+ private:
+  obs::MetricsSnapshot before_;
+};
+
 void LocalOptimalityGap() {
   std::cout << "== Ablation A: local heuristic vs optimal (200 random "
                "sequences, |T|=12, |Sigma|=3) ==\n";
+  SectionCounters section_counters;
   Rng rng(20240101);
   size_t optimal_total = 0, heuristic_total = 0, random_total = 0;
   size_t heuristic_hits = 0, trials = 0;
@@ -68,6 +93,7 @@ void LocalOptimalityGap() {
 void GlobalOrderingComparison() {
   std::cout << "== Ablation B: global orderings on TRUCKS (M1, psi sweep) "
                "==\n";
+  SectionCounters section_counters;
   ExperimentWorkload w = MakeTrucksWorkload();
   struct Entry {
     const char* label;
@@ -112,6 +138,7 @@ void GlobalOrderingComparison() {
 void LocalStrategyOnTrucks() {
   std::cout << "== Ablation C: local strategies on TRUCKS (M1, heuristic "
                "global) ==\n";
+  SectionCounters section_counters;
   ExperimentWorkload w = MakeTrucksWorkload();
   struct Entry {
     const char* label;

@@ -11,7 +11,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+
 #include "src/common/random.h"
+#include "src/obs/metrics.h"
 #include "src/data/workload.h"
 #include "src/hide/local.h"
 #include "src/hide/sanitizer.h"
@@ -27,6 +30,12 @@
 namespace seqhide {
 namespace {
 
+// Current value of an obs counter (0 when observability is compiled out
+// or the counter has not been touched yet).
+uint64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Default().GetCounter(name)->Value();
+}
+
 Sequence MakeSeq(size_t n, size_t alphabet, uint64_t seed) {
   Rng rng(seed);
   Sequence out;
@@ -40,9 +49,15 @@ void BM_CountMatchings(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   Sequence t = MakeSeq(n, 10, 1);
   Sequence s = MakeSeq(3, 10, 2);
+  const uint64_t rows_before = CounterValue("match.count.dp_rows");
   for (auto _ : state) {
     benchmark::DoNotOptimize(CountMatchings(s, t));
   }
+  // Attribute time to DP rows, not guesses: rows per iteration shows up
+  // in the report next to the wall time.
+  state.counters["dp_rows"] = benchmark::Counter(
+      static_cast<double>(CounterValue("match.count.dp_rows") - rows_before),
+      benchmark::Counter::kAvgIterations);
   state.SetComplexityN(static_cast<int64_t>(n));
 }
 BENCHMARK(BM_CountMatchings)->Range(16, 4096)->Complexity(benchmark::oN);
@@ -177,6 +192,10 @@ void BM_SanitizeIndexedVsScan(benchmark::State& state) {
   SequenceDatabase base = MakeRandomDatabase(gen);
   std::vector<Sequence> patterns = {MakeSeq(2, 100, 24),
                                     MakeSeq(3, 100, 25)};
+  const uint64_t dp_before = CounterValue("sanitize.index_dp_rows") +
+                             CounterValue("sanitize.scan_dp_rows") +
+                             CounterValue("global.match_info_rows");
+  const uint64_t pruned_before = CounterValue("sanitize.index_pruned_rows");
   for (auto _ : state) {
     SequenceDatabase db = base;
     SanitizeOptions opts = SanitizeOptions::HH();
@@ -184,6 +203,16 @@ void BM_SanitizeIndexedVsScan(benchmark::State& state) {
     auto report = Sanitize(&db, patterns, opts);
     benchmark::DoNotOptimize(report.ok());
   }
+  const uint64_t dp_after = CounterValue("sanitize.index_dp_rows") +
+                            CounterValue("sanitize.scan_dp_rows") +
+                            CounterValue("global.match_info_rows");
+  state.counters["dp_rows"] = benchmark::Counter(
+      static_cast<double>(dp_after - dp_before),
+      benchmark::Counter::kAvgIterations);
+  state.counters["pruned_rows"] = benchmark::Counter(
+      static_cast<double>(CounterValue("sanitize.index_pruned_rows") -
+                          pruned_before),
+      benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_SanitizeIndexedVsScan)
     ->Arg(0)
@@ -205,4 +234,15 @@ BENCHMARK(BM_MineLevelWiseTrucks)->Arg(10)->Arg(20)->Arg(40);
 }  // namespace
 }  // namespace seqhide
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN) so the cumulative obs counter
+// dump lands after the benchmark table: time can be attributed to DP
+// rows / index pruning instead of guessed at.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::cout << "\n== obs counters (cumulative over all benchmarks) ==\n"
+            << seqhide::obs::MetricsRegistry::Default().Snapshot().ToText();
+  return 0;
+}

@@ -6,6 +6,7 @@
 #include "src/common/logging.h"
 #include "src/match/constrained_count.h"
 #include "src/match/count.h"
+#include "src/obs/macros.h"
 
 namespace seqhide {
 namespace {
@@ -34,6 +35,8 @@ std::vector<SequenceMatchInfo> ComputeMatchInfo(
     const std::vector<ConstraintSpec>& constraints) {
   SEQHIDE_CHECK(constraints.empty() || constraints.size() == patterns.size())
       << "constraints must be empty or parallel to patterns";
+  SEQHIDE_TRACE_SPAN("compute_match_info");
+  SEQHIDE_COUNTER_ADD("global.match_info_rows", db.size() * patterns.size());
   std::vector<SequenceMatchInfo> info(db.size());
   for (size_t t = 0; t < db.size(); ++t) {
     info[t].index = t;
@@ -61,8 +64,10 @@ std::vector<size_t> SelectSequencesToSanitize(
   for (const auto& i : info) {
     if (i.matching_count > 0) supporters.push_back(i.index);
   }
+  SEQHIDE_GAUGE_SET("global.supporters", supporters.size());
   if (supporters.size() <= psi) return {};  // already disclosed safely
   const size_t to_sanitize = supporters.size() - psi;
+  SEQHIDE_GAUGE_SET("global.victims", to_sanitize);
 
   switch (strategy) {
     case GlobalStrategy::kHeuristic:

@@ -3,6 +3,7 @@
 #include "src/common/logging.h"
 #include "src/hide/hitting_set.h"
 #include "src/match/position_delta.h"
+#include "src/obs/macros.h"
 
 namespace seqhide {
 
@@ -21,9 +22,15 @@ LocalSanitizeResult SanitizeSequence(
     for (size_t pos : optimal.positions) seq->Mark(pos);
     result.marked_positions = optimal.positions;
     result.marks_introduced = optimal.num_marks;
+    SEQHIDE_COUNTER_ADD("local.marks", result.marks_introduced);
+    SEQHIDE_HISTOGRAM_RECORD("local.marks_per_sequence",
+                             result.marks_introduced);
     return result;
   }
   for (;;) {
+    // Each round recomputes δ for every pattern — the dominant cost of
+    // the local stage and the number the paper's Alg. 1 loop hides.
+    SEQHIDE_COUNTER_INC("local.delta_recomputations");
     std::vector<uint64_t> deltas =
         PositionDeltasTotal(patterns, constraints, *seq);
 
@@ -53,6 +60,9 @@ LocalSanitizeResult SanitizeSequence(
     result.marked_positions.push_back(chosen);
     ++result.marks_introduced;
   }
+  SEQHIDE_COUNTER_ADD("local.marks", result.marks_introduced);
+  SEQHIDE_HISTOGRAM_RECORD("local.marks_per_sequence",
+                           result.marks_introduced);
   return result;
 }
 

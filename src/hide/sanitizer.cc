@@ -15,6 +15,8 @@
 #include "src/match/constrained_count.h"
 #include "src/match/count.h"
 #include "src/mine/inverted_index.h"
+#include "src/obs/macros.h"
+#include "src/obs/trace.h"
 
 namespace seqhide {
 namespace {
@@ -66,11 +68,16 @@ size_t ConstrainedSupport(const SequenceDatabase& db, const Sequence& pattern,
                           const InvertedIndex* index) {
   size_t count = 0;
   if (index != nullptr) {
-    for (size_t t : index->CandidateSupporters(pattern)) {
+    const std::vector<size_t> candidates = index->CandidateSupporters(pattern);
+    SEQHIDE_COUNTER_ADD("sanitize.index_dp_rows", candidates.size());
+    SEQHIDE_COUNTER_ADD("sanitize.index_pruned_rows",
+                        db.size() - candidates.size());
+    for (size_t t : candidates) {
       if (HasConstrainedMatch(pattern, spec, db[t])) ++count;
     }
     return count;
   }
+  SEQHIDE_COUNTER_ADD("sanitize.scan_dp_rows", db.size());
   for (const auto& seq : db.sequences()) {
     if (HasConstrainedMatch(pattern, spec, seq)) ++count;
   }
@@ -91,7 +98,13 @@ std::vector<SequenceMatchInfo> ComputeMatchInfoIndexed(
   for (size_t p = 0; p < patterns.size(); ++p) {
     const ConstraintSpec& spec =
         constraints.empty() ? ConstraintSpec() : constraints[p];
-    for (size_t t : index.CandidateSupporters(patterns[p])) {
+    const std::vector<size_t> candidates =
+        index.CandidateSupporters(patterns[p]);
+    // Rows the index let us skip: they get a zero count with no DP.
+    SEQHIDE_COUNTER_ADD("sanitize.index_dp_rows", candidates.size());
+    SEQHIDE_COUNTER_ADD("sanitize.index_pruned_rows",
+                        db.size() - candidates.size());
+    for (size_t t : candidates) {
       uint64_t c = CountConstrainedMatchings(patterns[p], spec, db[t]);
       info[t].pattern_support[p] = (c > 0);
       info[t].matching_count = SatAdd(info[t].matching_count, c);
@@ -117,7 +130,9 @@ std::string SanitizeReport::ToString() const {
     if (i > 0) out << ",";
     out << supports_after[i];
   }
-  out << "] elapsed=" << elapsed_seconds << "s}";
+  out << "] elapsed=" << elapsed_seconds << "s (count=" << stages.count_seconds
+      << "s select=" << stages.select_seconds << "s mark="
+      << stages.mark_seconds << "s verify=" << stages.verify_seconds << "s)}";
   return out.str();
 }
 
@@ -131,6 +146,8 @@ Result<SanitizeReport> Sanitize(SequenceDatabase* db,
   Stopwatch timer;
   SanitizeReport report;
   Rng rng(opts.seed);
+  SEQHIDE_TRACE_SPAN("sanitize");
+  SEQHIDE_COUNTER_INC("sanitize.runs");
 
   // Optional inverted index: prunes the sequences that need any DP work.
   std::optional<InvertedIndex> index;
@@ -142,88 +159,104 @@ Result<SanitizeReport> Sanitize(SequenceDatabase* db,
     return constraints.empty() ? kUnconstrained : constraints[p];
   };
 
-  for (size_t p = 0; p < patterns.size(); ++p) {
-    report.supports_before.push_back(
-        ConstrainedSupport(*db, patterns[p], spec_for(p), index_ptr));
-  }
-
-  // Stage 1 of Algorithm 1: matching-set sizes for every sequence.
-  std::vector<SequenceMatchInfo> info =
-      index ? ComputeMatchInfoIndexed(*db, patterns, constraints, *index)
-            : ComputeMatchInfo(*db, patterns, constraints);
-  for (const auto& i : info) {
-    if (i.matching_count > 0) ++report.sequences_supporting_before;
+  // Stage 1 of Algorithm 1: matching-set sizes for every sequence
+  // (Lemma 2 / Lemma 4 DPs), plus the supports-before scan.
+  std::vector<SequenceMatchInfo> info;
+  {
+    obs::ScopedTimer stage_timer(&report.stages.count_seconds);
+    SEQHIDE_TRACE_SPAN("count");
+    for (size_t p = 0; p < patterns.size(); ++p) {
+      report.supports_before.push_back(
+          ConstrainedSupport(*db, patterns[p], spec_for(p), index_ptr));
+    }
+    info = index ? ComputeMatchInfoIndexed(*db, patterns, constraints, *index)
+                 : ComputeMatchInfo(*db, patterns, constraints);
+    for (const auto& i : info) {
+      if (i.matching_count > 0) ++report.sequences_supporting_before;
+    }
   }
 
   // Stage 2: pick the victims.
   std::vector<size_t> victims;
-  if (!opts.per_pattern_psi.empty()) {
-    victims =
-        SelectSequencesToSanitizeMultiThreshold(info, opts.per_pattern_psi);
-  } else {
-    victims =
-        SelectSequencesToSanitize(*db, info, opts.global, opts.psi, &rng);
+  {
+    obs::ScopedTimer stage_timer(&report.stages.select_seconds);
+    SEQHIDE_TRACE_SPAN("select");
+    if (!opts.per_pattern_psi.empty()) {
+      victims =
+          SelectSequencesToSanitizeMultiThreshold(info, opts.per_pattern_psi);
+    } else {
+      victims =
+          SelectSequencesToSanitize(*db, info, opts.global, opts.psi, &rng);
+    }
   }
+  SEQHIDE_GAUGE_SET("sanitize.victims", victims.size());
 
   // Stage 3: destroy all matchings inside each victim. Victims are
   // independent, so the stage parallelizes; a per-victim generator keyed
   // on (seed, sequence index) makes the result identical for any thread
   // count.
-  auto sanitize_victim = [&](size_t t) -> size_t {
-    Rng local_rng(opts.seed ^ (0x9e3779b97f4a7c15ULL * (t + 1)));
-    LocalSanitizeResult local = SanitizeSequence(
-        db->mutable_sequence(t), patterns, constraints, opts.local,
-        &local_rng);
-    SEQHIDE_DCHECK(local.marks_introduced > 0)
-        << "selected sequence had no matchings";
-    return local.marks_introduced;
-  };
-  const size_t threads =
-      std::max<size_t>(1, std::min(opts.num_threads, victims.size()));
-  if (threads <= 1) {
-    for (size_t t : victims) report.marks_introduced += sanitize_victim(t);
-  } else {
-    std::atomic<size_t> next{0};
-    std::atomic<size_t> total_marks{0};
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (size_t w = 0; w < threads; ++w) {
-      pool.emplace_back([&] {
-        for (;;) {
-          size_t slot = next.fetch_add(1);
-          if (slot >= victims.size()) return;
-          total_marks.fetch_add(sanitize_victim(victims[slot]));
-        }
-      });
+  {
+    obs::ScopedTimer stage_timer(&report.stages.mark_seconds);
+    SEQHIDE_TRACE_SPAN("mark");
+    auto sanitize_victim = [&](size_t t) -> size_t {
+      Rng local_rng(opts.seed ^ (0x9e3779b97f4a7c15ULL * (t + 1)));
+      LocalSanitizeResult local = SanitizeSequence(
+          db->mutable_sequence(t), patterns, constraints, opts.local,
+          &local_rng);
+      SEQHIDE_DCHECK(local.marks_introduced > 0)
+          << "selected sequence had no matchings";
+      return local.marks_introduced;
+    };
+    const size_t threads =
+        std::max<size_t>(1, std::min(opts.num_threads, victims.size()));
+    if (threads <= 1) {
+      for (size_t t : victims) report.marks_introduced += sanitize_victim(t);
+    } else {
+      std::atomic<size_t> next{0};
+      std::atomic<size_t> total_marks{0};
+      std::vector<std::thread> pool;
+      pool.reserve(threads);
+      for (size_t w = 0; w < threads; ++w) {
+        pool.emplace_back([&] {
+          for (;;) {
+            size_t slot = next.fetch_add(1);
+            if (slot >= victims.size()) return;
+            total_marks.fetch_add(sanitize_victim(victims[slot]));
+          }
+        });
+      }
+      for (auto& worker : pool) worker.join();
+      report.marks_introduced = total_marks.load();
     }
-    for (auto& worker : pool) worker.join();
-    report.marks_introduced = total_marks.load();
+    report.sequences_sanitized = victims.size();
   }
-  report.sequences_sanitized = victims.size();
 
   // The database changed; the pre-sanitization index is stale.
   index.reset();
   index_ptr = nullptr;
 
-  for (size_t p = 0; p < patterns.size(); ++p) {
-    report.supports_after.push_back(
-        ConstrainedSupport(*db, patterns[p], spec_for(p), nullptr));
-  }
-  report.elapsed_seconds = timer.ElapsedSeconds();
-
-  if (opts.verify) {
+  {
+    obs::ScopedTimer stage_timer(&report.stages.verify_seconds);
+    SEQHIDE_TRACE_SPAN("verify");
     for (size_t p = 0; p < patterns.size(); ++p) {
-      size_t limit =
-          opts.per_pattern_psi.empty() ? opts.psi : opts.per_pattern_psi[p];
-      if (report.supports_after[p] > limit) {
-        return Status::Internal(
-            "disclosure requirement violated after sanitization: pattern " +
-            std::to_string(p) + " has support " +
-            std::to_string(report.supports_after[p]) + " > " +
-            std::to_string(limit));
+      report.supports_after.push_back(
+          ConstrainedSupport(*db, patterns[p], spec_for(p), nullptr));
+    }
+    if (opts.verify) {
+      for (size_t p = 0; p < patterns.size(); ++p) {
+        size_t limit =
+            opts.per_pattern_psi.empty() ? opts.psi : opts.per_pattern_psi[p];
+        if (report.supports_after[p] > limit) {
+          return Status::Internal(
+              "disclosure requirement violated after sanitization: pattern " +
+              std::to_string(p) + " has support " +
+              std::to_string(report.supports_after[p]) + " > " +
+              std::to_string(limit));
+        }
       }
     }
   }
+  report.elapsed_seconds = timer.ElapsedSeconds();
   return report;
 }
 

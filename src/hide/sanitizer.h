@@ -28,6 +28,21 @@
 
 namespace seqhide {
 
+// Wall time of each stage of Algorithm 1 (seconds). Populated by
+// Sanitize() unconditionally — stage timing is a few clock reads per
+// call, cheap enough to keep even in SEQHIDE_OBS_DISABLED builds.
+struct StageTimings {
+  // Stage 1: per-sequence matching-set sizes (Lemma 2 / Lemma 4 DPs),
+  // including the supports-before scan.
+  double count_seconds = 0.0;
+  // Stage 2: global victim selection.
+  double select_seconds = 0.0;
+  // Stage 3: per-victim local marking loop.
+  double mark_seconds = 0.0;
+  // Supports-after scan + disclosure re-check (opts.verify).
+  double verify_seconds = 0.0;
+};
+
 // What happened during one Sanitize() call.
 struct SanitizeReport {
   // Total Δ symbols introduced — the paper's M1 data-distortion measure.
@@ -46,6 +61,9 @@ struct SanitizeReport {
   std::vector<size_t> supports_after;
 
   double elapsed_seconds = 0.0;
+
+  // Where elapsed_seconds went, stage by stage.
+  StageTimings stages;
 
   std::string ToString() const;
 };

@@ -6,6 +6,7 @@
 #include "src/match/constrained_count.h"
 #include "src/match/count.h"
 #include "src/mine/prefix_span.h"
+#include "src/obs/macros.h"
 
 namespace seqhide {
 namespace {
@@ -68,6 +69,7 @@ Result<ReplaceReport> ReplaceMarks(
         "constraints list must be empty or have one entry per pattern");
   }
 
+  SEQHIDE_TRACE_SPAN("replace_marks");
   Rng rng(options.seed);
   ReplaceReport report;
   const size_t alphabet_size = db->alphabet().size();
@@ -125,6 +127,7 @@ Result<ReplaceReport> ReplaceMarks(
       // occurrences in this sequence.
       bool replaced = false;
       for (SymbolId candidate : candidates) {
+        SEQHIDE_COUNTER_INC("second_stage.candidates_tried");
         Sequence trial = *seq;
         std::vector<SymbolId> symbols = trial.symbols();
         symbols[pos] = candidate;
@@ -154,6 +157,9 @@ Result<ReplaceReport> ReplaceMarks(
     size_t removed = DeleteMarks(db);
     SEQHIDE_CHECK_EQ(removed, report.deleted);
   }
+
+  SEQHIDE_COUNTER_ADD("second_stage.replaced", report.replaced);
+  SEQHIDE_COUNTER_ADD("second_stage.deleted", report.deleted);
 
   // Post-condition: nothing was re-generated.
   for (const auto& seq : db->sequences()) {

@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/match/count.h"
+#include "src/obs/macros.h"
 
 namespace seqhide {
 namespace {
@@ -66,6 +67,8 @@ uint64_t CountWindowedMatchings(const Sequence& pattern,
                                 const ConstraintSpec& spec,
                                 const Sequence& seq) {
   const size_t ws = *spec.max_window();
+  SEQHIDE_COUNTER_INC("match.window.calls");
+  SEQHIDE_COUNTER_ADD("match.window.slices", seq.size());
   uint64_t total = 0;
   for (size_t j = 0; j < seq.size(); ++j) {
     size_t first = (j + 1 >= ws) ? j + 1 - ws : 0;
@@ -82,6 +85,9 @@ PrefixEndTable BuildGapEndTable(const Sequence& pattern,
                                 const Sequence& seq) {
   const size_t m = pattern.size();
   const size_t n = seq.size();
+  SEQHIDE_COUNTER_INC("match.gap.tables_built");
+  SEQHIDE_COUNTER_ADD("match.gap.dp_rows", m);
+  SEQHIDE_COUNTER_ADD("match.gap.dp_cells", m * (n + 1));
   PrefixEndTable table(m + 1, std::vector<uint64_t>(n + 1, 0));
   table[0][0] = 1;
   if (m == 0) return table;

@@ -1,6 +1,7 @@
 #include "src/match/count.h"
 
 #include "src/common/logging.h"
+#include "src/obs/macros.h"
 
 namespace seqhide {
 
@@ -9,6 +10,9 @@ uint64_t CountMatchings(const Sequence& pattern, const Sequence& seq) {
   const size_t n = seq.size();
   if (m == 0) return 1;  // the empty embedding
   if (m > n) return 0;
+  SEQHIDE_COUNTER_INC("match.count.calls");
+  SEQHIDE_COUNTER_ADD("match.count.dp_rows", m);
+  SEQHIDE_COUNTER_ADD("match.count.dp_cells", m * n);
 
   // One row per pattern prefix, rolled over sequence positions.
   // row[i] = number of embeddings of S[0..i-1] in the prefix of T seen so

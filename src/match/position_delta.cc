@@ -4,6 +4,7 @@
 #include "src/match/constrained_count.h"
 #include "src/match/count.h"
 #include "src/match/prefix_table.h"
+#include "src/obs/macros.h"
 
 namespace seqhide {
 namespace {
@@ -63,6 +64,7 @@ std::vector<uint64_t> PositionDeltas(const Sequence& pattern,
     // matched position; use the always-correct mark-and-recount method.
     return PositionDeltasByMarking(pattern, spec, seq);
   }
+  SEQHIDE_COUNTER_INC("delta.fast_calls");
 
   // fwd[k][j] (1-based j): gap-valid embeddings of S[1..k] ending at j.
   PrefixEndTable fwd = spec.HasGaps() ? BuildGapEndTable(pattern, spec, seq)
@@ -102,6 +104,7 @@ std::vector<uint64_t> PositionDeltasTotal(
 
 std::vector<uint64_t> PositionDeltasByDeletion(const Sequence& pattern,
                                                const Sequence& seq) {
+  SEQHIDE_COUNTER_INC("delta.deletion_calls");
   const uint64_t base = CountMatchings(pattern, seq);
   std::vector<uint64_t> deltas(seq.size(), 0);
   for (size_t i = 0; i < seq.size(); ++i) {
@@ -121,6 +124,7 @@ std::vector<uint64_t> PositionDeltasByDeletion(const Sequence& pattern,
 std::vector<uint64_t> PositionDeltasByMarking(const Sequence& pattern,
                                               const ConstraintSpec& spec,
                                               const Sequence& seq) {
+  SEQHIDE_COUNTER_INC("delta.marking_calls");
   const uint64_t base = CountConstrainedMatchings(pattern, spec, seq);
   std::vector<uint64_t> deltas(seq.size(), 0);
   for (size_t i = 0; i < seq.size(); ++i) {

@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/match/subsequence.h"
+#include "src/obs/macros.h"
 
 namespace seqhide {
 
@@ -86,6 +87,8 @@ std::vector<size_t> InvertedIndex::CandidateSupporters(
     }
     if (ok) candidates.push_back(posting.sequence_id);
   }
+  SEQHIDE_COUNTER_INC("index.candidate_queries");
+  SEQHIDE_COUNTER_ADD("index.candidates_returned", candidates.size());
   return candidates;
 }
 

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "src/match/subsequence.h"
+#include "src/obs/macros.h"
 
 namespace seqhide {
 
@@ -16,6 +17,7 @@ Result<FrequentPatternSet> MineFrequentSequencesLevelWise(
     return Status::InvalidArgument("min_length > max_length");
   }
 
+  SEQHIDE_TRACE_SPAN("mine_level_wise");
   FrequentPatternSet result;
 
   // Level 1: frequent symbols.
@@ -57,6 +59,7 @@ Result<FrequentPatternSet> MineFrequentSequencesLevelWise(
     std::vector<Sequence> next;
     for (const Sequence& base : frontier) {
       for (SymbolId s : frequent_symbols) {
+        SEQHIDE_COUNTER_INC("mine.levelwise.candidates");
         Sequence candidate = base;
         candidate.Append(s);
         size_t support = Support(candidate, db);

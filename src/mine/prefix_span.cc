@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "src/common/logging.h"
+#include "src/obs/macros.h"
 
 namespace seqhide {
 namespace {
@@ -46,6 +47,8 @@ class PrefixSpanMiner {
     if (opts_.max_length != 0 && prefix.size() >= opts_.max_length) {
       return Status::OK();
     }
+    SEQHIDE_COUNTER_INC("mine.prefixspan.grow_calls");
+    SEQHIDE_COUNTER_ADD("mine.prefixspan.projected_rows", projection.size());
     // Count, per symbol, the number of distinct supporting sequences and
     // remember the leftmost occurrence per (symbol, sequence) to build the
     // child projections in one pass.
@@ -99,8 +102,13 @@ class PrefixSpanMiner {
 
 Result<FrequentPatternSet> MineFrequentSequences(const SequenceDatabase& db,
                                                  const MinerOptions& opts) {
+  SEQHIDE_TRACE_SPAN("mine_prefix_span");
   PrefixSpanMiner miner(db, opts);
-  return miner.Mine();
+  Result<FrequentPatternSet> result = miner.Mine();
+  if (result.ok()) {
+    SEQHIDE_COUNTER_ADD("mine.prefixspan.patterns", result->size());
+  }
+  return result;
 }
 
 }  // namespace seqhide

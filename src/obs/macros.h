@@ -1,0 +1,80 @@
+// Compile-out-able instrumentation macros.
+//
+// These are the only way hot paths should touch the obs layer. Each
+// counter/histogram macro resolves its metric once (function-local
+// static, thread-safe in C++) and then performs a single relaxed atomic
+// op per hit. Defining SEQHIDE_OBS_DISABLED (CMake:
+// -DSEQHIDE_ENABLE_OBSERVABILITY=OFF) turns every macro into nothing, so
+// release builds without observability pay zero cost — arguments are not
+// evaluated.
+//
+//   SEQHIDE_COUNTER_INC("local.marks");
+//   SEQHIDE_COUNTER_ADD("match.count.dp_cells", m * n);
+//   SEQHIDE_GAUGE_SET("sanitize.victims", victims.size());
+//   SEQHIDE_HISTOGRAM_RECORD("local.marks_per_sequence", marks);
+//   SEQHIDE_TRACE_SPAN("sanitize");          // RAII, until end of scope
+//
+// Metric names are period-separated lowercase ("subsystem.metric");
+// span names are single path components (no '/'). docs/observability.md
+// lists every name used in the library.
+
+#ifndef SEQHIDE_OBS_MACROS_H_
+#define SEQHIDE_OBS_MACROS_H_
+
+#if !defined(SEQHIDE_OBS_DISABLED)
+
+#include <cstdint>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+#define SEQHIDE_OBS_CONCAT_INNER(a, b) a##b
+#define SEQHIDE_OBS_CONCAT(a, b) SEQHIDE_OBS_CONCAT_INNER(a, b)
+
+#define SEQHIDE_COUNTER_ADD(name, delta)                                  \
+  do {                                                                    \
+    static ::seqhide::obs::Counter* seqhide_obs_counter =                 \
+        ::seqhide::obs::MetricsRegistry::Default().GetCounter(name);      \
+    seqhide_obs_counter->Add(static_cast<uint64_t>(delta));               \
+  } while (0)
+
+#define SEQHIDE_COUNTER_INC(name) SEQHIDE_COUNTER_ADD(name, 1)
+
+#define SEQHIDE_GAUGE_SET(name, value)                                    \
+  do {                                                                    \
+    static ::seqhide::obs::Gauge* seqhide_obs_gauge =                     \
+        ::seqhide::obs::MetricsRegistry::Default().GetGauge(name);        \
+    seqhide_obs_gauge->Set(static_cast<int64_t>(value));                  \
+  } while (0)
+
+#define SEQHIDE_HISTOGRAM_RECORD(name, value)                             \
+  do {                                                                    \
+    static ::seqhide::obs::Histogram* seqhide_obs_histogram =             \
+        ::seqhide::obs::MetricsRegistry::Default().GetHistogram(name);    \
+    seqhide_obs_histogram->Record(static_cast<uint64_t>(value));          \
+  } while (0)
+
+#define SEQHIDE_TRACE_SPAN(name)                                          \
+  ::seqhide::obs::Span SEQHIDE_OBS_CONCAT(seqhide_obs_span_, __COUNTER__)(name)
+
+#else  // SEQHIDE_OBS_DISABLED
+
+#define SEQHIDE_COUNTER_ADD(name, delta) \
+  do {                                   \
+  } while (0)
+#define SEQHIDE_COUNTER_INC(name) \
+  do {                            \
+  } while (0)
+#define SEQHIDE_GAUGE_SET(name, value) \
+  do {                                 \
+  } while (0)
+#define SEQHIDE_HISTOGRAM_RECORD(name, value) \
+  do {                                        \
+  } while (0)
+#define SEQHIDE_TRACE_SPAN(name) \
+  do {                           \
+  } while (0)
+
+#endif  // SEQHIDE_OBS_DISABLED
+
+#endif  // SEQHIDE_OBS_MACROS_H_

@@ -1,0 +1,176 @@
+#include "src/obs/metrics.h"
+
+#include <bit>
+#include <sstream>
+
+namespace seqhide {
+namespace obs {
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::BucketCount(size_t bucket) const {
+  return bucket < kNumBuckets
+             ? buckets_[bucket].load(std::memory_order_relaxed)
+             : 0;
+}
+
+uint64_t Histogram::BucketLowerBound(size_t bucket) {
+  if (bucket == 0) return 0;
+  return uint64_t{1} << (bucket - 1);
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+size_t Histogram::BucketFor(uint64_t value) {
+  // bit_width(0) = 0, bit_width(1) = 1, ..., so bucket b holds values
+  // whose highest set bit is b-1: [2^(b-1), 2^b).
+  return static_cast<size_t>(std::bit_width(value));
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters) {
+    out << "counter " << name << " = " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out << "gauge " << name << " = " << value << "\n";
+  }
+  for (const auto& [name, data] : histograms) {
+    out << "histogram " << name << " count=" << data.count
+        << " sum=" << data.sum << "\n";
+  }
+  for (const auto& [path, data] : spans) {
+    out << "span " << path << " count=" << data.count
+        << " total_ms=" << static_cast<double>(data.total_ns) / 1e6 << "\n";
+  }
+  return out.str();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never freed
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::RecordSpan(std::string_view path, uint64_t elapsed_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = spans_.find(path);
+  if (it == spans_.end()) {
+    it = spans_.emplace(std::string(path), SpanAggregate{}).first;
+  }
+  SpanAggregate& agg = it->second;
+  if (agg.count == 0 || elapsed_ns < agg.min_ns) agg.min_ns = elapsed_ns;
+  if (agg.count == 0 || elapsed_ns > agg.max_ns) agg.max_ns = elapsed_ns;
+  ++agg.count;
+  agg.total_ns += elapsed_ns;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.count = histogram->Count();
+    data.sum = histogram->Sum();
+    for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+      uint64_t c = histogram->BucketCount(b);
+      if (c > 0) data.buckets.emplace_back(Histogram::BucketLowerBound(b), c);
+    }
+    snap.histograms[name] = std::move(data);
+  }
+  for (const auto& [path, agg] : spans_) {
+    snap.spans[path] =
+        MetricsSnapshot::SpanData{agg.count, agg.total_ns, agg.min_ns,
+                                  agg.max_ns};
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+  spans_.clear();
+}
+
+MetricsSnapshot SnapshotDelta(const MetricsSnapshot& before,
+                              const MetricsSnapshot& after) {
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : after.counters) {
+    auto it = before.counters.find(name);
+    uint64_t base = it == before.counters.end() ? 0 : it->second;
+    delta.counters[name] = value >= base ? value - base : value;
+  }
+  delta.gauges = after.gauges;
+  for (const auto& [name, data] : after.histograms) {
+    auto it = before.histograms.find(name);
+    MetricsSnapshot::HistogramData d = data;
+    if (it != before.histograms.end()) {
+      d.count = data.count >= it->second.count ? data.count - it->second.count
+                                               : data.count;
+      d.sum = data.sum >= it->second.sum ? data.sum - it->second.sum
+                                         : data.sum;
+      d.buckets.clear();  // per-bucket deltas are rarely needed; keep totals
+    }
+    delta.histograms[name] = std::move(d);
+  }
+  for (const auto& [path, data] : after.spans) {
+    auto it = before.spans.find(path);
+    MetricsSnapshot::SpanData d = data;
+    if (it != before.spans.end()) {
+      d.count = data.count >= it->second.count ? data.count - it->second.count
+                                               : data.count;
+      d.total_ns = data.total_ns >= it->second.total_ns
+                       ? data.total_ns - it->second.total_ns
+                       : data.total_ns;
+    }
+    if (d.count > 0) delta.spans[path] = d;
+  }
+  return delta;
+}
+
+}  // namespace obs
+}  // namespace seqhide

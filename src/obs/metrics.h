@@ -1,0 +1,163 @@
+// Observability metrics: process-wide counters, gauges and log-bucketed
+// latency histograms, collected in a thread-safe MetricsRegistry.
+//
+// The paper's §8 names large-dataset efficiency as the open problem; this
+// registry is the substrate every perf PR reports against. Hot paths
+// record through the macros in src/obs/macros.h (which cache the metric
+// pointer in a function-local static and compile out entirely when
+// SEQHIDE_OBS_DISABLED is defined); cold paths may call the registry
+// directly.
+//
+// Design constraints:
+//   * Increments are lock-free (relaxed atomics) — safe from the
+//     sanitizer's worker threads and cheap enough for DP inner loops.
+//   * Metric pointers returned by the registry are stable for the
+//     registry's lifetime, so callers may cache them.
+//   * Snapshot() is linearizable per metric, not across metrics: a
+//     snapshot taken while workers run shows each counter at some point
+//     in time during the call.
+
+#ifndef SEQHIDE_OBS_METRICS_H_
+#define SEQHIDE_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seqhide {
+namespace obs {
+
+// Monotonically increasing event count (e.g. DP rows computed).
+class Counter {
+ public:
+  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-write-wins instantaneous value (e.g. current database size).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Log2-bucketed histogram of non-negative values (typically latencies in
+// nanoseconds). Value v lands in bucket floor(log2(v)) + 1, with v == 0 in
+// bucket 0, so bucket b covers [2^(b-1), 2^b - 1]. 65 buckets cover the
+// full uint64 range; recording is lock-free.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 65;
+
+  void Record(uint64_t value);
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t BucketCount(size_t bucket) const;
+  void Reset();
+
+  // Inclusive lower bound of a bucket: 0 for bucket 0, else 2^(bucket-1).
+  static uint64_t BucketLowerBound(size_t bucket);
+  // Index of the bucket `value` falls into.
+  static size_t BucketFor(uint64_t value);
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+// Point-in-time copy of everything a registry has seen. Plain data —
+// safe to keep after the registry mutates further.
+struct MetricsSnapshot {
+  struct HistogramData {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    // (inclusive lower bound, count) for every non-empty bucket, ascending.
+    std::vector<std::pair<uint64_t, uint64_t>> buckets;
+  };
+  struct SpanData {
+    uint64_t count = 0;
+    uint64_t total_ns = 0;
+    uint64_t min_ns = 0;
+    uint64_t max_ns = 0;
+  };
+
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramData> histograms;
+  // Keyed by hierarchical span path ("sanitize/mark"), see obs/trace.h.
+  std::map<std::string, SpanData> spans;
+
+  // Human-readable dump (one metric per line), for benches and debugging.
+  std::string ToText() const;
+};
+
+// Thread-safe named-metric registry. Lookup takes a mutex; the returned
+// pointers are stable and lock-free to update.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide registry used by the SEQHIDE_* macros.
+  static MetricsRegistry& Default();
+
+  // Find-or-create. Never returns null; pointers live as long as the
+  // registry (metrics are never unregistered).
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  // Aggregates one completed span occurrence under `path` (obs/trace.h).
+  void RecordSpan(std::string_view path, uint64_t elapsed_ns);
+
+  MetricsSnapshot Snapshot() const;
+
+  // Zeroes counters/gauges/histograms and forgets spans. Existing metric
+  // pointers remain valid (counters are reset in place). Intended for
+  // tests and bench section boundaries, not for concurrent production use.
+  void Reset();
+
+ private:
+  struct SpanAggregate {
+    uint64_t count = 0;
+    uint64_t total_ns = 0;
+    uint64_t min_ns = 0;
+    uint64_t max_ns = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, SpanAggregate, std::less<>> spans_;
+};
+
+// Difference between two snapshots of the same registry (after - before),
+// for attributing counter activity to a bench section. Counters/histogram
+// counts subtract; gauges keep the `after` value; spans subtract counts
+// and totals (min/max are taken from `after`).
+MetricsSnapshot SnapshotDelta(const MetricsSnapshot& before,
+                              const MetricsSnapshot& after);
+
+}  // namespace obs
+}  // namespace seqhide
+
+#endif  // SEQHIDE_OBS_METRICS_H_

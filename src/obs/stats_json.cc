@@ -1,0 +1,174 @@
+#include "src/obs/stats_json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace seqhide {
+namespace obs {
+
+std::string EscapeJsonString(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!first_in_scope_.empty()) {
+    if (!first_in_scope_.back()) out_ << ",";
+    first_in_scope_.back() = false;
+  }
+}
+
+void JsonWriter::Raw(std::string_view text) { out_ << text; }
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  Raw("{");
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  first_in_scope_.pop_back();
+  Raw("}");
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  Raw("[");
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  first_in_scope_.pop_back();
+  Raw("]");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  if (!first_in_scope_.empty()) {
+    if (!first_in_scope_.back()) out_ << ",";
+    first_in_scope_.back() = false;
+  }
+  out_ << "\"" << EscapeJsonString(key) << "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ << "\"" << EscapeJsonString(value) << "\"";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ << value;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(uint64_t value) {
+  BeforeValue();
+  out_ << value;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) value = 0.0;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ << (value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::KeyString(std::string_view key,
+                                  std::string_view value) {
+  return Key(key).String(value);
+}
+JsonWriter& JsonWriter::KeyInt(std::string_view key, int64_t value) {
+  return Key(key).Int(value);
+}
+JsonWriter& JsonWriter::KeyUint(std::string_view key, uint64_t value) {
+  return Key(key).Uint(value);
+}
+JsonWriter& JsonWriter::KeyDouble(std::string_view key, double value) {
+  return Key(key).Double(value);
+}
+JsonWriter& JsonWriter::KeyBool(std::string_view key, bool value) {
+  return Key(key).Bool(value);
+}
+
+void WriteSnapshotMembers(const MetricsSnapshot& snapshot, JsonWriter* out) {
+  out->Key("counters").BeginObject();
+  for (const auto& [name, value] : snapshot.counters) {
+    out->KeyUint(name, value);
+  }
+  out->EndObject();
+
+  out->Key("gauges").BeginObject();
+  for (const auto& [name, value] : snapshot.gauges) {
+    out->KeyInt(name, value);
+  }
+  out->EndObject();
+
+  out->Key("spans").BeginObject();
+  for (const auto& [path, data] : snapshot.spans) {
+    out->Key(path).BeginObject();
+    out->KeyUint("count", data.count);
+    out->KeyUint("total_ns", data.total_ns);
+    out->KeyUint("min_ns", data.min_ns);
+    out->KeyUint("max_ns", data.max_ns);
+    out->EndObject();
+  }
+  out->EndObject();
+
+  out->Key("histograms").BeginObject();
+  for (const auto& [name, data] : snapshot.histograms) {
+    out->Key(name).BeginObject();
+    out->KeyUint("count", data.count);
+    out->KeyUint("sum", data.sum);
+    out->Key("buckets").BeginArray();
+    for (const auto& [lower, count] : data.buckets) {
+      out->BeginArray().Uint(lower).Uint(count).EndArray();
+    }
+    out->EndArray();
+    out->EndObject();
+  }
+  out->EndObject();
+}
+
+}  // namespace obs
+}  // namespace seqhide

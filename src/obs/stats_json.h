@@ -1,0 +1,72 @@
+// Minimal JSON emitter for machine-readable run reports (--stats-json),
+// plus a serializer for MetricsSnapshot. No external dependency: the
+// container bakes in no JSON library, and the needs here (objects,
+// arrays, scalars, string escaping) are small.
+//
+// JsonWriter is a push-style writer with validity enforced by usage
+// discipline, not by the type system: keys only inside objects, values
+// only inside arrays or after a key. It never emits NaN/Inf (both are
+// mapped to 0, keeping the output parseable).
+
+#ifndef SEQHIDE_OBS_STATS_JSON_H_
+#define SEQHIDE_OBS_STATS_JSON_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace seqhide {
+namespace obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Key for the next value (must be inside an object).
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Uint(uint64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+
+  // Shorthand: Key(k) + the matching value call.
+  JsonWriter& KeyString(std::string_view key, std::string_view value);
+  JsonWriter& KeyInt(std::string_view key, int64_t value);
+  JsonWriter& KeyUint(std::string_view key, uint64_t value);
+  JsonWriter& KeyDouble(std::string_view key, double value);
+  JsonWriter& KeyBool(std::string_view key, bool value);
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  void BeforeValue();
+  void Raw(std::string_view text);
+
+  std::ostringstream out_;
+  // One entry per open container: true while no element was emitted yet.
+  std::vector<bool> first_in_scope_;
+  bool after_key_ = false;
+};
+
+// Appends `snapshot` as four JSON members — "counters" (name -> value),
+// "gauges" (name -> value), "spans" (path -> {count, total_ns, min_ns,
+// max_ns}) and "histograms" (name -> {count, sum, buckets:
+// [[lower_bound, count], ...]}). The writer must be positioned inside an
+// open object.
+void WriteSnapshotMembers(const MetricsSnapshot& snapshot, JsonWriter* out);
+
+std::string EscapeJsonString(std::string_view text);
+
+}  // namespace obs
+}  // namespace seqhide
+
+#endif  // SEQHIDE_OBS_STATS_JSON_H_

@@ -1,0 +1,35 @@
+#include "src/obs/trace.h"
+
+namespace seqhide {
+namespace obs {
+namespace {
+
+thread_local Span* g_current_span = nullptr;
+
+}  // namespace
+
+Span::Span(std::string_view name, MetricsRegistry* registry)
+    : start_(Clock::now()), registry_(registry), parent_(g_current_span) {
+  if (parent_ != nullptr) {
+    path_.reserve(parent_->path_.size() + 1 + name.size());
+    path_.append(parent_->path_).append("/").append(name);
+  } else {
+    path_.assign(name);
+  }
+  g_current_span = this;
+}
+
+Span::~Span() {
+  g_current_span = parent_;
+  auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      Clock::now() - start_);
+  registry_->RecordSpan(path_,
+                        static_cast<uint64_t>(elapsed.count()));
+}
+
+std::string Span::CurrentPath() {
+  return g_current_span == nullptr ? std::string() : g_current_span->path_;
+}
+
+}  // namespace obs
+}  // namespace seqhide

@@ -1,0 +1,73 @@
+// RAII trace primitives: hierarchical Spans and a ScopedTimer.
+//
+// A Span measures one region of code and aggregates into the registry
+// under a hierarchical path: spans opened while another span is live on
+// the same thread become its children, and their path is
+// "parent/child" (e.g. "sanitize/mark"). The parent chain is a
+// thread-local stack, so spans must be destroyed in LIFO order per
+// thread — which RAII scoping guarantees. Spans opened on a worker
+// thread do not inherit a parent from the spawning thread; they start a
+// new root on that thread.
+//
+// Prefer the SEQHIDE_TRACE_SPAN macro (src/obs/macros.h): it compiles
+// out entirely in SEQHIDE_OBS_DISABLED builds.
+
+#ifndef SEQHIDE_OBS_TRACE_H_
+#define SEQHIDE_OBS_TRACE_H_
+
+#include <chrono>
+#include <string>
+#include <string_view>
+
+#include "src/obs/metrics.h"
+
+namespace seqhide {
+namespace obs {
+
+class Span {
+ public:
+  // `name` must not contain '/': slashes delimit levels of the path.
+  explicit Span(std::string_view name,
+                MetricsRegistry* registry = &MetricsRegistry::Default());
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  // Path of the innermost live span on this thread ("" if none).
+  static std::string CurrentPath();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  std::string path_;
+  Clock::time_point start_;
+  MetricsRegistry* registry_;
+  Span* parent_;  // previous top of this thread's span stack
+};
+
+// Accumulates the scope's wall time into a double (seconds). Used for
+// report fields that must be populated even in SEQHIDE_OBS_DISABLED
+// builds, where Span is compiled out.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* out_seconds) : out_(out_seconds) {}
+  ~ScopedTimer() {
+    *out_ += std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  double* out_;
+  Clock::time_point start_ = Clock::now();
+};
+
+}  // namespace obs
+}  // namespace seqhide
+
+#endif  // SEQHIDE_OBS_TRACE_H_

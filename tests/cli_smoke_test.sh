@@ -15,8 +15,16 @@ a a b c c b a e
 x y z
 EOF
 
-# stats
-"$CLI" stats --db "$WORK/db.txt" | grep -q "sequences       5"
+# stats (seq format, default and explicit: every reported line)
+STATS="$("$CLI" stats --db "$WORK/db.txt")"
+echo "$STATS" | grep -q "sequences       5"
+echo "$STATS" | grep -q "alphabet        8"
+echo "$STATS" | grep -q "total symbols   22"
+echo "$STATS" | grep -q "marked (delta)  0"
+echo "$STATS" | grep -q "length min/mean/max  3 / 4.4 / 8"
+STATS_EXPLICIT="$("$CLI" stats --db "$WORK/db.txt" --format seq)"
+[ "$STATS" = "$STATS_EXPLICIT" ] || {
+  echo "FAIL: --format seq changed stats output"; exit 1; }
 
 # support (constrained + unconstrained)
 OUT="$("$CLI" support --db "$WORK/db.txt" --pattern "a -> b -> c")"
@@ -31,6 +39,10 @@ echo "$OUT" | grep -q "support=3"
 grep -q "supports_after=\[0\]" "$WORK/log.txt"
 "$CLI" support --db "$WORK/out.txt" --pattern "a -> b -> c" | grep -q "support=0"
 grep -q '\^' "$WORK/out.txt"   # deltas kept
+# stats on the sanitized release reports the introduced marks
+MARKS="$("$CLI" stats --db "$WORK/out.txt" \
+      | sed -n 's/^marked (delta)  \([0-9]*\)$/\1/p')"
+[ "$MARKS" -gt 0 ]
 
 # sanitize with stage2 replacement: no deltas in the release
 "$CLI" sanitize --db "$WORK/db.txt" --out "$WORK/out2.txt" \
@@ -54,7 +66,12 @@ cat > "$WORK/baskets.txt" <<EOF
 (snacks) (wipes)
 (formula) (snacks)
 EOF
-"$CLI" stats --db "$WORK/baskets.txt" --format itemset | grep -q "sequences       4"
+ISTATS="$("$CLI" stats --db "$WORK/baskets.txt" --format itemset)"
+echo "$ISTATS" | grep -q "sequences       4"
+echo "$ISTATS" | grep -q "alphabet        5"
+echo "$ISTATS" | grep -q "total elements  8"
+echo "$ISTATS" | grep -q "total items     9"
+echo "$ISTATS" | grep -q "empty (marked)  0"
 "$CLI" mine --db "$WORK/baskets.txt" --format itemset --sigma 2 \
   | grep -q "(formula) (coupon)"
 "$CLI" sanitize --db "$WORK/baskets.txt" --out "$WORK/baskets_out.txt" \

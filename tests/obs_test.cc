@@ -1,0 +1,253 @@
+// Tests for the observability layer: counter/gauge/histogram semantics,
+// exact sums under concurrent increments, span nesting, snapshot deltas,
+// and the JSON emitter used by --stats-json.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "src/obs/macros.h"
+#include "src/obs/metrics.h"
+#include "src/obs/stats_json.h"
+#include "src/obs/trace.h"
+
+namespace seqhide {
+namespace obs {
+namespace {
+
+TEST(CounterTest, AddAndIncrement) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge g;
+  g.Set(7);
+  g.Set(-3);
+  EXPECT_EQ(g.Value(), -3);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket b covers [2^(b-1), 2^b - 1]; value 0 is its own bucket.
+  EXPECT_EQ(Histogram::BucketFor(0), 0u);
+  EXPECT_EQ(Histogram::BucketFor(1), 1u);
+  EXPECT_EQ(Histogram::BucketFor(2), 2u);
+  EXPECT_EQ(Histogram::BucketFor(3), 2u);
+  EXPECT_EQ(Histogram::BucketFor(4), 3u);
+  EXPECT_EQ(Histogram::BucketFor(1023), 10u);
+  EXPECT_EQ(Histogram::BucketFor(1024), 11u);
+  EXPECT_EQ(Histogram::BucketFor(~uint64_t{0}), 64u);
+
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketLowerBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketLowerBound(11), 1024u);
+}
+
+TEST(HistogramTest, RecordAggregates) {
+  Histogram h;
+  h.Record(0);
+  h.Record(1);
+  h.Record(3);
+  h.Record(3);
+  EXPECT_EQ(h.Count(), 4u);
+  EXPECT_EQ(h.Sum(), 7u);
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  EXPECT_EQ(h.BucketCount(2), 2u);
+  EXPECT_EQ(h.BucketCount(3), 0u);
+}
+
+TEST(RegistryTest, FindOrCreateIsStable) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x");
+  Counter* b = registry.GetCounter("x");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(registry.GetCounter("y"), a);
+}
+
+TEST(RegistryTest, ConcurrentIncrementsSumExactly) {
+  MetricsRegistry registry;
+  constexpr size_t kThreads = 8;
+  constexpr size_t kIncrementsPerThread = 100000;
+  std::vector<std::thread> pool;
+  for (size_t w = 0; w < kThreads; ++w) {
+    pool.emplace_back([&registry] {
+      // Every thread resolves the counter by name itself: registration
+      // races and increment races are both exercised.
+      Counter* c = registry.GetCounter("concurrent");
+      Histogram* h = registry.GetHistogram("concurrent_histo");
+      for (size_t i = 0; i < kIncrementsPerThread; ++i) {
+        c->Increment();
+        h->Record(i & 0xff);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(registry.GetCounter("concurrent")->Value(),
+            kThreads * kIncrementsPerThread);
+  EXPECT_EQ(registry.GetHistogram("concurrent_histo")->Count(),
+            kThreads * kIncrementsPerThread);
+}
+
+TEST(RegistryTest, SnapshotAndReset) {
+  MetricsRegistry registry;
+  registry.GetCounter("a")->Add(5);
+  registry.GetGauge("g")->Set(-2);
+  registry.GetHistogram("h")->Record(9);
+  registry.RecordSpan("root/child", 1000);
+
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("a"), 5u);
+  EXPECT_EQ(snap.gauges.at("g"), -2);
+  EXPECT_EQ(snap.histograms.at("h").count, 1u);
+  EXPECT_EQ(snap.histograms.at("h").sum, 9u);
+  ASSERT_EQ(snap.spans.count("root/child"), 1u);
+  EXPECT_EQ(snap.spans.at("root/child").count, 1u);
+  EXPECT_EQ(snap.spans.at("root/child").total_ns, 1000u);
+  EXPECT_FALSE(snap.ToText().empty());
+
+  registry.Reset();
+  MetricsSnapshot zero = registry.Snapshot();
+  EXPECT_EQ(zero.counters.at("a"), 0u);
+  EXPECT_EQ(zero.histograms.at("h").count, 0u);
+  EXPECT_TRUE(zero.spans.empty());
+}
+
+TEST(RegistryTest, SnapshotDeltaSubtracts) {
+  MetricsRegistry registry;
+  registry.GetCounter("a")->Add(5);
+  MetricsSnapshot before = registry.Snapshot();
+  registry.GetCounter("a")->Add(7);
+  registry.GetCounter("b")->Add(1);
+  registry.RecordSpan("s", 100);
+  MetricsSnapshot delta = SnapshotDelta(before, registry.Snapshot());
+  EXPECT_EQ(delta.counters.at("a"), 7u);
+  EXPECT_EQ(delta.counters.at("b"), 1u);
+  EXPECT_EQ(delta.spans.at("s").count, 1u);
+}
+
+TEST(SpanTest, NestingBuildsHierarchicalPaths) {
+  MetricsRegistry registry;
+  EXPECT_EQ(Span::CurrentPath(), "");
+  {
+    Span outer("sanitize", &registry);
+    EXPECT_EQ(Span::CurrentPath(), "sanitize");
+    {
+      Span inner("mark", &registry);
+      EXPECT_EQ(inner.path(), "sanitize/mark");
+      EXPECT_EQ(Span::CurrentPath(), "sanitize/mark");
+    }
+    EXPECT_EQ(Span::CurrentPath(), "sanitize");
+    Span sibling("verify", &registry);
+    EXPECT_EQ(sibling.path(), "sanitize/verify");
+  }
+  EXPECT_EQ(Span::CurrentPath(), "");
+
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.spans.count("sanitize"), 1u);
+  ASSERT_EQ(snap.spans.count("sanitize/mark"), 1u);
+  ASSERT_EQ(snap.spans.count("sanitize/verify"), 1u);
+  // A parent's total covers its children's.
+  EXPECT_GE(snap.spans.at("sanitize").total_ns,
+            snap.spans.at("sanitize/mark").total_ns);
+}
+
+TEST(SpanTest, WorkerThreadStartsNewRoot) {
+  MetricsRegistry registry;
+  Span outer("outer", &registry);
+  std::thread worker([&registry] {
+    // The parent stack is thread-local: no inherited "outer/" prefix.
+    Span s("worker", &registry);
+    EXPECT_EQ(s.path(), "worker");
+  });
+  worker.join();
+  EXPECT_EQ(registry.Snapshot().spans.count("worker"), 1u);
+}
+
+TEST(ScopedTimerTest, AccumulatesSeconds) {
+  double total = 0.0;
+  { obs::ScopedTimer timer(&total); }
+  double first = total;
+  EXPECT_GE(first, 0.0);
+  { obs::ScopedTimer timer(&total); }
+  EXPECT_GE(total, first);  // accumulates, does not overwrite
+}
+
+TEST(MacroTest, CountersAndSpansReachDefaultRegistry) {
+  // The macros always target the Default() registry; read the values
+  // before and after so the test tolerates other tests' activity.
+#if !defined(SEQHIDE_OBS_DISABLED)
+  uint64_t before =
+      MetricsRegistry::Default().GetCounter("obs_test.macro")->Value();
+  SEQHIDE_COUNTER_INC("obs_test.macro");
+  SEQHIDE_COUNTER_ADD("obs_test.macro", 2);
+  EXPECT_EQ(MetricsRegistry::Default().GetCounter("obs_test.macro")->Value(),
+            before + 3);
+  {
+    SEQHIDE_TRACE_SPAN("obs_test_span");
+    EXPECT_EQ(Span::CurrentPath(), "obs_test_span");
+  }
+  SEQHIDE_GAUGE_SET("obs_test.gauge", 11);
+  EXPECT_EQ(MetricsRegistry::Default().GetGauge("obs_test.gauge")->Value(),
+            11);
+  SEQHIDE_HISTOGRAM_RECORD("obs_test.histo", 4);
+  EXPECT_GE(MetricsRegistry::Default().GetHistogram("obs_test.histo")->Count(),
+            1u);
+#else
+  // Compiled out: macros must be valid statements with no effect and no
+  // argument evaluation.
+  bool evaluated = false;
+  SEQHIDE_COUNTER_ADD("obs_test.macro", (evaluated = true, 1));
+  EXPECT_FALSE(evaluated);
+#endif
+}
+
+TEST(JsonWriterTest, EscapesAndNests) {
+  JsonWriter json;
+  json.BeginObject();
+  json.KeyString("quote\"back\\slash", "line\nbreak\ttab");
+  json.Key("arr").BeginArray().Int(-1).Uint(2).Bool(true).EndArray();
+  json.KeyDouble("pi", 0.5);
+  json.KeyDouble("bad", std::numeric_limits<double>::quiet_NaN());
+  json.EndObject();
+  EXPECT_EQ(json.str(),
+            "{\"quote\\\"back\\\\slash\":\"line\\nbreak\\ttab\","
+            "\"arr\":[-1,2,true],\"pi\":0.5,\"bad\":0}");
+}
+
+TEST(JsonWriterTest, SnapshotMembersAreWellFormed) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Add(3);
+  registry.GetGauge("g")->Set(4);
+  registry.GetHistogram("h")->Record(2);
+  registry.RecordSpan("a/b", 5);
+
+  JsonWriter json;
+  json.BeginObject();
+  WriteSnapshotMembers(registry.Snapshot(), &json);
+  json.EndObject();
+  const std::string text = json.str();
+  EXPECT_NE(text.find("\"counters\":{\"c\":3}"), std::string::npos);
+  EXPECT_NE(text.find("\"gauges\":{\"g\":4}"), std::string::npos);
+  EXPECT_NE(text.find("\"a/b\":{\"count\":1,\"total_ns\":5"),
+            std::string::npos);
+  EXPECT_NE(text.find("\"h\":{\"count\":1,\"sum\":2,\"buckets\":[[2,1]]"),
+            std::string::npos);
+  // Balanced braces/brackets — cheap well-formedness check.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '{'),
+            std::count(text.begin(), text.end(), '}'));
+  EXPECT_EQ(std::count(text.begin(), text.end(), '['),
+            std::count(text.begin(), text.end(), ']'));
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace seqhide

@@ -1,0 +1,118 @@
+#!/bin/sh
+# Golden test for `seqhide_cli sanitize --stats-json` (registered in CTest).
+# Asserts the emitted report is valid JSON and carries the documented keys
+# on a fixed-seed run: per-stage wall times, DP-row counters, per-pattern
+# supports. Schema: docs/observability.md.
+# $1 = path to the seqhide_cli binary.
+# $2 = "on"|"off": whether the build has observability compiled in
+#      (SEQHIDE_ENABLE_OBSERVABILITY); counter/span assertions only run
+#      when "on". Defaults to "on".
+set -eu
+
+CLI="$1"
+OBS="${2:-on}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+cat > "$WORK/db.txt" <<EOF
+a b c d
+a b x c
+b c a
+a a b c c b a e
+x y z
+EOF
+
+"$CLI" sanitize --db "$WORK/db.txt" --out "$WORK/out.txt" \
+    --pattern "a -> b -> c" --pattern "b -> a" \
+    --psi 1 --algo HH --seed 42 --stats-json "$WORK/stats.json" > /dev/null
+
+[ -s "$WORK/stats.json" ] || { echo "FAIL: stats.json empty"; exit 1; }
+
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$WORK/stats.json" "$OBS" <<'PYEOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    stats = json.load(f)
+
+def require(cond, what):
+    if not cond:
+        raise SystemExit(f"FAIL: {what}")
+
+require(stats["schema_version"] == 1, "schema_version")
+require(stats["command"] == "sanitize", "command")
+require(stats["options"]["psi"] == "1", "options.psi")
+require(stats["options"]["seed"] == "42", "options.seed")
+require(stats["patterns"] == ["a -> b -> c", "b -> a"], "patterns")
+
+report = stats["report"]
+require(len(report["supports_before"]) == 2, "supports_before arity")
+require(len(report["supports_after"]) == 2, "supports_after arity")
+require(all(s <= 1 for s in report["supports_after"]), "psi respected")
+require(report["m1_marks_introduced"] > 0, "m1 > 0")
+require(report["elapsed_seconds"] >= 0, "elapsed_seconds")
+
+stages = report["stages"]
+for key in ("count_seconds", "select_seconds", "mark_seconds",
+            "verify_seconds"):
+    require(key in stages and stages[key] >= 0, f"stages.{key}")
+
+# DP-row counters from the matching kernels — only populated when the
+# build has observability compiled in (argv[2] == "on").
+if sys.argv[2] == "on":
+    counters = stats["counters"]
+    require(counters.get("match.count.dp_rows", 0) > 0, "dp_rows counter")
+    require(counters.get("local.delta_recomputations", 0) > 0,
+            "delta_recomputations counter")
+    require("spans" in stats and "sanitize" in stats["spans"],
+            "sanitize span")
+    require(stats["spans"]["sanitize/mark"]["count"] == 1,
+            "mark span count")
+print("stats json golden test passed (python)")
+PYEOF
+else
+  # No python3: fall back to key-presence greps.
+  for key in '"schema_version":1' '"command":"sanitize"' \
+      '"m1_marks_introduced"' '"supports_before"' '"supports_after"' \
+      '"count_seconds"' '"select_seconds"' '"mark_seconds"' \
+      '"verify_seconds"' '"counters"' '"spans"'; do
+    grep -q "$key" "$WORK/stats.json" \
+        || { echo "FAIL: missing $key"; exit 1; }
+  done
+  if [ "$OBS" = "on" ]; then
+    for key in '"match.count.dp_rows"' '"local.delta_recomputations"'; do
+      grep -q "$key" "$WORK/stats.json" \
+          || { echo "FAIL: missing $key"; exit 1; }
+    done
+  fi
+  echo "stats json golden test passed (grep)"
+fi
+
+# Determinism: the same seed must reproduce the same supports and M1
+# (timings differ; compare the stable prefix of the report only).
+# Same --out both times: option values are part of the emitted JSON.
+"$CLI" sanitize --db "$WORK/db.txt" --out "$WORK/out.txt" \
+    --pattern "a -> b -> c" --pattern "b -> a" \
+    --psi 1 --algo HH --seed 42 --stats-json "$WORK/stats2.json" > /dev/null
+for f in stats.json stats2.json; do
+  sed 's/"elapsed_seconds".*//' "$WORK/$f" > "$WORK/$f.stable"
+done
+cmp -s "$WORK/stats.json.stable" "$WORK/stats2.json.stable" \
+    || { echo "FAIL: same seed produced different stable report"; exit 1; }
+
+# The itemset pipeline accepts the flag too.
+cat > "$WORK/baskets.txt" <<EOF
+(formula,diapers) (coupon)
+(formula) (coupon)
+(snacks) (wipes)
+(formula) (snacks)
+EOF
+"$CLI" sanitize --db "$WORK/baskets.txt" --out "$WORK/baskets_out.txt" \
+    --format itemset --pattern "(formula) (coupon)" --psi 0 \
+    --stats-json "$WORK/itemset_stats.json" > /dev/null
+grep -q '"format":"itemset"' "$WORK/itemset_stats.json" \
+    || { echo "FAIL: itemset stats missing format"; exit 1; }
+grep -q '"m1_marks_introduced"' "$WORK/itemset_stats.json" \
+    || { echo "FAIL: itemset stats missing m1"; exit 1; }
+
+echo "stats json test passed"

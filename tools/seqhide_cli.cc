@@ -6,17 +6,25 @@
 //   seqhide_cli sanitize --db FILE --out FILE --pattern "a ->[0] b"...
 //                        [--psi N] [--algo HH|HR|RH|RR] [--seed N]
 //                        [--threads N] [--stage2 keep|delete|replace]
+//                        [--stats-json FILE]
+//
+// --stats-json writes a machine-readable run report (options, per-pattern
+// supports before/after, M1, per-stage wall times, obs counter dump) —
+// format documented in docs/observability.md.
 //
 // Patterns use the constrained-pattern syntax of
 // src/constraints/constraints.h ("a ->[0] b ->[2..6] c ; window<=10").
 // Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
 
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "src/common/string_util.h"
+#include "src/obs/metrics.h"
+#include "src/obs/stats_json.h"
 #include "src/constraints/constraints.h"
 #include "src/eval/metrics.h"
 #include "src/hide/sanitizer.h"
@@ -50,6 +58,7 @@ void PrintUsage() {
       "  sanitize --db FILE --out FILE --pattern P [--pattern P ...]\n"
       "           [--psi N] [--algo HH|HR|RH|RR] [--seed N] [--threads N]\n"
       "           [--stage2 keep|delete|replace] [--format seq|itemset]\n"
+      "           [--stats-json FILE]\n"
       "pattern syntax (seq):     \"a -> b\", \"a ->[0] b ->[2..6] c ; "
       "window<=10\"\n"
       "pattern syntax (itemset): \"(formula) (coupon,snacks)\"\n";
@@ -122,6 +131,77 @@ Result<std::string> DbPath(const ParsedArgs& args) {
     return Status::InvalidArgument("--db FILE is required");
   }
   return it->second;
+}
+
+// Everything --stats-json needs from a sanitize run, normalized across
+// the seq and itemset paths. Stage timings are only available for the
+// seq pipeline (has_stages).
+struct StatsJsonInput {
+  std::string format;
+  size_t m1 = 0;
+  size_t sequences_sanitized = 0;
+  std::vector<size_t> supports_before;
+  std::vector<size_t> supports_after;
+  double elapsed_seconds = 0.0;
+  bool has_stages = false;
+  StageTimings stages;
+};
+
+// Writes the machine-readable run report next to the sanitized output.
+// Schema: docs/observability.md. Key stability matters — tests and any
+// downstream tooling parse this.
+Status WriteStatsJson(const std::string& path, const ParsedArgs& args,
+                      const StatsJsonInput& input) {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.KeyInt("schema_version", 1);
+  json.KeyString("command", args.command);
+
+  json.Key("options").BeginObject();
+  json.KeyString("format", input.format);
+  for (const auto& [flag, value] : args.flags) {
+    if (flag == "format" || flag == "stats-json") continue;
+    json.KeyString(flag, value);
+  }
+  json.EndObject();
+
+  json.Key("patterns").BeginArray();
+  for (const std::string& p : args.patterns) json.String(p);
+  json.EndArray();
+
+  json.Key("report").BeginObject();
+  json.KeyUint("m1_marks_introduced", input.m1);
+  json.KeyUint("sequences_sanitized", input.sequences_sanitized);
+  json.Key("supports_before").BeginArray();
+  for (size_t s : input.supports_before) json.Uint(s);
+  json.EndArray();
+  json.Key("supports_after").BeginArray();
+  for (size_t s : input.supports_after) json.Uint(s);
+  json.EndArray();
+  json.KeyDouble("elapsed_seconds", input.elapsed_seconds);
+  if (input.has_stages) {
+    json.Key("stages").BeginObject();
+    json.KeyDouble("count_seconds", input.stages.count_seconds);
+    json.KeyDouble("select_seconds", input.stages.select_seconds);
+    json.KeyDouble("mark_seconds", input.stages.mark_seconds);
+    json.KeyDouble("verify_seconds", input.stages.verify_seconds);
+    json.EndObject();
+  }
+  json.EndObject();
+
+  obs::WriteSnapshotMembers(obs::MetricsRegistry::Default().Snapshot(),
+                            &json);
+  json.EndObject();
+
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot open --stats-json file: " + path);
+  }
+  out << json.str() << "\n";
+  if (!out.good()) {
+    return Status::Internal("failed writing --stats-json file: " + path);
+  }
+  return Status::OK();
 }
 
 Status RunStatsItemset(const ParsedArgs& args) {
@@ -209,6 +289,16 @@ Status RunSanitizeItemset(const ParsedArgs& args) {
   }
   SEQHIDE_RETURN_IF_ERROR(WriteItemsetDatabaseToFile(db, out_it->second));
   std::cout << "wrote " << out_it->second << "\n";
+  if (auto it = args.flags.find("stats-json"); it != args.flags.end()) {
+    StatsJsonInput stats;
+    stats.format = "itemset";
+    stats.m1 = report.items_marked;
+    stats.sequences_sanitized = report.sequences_sanitized;
+    stats.supports_before = report.supports_before;
+    stats.supports_after = report.supports_after;
+    SEQHIDE_RETURN_IF_ERROR(WriteStatsJson(it->second, args, stats));
+    std::cout << "wrote stats " << it->second << "\n";
+  }
   return Status::OK();
 }
 
@@ -335,6 +425,19 @@ Status RunSanitize(const ParsedArgs& args) {
 
   SEQHIDE_RETURN_IF_ERROR(WriteDatabaseToFile(db, out_it->second));
   std::cout << "wrote " << out_it->second << "\n";
+  if (auto it = args.flags.find("stats-json"); it != args.flags.end()) {
+    StatsJsonInput stats;
+    stats.format = "seq";
+    stats.m1 = report.marks_introduced;
+    stats.sequences_sanitized = report.sequences_sanitized;
+    stats.supports_before = report.supports_before;
+    stats.supports_after = report.supports_after;
+    stats.elapsed_seconds = report.elapsed_seconds;
+    stats.has_stages = true;
+    stats.stages = report.stages;
+    SEQHIDE_RETURN_IF_ERROR(WriteStatsJson(it->second, args, stats));
+    std::cout << "wrote stats " << it->second << "\n";
+  }
   return Status::OK();
 }
 
