@@ -13,6 +13,7 @@
 
 #include "src/common/random.h"
 #include "src/data/workload.h"
+#include "src/eval/bench_harness.h"
 #include "src/hide/hitting_set.h"
 #include "src/hide/local.h"
 #include "src/hide/sanitizer.h"
@@ -26,28 +27,31 @@ namespace {
 // entry, delta on exit.
 class SectionCounters {
  public:
-  SectionCounters() : before_(obs::MetricsRegistry::Default().Snapshot()) {}
+  explicit SectionCounters(std::ostream& out)
+      : out_(out), before_(obs::MetricsRegistry::Default().Snapshot()) {}
   ~SectionCounters() {
     obs::MetricsSnapshot delta = obs::SnapshotDelta(
         before_, obs::MetricsRegistry::Default().Snapshot());
     bool any = false;
     for (const auto& [name, value] : delta.counters) {
       if (value == 0) continue;
-      if (!any) std::cout << "  -- counters this section:\n";
+      if (!any) out_ << "  -- counters this section:\n";
       any = true;
-      std::cout << "     " << name << " = " << value << "\n";
+      out_ << "     " << name << " = " << value << "\n";
     }
-    if (any) std::cout << "\n";
+    if (any) out_ << "\n";
   }
 
  private:
+  std::ostream& out_;
   obs::MetricsSnapshot before_;
 };
 
-void LocalOptimalityGap() {
-  std::cout << "== Ablation A: local heuristic vs optimal (200 random "
+void LocalOptimalityGap(const bench::SectionRun& run) {
+  bench::SectionOutput out(run);
+  out.out() << "== Ablation A: local heuristic vs optimal (200 random "
                "sequences, |T|=12, |Sigma|=3) ==\n";
-  SectionCounters section_counters;
+  SectionCounters section_counters(out.out());
   Rng rng(20240101);
   size_t optimal_total = 0, heuristic_total = 0, random_total = 0;
   size_t heuristic_hits = 0, trials = 0;
@@ -78,10 +82,10 @@ void LocalOptimalityGap() {
     if (h_marks == opt.num_marks) ++heuristic_hits;
     ++trials;
   }
-  std::cout << "  total marks: optimal=" << optimal_total
+  out.out() << "  total marks: optimal=" << optimal_total
             << "  heuristic=" << heuristic_total
             << "  random=" << random_total << "\n";
-  std::cout << "  heuristic achieves the optimum in " << heuristic_hits
+  out.out() << "  heuristic achieves the optimum in " << heuristic_hits
             << "/" << trials << " cases; mean overhead "
             << std::fixed << std::setprecision(3)
             << (optimal_total
@@ -90,10 +94,11 @@ void LocalOptimalityGap() {
             << "x optimal\n\n";
 }
 
-void GlobalOrderingComparison() {
-  std::cout << "== Ablation B: global orderings on TRUCKS (M1, psi sweep) "
+void GlobalOrderingComparison(const bench::SectionRun& run) {
+  bench::SectionOutput out(run);
+  out.out() << "== Ablation B: global orderings on TRUCKS (M1, psi sweep) "
                "==\n";
-  SectionCounters section_counters;
+  SectionCounters section_counters(out.out());
   ExperimentWorkload w = MakeTrucksWorkload();
   struct Entry {
     const char* label;
@@ -105,40 +110,41 @@ void GlobalOrderingComparison() {
       {"autocorr (sec 8)", GlobalStrategy::kHighAutocorrelationFirst},
       {"random", GlobalStrategy::kRandom},
   };
-  std::cout << std::setw(8) << "psi";
-  for (const auto& e : entries) std::cout << std::setw(22) << e.label;
-  std::cout << "\n";
+  out.out() << std::setw(8) << "psi";
+  for (const auto& e : entries) out.out() << std::setw(22) << e.label;
+  out.out() << "\n";
   for (size_t psi = 0; psi <= 60; psi += 10) {
-    std::cout << std::setw(8) << psi;
+    out.out() << std::setw(8) << psi;
     for (const auto& e : entries) {
       double m1_sum = 0.0;
       const size_t runs = e.strategy == GlobalStrategy::kRandom ? 10 : 1;
-      for (size_t run = 0; run < runs; ++run) {
+      for (size_t rep = 0; rep < runs; ++rep) {
         SequenceDatabase db = w.db;
         SanitizeOptions opts;
         opts.local = LocalStrategy::kHeuristic;
         opts.global = e.strategy;
         opts.psi = psi;
-        opts.seed = 1000 + run;
+        opts.seed = 1000 + rep;
         auto report = Sanitize(&db, w.sensitive, opts);
         if (!report.ok()) {
-          std::cout << "\nerror: " << report.status() << "\n";
+          out.out() << "\nerror: " << report.status() << "\n";
           return;
         }
         m1_sum += static_cast<double>(report->marks_introduced);
       }
-      std::cout << std::setw(22) << std::fixed << std::setprecision(1)
+      out.out() << std::setw(22) << std::fixed << std::setprecision(1)
                 << (m1_sum / (e.strategy == GlobalStrategy::kRandom ? 10 : 1));
     }
-    std::cout << "\n";
+    out.out() << "\n";
   }
-  std::cout << "\n";
+  out.out() << "\n";
 }
 
-void LocalStrategyOnTrucks() {
-  std::cout << "== Ablation C: local strategies on TRUCKS (M1, heuristic "
+void LocalStrategyOnTrucks(const bench::SectionRun& run) {
+  bench::SectionOutput out(run);
+  out.out() << "== Ablation C: local strategies on TRUCKS (M1, heuristic "
                "global) ==\n";
-  SectionCounters section_counters;
+  SectionCounters section_counters(out.out());
   ExperimentWorkload w = MakeTrucksWorkload();
   struct Entry {
     const char* label;
@@ -149,42 +155,51 @@ void LocalStrategyOnTrucks() {
       {"exhaustive optimal", LocalStrategy::kExhaustive},
       {"random", LocalStrategy::kRandom},
   };
-  std::cout << std::setw(8) << "psi";
-  for (const auto& e : entries) std::cout << std::setw(26) << e.label;
-  std::cout << "\n";
+  out.out() << std::setw(8) << "psi";
+  for (const auto& e : entries) out.out() << std::setw(26) << e.label;
+  out.out() << "\n";
   for (size_t psi = 0; psi <= 60; psi += 20) {
-    std::cout << std::setw(8) << psi;
+    out.out() << std::setw(8) << psi;
     for (const auto& e : entries) {
       double m1_sum = 0.0;
       const size_t runs = e.strategy == LocalStrategy::kRandom ? 10 : 1;
-      for (size_t run = 0; run < runs; ++run) {
+      for (size_t rep = 0; rep < runs; ++rep) {
         SequenceDatabase db = w.db;
         SanitizeOptions opts;
         opts.local = e.strategy;
         opts.global = GlobalStrategy::kHeuristic;
         opts.psi = psi;
-        opts.seed = 2000 + run;
+        opts.seed = 2000 + rep;
         auto report = Sanitize(&db, w.sensitive, opts);
         if (!report.ok()) {
-          std::cout << "\nerror: " << report.status() << "\n";
+          out.out() << "\nerror: " << report.status() << "\n";
           return;
         }
         m1_sum += static_cast<double>(report->marks_introduced);
       }
-      std::cout << std::setw(26) << std::fixed << std::setprecision(1)
+      out.out() << std::setw(26) << std::fixed << std::setprecision(1)
                 << (m1_sum / static_cast<double>(runs));
     }
-    std::cout << "\n";
+    out.out() << "\n";
   }
-  std::cout << "\n";
+  out.out() << "\n";
 }
 
 }  // namespace
 }  // namespace seqhide
 
-int main() {
-  seqhide::LocalOptimalityGap();
-  seqhide::GlobalOrderingComparison();
-  seqhide::LocalStrategyOnTrucks();
-  return 0;
+int main(int argc, char** argv) {
+  using seqhide::bench::BenchHarness;
+  using seqhide::bench::SectionRun;
+  BenchHarness harness("bench_ablation", argc, argv);
+  harness.MeasureSection("local_optimality", [](const SectionRun& run) {
+    seqhide::LocalOptimalityGap(run);
+  });
+  harness.MeasureSection("global_orderings", [](const SectionRun& run) {
+    seqhide::GlobalOrderingComparison(run);
+  });
+  harness.MeasureSection("local_strategies", [](const SectionRun& run) {
+    seqhide::LocalStrategyOnTrucks(run);
+  });
+  return harness.Finish();
 }

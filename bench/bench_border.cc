@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "src/data/workload.h"
+#include "src/eval/bench_harness.h"
 #include "src/eval/border.h"
 #include "src/hide/sanitizer.h"
 #include "src/mine/prefix_span.h"
@@ -14,14 +15,15 @@
 namespace seqhide {
 namespace {
 
-void Run() {
+void Run(const bench::SectionRun& run) {
+  bench::SectionOutput out(run);
   ExperimentWorkload w = MakeTrucksWorkload();
-  std::cout << "workload " << w.name << ": |D|=" << w.db.size() << "\n\n";
-  std::cout << "== Border damage vs psi (sigma = psi), TRUCKS ==\n";
-  std::cout << std::setw(6) << "psi" << std::setw(10) << "|Bd+|";
+  out.out() << "workload " << w.name << ": |D|=" << w.db.size() << "\n\n";
+  out.out() << "== Border damage vs psi (sigma = psi), TRUCKS ==\n";
+  out.out() << std::setw(6) << "psi" << std::setw(10) << "|Bd+|";
   const char* labels[] = {"HH", "HR", "RH", "RR"};
-  for (const char* l : labels) std::cout << std::setw(10) << l;
-  std::cout << "\n";
+  for (const char* l : labels) out.out() << std::setw(10) << l;
+  out.out() << "\n";
 
   for (size_t psi = 5; psi <= 60; psi += 5) {
     MinerOptions miner;
@@ -29,13 +31,13 @@ void Run() {
     miner.max_length = 4;
     auto before = MineFrequentSequences(w.db, miner);
     if (!before.ok()) {
-      std::cout << "mining error: " << before.status() << "\n";
+      out.out() << "mining error: " << before.status() << "\n";
       return;
     }
     // Miner output is downward closed within the length cap, so the
     // insertion-based fast path applies.
     FrequentPatternSet border = PositiveBorderOfClosedSet(*before);
-    std::cout << std::setw(6) << psi << std::setw(10) << border.size();
+    out.out() << std::setw(6) << psi << std::setw(10) << border.size();
 
     SanitizeOptions configs[] = {SanitizeOptions::HH(),
                                  SanitizeOptions::HR(1),
@@ -46,30 +48,30 @@ void Run() {
                               base.global == GlobalStrategy::kRandom;
       const size_t runs = randomized ? 10 : 1;
       double total = 0.0;
-      for (size_t run = 0; run < runs; ++run) {
+      for (size_t rep = 0; rep < runs; ++rep) {
         SanitizeOptions opts = base;
         opts.psi = psi;
-        opts.seed = 3000 + run;
+        opts.seed = 3000 + rep;
         SequenceDatabase db = w.db;
         auto report = Sanitize(&db, w.sensitive, opts);
         if (!report.ok()) {
-          std::cout << "\nerror: " << report.status() << "\n";
+          out.out() << "\nerror: " << report.status() << "\n";
           return;
         }
         auto after = MineFrequentSequences(db, miner);
         if (!after.ok()) {
-          std::cout << "\nmining error: " << after.status() << "\n";
+          out.out() << "\nmining error: " << after.status() << "\n";
           return;
         }
         auto damage = BorderDamageAgainst(border, *after);
         total += damage.ok() ? *damage : 0.0;
       }
-      std::cout << std::setw(10) << std::fixed << std::setprecision(4)
+      out.out() << std::setw(10) << std::fixed << std::setprecision(4)
                 << total / static_cast<double>(runs);
     }
-    std::cout << "\n";
+    out.out() << "\n";
   }
-  std::cout << "\nExpected shape: damage decreases in psi; the heuristic\n"
+  out.out() << "\nExpected shape: damage decreases in psi; the heuristic\n"
                "algorithms (H local) preserve the border at least as well\n"
                "as their random counterparts.\n";
 }
@@ -77,7 +79,10 @@ void Run() {
 }  // namespace
 }  // namespace seqhide
 
-int main() {
-  seqhide::Run();
-  return 0;
+int main(int argc, char** argv) {
+  seqhide::bench::BenchHarness harness("bench_border", argc, argv);
+  harness.MeasureSection("border_damage", [](const seqhide::bench::SectionRun& run) {
+    seqhide::Run(run);
+  });
+  return harness.Finish();
 }

@@ -13,6 +13,7 @@
 
 #include <iostream>
 
+#include "bench/gbench_json.h"
 #include "src/common/random.h"
 #include "src/obs/metrics.h"
 #include "src/data/workload.h"
@@ -234,15 +235,13 @@ BENCHMARK(BM_MineLevelWiseTrucks)->Arg(10)->Arg(20)->Arg(40);
 }  // namespace
 }  // namespace seqhide
 
-// Custom main (instead of BENCHMARK_MAIN) so the cumulative obs counter
-// dump lands after the benchmark table: time can be attributed to DP
-// rows / index pruning instead of guessed at.
+// Custom main (instead of BENCHMARK_MAIN) so the run is harness-wrapped
+// (--json/--trace-json/--quick) and the cumulative obs counter dump
+// lands after the benchmark table: time can be attributed to DP rows /
+// index pruning instead of guessed at.
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  std::cout << "\n== obs counters (cumulative over all benchmarks) ==\n"
-            << seqhide::obs::MetricsRegistry::Default().Snapshot().ToText();
-  return 0;
+  return seqhide::bench::RunGoogleBenchmark("bench_kernels", argc, argv, [] {
+    std::cout << "\n== obs counters (cumulative over all benchmarks) ==\n"
+              << seqhide::obs::MetricsRegistry::Default().Snapshot().ToText();
+  });
 }

@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_json.h"
 #include "src/common/random.h"
 #include "src/data/workload.h"
 #include "src/hide/sanitizer.h"
@@ -118,4 +119,6 @@ BENCHMARK(BM_SanitizeTrucksWorkload)->Arg(0)->Arg(20)->Arg(40);
 }  // namespace
 }  // namespace seqhide
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return seqhide::bench::RunGoogleBenchmark("bench_scaling", argc, argv);
+}

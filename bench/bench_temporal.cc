@@ -10,17 +10,19 @@
 #include <limits>
 
 #include "src/data/timed_workload.h"
+#include "src/eval/bench_harness.h"
 #include "src/temporal/timed_hide.h"
 
 namespace seqhide {
 namespace {
 
-void Run() {
+void Run(const bench::SectionRun& run) {
+  bench::SectionOutput out(run);
   TimedWorkload w = MakeTimedTrucksWorkload();
-  std::cout << "workload " << w.name << ": |D|=" << w.sequences.size()
+  out.out() << "workload " << w.name << ": |D|=" << w.sequences.size()
             << "\n";
   for (size_t i = 0; i < w.sensitive.size(); ++i) {
-    std::cout << "  sensitive S" << i + 1 << " = <"
+    out.out() << "  sensitive S" << i + 1 << " = <"
               << w.sensitive[i].ToString(w.alphabet) << ">\n";
   }
 
@@ -35,28 +37,28 @@ void Run() {
       {"window<=8min", 8.0},
   };
 
-  std::cout << "\n== Temporal analogue of Fig 1(i): M1 vs psi, HH with "
+  out.out() << "\n== Temporal analogue of Fig 1(i): M1 vs psi, HH with "
                "real-time max-window ==\n";
-  std::cout << std::setw(8) << "psi";
-  for (const auto& level : levels) std::cout << std::setw(18) << level.label;
-  std::cout << "\n";
+  out.out() << std::setw(8) << "psi";
+  for (const auto& level : levels) out.out() << std::setw(18) << level.label;
+  out.out() << "\n";
 
   for (size_t psi = 0; psi <= 60; psi += 10) {
-    std::cout << std::setw(8) << psi;
+    out.out() << std::setw(8) << psi;
     for (const auto& level : levels) {
       TimeConstraintSpec spec;
       spec.max_window_time = level.window_minutes;
       std::vector<TimedSequence> db = w.sequences;  // fresh copy
       auto report = HideTimedPatterns(&db, w.sensitive, spec, psi);
       if (!report.ok()) {
-        std::cout << "\nerror: " << report.status() << "\n";
+        out.out() << "\nerror: " << report.status() << "\n";
         return;
       }
-      std::cout << std::setw(18) << report->marks_introduced;
+      out.out() << std::setw(18) << report->marks_introduced;
     }
-    std::cout << "\n";
+    out.out() << "\n";
   }
-  std::cout << "\n(at psi=0 with no window this matches the untimed "
+  out.out() << "\n(at psi=0 with no window this matches the untimed "
                "fig1a/1i baseline; supports differ slightly because the\n"
                " timed discretization keeps per-cell entry events)\n";
 }
@@ -64,7 +66,10 @@ void Run() {
 }  // namespace
 }  // namespace seqhide
 
-int main() {
-  seqhide::Run();
-  return 0;
+int main(int argc, char** argv) {
+  seqhide::bench::BenchHarness harness("bench_temporal", argc, argv);
+  harness.MeasureSection("temporal_window", [](const seqhide::bench::SectionRun& run) {
+    seqhide::Run(run);
+  });
+  return harness.Finish();
 }

@@ -9,14 +9,15 @@
 #include "bench/fig_common.h"
 #include "src/data/workload.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace seqhide;
+  bench::BenchHarness harness("fig1a_trucks_m1", argc, argv);
   ExperimentWorkload w = MakeTrucksWorkload();
   SweepOptions options;
   options.psi_values = bench::TrucksPsiGrid();
   options.algorithms = AlgorithmSpec::PaperFour();
   options.random_runs = 10;
-  bench::RunAndPrint(w, options, Measure::kM1,
+  bench::RunAndPrint(harness, w, options, Measure::kM1,
                      "Figure 1(a): M1 vs psi, TRUCKS");
-  return 0;
+  return harness.Finish();
 }

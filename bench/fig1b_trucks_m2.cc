@@ -9,8 +9,9 @@
 #include "bench/fig_common.h"
 #include "src/data/workload.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace seqhide;
+  bench::BenchHarness harness("fig1b_trucks_m2", argc, argv);
   ExperimentWorkload w = MakeTrucksWorkload();
   SweepOptions options;
   options.psi_values = bench::TrucksPsiGrid(/*min_psi=*/5);
@@ -18,7 +19,7 @@ int main() {
   options.random_runs = 10;
   options.compute_pattern_measures = true;
   options.miner_max_length = 4;
-  bench::RunAndPrint(w, options, Measure::kM2,
+  bench::RunAndPrint(harness, w, options, Measure::kM2,
                      "Figure 1(b): M2 vs psi (sigma = psi), TRUCKS");
-  return 0;
+  return harness.Finish();
 }

@@ -6,14 +6,15 @@
 #include "bench/fig_common.h"
 #include "src/data/workload.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace seqhide;
+  bench::BenchHarness harness("fig1d_synth_m1", argc, argv);
   ExperimentWorkload w = MakeSyntheticWorkload();
   SweepOptions options;
   options.psi_values = bench::SyntheticPsiGrid();
   options.algorithms = AlgorithmSpec::PaperFour();
   options.random_runs = 10;
-  bench::RunAndPrint(w, options, Measure::kM1,
+  bench::RunAndPrint(harness, w, options, Measure::kM1,
                      "Figure 1(d): M1 vs psi, SYNTHETIC");
-  return 0;
+  return harness.Finish();
 }

@@ -6,8 +6,9 @@
 #include "bench/fig_common.h"
 #include "src/data/workload.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace seqhide;
+  bench::BenchHarness harness("fig1e_synth_m2", argc, argv);
   ExperimentWorkload w = MakeSyntheticWorkload();
   SweepOptions options;
   options.psi_values = bench::SyntheticPsiGrid(/*min_psi=*/20);
@@ -15,7 +16,7 @@ int main() {
   options.random_runs = 10;
   options.compute_pattern_measures = true;
   options.miner_max_length = 6;
-  bench::RunAndPrint(w, options, Measure::kM2,
+  bench::RunAndPrint(harness, w, options, Measure::kM2,
                      "Figure 1(e): M2 vs psi (sigma = psi), SYNTHETIC");
-  return 0;
+  return harness.Finish();
 }

@@ -4,8 +4,9 @@
 #include "bench/fig_common.h"
 #include "src/data/workload.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace seqhide;
+  bench::BenchHarness harness("fig1f_synth_m3", argc, argv);
   ExperimentWorkload w = MakeSyntheticWorkload();
   SweepOptions options;
   options.psi_values = bench::SyntheticPsiGrid(/*min_psi=*/20);
@@ -13,7 +14,7 @@ int main() {
   options.random_runs = 10;
   options.compute_pattern_measures = true;
   options.miner_max_length = 6;
-  bench::RunAndPrint(w, options, Measure::kM3,
+  bench::RunAndPrint(harness, w, options, Measure::kM3,
                      "Figure 1(f): M3 vs psi (sigma = psi), SYNTHETIC");
-  return 0;
+  return harness.Finish();
 }

@@ -8,8 +8,9 @@
 #include "bench/fig_common.h"
 #include "src/data/workload.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace seqhide;
+  bench::BenchHarness harness("fig1g_mingap", argc, argv);
   ExperimentWorkload w = MakeTrucksWorkload();
 
   std::vector<AlgorithmSpec> algorithms;
@@ -27,8 +28,8 @@ int main() {
   SweepOptions options;
   options.psi_values = bench::TrucksPsiGrid();
   options.algorithms = algorithms;
-  bench::RunAndPrint(w, options, Measure::kM1,
+  bench::RunAndPrint(harness, w, options, Measure::kM1,
                      "Figure 1(g): M1 vs psi, HH with min-gap constraints, "
                      "TRUCKS");
-  return 0;
+  return harness.Finish();
 }

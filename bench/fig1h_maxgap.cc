@@ -4,8 +4,9 @@
 #include "bench/fig_common.h"
 #include "src/data/workload.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace seqhide;
+  bench::BenchHarness harness("fig1h_maxgap", argc, argv);
   ExperimentWorkload w = MakeTrucksWorkload();
 
   std::vector<AlgorithmSpec> algorithms;
@@ -22,8 +23,8 @@ int main() {
   SweepOptions options;
   options.psi_values = bench::TrucksPsiGrid();
   options.algorithms = algorithms;
-  bench::RunAndPrint(w, options, Measure::kM1,
+  bench::RunAndPrint(harness, w, options, Measure::kM1,
                      "Figure 1(h): M1 vs psi, HH with max-gap constraints, "
                      "TRUCKS");
-  return 0;
+  return harness.Finish();
 }

@@ -7,8 +7,9 @@
 #include "bench/fig_common.h"
 #include "src/data/workload.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace seqhide;
+  bench::BenchHarness harness("fig1i_maxwindow", argc, argv);
   ExperimentWorkload w = MakeTrucksWorkload();
 
   std::vector<AlgorithmSpec> algorithms;
@@ -25,8 +26,8 @@ int main() {
   SweepOptions options;
   options.psi_values = bench::TrucksPsiGrid();
   options.algorithms = algorithms;
-  bench::RunAndPrint(w, options, Measure::kM1,
+  bench::RunAndPrint(harness, w, options, Measure::kM1,
                      "Figure 1(i): M1 vs psi, HH with max-window "
                      "constraints, TRUCKS");
-  return 0;
+  return harness.Finish();
 }

@@ -10,9 +10,11 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "src/common/logging.h"
+#include "src/eval/bench_harness.h"
 #include "src/eval/experiment.h"
 #include "src/eval/ascii_chart.h"
 #include "src/eval/report.h"
@@ -60,6 +62,26 @@ inline void RunAndPrint(const ExperimentWorkload& workload,
   std::cout << RenderSweepChart(*result, measure) << "\n";
   std::cout << "csv:\n";
   WriteSweepCsv(*result, measure, std::cout);
+}
+
+// Harness-wrapped variant: the sweep runs as a measured "sweep" section
+// (timed per repeat, obs counter deltas attributed per repeat) and the
+// table/CSV print once, from the final measured run.
+inline void RunAndPrint(BenchHarness& harness,
+                        const ExperimentWorkload& workload,
+                        const SweepOptions& options, Measure measure,
+                        const std::string& title) {
+  PrintWorkloadHeader(workload);
+  std::optional<SweepResult> sweep;
+  harness.MeasureSection("sweep", [&](const SectionRun& run) {
+    Result<SweepResult> result = RunSweep(workload, options);
+    SEQHIDE_CHECK(result.ok()) << result.status();
+    if (run.last) sweep = *std::move(result);
+  });
+  std::cout << FormatSweepTable(*sweep, measure, title) << "\n";
+  std::cout << RenderSweepChart(*sweep, measure) << "\n";
+  std::cout << "csv:\n";
+  WriteSweepCsv(*sweep, measure, std::cout);
 }
 
 }  // namespace bench

@@ -8,32 +8,43 @@
 #include <iostream>
 
 #include "src/data/workload.h"
+#include "src/eval/bench_harness.h"
 
 namespace seqhide {
 namespace {
 
-void PrintTable(const ExperimentWorkload& w, int paper_s1, int paper_s2,
-                int paper_union) {
-  std::cout << "D = " << w.name << ", |D| = " << w.db.size() << "\n";
-  std::cout << "  sup(<" << w.sensitive[0].ToString(w.db.alphabet())
+void PrintTable(std::ostream& out, const ExperimentWorkload& w,
+                int paper_s1, int paper_s2, int paper_union) {
+  out << "D = " << w.name << ", |D| = " << w.db.size() << "\n";
+  out << "  sup(<" << w.sensitive[0].ToString(w.db.alphabet())
             << ">) = " << w.sensitive_supports[0] << "   (paper: " << paper_s1
             << ")\n";
-  std::cout << "  sup(<" << w.sensitive[1].ToString(w.db.alphabet())
+  out << "  sup(<" << w.sensitive[1].ToString(w.db.alphabet())
             << ">) = " << w.sensitive_supports[1] << "   (paper: " << paper_s2
             << ")\n";
-  std::cout << "  sup(S1 v S2) = " << w.disjunctive_support
+  out << "  sup(S1 v S2) = " << w.disjunctive_support
             << "   (paper: " << paper_union << ")\n";
   DatabaseStats stats = w.db.Stats();
-  std::cout << "  mean sequence length = " << stats.mean_length
+  out << "  mean sequence length = " << stats.mean_length
             << ", alphabet = " << stats.alphabet_size << " grid cells\n\n";
 }
 
 }  // namespace
 }  // namespace seqhide
 
-int main() {
+int main(int argc, char** argv) {
+  using seqhide::bench::SectionOutput;
+  using seqhide::bench::SectionRun;
+  seqhide::bench::BenchHarness harness("table1_supports", argc, argv);
   std::cout << "== Table 1: sensitive pattern supports (paper section 6) ==\n\n";
-  seqhide::PrintTable(seqhide::MakeTrucksWorkload(), 36, 38, 66);
-  seqhide::PrintTable(seqhide::MakeSyntheticWorkload(), 99, 172, 200);
-  return 0;
+  harness.MeasureSection("trucks", [](const SectionRun& run) {
+    SectionOutput out(run);
+    seqhide::PrintTable(out.out(), seqhide::MakeTrucksWorkload(), 36, 38, 66);
+  });
+  harness.MeasureSection("synthetic", [](const SectionRun& run) {
+    SectionOutput out(run);
+    seqhide::PrintTable(out.out(), seqhide::MakeSyntheticWorkload(), 99, 172,
+                        200);
+  });
+  return harness.Finish();
 }

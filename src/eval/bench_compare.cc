@@ -1,0 +1,297 @@
+#include "src/eval/bench_compare.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "src/obs/json.h"
+
+namespace seqhide {
+namespace bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+const char* kSchemaHint =
+    " (expected a bench harness report, schema docs/benchmarking.md)";
+
+std::string FormatNs(double ns) {
+  char buf[32];
+  if (ns >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", ns / 1e9);
+  } else if (ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  }
+  return buf;
+}
+
+std::string FormatDeltaPercent(double baseline, double candidate) {
+  if (baseline <= 0.0) return "n/a";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%",
+                (candidate - baseline) / baseline * 100.0);
+  return buf;
+}
+
+struct ParsedSection {
+  std::string name;
+  double median_ns = 0.0;
+  std::map<std::string, double> counters;
+};
+
+struct ParsedReport {
+  std::string name;
+  std::vector<ParsedSection> sections;
+};
+
+// Extracts what the comparator needs; pushes kSchemaError findings on
+// malformed documents and returns nullopt.
+std::optional<ParsedReport> ParseReport(const std::string& text,
+                                        const std::string& label,
+                                        std::vector<CompareFinding>* findings) {
+  auto fail = [&](const std::string& detail) {
+    findings->push_back(CompareFinding{FindingKind::kSchemaError, label, "",
+                                       detail + kSchemaHint});
+    return std::nullopt;
+  };
+
+  Result<obs::JsonValue> parsed = obs::JsonValue::Parse(text);
+  if (!parsed.ok()) return fail(parsed.status().ToString());
+  const obs::JsonValue& root = *parsed;
+  if (!root.is_object()) return fail("document is not an object");
+  if (root.NumberOr("schema_version", 0) != 1) {
+    return fail("unsupported schema_version");
+  }
+  if (root.StringOr("kind", "") != "bench") {
+    return fail("kind is not \"bench\"");
+  }
+
+  ParsedReport report;
+  report.name = root.StringOr("name", label);
+  const obs::JsonValue* sections = root.Find("sections");
+  if (sections == nullptr || !sections->is_array()) {
+    return fail("missing sections array");
+  }
+  for (const obs::JsonValue& entry : sections->AsArray()) {
+    if (!entry.is_object()) return fail("section is not an object");
+    ParsedSection section;
+    section.name = entry.StringOr("name", "");
+    if (section.name.empty()) return fail("section without a name");
+    section.median_ns = entry.NumberOr("median_ns", 0.0);
+    if (const obs::JsonValue* counters = entry.Find("counters");
+        counters != nullptr && counters->is_object()) {
+      for (const auto& [counter, value] : counters->AsObject()) {
+        if (value.is_number()) section.counters[counter] = value.AsNumber();
+      }
+    }
+    report.sections.push_back(std::move(section));
+  }
+  return report;
+}
+
+const ParsedSection* FindSection(const ParsedReport& report,
+                                 const std::string& name) {
+  for (const ParsedSection& section : report.sections) {
+    if (section.name == name) return &section;
+  }
+  return nullptr;
+}
+
+std::string FormatCounter(double value) {
+  std::ostringstream out;
+  out << std::setprecision(15) << value;
+  return out.str();
+}
+
+}  // namespace
+
+const char* FindingKindName(FindingKind kind) {
+  switch (kind) {
+    case FindingKind::kTimeRegression: return "time-regression";
+    case FindingKind::kCounterDrift: return "counter-drift";
+    case FindingKind::kSectionMissing: return "section-missing";
+    case FindingKind::kFileMissing: return "file-missing";
+    case FindingKind::kSchemaError: return "schema-error";
+  }
+  return "unknown";
+}
+
+void CompareResult::Merge(CompareResult other) {
+  findings.insert(findings.end(),
+                  std::make_move_iterator(other.findings.begin()),
+                  std::make_move_iterator(other.findings.end()));
+  table += other.table;
+  files_compared += other.files_compared;
+  sections_compared += other.sections_compared;
+  counters_compared += other.counters_compared;
+}
+
+CompareResult CompareBenchReports(const std::string& baseline_json,
+                                  const std::string& candidate_json,
+                                  const CompareOptions& options) {
+  CompareResult result;
+  std::optional<ParsedReport> baseline =
+      ParseReport(baseline_json, "baseline", &result.findings);
+  std::optional<ParsedReport> candidate =
+      ParseReport(candidate_json, "candidate", &result.findings);
+  if (!baseline.has_value() || !candidate.has_value()) return result;
+  result.files_compared = 1;
+
+  std::ostringstream table;
+  table << candidate->name << ":\n";
+  for (const ParsedSection& section : candidate->sections) {
+    const ParsedSection* base = FindSection(*baseline, section.name);
+    if (base == nullptr) {
+      result.findings.push_back(CompareFinding{
+          FindingKind::kSectionMissing, candidate->name, section.name,
+          "section not present in baseline — refresh bench/baselines/ if "
+          "this bench section is new"});
+      table << "  " << std::left << std::setw(44) << section.name
+            << " (no baseline)\n";
+      continue;
+    }
+    ++result.sections_compared;
+
+    std::string status = "ok";
+    // Deterministic counters: bit-stable or it's drift.
+    std::map<std::string, std::pair<const double*, const double*>> merged;
+    for (const auto& [name, value] : base->counters) {
+      merged[name].first = &value;
+    }
+    for (const auto& [name, value] : section.counters) {
+      merged[name].second = &value;
+    }
+    for (const auto& [counter, values] : merged) {
+      const auto& [base_value, cand_value] = values;
+      ++result.counters_compared;
+      if (base_value == nullptr || cand_value == nullptr ||
+          *base_value != *cand_value) {
+        result.findings.push_back(CompareFinding{
+            FindingKind::kCounterDrift, candidate->name, section.name,
+            counter + ": baseline " +
+                (base_value != nullptr ? FormatCounter(*base_value)
+                                       : std::string("(absent)")) +
+                " -> candidate " +
+                (cand_value != nullptr ? FormatCounter(*cand_value)
+                                       : std::string("(absent)"))});
+        status = "COUNTER-DRIFT";
+      }
+    }
+
+    if (!options.counters_only && base->median_ns > 0.0) {
+      double slower = section.median_ns - base->median_ns;
+      if (slower > base->median_ns * options.time_threshold &&
+          slower > static_cast<double>(options.time_min_delta_ns)) {
+        result.findings.push_back(CompareFinding{
+            FindingKind::kTimeRegression, candidate->name, section.name,
+            "median " + FormatNs(base->median_ns) + " -> " +
+                FormatNs(section.median_ns) + " (" +
+                FormatDeltaPercent(base->median_ns, section.median_ns) +
+                ", threshold +" +
+                std::to_string(
+                    static_cast<int>(options.time_threshold * 100)) +
+                "%)"});
+        if (status == "ok") status = "SLOWER";
+      } else if (-slower > base->median_ns * options.time_threshold &&
+                 -slower > static_cast<double>(options.time_min_delta_ns)) {
+        if (status == "ok") status = "faster";
+      }
+    }
+
+    table << "  " << std::left << std::setw(44) << section.name << std::right
+          << std::setw(10) << FormatNs(base->median_ns) << std::setw(10)
+          << FormatNs(section.median_ns) << std::setw(9)
+          << FormatDeltaPercent(base->median_ns, section.median_ns)
+          << "  " << status << "\n";
+  }
+  for (const ParsedSection& section : baseline->sections) {
+    if (FindSection(*candidate, section.name) == nullptr) {
+      table << "  " << std::left << std::setw(44) << section.name
+            << " (not run by candidate; skipped)\n";
+    }
+  }
+  result.table = table.str();
+  return result;
+}
+
+Result<CompareResult> CompareBenchPaths(const std::string& candidate_path,
+                                        const std::string& baseline_path,
+                                        const CompareOptions& options) {
+  auto read_file = [](const fs::path& path) -> Result<std::string> {
+    std::ifstream in(path);
+    if (!in) {
+      return Status::IOError("cannot read " + path.string());
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+
+  std::error_code ec;
+  bool candidate_is_dir = fs::is_directory(candidate_path, ec);
+  bool baseline_is_dir = fs::is_directory(baseline_path, ec);
+  if (!fs::exists(candidate_path, ec)) {
+    return Status::InvalidArgument("candidate path does not exist: " +
+                                   candidate_path);
+  }
+  if (!fs::exists(baseline_path, ec)) {
+    return Status::InvalidArgument("baseline path does not exist: " +
+                                   baseline_path);
+  }
+  if (candidate_is_dir != baseline_is_dir) {
+    return Status::InvalidArgument(
+        "candidate and baseline must both be files or both be directories");
+  }
+
+  if (!candidate_is_dir) {
+    SEQHIDE_ASSIGN_OR_RETURN(std::string baseline, read_file(baseline_path));
+    SEQHIDE_ASSIGN_OR_RETURN(std::string candidate,
+                             read_file(candidate_path));
+    CompareResult result = CompareBenchReports(baseline, candidate, options);
+    return result;
+  }
+
+  // Directory mode: candidate files drive the comparison, so CI can run
+  // a reduced bench subset against a full baseline tree.
+  std::vector<fs::path> candidates;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(candidate_path)) {
+    const std::string filename = entry.path().filename().string();
+    if (entry.is_regular_file() && filename.rfind("BENCH_", 0) == 0 &&
+        entry.path().extension() == ".json") {
+      candidates.push_back(entry.path());
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  if (candidates.empty()) {
+    return Status::InvalidArgument("no BENCH_*.json files in " +
+                                   candidate_path);
+  }
+
+  CompareResult result;
+  for (const fs::path& candidate_file : candidates) {
+    fs::path baseline_file =
+        fs::path(baseline_path) / candidate_file.filename();
+    if (!fs::exists(baseline_file, ec)) {
+      result.findings.push_back(CompareFinding{
+          FindingKind::kFileMissing, candidate_file.filename().string(), "",
+          "no baseline file — refresh bench/baselines/ for new benches"});
+      continue;
+    }
+    SEQHIDE_ASSIGN_OR_RETURN(std::string baseline, read_file(baseline_file));
+    SEQHIDE_ASSIGN_OR_RETURN(std::string candidate,
+                             read_file(candidate_file));
+    result.Merge(CompareBenchReports(baseline, candidate, options));
+  }
+  return result;
+}
+
+}  // namespace bench
+}  // namespace seqhide

@@ -1,0 +1,84 @@
+// Minimal JSON parser, the read-side complement of the JsonWriter in
+// src/obs/stats_json.h. No external dependency: the container bakes in no
+// JSON library, and the needs here (reading back --stats-json /
+// BENCH_*.json documents in bench_compare and tests) are small.
+//
+// The parser is strict RFC 8259 except that it stores every number as a
+// double: integers above 2^53 lose precision. All values emitted by this
+// repo's tooling are far below that, and the comparator only needs exact
+// equality on values that round-trip through double (per-repeat counter
+// averages are doubles to begin with).
+
+#ifndef SEQHIDE_OBS_JSON_H_
+#define SEQHIDE_OBS_JSON_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace seqhide {
+namespace obs {
+
+// Parsed JSON value tree. Plain data, cheap to move.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue, std::less<>>;
+
+  // Parses one complete JSON document (trailing non-whitespace is an
+  // error). Error statuses carry the byte offset of the problem.
+  static Result<JsonValue> Parse(std::string_view text);
+
+  JsonValue() = default;  // null
+  explicit JsonValue(bool value) : kind_(Kind::kBool), bool_(value) {}
+  explicit JsonValue(double value) : kind_(Kind::kNumber), number_(value) {}
+  explicit JsonValue(std::string value)
+      : kind_(Kind::kString), string_(std::move(value)) {}
+  explicit JsonValue(Array value)
+      : kind_(Kind::kArray), array_(std::move(value)) {}
+  explicit JsonValue(Object value)
+      : kind_(Kind::kObject), object_(std::move(value)) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  // Typed accessors; calling the wrong one aborts (programming error, as
+  // with Result::value()).
+  bool AsBool() const;
+  double AsNumber() const;
+  const std::string& AsString() const;
+  const Array& AsArray() const;
+  const Object& AsObject() const;
+
+  // Object member lookup; nullptr when absent or when this value is not
+  // an object, so chained lookups degrade gracefully.
+  const JsonValue* Find(std::string_view key) const;
+
+  // Convenience lookups with fallbacks (absent member or wrong type
+  // yields the fallback).
+  double NumberOr(std::string_view key, double fallback) const;
+  std::string StringOr(std::string_view key, std::string_view fallback) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace obs
+}  // namespace seqhide
+
+#endif  // SEQHIDE_OBS_JSON_H_

@@ -136,6 +136,34 @@ void MetricsRegistry::Reset() {
   spans_.clear();
 }
 
+double HistogramPercentile(const MetricsSnapshot::HistogramData& data,
+                           double q) {
+  if (data.count == 0) return 0.0;
+  if (data.buckets.empty()) {
+    // Delta snapshots keep only count/sum; the mean is the best estimate.
+    return static_cast<double>(data.sum) / static_cast<double>(data.count);
+  }
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th value, 1-based; q = 0 maps to the first value.
+  double target = q * static_cast<double>(data.count);
+  if (target < 1.0) target = 1.0;
+  uint64_t cumulative = 0;
+  for (const auto& [lower, bucket_count] : data.buckets) {
+    if (static_cast<double>(cumulative + bucket_count) >= target) {
+      uint64_t upper = lower == 0 ? 0 : lower * 2 - 1;
+      double fraction =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(bucket_count);
+      return static_cast<double>(lower) +
+             fraction * static_cast<double>(upper - lower);
+    }
+    cumulative += bucket_count;
+  }
+  uint64_t last_lower = data.buckets.back().first;
+  return static_cast<double>(last_lower == 0 ? 0 : last_lower * 2 - 1);
+}
+
 MetricsSnapshot SnapshotDelta(const MetricsSnapshot& before,
                               const MetricsSnapshot& after) {
   MetricsSnapshot delta;

@@ -150,6 +150,17 @@ class MetricsRegistry {
   std::map<std::string, SpanAggregate, std::less<>> spans_;
 };
 
+// Interpolated percentile (q in [0, 1]) of a histogram's recorded values,
+// reconstructed from the log2 buckets: the q-th ranked value is located
+// in its bucket and linearly interpolated across the bucket's value range
+// [lower, 2*lower - 1] (bucket 0 holds only the value 0). Exact when all
+// values in the deciding bucket are uniform; at worst off by the bucket
+// width, i.e. a factor of 2 — the usual trade of log-bucketed histograms.
+// A delta snapshot without per-bucket detail falls back to the mean, and
+// an empty histogram yields 0.
+double HistogramPercentile(const MetricsSnapshot::HistogramData& data,
+                           double q);
+
 // Difference between two snapshots of the same registry (after - before),
 // for attributing counter activity to a bench section. Counters/histogram
 // counts subtract; gauges keep the `after` value; spans subtract counts

@@ -160,6 +160,9 @@ void WriteSnapshotMembers(const MetricsSnapshot& snapshot, JsonWriter* out) {
     out->Key(name).BeginObject();
     out->KeyUint("count", data.count);
     out->KeyUint("sum", data.sum);
+    out->KeyDouble("p50", HistogramPercentile(data, 0.50));
+    out->KeyDouble("p90", HistogramPercentile(data, 0.90));
+    out->KeyDouble("p99", HistogramPercentile(data, 0.99));
     out->Key("buckets").BeginArray();
     for (const auto& [lower, count] : data.buckets) {
       out->BeginArray().Uint(lower).Uint(count).EndArray();

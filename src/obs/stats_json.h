@@ -59,9 +59,10 @@ class JsonWriter {
 
 // Appends `snapshot` as four JSON members — "counters" (name -> value),
 // "gauges" (name -> value), "spans" (path -> {count, total_ns, min_ns,
-// max_ns}) and "histograms" (name -> {count, sum, buckets:
-// [[lower_bound, count], ...]}). The writer must be positioned inside an
-// open object.
+// max_ns}) and "histograms" (name -> {count, sum, p50, p90, p99,
+// buckets: [[lower_bound, count], ...]}). Percentiles are interpolated
+// from the log2 buckets (HistogramPercentile). The writer must be
+// positioned inside an open object.
 void WriteSnapshotMembers(const MetricsSnapshot& snapshot, JsonWriter* out);
 
 std::string EscapeJsonString(std::string_view text);

@@ -1,5 +1,7 @@
 #include "src/obs/trace.h"
 
+#include "src/obs/trace_events.h"
+
 namespace seqhide {
 namespace obs {
 namespace {
@@ -25,6 +27,10 @@ Span::~Span() {
       Clock::now() - start_);
   registry_->RecordSpan(path_,
                         static_cast<uint64_t>(elapsed.count()));
+  if (TraceEventRecorder* recorder = TraceEventRecorder::Current()) {
+    recorder->Record(path_, start_,
+                     static_cast<uint64_t>(elapsed.count()));
+  }
 }
 
 std::string Span::CurrentPath() {

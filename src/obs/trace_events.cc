@@ -1,0 +1,132 @@
+#include "src/obs/trace_events.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "src/obs/stats_json.h"
+
+namespace seqhide {
+namespace obs {
+namespace {
+
+// The process-wide recorder. Relaxed is enough: Install/Uninstall happen
+// on run boundaries, not concurrently with the spans they bracket.
+std::atomic<TraceEventRecorder*> g_recorder{nullptr};
+
+}  // namespace
+
+TraceEventRecorder::TraceEventRecorder(size_t max_events)
+    : max_events_(max_events), epoch_(std::chrono::steady_clock::now()) {}
+
+TraceEventRecorder::~TraceEventRecorder() {
+  TraceEventRecorder* self = this;
+  g_recorder.compare_exchange_strong(self, nullptr,
+                                     std::memory_order_relaxed);
+}
+
+void TraceEventRecorder::Install() {
+  TraceEventRecorder* expected = nullptr;
+  bool installed = g_recorder.compare_exchange_strong(
+      expected, this, std::memory_order_relaxed);
+  SEQHIDE_CHECK(installed || expected == this)
+      << "another TraceEventRecorder is already installed";
+}
+
+void TraceEventRecorder::Uninstall() {
+  TraceEventRecorder* self = this;
+  g_recorder.compare_exchange_strong(self, nullptr,
+                                     std::memory_order_relaxed);
+}
+
+TraceEventRecorder* TraceEventRecorder::Current() {
+  return g_recorder.load(std::memory_order_relaxed);
+}
+
+void TraceEventRecorder::Record(std::string_view path,
+                                std::chrono::steady_clock::time_point start,
+                                uint64_t dur_ns) {
+  // Spans that began before the recorder existed clamp to ts = 0.
+  uint64_t start_ns = 0;
+  if (start > epoch_) {
+    start_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(start - epoch_)
+            .count());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= max_events_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  auto [it, unused] = thread_indices_.emplace(
+      std::this_thread::get_id(),
+      static_cast<uint32_t>(thread_indices_.size()));
+  events_.push_back(TraceEvent{std::string(path), start_ns, dur_ns,
+                               it->second});
+}
+
+size_t TraceEventRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceEventRecorder::Events() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = events_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_ns < b.start_ns;
+            });
+  return out;
+}
+
+std::string TraceEventRecorder::ToChromeTraceJson() const {
+  std::vector<TraceEvent> events = Events();
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("traceEvents").BeginArray();
+  for (const TraceEvent& event : events) {
+    // The display name is the leaf stage; the full hierarchical path
+    // rides along in args so Perfetto's detail pane shows it.
+    size_t slash = event.path.rfind('/');
+    std::string_view name = slash == std::string::npos
+                                ? std::string_view(event.path)
+                                : std::string_view(event.path).substr(
+                                      slash + 1);
+    json.BeginObject();
+    json.KeyString("name", name);
+    json.KeyString("cat", "seqhide");
+    json.KeyString("ph", "X");
+    json.KeyDouble("ts", static_cast<double>(event.start_ns) / 1e3);
+    json.KeyDouble("dur", static_cast<double>(event.dur_ns) / 1e3);
+    json.KeyInt("pid", 1);
+    json.KeyInt("tid", event.tid);
+    json.Key("args").BeginObject();
+    json.KeyString("path", event.path);
+    json.EndObject();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.KeyString("displayTimeUnit", "ms");
+  json.KeyUint("droppedEvents", dropped());
+  json.EndObject();
+  return json.str();
+}
+
+Status TraceEventRecorder::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot open trace file for writing: " +
+                                   path);
+  }
+  out << ToChromeTraceJson() << "\n";
+  if (!out.good()) {
+    return Status::Internal("failed writing trace file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace seqhide

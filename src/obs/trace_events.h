@@ -1,0 +1,89 @@
+// Per-occurrence trace event capture and Chrome trace-event export.
+//
+// The MetricsRegistry aggregates spans (count/total/min/max per path);
+// that is cheap but loses the timeline. A TraceEventRecorder, when
+// installed, additionally captures every completed Span as one event
+// with a start timestamp and duration, and serializes the lot in the
+// Chrome trace-event format ("ph":"X" complete events) loadable in
+// Perfetto / chrome://tracing.
+//
+// Recording is opt-in per run (`--trace-json` in seqhide_cli and the
+// bench harness): when no recorder is installed, the only cost in
+// Span::~Span is one relaxed atomic load. Event storage is bounded
+// (`max_events`); once full, further events are counted as dropped
+// rather than grown without limit — a sanitize run over a large database
+// can complete millions of spans.
+
+#ifndef SEQHIDE_OBS_TRACE_EVENTS_H_
+#define SEQHIDE_OBS_TRACE_EVENTS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace seqhide {
+namespace obs {
+
+// One completed span occurrence.
+struct TraceEvent {
+  std::string path;    // hierarchical span path, e.g. "sanitize/mark"
+  uint64_t start_ns;   // nanoseconds since the recorder was constructed
+  uint64_t dur_ns;
+  uint32_t tid;        // dense per-recorder thread index, 0 = first seen
+};
+
+class TraceEventRecorder {
+ public:
+  static constexpr size_t kDefaultMaxEvents = 1u << 20;
+
+  explicit TraceEventRecorder(size_t max_events = kDefaultMaxEvents);
+  ~TraceEventRecorder();  // uninstalls itself if still installed
+
+  TraceEventRecorder(const TraceEventRecorder&) = delete;
+  TraceEventRecorder& operator=(const TraceEventRecorder&) = delete;
+
+  // Makes this the process-wide recorder consulted by Span destructors.
+  // At most one recorder may be installed at a time.
+  void Install();
+  void Uninstall();
+  static TraceEventRecorder* Current();
+
+  // Called from Span::~Span (any thread). `start` is the span's begin
+  // time on the steady clock.
+  void Record(std::string_view path,
+              std::chrono::steady_clock::time_point start, uint64_t dur_ns);
+
+  size_t size() const;
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  // Snapshot of the captured events, sorted by start time.
+  std::vector<TraceEvent> Events() const;
+
+  // Chrome trace-event JSON: {"traceEvents":[{"name","cat","ph":"X",
+  // "ts","dur","pid","tid","args":{"path"}}, ...]}. Timestamps and
+  // durations are microseconds (the format's unit), as doubles.
+  std::string ToChromeTraceJson() const;
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  const size_t max_events_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<uint64_t> dropped_{0};
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::map<std::thread::id, uint32_t> thread_indices_;
+};
+
+}  // namespace obs
+}  // namespace seqhide
+
+#endif  // SEQHIDE_OBS_TRACE_EVENTS_H_

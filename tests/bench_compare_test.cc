@@ -1,0 +1,145 @@
+// Golden tests for the perf-regression comparator
+// (src/eval/bench_compare.h): identical reports pass, timing regressions
+// and any deterministic-counter drift fail, schema problems fail, and
+// candidate-driven section matching skips baseline-only sections.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/eval/bench_compare.h"
+
+namespace seqhide {
+namespace bench {
+namespace {
+
+// A minimal schema-valid BENCH report with one section.
+std::string Report(const std::string& section, double median_ns,
+                   const std::string& counters_json) {
+  return R"({"schema_version": 1, "kind": "bench", "name": "demo",
+    "environment": {"compiler": "gcc", "build_type": "Release",
+                    "git_sha": "abc", "cpu_count": 4, "observability": true},
+    "config": {"repeats": 3, "warmup": 1, "quick": false},
+    "sections": [{"name": ")" +
+         section + R"(", "repeats": 3, "median_ns": )" +
+         std::to_string(median_ns) +
+         R"(, "min_ns": 1, "max_ns": 2, "mean_ns": 1.5, "stddev_ns": 0.1,
+         "counters": )" +
+         counters_json + R"(}],
+    "counters": {}, "gauges": {}, "spans": {}, "histograms": {}})";
+}
+
+bool HasFinding(const CompareResult& result, FindingKind kind) {
+  for (const CompareFinding& f : result.findings) {
+    if (f.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(BenchCompareTest, IdenticalReportsPass) {
+  std::string report = Report("s", 1e9, R"({"dp.rows": 100})");
+  CompareResult result = CompareBenchReports(report, report, {});
+  EXPECT_TRUE(result.ok()) << result.table;
+  EXPECT_EQ(result.sections_compared, 1u);
+  EXPECT_EQ(result.counters_compared, 1u);
+}
+
+TEST(BenchCompareTest, TimingRegressionNeedsBothThresholds) {
+  std::string base = Report("s", 1e9, "{}");
+  // +100% and +1s: over both the 30% relative threshold and the 1ms
+  // absolute floor.
+  CompareResult slow = CompareBenchReports(base, Report("s", 2e9, "{}"), {});
+  EXPECT_TRUE(HasFinding(slow, FindingKind::kTimeRegression));
+
+  // +20%: under the relative threshold.
+  CompareResult near = CompareBenchReports(base, Report("s", 1.2e9, "{}"), {});
+  EXPECT_TRUE(near.ok()) << near.table;
+
+  // +100% relative but only +500ns absolute: micro-bench noise, under
+  // the absolute floor.
+  CompareResult tiny =
+      CompareBenchReports(Report("s", 500, "{}"), Report("s", 1000, "{}"), {});
+  EXPECT_TRUE(tiny.ok()) << tiny.table;
+}
+
+TEST(BenchCompareTest, TimingIgnoredWhenCountersOnly) {
+  CompareOptions options;
+  options.counters_only = true;
+  CompareResult result = CompareBenchReports(Report("s", 1e9, "{}"),
+                                             Report("s", 9e9, "{}"), options);
+  EXPECT_TRUE(result.ok()) << result.table;
+}
+
+TEST(BenchCompareTest, AnyCounterDriftFails) {
+  std::string base = Report("s", 1e9, R"({"dp.rows": 100, "marks": 7})");
+  // Value change.
+  CompareResult changed = CompareBenchReports(
+      base, Report("s", 1e9, R"({"dp.rows": 101, "marks": 7})"), {});
+  EXPECT_TRUE(HasFinding(changed, FindingKind::kCounterDrift));
+  // Counter disappears.
+  CompareResult gone =
+      CompareBenchReports(base, Report("s", 1e9, R"({"marks": 7})"), {});
+  EXPECT_TRUE(HasFinding(gone, FindingKind::kCounterDrift));
+  // Counter appears.
+  CompareResult appeared = CompareBenchReports(
+      base, Report("s", 1e9, R"({"dp.rows": 100, "marks": 7, "new": 1})"),
+      {});
+  EXPECT_TRUE(HasFinding(appeared, FindingKind::kCounterDrift));
+  // Drift is still flagged under counters_only.
+  CompareOptions counters_only;
+  counters_only.counters_only = true;
+  CompareResult drifted = CompareBenchReports(
+      base, Report("s", 1e9, R"({"dp.rows": 101, "marks": 7})"),
+      counters_only);
+  EXPECT_TRUE(HasFinding(drifted, FindingKind::kCounterDrift));
+}
+
+TEST(BenchCompareTest, CandidateSectionWithoutBaselineIsMissing) {
+  CompareResult result = CompareBenchReports(Report("old", 1e9, "{}"),
+                                             Report("new", 1e9, "{}"), {});
+  EXPECT_TRUE(HasFinding(result, FindingKind::kSectionMissing));
+}
+
+TEST(BenchCompareTest, BaselineOnlySectionIsSkipped) {
+  // Candidate ran a subset (CI quick mode): baseline-only sections are
+  // noted in the table but are not findings.
+  std::string both = Report("s", 1e9, "{}");
+  CompareResult result = CompareBenchReports(both, both, {});
+  EXPECT_TRUE(result.ok());
+  // Build a baseline with an extra section by string surgery.
+  std::string base = both;
+  std::string extra =
+      R"({"name": "extra", "repeats": 1, "median_ns": 5, "min_ns": 5,
+          "max_ns": 5, "mean_ns": 5, "stddev_ns": 0, "counters": {}}, )";
+  base.insert(base.find(R"({"name": "s")"), extra);
+  CompareResult subset = CompareBenchReports(base, both, {});
+  EXPECT_TRUE(subset.ok()) << subset.table;
+  EXPECT_NE(subset.table.find("not run by candidate"), std::string::npos);
+}
+
+TEST(BenchCompareTest, SchemaErrorsFail) {
+  std::string good = Report("s", 1e9, "{}");
+  CompareResult malformed = CompareBenchReports(good, "{not json", {});
+  EXPECT_TRUE(HasFinding(malformed, FindingKind::kSchemaError));
+  CompareResult wrong_kind = CompareBenchReports(
+      good, R"({"schema_version": 1, "kind": "stats", "sections": []})", {});
+  EXPECT_TRUE(HasFinding(wrong_kind, FindingKind::kSchemaError));
+  CompareResult wrong_version = CompareBenchReports(
+      good, R"({"schema_version": 2, "kind": "bench", "sections": []})", {});
+  EXPECT_TRUE(HasFinding(wrong_version, FindingKind::kSchemaError));
+}
+
+TEST(BenchCompareTest, TableShowsDeltas) {
+  CompareResult result = CompareBenchReports(Report("s", 1e9, "{}"),
+                                             Report("s", 1.1e9, "{}"), {});
+  EXPECT_NE(result.table.find("+10.0%"), std::string::npos) << result.table;
+  EXPECT_NE(result.table.find("ok"), std::string::npos);
+}
+
+TEST(BenchComparePathsTest, RejectsBadPaths) {
+  EXPECT_FALSE(CompareBenchPaths("/nonexistent-a", "/nonexistent-b", {}).ok());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace seqhide

@@ -97,4 +97,27 @@ if "$CLI" mine --db "$WORK/db.txt" > /dev/null 2>&1; then
   echo "FAIL: mine without --sigma accepted"; exit 1
 fi
 
+# flag validation: unknown flags and misplaced flags are rejected
+if "$CLI" stats --db "$WORK/db.txt" --bogus-flag x > /dev/null 2>&1; then
+  echo "FAIL: unknown flag accepted"; exit 1
+fi
+if "$CLI" stats --db "$WORK/db.txt" --pattern "a -> b" > /dev/null 2>&1; then
+  echo "FAIL: stats accepted --pattern"; exit 1
+fi
+if "$CLI" mine --db "$WORK/db.txt" --sigma 2 --psi 0 > /dev/null 2>&1; then
+  echo "FAIL: mine accepted sanitize-only --psi"; exit 1
+fi
+
+# observability sinks that cannot be written fail loudly (exit nonzero)
+if "$CLI" sanitize --db "$WORK/db.txt" --out "$WORK/o.txt" \
+    --pattern "a -> b -> c" --psi 0 \
+    --stats-json /nonexistent-dir/stats.json > /dev/null 2>&1; then
+  echo "FAIL: unwritable --stats-json accepted"; exit 1
+fi
+if "$CLI" sanitize --db "$WORK/db.txt" --out "$WORK/o.txt" \
+    --pattern "a -> b -> c" --psi 0 \
+    --trace-json /nonexistent-dir/trace.json > /dev/null 2>&1; then
+  echo "FAIL: unwritable --trace-json accepted"; exit 1
+fi
+
 echo "cli smoke test passed"

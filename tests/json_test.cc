@@ -1,0 +1,87 @@
+// Tests for the minimal JSON parser (src/obs/json.h): value kinds,
+// escapes, numbers, structural errors, and the lookup helpers the
+// comparator leans on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/obs/json.h"
+
+namespace seqhide {
+namespace obs {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(JsonValue::Parse("null")->is_null());
+  EXPECT_TRUE(JsonValue::Parse("true")->AsBool());
+  EXPECT_FALSE(JsonValue::Parse("false")->AsBool());
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("42")->AsNumber(), 42.0);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("-1.5e3")->AsNumber(), -1500.0);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("0.25")->AsNumber(), 0.25);
+  EXPECT_EQ(JsonValue::Parse("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  Result<JsonValue> v = JsonValue::Parse(R"("a\"b\\c\/d\n\t\u0041")");
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(v->AsString(), "a\"b\\c/d\n\tA");
+}
+
+TEST(JsonParseTest, UnicodeEscapeToUtf8) {
+  // U+00E9 (é) is two UTF-8 bytes, U+20AC (€) is three.
+  EXPECT_EQ(JsonValue::Parse(R"("\u00e9")")->AsString(), "\xc3\xa9");
+  EXPECT_EQ(JsonValue::Parse(R"("\u20ac")")->AsString(), "\xe2\x82\xac");
+}
+
+TEST(JsonParseTest, ArraysAndObjects) {
+  Result<JsonValue> v = JsonValue::Parse(R"({"a": [1, 2, 3], "b": {"c": true}})");
+  ASSERT_TRUE(v.ok()) << v.status();
+  const JsonValue::Array& a = v->Find("a")->AsArray();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a[1].AsNumber(), 2.0);
+  EXPECT_TRUE(v->Find("b")->Find("c")->AsBool());
+  EXPECT_EQ(v->Find("missing"), nullptr);
+  // Find on a non-object degrades to nullptr instead of aborting.
+  EXPECT_EQ(a[0].Find("x"), nullptr);
+}
+
+TEST(JsonParseTest, LookupHelpers) {
+  Result<JsonValue> v =
+      JsonValue::Parse(R"({"n": 7, "s": "x", "b": true})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->NumberOr("n", -1), 7.0);
+  EXPECT_DOUBLE_EQ(v->NumberOr("absent", -1), -1.0);
+  EXPECT_DOUBLE_EQ(v->NumberOr("s", -1), -1.0);  // wrong type -> fallback
+  EXPECT_EQ(v->StringOr("s", "d"), "x");
+  EXPECT_EQ(v->StringOr("n", "d"), "d");
+}
+
+TEST(JsonParseTest, RejectsMalformedDocuments) {
+  // Note the parser's number grammar is from_chars-lenient ("01", "1.")
+  // — strict enough for our own emitters, which never produce those.
+  const char* bad[] = {
+      "",           "{",            "[1,]",      "{\"a\":}",
+      "nul",        "+1",           "\"unterminated",
+      "{\"a\":1,}", "[1] trailing", "{\"a\" 1}", "\"\\u12\"",
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(JsonValue::Parse(text).ok()) << "accepted: " << text;
+  }
+}
+
+TEST(JsonParseTest, RejectsDeeplyNestedDocuments) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+}
+
+TEST(JsonParseTest, DuplicateKeysLastWins) {
+  Result<JsonValue> v = JsonValue::Parse(R"({"a": 1, "a": 2})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->NumberOr("a", 0), 2.0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace seqhide

@@ -239,13 +239,77 @@ TEST(JsonWriterTest, SnapshotMembersAreWellFormed) {
   EXPECT_NE(text.find("\"gauges\":{\"g\":4}"), std::string::npos);
   EXPECT_NE(text.find("\"a/b\":{\"count\":1,\"total_ns\":5"),
             std::string::npos);
-  EXPECT_NE(text.find("\"h\":{\"count\":1,\"sum\":2,\"buckets\":[[2,1]]"),
+  // Percentiles precede the buckets; a single value in bucket [2,3]
+  // reports the bucket upper bound for every quantile.
+  EXPECT_NE(text.find("\"h\":{\"count\":1,\"sum\":2,"
+                      "\"p50\":3,\"p90\":3,\"p99\":3,"
+                      "\"buckets\":[[2,1]]"),
             std::string::npos);
   // Balanced braces/brackets — cheap well-formedness check.
   EXPECT_EQ(std::count(text.begin(), text.end(), '{'),
             std::count(text.begin(), text.end(), '}'));
   EXPECT_EQ(std::count(text.begin(), text.end(), '['),
             std::count(text.begin(), text.end(), ']'));
+}
+
+
+TEST(HistogramPercentileTest, InterpolatesWithinBuckets) {
+  // Values {2, 2, 8, 8}: bucket [2,3] holds two, bucket [8,15] holds two.
+  MetricsSnapshot::HistogramData data;
+  data.count = 4;
+  data.sum = 20;
+  data.buckets = {{2, 2}, {8, 2}};
+  // p50 rank = 2.0 lands at the end of the first bucket: 2 + 1.0*(3-2).
+  EXPECT_DOUBLE_EQ(HistogramPercentile(data, 0.50), 3.0);
+  // p90 rank = 3.6: 1.6 of 2 into [8,15] -> 8 + 0.8*7.
+  EXPECT_DOUBLE_EQ(HistogramPercentile(data, 0.90), 13.6);
+  // p99 rank = 3.96 -> 8 + 0.98*7.
+  EXPECT_DOUBLE_EQ(HistogramPercentile(data, 0.99), 14.86);
+  // q clamps; q=0 maps to the first recorded value's bucket.
+  EXPECT_DOUBLE_EQ(HistogramPercentile(data, 0.0),
+                   HistogramPercentile(data, -1.0));
+  EXPECT_DOUBLE_EQ(HistogramPercentile(data, 1.0),
+                   HistogramPercentile(data, 2.0));
+}
+
+TEST(HistogramPercentileTest, SingleValueAndZeros) {
+  MetricsSnapshot::HistogramData one;
+  one.count = 1;
+  one.sum = 5;
+  one.buckets = {{4, 1}};  // value 5 lives in [4,7]
+  // Every percentile of a single sample resolves to its bucket's upper
+  // bound (log2 buckets cannot be more precise than that).
+  EXPECT_DOUBLE_EQ(HistogramPercentile(one, 0.50), 7.0);
+  EXPECT_DOUBLE_EQ(HistogramPercentile(one, 0.99), 7.0);
+
+  MetricsSnapshot::HistogramData zeros;
+  zeros.count = 2;
+  zeros.sum = 0;
+  zeros.buckets = {{0, 2}};
+  EXPECT_DOUBLE_EQ(HistogramPercentile(zeros, 0.50), 0.0);
+  EXPECT_DOUBLE_EQ(HistogramPercentile(zeros, 0.99), 0.0);
+}
+
+TEST(HistogramPercentileTest, EmptyAndBucketlessFallbacks) {
+  MetricsSnapshot::HistogramData empty;
+  EXPECT_DOUBLE_EQ(HistogramPercentile(empty, 0.50), 0.0);
+
+  // Delta snapshots drop buckets; the mean is the only honest estimate.
+  MetricsSnapshot::HistogramData delta;
+  delta.count = 4;
+  delta.sum = 20;
+  EXPECT_DOUBLE_EQ(HistogramPercentile(delta, 0.50), 5.0);
+  EXPECT_DOUBLE_EQ(HistogramPercentile(delta, 0.99), 5.0);
+}
+
+TEST(HistogramPercentileTest, MatchesLiveHistogramSnapshot) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("p.test");
+  for (uint64_t v : {2, 2, 8, 8}) h->Record(v);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  const auto& data = snapshot.histograms.at("p.test");
+  EXPECT_DOUBLE_EQ(HistogramPercentile(data, 0.50), 3.0);
+  EXPECT_DOUBLE_EQ(HistogramPercentile(data, 0.90), 13.6);
 }
 
 }  // namespace

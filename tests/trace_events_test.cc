@@ -1,0 +1,112 @@
+// Tests for the Chrome trace-event recorder (src/obs/trace_events.h):
+// span capture through the obs::Span hook, hierarchical paths, the
+// bounded-storage drop counter, and the emitted trace JSON (validated
+// with the in-repo parser).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <string>
+
+#include "src/obs/json.h"
+#include "src/obs/trace.h"
+#include "src/obs/trace_events.h"
+
+namespace seqhide {
+namespace obs {
+namespace {
+
+TEST(TraceEventRecorderTest, RecordsAndSortsEvents) {
+  TraceEventRecorder recorder;
+  auto epoch = std::chrono::steady_clock::now();
+  recorder.Record("b", epoch + std::chrono::nanoseconds(2000), 10);
+  recorder.Record("a", epoch + std::chrono::nanoseconds(1000), 20);
+  ASSERT_EQ(recorder.size(), 2u);
+  std::vector<TraceEvent> events = recorder.Events();
+  EXPECT_EQ(events[0].path, "a");  // sorted by start time
+  EXPECT_EQ(events[1].path, "b");
+  EXPECT_EQ(events[0].dur_ns, 20u);
+}
+
+TEST(TraceEventRecorderTest, ClampsPreEpochStarts) {
+  TraceEventRecorder recorder;
+  recorder.Record("old", std::chrono::steady_clock::time_point{}, 5);
+  EXPECT_EQ(recorder.Events()[0].start_ns, 0u);
+}
+
+TEST(TraceEventRecorderTest, DropsBeyondCapacity) {
+  TraceEventRecorder recorder(/*max_events=*/2);
+  auto now = std::chrono::steady_clock::now();
+  recorder.Record("a", now, 1);
+  recorder.Record("b", now, 1);
+  recorder.Record("c", now, 1);
+  EXPECT_EQ(recorder.size(), 2u);
+  EXPECT_EQ(recorder.dropped(), 1u);
+}
+
+TEST(TraceEventRecorderTest, CapturesSpansWhileInstalled) {
+#if defined(SEQHIDE_OBS_DISABLED)
+  GTEST_SKIP() << "observability compiled out";
+#else
+  TraceEventRecorder recorder;
+  recorder.Install();
+  {
+    Span outer("outer_test_span");
+    Span inner("inner_test_span");
+  }
+  recorder.Uninstall();
+  {
+    // Spans after Uninstall are not recorded.
+    Span late("late_test_span");
+  }
+  std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 2u);
+  // The path carries the nesting (order can tie when both spans start
+  // within one clock tick, so compare as a set).
+  std::set<std::string> paths = {events[0].path, events[1].path};
+  EXPECT_TRUE(paths.count("outer_test_span"));
+  EXPECT_TRUE(paths.count("outer_test_span/inner_test_span"));
+#endif
+}
+
+TEST(TraceEventRecorderTest, ChromeJsonShapeAndContent) {
+  TraceEventRecorder recorder;
+  auto epoch = std::chrono::steady_clock::now();
+  recorder.Record("sanitize/count", epoch + std::chrono::microseconds(3),
+                  1500);
+  Result<JsonValue> parsed = JsonValue::Parse(recorder.ToChromeTraceJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->AsArray().size(), 1u);
+  const JsonValue& event = events->AsArray()[0];
+  EXPECT_EQ(event.StringOr("name", ""), "count");  // leaf of the path
+  EXPECT_EQ(event.StringOr("ph", ""), "X");
+  EXPECT_EQ(event.StringOr("cat", ""), "seqhide");
+  EXPECT_DOUBLE_EQ(event.NumberOr("dur", 0), 1.5);  // microseconds
+  const JsonValue* args = event.Find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->StringOr("path", ""), "sanitize/count");
+  EXPECT_EQ(parsed->StringOr("displayTimeUnit", ""), "ms");
+  EXPECT_DOUBLE_EQ(parsed->NumberOr("droppedEvents", -1), 0.0);
+}
+
+TEST(TraceEventRecorderTest, WriteFailsOnUnwritablePath) {
+  TraceEventRecorder recorder;
+  EXPECT_FALSE(recorder.WriteChromeTrace("/nonexistent-dir/t.json").ok());
+}
+
+TEST(TraceEventRecorderTest, InstallIsExclusiveAndIdempotent) {
+  TraceEventRecorder recorder;
+  recorder.Install();
+  recorder.Install();  // re-installing the same recorder is a no-op
+  EXPECT_EQ(TraceEventRecorder::Current(), &recorder);
+  recorder.Uninstall();
+  recorder.Uninstall();  // double-uninstall is fine
+  EXPECT_EQ(TraceEventRecorder::Current(), nullptr);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace seqhide

@@ -1,0 +1,93 @@
+#!/bin/sh
+# Golden test for `seqhide_cli sanitize --trace-json` (registered in
+# CTest). Asserts the emitted file is a Chrome trace-event document
+# (Perfetto/chrome://tracing loadable) carrying the sanitization stage
+# spans. Format: docs/benchmarking.md.
+# $1 = path to the seqhide_cli binary.
+# $2 = "on"|"off": whether the build has observability compiled in
+#      (SEQHIDE_ENABLE_OBSERVABILITY); span-content assertions only run
+#      when "on". Defaults to "on".
+set -eu
+
+CLI="$1"
+OBS="${2:-on}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+cat > "$WORK/db.txt" <<EOF
+a b c d
+a b x c
+b c a
+a a b c c b a e
+x y z
+EOF
+
+"$CLI" sanitize --db "$WORK/db.txt" --out "$WORK/out.txt" \
+    --pattern "a -> b -> c" --psi 0 --algo HH --seed 42 \
+    --trace-json "$WORK/trace.json" > "$WORK/log.txt"
+
+[ -s "$WORK/trace.json" ] || { echo "FAIL: trace.json empty"; exit 1; }
+grep -q "wrote trace" "$WORK/log.txt" \
+    || { echo "FAIL: no 'wrote trace' confirmation"; exit 1; }
+
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$WORK/trace.json" "$OBS" <<'PYEOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+
+def require(cond, what):
+    if not cond:
+        raise SystemExit(f"FAIL: {what}")
+
+require("traceEvents" in trace, "traceEvents key")
+require(trace.get("displayTimeUnit") == "ms", "displayTimeUnit")
+require(trace.get("droppedEvents") == 0, "droppedEvents == 0")
+events = trace["traceEvents"]
+for e in events:
+    require(e["ph"] == "X", "complete events only")
+    require(e["cat"] == "seqhide", "category")
+    require(isinstance(e["ts"], (int, float)) and e["ts"] >= 0, "ts")
+    require(isinstance(e["dur"], (int, float)) and e["dur"] >= 0, "dur")
+    require("path" in e["args"], "args.path")
+    require(e["name"] == e["args"]["path"].split("/")[-1], "name is leaf")
+
+# With observability compiled in, the pipeline stages must appear as a
+# hierarchy under the root sanitize span.
+if sys.argv[2] == "on":
+    paths = {e["args"]["path"] for e in events}
+    for p in ("sanitize", "sanitize/count", "sanitize/select",
+              "sanitize/mark", "sanitize/verify"):
+        require(p in paths, f"span path {p}")
+else:
+    require(events == [], "no events when observability is compiled out")
+print("trace json golden test passed (python)")
+PYEOF
+else
+  # No python3: fall back to shape greps.
+  grep -q '"traceEvents"' "$WORK/trace.json" \
+      || { echo "FAIL: missing traceEvents"; exit 1; }
+  grep -q '"displayTimeUnit":"ms"' "$WORK/trace.json" \
+      || { echo "FAIL: missing displayTimeUnit"; exit 1; }
+  if [ "$OBS" = "on" ]; then
+    for p in '"sanitize"' '"sanitize/count"' '"sanitize/select"' \
+        '"sanitize/mark"' '"sanitize/verify"'; do
+      grep -q "$p" "$WORK/trace.json" \
+          || { echo "FAIL: missing span path $p"; exit 1; }
+    done
+  fi
+  echo "trace json golden test passed (grep)"
+fi
+
+# The bench harness emits the same format.
+# (Covered separately; here we only pin the CLI path.)
+
+# Unwritable destination fails loudly.
+if "$CLI" sanitize --db "$WORK/db.txt" --out "$WORK/out.txt" \
+    --pattern "a -> b -> c" --psi 0 \
+    --trace-json /nonexistent-dir/trace.json > /dev/null 2>&1; then
+  echo "FAIL: unwritable --trace-json accepted"; exit 1
+fi
+
+echo "trace json test passed"

@@ -1,0 +1,114 @@
+// bench_compare — perf-regression gate over BENCH_*.json reports.
+//
+//   bench_compare CANDIDATE BASELINE [--counters-only]
+//                 [--time-threshold FRACTION] [--time-min-delta-ns N]
+//
+// CANDIDATE and BASELINE are either two BENCH_*.json files or two
+// directories of them (candidate files drive directory comparison, so a
+// reduced CI subset can run against the full checked-in baselines under
+// bench/baselines/). Prints a per-section delta table, then every
+// finding. Exit codes: 0 = no regression, 1 = timing regression /
+// deterministic-counter drift / schema problem, 2 = usage or I/O error.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/common/string_util.h"
+#include "src/eval/bench_compare.h"
+
+namespace seqhide {
+namespace {
+
+void PrintUsage() {
+  std::cerr <<
+      "usage: bench_compare CANDIDATE BASELINE [flags]\n"
+      "  CANDIDATE / BASELINE: BENCH_*.json files, or directories of them\n"
+      "  --counters-only           ignore timings, compare deterministic\n"
+      "                            counters only (CI shared runners)\n"
+      "  --time-threshold F        relative median slowdown to flag\n"
+      "                            (default 0.30)\n"
+      "  --time-min-delta-ns N     absolute slowdown floor (default 1e6)\n"
+      "exit: 0 no regression, 1 regression/drift, 2 usage or I/O error\n";
+}
+
+int Main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  bench::CompareOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--counters-only") {
+      options.counters_only = true;
+    } else if (arg == "--time-threshold" || arg == "--time-min-delta-ns") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << arg << " needs a value\n";
+        PrintUsage();
+        return 2;
+      }
+      std::string value = argv[++i];
+      if (arg == "--time-threshold") {
+        auto parsed = ParseDouble(value);
+        if (!parsed.has_value() || *parsed < 0.0) {
+          std::cerr << "error: --time-threshold needs a non-negative "
+                       "fraction\n";
+          return 2;
+        }
+        options.time_threshold = *parsed;
+      } else {
+        auto parsed = ParseInt64(value);
+        if (!parsed.has_value() || *parsed < 0) {
+          std::cerr << "error: --time-min-delta-ns needs a non-negative "
+                       "integer\n";
+          return 2;
+        }
+        options.time_min_delta_ns = static_cast<uint64_t>(*parsed);
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "error: unknown flag: " << arg << "\n";
+      PrintUsage();
+      return 2;
+    } else {
+      positional.push_back(std::move(arg));
+    }
+  }
+  if (positional.size() != 2) {
+    PrintUsage();
+    return 2;
+  }
+
+  Result<bench::CompareResult> result =
+      bench::CompareBenchPaths(positional[0], positional[1], options);
+  if (!result.ok()) {
+    std::cerr << "error: " << result.status() << "\n";
+    return 2;
+  }
+
+  std::cout << "bench_compare: candidate " << positional[0] << " vs baseline "
+            << positional[1] << (options.counters_only ? " (counters only)"
+                                                       : "")
+            << "\n\n";
+  std::cout << result->table;
+  std::cout << "\ncompared " << result->files_compared << " report(s), "
+            << result->sections_compared << " section(s), "
+            << result->counters_compared << " counter(s)\n";
+  if (result->ok()) {
+    std::cout << "no regressions.\n";
+    return 0;
+  }
+  std::cout << "\n" << result->findings.size() << " finding(s):\n";
+  for (const bench::CompareFinding& finding : result->findings) {
+    std::cout << "  [" << bench::FindingKindName(finding.kind) << "] "
+              << finding.bench;
+    if (!finding.section.empty()) std::cout << " / " << finding.section;
+    std::cout << ": " << finding.detail << "\n";
+  }
+  return 1;
+}
+
+}  // namespace
+}  // namespace seqhide
+
+int main(int argc, char** argv) { return seqhide::Main(argc, argv); }

@@ -6,11 +6,16 @@
 //   seqhide_cli sanitize --db FILE --out FILE --pattern "a ->[0] b"...
 //                        [--psi N] [--algo HH|HR|RH|RR] [--seed N]
 //                        [--threads N] [--stage2 keep|delete|replace]
-//                        [--stats-json FILE]
+//                        [--stats-json FILE] [--trace-json FILE]
 //
 // --stats-json writes a machine-readable run report (options, per-pattern
 // supports before/after, M1, per-stage wall times, obs counter dump) —
-// format documented in docs/observability.md.
+// format documented in docs/observability.md. --trace-json writes the
+// run's trace spans in Chrome trace-event format (load in Perfetto or
+// chrome://tracing) — format documented in docs/benchmarking.md.
+//
+// Flags are validated per command: an unknown or misplaced flag is a
+// usage error (exit 1), not silently ignored.
 //
 // Patterns use the constrained-pattern syntax of
 // src/constraints/constraints.h ("a ->[0] b ->[2..6] c ; window<=10").
@@ -19,12 +24,14 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/common/string_util.h"
 #include "src/obs/metrics.h"
 #include "src/obs/stats_json.h"
+#include "src/obs/trace_events.h"
 #include "src/constraints/constraints.h"
 #include "src/eval/metrics.h"
 #include "src/hide/sanitizer.h"
@@ -58,7 +65,7 @@ void PrintUsage() {
       "  sanitize --db FILE --out FILE --pattern P [--pattern P ...]\n"
       "           [--psi N] [--algo HH|HR|RH|RR] [--seed N] [--threads N]\n"
       "           [--stage2 keep|delete|replace] [--format seq|itemset]\n"
-      "           [--stats-json FILE]\n"
+      "           [--stats-json FILE] [--trace-json FILE]\n"
       "pattern syntax (seq):     \"a -> b\", \"a ->[0] b ->[2..6] c ; "
       "window<=10\"\n"
       "pattern syntax (itemset): \"(formula) (coupon,snacks)\"\n";
@@ -90,6 +97,43 @@ bool ParseArgs(int argc, char** argv, ParsedArgs* out) {
     }
   }
   return true;
+}
+
+// Per-command flag whitelist: a flag the command does not consume is a
+// usage error, not something to silently ignore (a typo like
+// --stats-jsn must not produce a run with no report).
+Status ValidateFlags(const ParsedArgs& args) {
+  struct CommandSpec {
+    bool patterns;  // --pattern accepted
+    std::vector<const char*> flags;
+  };
+  static const std::map<std::string, CommandSpec> kCommands = {
+      {"stats", {false, {"db", "format"}}},
+      {"support", {true, {"db"}}},
+      {"mine", {false, {"db", "sigma", "max-len", "top", "format"}}},
+      {"sanitize",
+       {true,
+        {"db", "out", "psi", "algo", "seed", "threads", "stage2", "format",
+         "stats-json", "trace-json"}}},
+  };
+  auto it = kCommands.find(args.command);
+  if (it == kCommands.end()) return Status::OK();  // dispatch rejects it
+  const CommandSpec& spec = it->second;
+  if (!spec.patterns && !args.patterns.empty()) {
+    return Status::InvalidArgument("'" + args.command +
+                                   "' does not accept --pattern");
+  }
+  for (const auto& [flag, value] : args.flags) {
+    bool known = false;
+    for (const char* allowed : spec.flags) {
+      if (flag == allowed) known = true;
+    }
+    if (!known) {
+      return Status::InvalidArgument("unknown flag --" + flag + " for '" +
+                                     args.command + "'");
+    }
+  }
+  return Status::OK();
 }
 
 Result<size_t> FlagAsSize(const ParsedArgs& args, const std::string& name,
@@ -447,11 +491,27 @@ int Main(int argc, char** argv) {
     PrintUsage();
     return 1;
   }
+  if (Status status = ValidateFlags(args); !status.ok()) {
+    std::cerr << "error: " << status << "\n";
+    PrintUsage();
+    return 1;
+  }
   Result<bool> itemset = IsItemsetFormat(args.flags);
   if (!itemset.ok()) {
     std::cerr << "error: " << itemset.status() << "\n";
     return 1;
   }
+
+  // --trace-json (sanitize only, enforced above): capture every span the
+  // run completes, dump them in Chrome trace-event format at the end.
+  std::unique_ptr<obs::TraceEventRecorder> recorder;
+  std::string trace_path;
+  if (auto it = args.flags.find("trace-json"); it != args.flags.end()) {
+    trace_path = it->second;
+    recorder = std::make_unique<obs::TraceEventRecorder>();
+    recorder->Install();
+  }
+
   Status status = Status::OK();
   if (args.command == "stats") {
     status = *itemset ? RunStatsItemset(args) : RunStats(args);
@@ -464,6 +524,19 @@ int Main(int argc, char** argv) {
   } else {
     PrintUsage();
     return 1;
+  }
+
+  if (recorder != nullptr) {
+    recorder->Uninstall();
+    if (status.ok()) {
+      Status trace_status = recorder->WriteChromeTrace(trace_path);
+      if (!trace_status.ok()) {
+        std::cerr << "error: " << trace_status << "\n";
+        return 1;
+      }
+      std::cout << "wrote trace " << trace_path << " (" << recorder->size()
+                << " events)\n";
+    }
   }
   if (!status.ok()) {
     std::cerr << "error: " << status << "\n";
