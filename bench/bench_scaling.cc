@@ -104,6 +104,50 @@ void BM_SanitizeVsAlphabetSize(benchmark::State& state) {
 }
 BENCHMARK(BM_SanitizeVsAlphabetSize)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 
+// Thread sweep on one large synthetic config: same work at 1/2/4/8
+// threads. The marks/victims/supports counters are emitted per run so
+// the BENCH JSON itself proves the outputs are thread-count-invariant
+// (tools/bench_compare holds them bit-stable across baselines); only the
+// wall time may change. verify=false: the full-rescan cross-check is a
+// debugging net, not part of the pipeline being measured.
+void BM_SanitizeThreadSweep(benchmark::State& state) {
+  RandomDatabaseOptions gen;
+  gen.num_sequences = 2000;
+  gen.min_length = 20;
+  gen.max_length = 40;
+  gen.alphabet_size = 30;
+  gen.seed = 23;
+  SequenceDatabase base = MakeRandomDatabase(gen);
+  std::vector<Sequence> patterns = MakePatterns(4, gen.alphabet_size, 7);
+  SanitizeOptions opts = SanitizeOptions::HH();
+  opts.psi = 50;
+  opts.verify = false;
+  opts.num_threads = static_cast<size_t>(state.range(0));
+  size_t marks = 0, victims = 0, supports_before = 0, supports_after = 0;
+  for (auto _ : state) {
+    SequenceDatabase db = base;
+    auto report = Sanitize(&db, patterns, opts);
+    benchmark::DoNotOptimize(report.ok());
+    marks = report->marks_introduced;
+    victims = report->sequences_sanitized;
+    supports_before = supports_after = 0;
+    for (size_t s : report->supports_before) supports_before += s;
+    for (size_t s : report->supports_after) supports_after += s;
+  }
+  // Deterministic outputs (identical for every Arg), not rates.
+  state.counters["marks"] = benchmark::Counter(static_cast<double>(marks));
+  state.counters["victims"] = benchmark::Counter(static_cast<double>(victims));
+  state.counters["supports_before"] =
+      benchmark::Counter(static_cast<double>(supports_before));
+  state.counters["supports_after"] =
+      benchmark::Counter(static_cast<double>(supports_after));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(gen.num_sequences));
+}
+BENCHMARK(BM_SanitizeThreadSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()
+    ->UseRealTime();
+
 void BM_SanitizeTrucksWorkload(benchmark::State& state) {
   ExperimentWorkload w = MakeTrucksWorkload();
   SanitizeOptions opts = SanitizeOptions::HH();

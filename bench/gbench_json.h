@@ -60,6 +60,10 @@ class GbenchSectionReporter : public benchmark::ConsoleReporter {
       section.timing.max_ns = ns;
       section.timing.mean_ns = per_iter_ns;
       for (const auto& [name, counter] : run.counters) {
+        // Rate counters (items_per_second & co.) are timing-derived and
+        // never bit-stable; only plain counters enter the deterministic
+        // comparison set.
+        if (counter.flags & benchmark::Counter::kIsRate) continue;
         section.counters[name] = counter.value;
       }
       harness_->AddSection(std::move(section));

@@ -1,0 +1,145 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace seqhide {
+namespace {
+
+// Chunks per participating thread: > 1 so a slow chunk (e.g. one victim
+// that needs many marking rounds) does not serialize the region, small
+// enough that per-chunk setup (a scratch buffer) stays amortized.
+constexpr size_t kChunksPerThread = 8;
+
+size_t HardwareThreads() {
+  size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+size_t ResolveThreadCount(size_t requested) {
+  return requested == 0 ? HardwareThreads() : requested;
+}
+
+ThreadPool::ThreadPool(size_t max_workers) : max_workers_(max_workers) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+size_t ThreadPool::num_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
+void ThreadPool::EnsureWorkersLocked(size_t target) {
+  target = std::min(target, max_workers_);
+  while (workers_.size() < target) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Region> region;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !tickets_.empty(); });
+      if (tickets_.empty()) return;  // shutdown with no work left
+      region = std::move(tickets_.front());
+      tickets_.pop_front();
+    }
+    RunChunks(region.get());
+  }
+}
+
+void ThreadPool::RunChunks(Region* region) {
+  const size_t total = region->chunks.size();
+  for (;;) {
+    const size_t c = region->next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= total) return;
+    const auto [begin, end] = region->chunks[c];
+    (*region->body)(begin, end);
+    // seq_cst so the submitting thread's completion check observes every
+    // chunk's writes; notify under the lock to pair with the wait.
+    if (region->completed.fetch_add(1) + 1 == total) {
+      std::lock_guard<std::mutex> lock(region->done_mu);
+      region->done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t max_threads,
+                             const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  size_t threads = std::min(ResolveThreadCount(max_threads), n);
+  threads = std::min(threads, max_workers_ + 1);
+  if (threads <= 1) {
+    body(0, n);
+    return;
+  }
+
+  auto region = std::make_shared<Region>();
+  region->body = &body;
+  // Chunk boundaries depend only on (n, threads): an even split with the
+  // remainder spread over the leading chunks.
+  const size_t chunk_count = std::min(n, threads * kChunksPerThread);
+  region->chunks.reserve(chunk_count);
+  const size_t base = n / chunk_count;
+  const size_t extra = n % chunk_count;
+  size_t begin = 0;
+  for (size_t c = 0; c < chunk_count; ++c) {
+    const size_t len = base + (c < extra ? 1 : 0);
+    region->chunks.emplace_back(begin, begin + len);
+    begin += len;
+  }
+  SEQHIDE_DCHECK(begin == n);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EnsureWorkersLocked(threads - 1);
+    // One ticket per helper; a helper that wakes after the region drained
+    // claims zero chunks and goes back to sleep.
+    for (size_t w = 0; w + 1 < threads; ++w) tickets_.push_back(region);
+  }
+  work_cv_.notify_all();
+
+  RunChunks(region.get());
+  std::unique_lock<std::mutex> lock(region->done_mu);
+  region->done_cv.wait(lock, [&] {
+    return region->completed.load() == region->chunks.size();
+  });
+}
+
+uint64_t ThreadPool::ParallelReduceSum(
+    size_t n, size_t max_threads,
+    const std::function<uint64_t(size_t, size_t)>& map) {
+  if (n == 0) return 0;
+  // Per-chunk partials keyed by chunk *start* keep the reduction order
+  // independent of which thread ran which chunk.
+  std::vector<std::pair<size_t, uint64_t>> partials;
+  std::mutex partials_mu;
+  ParallelFor(n, max_threads, [&](size_t begin, size_t end) {
+    uint64_t partial = map(begin, end);
+    std::lock_guard<std::mutex> lock(partials_mu);
+    partials.emplace_back(begin, partial);
+  });
+  std::sort(partials.begin(), partials.end());
+  uint64_t total = 0;
+  for (const auto& [begin, partial] : partials) total += partial;
+  return total;
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(kMaxThreads - 1);
+  return pool;
+}
+
+}  // namespace seqhide

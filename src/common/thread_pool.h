@@ -1,0 +1,110 @@
+// Deterministic chunked parallelism on a reusable worker pool.
+//
+// The pool exists because the pipeline calls into parallel regions many
+// times per Sanitize() (count stage, mark stage, verify stage) and per
+// benchmark iteration: spawning std::threads at every call site costs
+// more than the work of a small region. Workers are created lazily, kept
+// parked on a condition variable between regions, and reused for the
+// lifetime of the process.
+//
+// Determinism contract: ParallelFor partitions [0, n) into chunks whose
+// boundaries are a pure function of (n, requested parallelism) — never of
+// scheduling. Chunks may execute in any order on any worker, so a body is
+// deterministic iff each index writes only its own output slot (or the
+// caller reduces per-chunk results in chunk order, which
+// ParallelReduceSum does). Under that rule the result is bit-identical
+// for every thread count, including 1.
+//
+// Reentrancy: a ParallelFor body must not itself call into the same pool
+// (the calling thread participates in the region, so nested use cannot
+// deadlock, but nested regions would fight over the chunk queue and are
+// a design smell). No body may throw.
+
+#ifndef SEQHIDE_COMMON_THREAD_POOL_H_
+#define SEQHIDE_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace seqhide {
+
+// Largest parallelism any caller may request; SanitizeOptions::Validate
+// rejects values above this (they are always a configuration bug, not a
+// real machine).
+inline constexpr size_t kMaxThreads = 256;
+
+// `requested` threads with 0 meaning "auto": all hardware threads.
+size_t ResolveThreadCount(size_t requested);
+
+class ThreadPool {
+ public:
+  // A pool that may grow up to `max_workers` parked worker threads
+  // (workers are spawned on demand by ParallelFor, never eagerly).
+  explicit ThreadPool(size_t max_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Workers currently alive (spawned so far).
+  size_t num_workers() const;
+
+  // Runs body(begin, end) over disjoint chunks covering [0, n), using at
+  // most `max_threads` threads (the calling thread counts as one and
+  // always participates; 0 = auto). Blocks until every chunk completed.
+  // Serial (no locking at all) when max_threads <= 1 or n <= 1.
+  void ParallelFor(size_t n, size_t max_threads,
+                   const std::function<void(size_t, size_t)>& body);
+
+  // Like ParallelFor, but `map` returns a partial sum per chunk and the
+  // partials are added serially in ascending chunk order — the stable
+  // reduction to use for anything order-sensitive. Plain uint64 addition
+  // (callers counting rows cannot overflow; saturating sums should
+  // reduce per-slot instead).
+  uint64_t ParallelReduceSum(size_t n, size_t max_threads,
+                             const std::function<uint64_t(size_t, size_t)>& map);
+
+  // Process-wide pool shared by the whole pipeline. Created on first use;
+  // workers persist (parked) across Sanitize() and bench iterations.
+  static ThreadPool& Shared();
+
+ private:
+  // One parallel region: precomputed chunk bounds, an atomic cursor for
+  // work stealing, and a completion latch for the submitting thread.
+  struct Region {
+    const std::function<void(size_t, size_t)>* body = nullptr;
+    std::vector<std::pair<size_t, size_t>> chunks;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> completed{0};
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+  };
+
+  void WorkerLoop();
+  // Claims and runs chunks until the region is drained.
+  static void RunChunks(Region* region);
+  // Spawns workers (under mu_) until `target` exist or the cap is hit.
+  void EnsureWorkersLocked(size_t target);
+
+  const size_t max_workers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  bool shutdown_ = false;
+  // One ticket per helper thread wanted for a region; a worker pops a
+  // ticket, drains the region's chunks, and goes back to sleep.
+  std::deque<std::shared_ptr<Region>> tickets_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_COMMON_THREAD_POOL_H_

@@ -4,8 +4,10 @@
 #include <unordered_set>
 
 #include "src/common/logging.h"
+#include "src/common/thread_pool.h"
 #include "src/match/constrained_count.h"
 #include "src/match/count.h"
+#include "src/match/scratch.h"
 #include "src/obs/macros.h"
 
 namespace seqhide {
@@ -33,24 +35,37 @@ double AutocorrelationScore(const Sequence& seq) {
 std::vector<SequenceMatchInfo> ComputeMatchInfo(
     const SequenceDatabase& db, const std::vector<Sequence>& patterns,
     const std::vector<ConstraintSpec>& constraints) {
+  return ComputeMatchInfo(db, patterns, constraints, /*num_threads=*/1);
+}
+
+std::vector<SequenceMatchInfo> ComputeMatchInfo(
+    const SequenceDatabase& db, const std::vector<Sequence>& patterns,
+    const std::vector<ConstraintSpec>& constraints, size_t num_threads) {
   SEQHIDE_CHECK(constraints.empty() || constraints.size() == patterns.size())
       << "constraints must be empty or parallel to patterns";
   SEQHIDE_TRACE_SPAN("compute_match_info");
   SEQHIDE_COUNTER_ADD("global.match_info_rows", db.size() * patterns.size());
   std::vector<SequenceMatchInfo> info(db.size());
-  for (size_t t = 0; t < db.size(); ++t) {
-    info[t].index = t;
-    info[t].pattern_support.resize(patterns.size(), false);
-    uint64_t total = 0;
-    for (size_t p = 0; p < patterns.size(); ++p) {
-      const ConstraintSpec& spec =
-          constraints.empty() ? ConstraintSpec() : constraints[p];
-      uint64_t c = CountConstrainedMatchings(patterns[p], spec, db[t]);
-      info[t].pattern_support[p] = (c > 0);
-      total = SatAdd(total, c);
-    }
-    info[t].matching_count = total;
-  }
+  ThreadPool::Shared().ParallelFor(
+      db.size(), num_threads, [&](size_t begin, size_t end) {
+        // One scratch per chunk: warm across the chunk's rows, and never
+        // shared between workers.
+        MatchScratch scratch;
+        for (size_t t = begin; t < end; ++t) {
+          info[t].index = t;
+          info[t].pattern_support.resize(patterns.size(), false);
+          uint64_t total = 0;
+          for (size_t p = 0; p < patterns.size(); ++p) {
+            const ConstraintSpec& spec =
+                constraints.empty() ? ConstraintSpec() : constraints[p];
+            uint64_t c =
+                CountConstrainedMatchings(patterns[p], spec, db[t], &scratch);
+            info[t].pattern_support[p] = (c > 0);
+            total = SatAdd(total, c);
+          }
+          info[t].matching_count = total;
+        }
+      });
   return info;
 }
 

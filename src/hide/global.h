@@ -33,6 +33,14 @@ std::vector<SequenceMatchInfo> ComputeMatchInfo(
     const SequenceDatabase& db, const std::vector<Sequence>& patterns,
     const std::vector<ConstraintSpec>& constraints);
 
+// Parallel variant: partitions the database rows across up to
+// `num_threads` workers (0 = auto, 1 = serial; see thread_pool.h). Every
+// row writes only its own info slot, so the result is bit-identical to
+// the serial overload for any thread count.
+std::vector<SequenceMatchInfo> ComputeMatchInfo(
+    const SequenceDatabase& db, const std::vector<Sequence>& patterns,
+    const std::vector<ConstraintSpec>& constraints, size_t num_threads);
+
 // Returns the indices of the sequences to sanitize so that at most `psi`
 // sequences keep a matching. Only supporters (matching_count > 0) are ever
 // selected. `rng` is needed only by GlobalStrategy::kRandom.

@@ -11,6 +11,14 @@ LocalSanitizeResult SanitizeSequence(
     Sequence* seq, const std::vector<Sequence>& patterns,
     const std::vector<ConstraintSpec>& constraints, LocalStrategy strategy,
     Rng* rng) {
+  MatchScratch scratch;
+  return SanitizeSequence(seq, patterns, constraints, strategy, rng, &scratch);
+}
+
+LocalSanitizeResult SanitizeSequence(
+    Sequence* seq, const std::vector<Sequence>& patterns,
+    const std::vector<ConstraintSpec>& constraints, LocalStrategy strategy,
+    Rng* rng, MatchScratch* scratch) {
   SEQHIDE_CHECK(seq != nullptr);
   SEQHIDE_CHECK(strategy != LocalStrategy::kRandom || rng != nullptr)
       << "the Random local strategy needs an Rng";
@@ -27,15 +35,19 @@ LocalSanitizeResult SanitizeSequence(
                              result.marks_introduced);
     return result;
   }
+  // Hoisted out of the round loop: after the first round these only ever
+  // get reassigned, never reallocated (and the DP tables inside *scratch
+  // stay warm across rounds and across sequences on the same thread).
+  std::vector<uint64_t> deltas;
+  std::vector<size_t> candidates;
   for (;;) {
     // Each round recomputes δ for every pattern — the dominant cost of
     // the local stage and the number the paper's Alg. 1 loop hides.
     SEQHIDE_COUNTER_INC("local.delta_recomputations");
-    std::vector<uint64_t> deltas =
-        PositionDeltasTotal(patterns, constraints, *seq);
+    PositionDeltasTotalInto(patterns, constraints, *seq, scratch, &deltas);
 
     // Positions involved in at least one matching ("reasonable choices").
-    std::vector<size_t> candidates;
+    candidates.clear();
     uint64_t best_delta = 0;
     size_t best_pos = 0;
     for (size_t i = 0; i < deltas.size(); ++i) {

@@ -18,6 +18,7 @@
 #include "src/common/random.h"
 #include "src/constraints/constraints.h"
 #include "src/hide/options.h"
+#include "src/match/scratch.h"
 #include "src/seq/sequence.h"
 
 namespace seqhide {
@@ -37,6 +38,14 @@ LocalSanitizeResult SanitizeSequence(
     Sequence* seq, const std::vector<Sequence>& patterns,
     const std::vector<ConstraintSpec>& constraints, LocalStrategy strategy,
     Rng* rng);
+
+// Scratch-reusing variant: δ recomputation (the per-round dominant cost)
+// runs allocation-free once *scratch is warm. One scratch per thread; the
+// pipeline's mark stage hands each worker its own.
+LocalSanitizeResult SanitizeSequence(
+    Sequence* seq, const std::vector<Sequence>& patterns,
+    const std::vector<ConstraintSpec>& constraints, LocalStrategy strategy,
+    Rng* rng, MatchScratch* scratch);
 
 }  // namespace seqhide
 

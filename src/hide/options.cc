@@ -1,6 +1,17 @@
 #include "src/hide/options.h"
 
+#include "src/common/thread_pool.h"
+
 namespace seqhide {
+
+Status SanitizeOptions::Validate() const {
+  if (num_threads > kMaxThreads) {
+    return Status::InvalidArgument(
+        "num_threads = " + std::to_string(num_threads) + " exceeds kMaxThreads (" +
+        std::to_string(kMaxThreads) + "); use 0 for hardware concurrency");
+  }
+  return Status::OK();
+}
 
 std::string ToString(LocalStrategy s) {
   switch (s) {

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/status.h"
+
 namespace seqhide {
 
 enum class LocalStrategy {
@@ -81,11 +83,21 @@ struct SanitizeOptions {
   // long. bench_kernels (BM_SanitizeIndexedVsScan) measures the
   // trade-off; results are identical either way.
   bool use_index = false;
-  // Threads for the per-sequence sanitization stage (sequences are
-  // independent). Output is bit-identical for any thread count: the
-  // Random local strategy derives a per-sequence generator from `seed`
-  // and the sequence's index.
+  // Upper bound on worker threads for the parallel pipeline stages
+  // (count, mark, verify — sequences are row-partitioned and
+  // independent). 0 = auto: use every hardware thread. Values above
+  // common/thread_pool.h's kMaxThreads are rejected by Validate() — they
+  // are always a configuration bug, not a real machine. Output is
+  // bit-identical for any thread count: chunk boundaries are a pure
+  // function of the input size, per-row results go to per-row slots, and
+  // the Random local strategy derives a per-sequence generator from
+  // `seed` and the sequence's index.
   size_t num_threads = 1;
+
+  // InvalidArgument for nonsensical settings (currently: num_threads >
+  // kMaxThreads). Sanitize() calls this; CLI/bench code can call it
+  // early for a better error location.
+  Status Validate() const;
 
   // Shorthand constructors for the paper's four named algorithms.
   static SanitizeOptions HH() { return SanitizeOptions{}; }

@@ -1,19 +1,20 @@
 #include "src/hide/sanitizer.h"
 
 #include <algorithm>
-#include <atomic>
+#include <cstdint>
 #include <optional>
 #include <set>
 #include <sstream>
-#include <thread>
 
 #include "src/common/logging.h"
 #include "src/common/random.h"
 #include "src/common/stopwatch.h"
+#include "src/common/thread_pool.h"
 #include "src/hide/global.h"
 #include "src/hide/local.h"
 #include "src/match/constrained_count.h"
 #include "src/match/count.h"
+#include "src/match/scratch.h"
 #include "src/mine/inverted_index.h"
 #include "src/obs/macros.h"
 #include "src/obs/trace.h"
@@ -26,6 +27,7 @@ Status ValidateInputs(const SequenceDatabase& db,
                       const std::vector<ConstraintSpec>& constraints,
                       const SanitizeOptions& opts) {
   (void)db;
+  SEQHIDE_RETURN_IF_ERROR(opts.Validate());
   if (patterns.empty()) {
     return Status::InvalidArgument("no sensitive patterns given");
   }
@@ -62,39 +64,37 @@ Status ValidateInputs(const SequenceDatabase& db,
 }
 
 // Constrained support of `pattern` in db: rows with >= 1 valid occurrence.
-// `index` (optional) prunes the rows that need the DP.
+// Row-partitioned across the shared pool; the per-chunk hit counts are
+// reduced in chunk order, so the total is thread-count-independent.
 size_t ConstrainedSupport(const SequenceDatabase& db, const Sequence& pattern,
-                          const ConstraintSpec& spec,
-                          const InvertedIndex* index) {
-  size_t count = 0;
-  if (index != nullptr) {
-    const std::vector<size_t> candidates = index->CandidateSupporters(pattern);
-    SEQHIDE_COUNTER_ADD("sanitize.index_dp_rows", candidates.size());
-    SEQHIDE_COUNTER_ADD("sanitize.index_pruned_rows",
-                        db.size() - candidates.size());
-    for (size_t t : candidates) {
-      if (HasConstrainedMatch(pattern, spec, db[t])) ++count;
-    }
-    return count;
-  }
+                          const ConstraintSpec& spec, size_t num_threads) {
   SEQHIDE_COUNTER_ADD("sanitize.scan_dp_rows", db.size());
-  for (const auto& seq : db.sequences()) {
-    if (HasConstrainedMatch(pattern, spec, seq)) ++count;
-  }
-  return count;
+  uint64_t hits = ThreadPool::Shared().ParallelReduceSum(
+      db.size(), num_threads, [&](size_t begin, size_t end) -> uint64_t {
+        MatchScratch scratch;
+        uint64_t count = 0;
+        for (size_t t = begin; t < end; ++t) {
+          if (HasConstrainedMatch(pattern, spec, db[t], &scratch)) ++count;
+        }
+        return count;
+      });
+  return static_cast<size_t>(hits);
 }
 
 // Index-pruned version of ComputeMatchInfo: non-candidate sequences get a
-// zero matching count without running any DP.
+// zero matching count without running any DP. The candidate rows of one
+// pattern are distinct, so partitioning them across workers writes
+// disjoint info slots. *dp_rows returns the DP evaluations actually run.
 std::vector<SequenceMatchInfo> ComputeMatchInfoIndexed(
     const SequenceDatabase& db, const std::vector<Sequence>& patterns,
-    const std::vector<ConstraintSpec>& constraints,
-    const InvertedIndex& index) {
+    const std::vector<ConstraintSpec>& constraints, const InvertedIndex& index,
+    size_t num_threads, size_t* dp_rows) {
   std::vector<SequenceMatchInfo> info(db.size());
   for (size_t t = 0; t < db.size(); ++t) {
     info[t].index = t;
     info[t].pattern_support.resize(patterns.size(), false);
   }
+  *dp_rows = 0;
   for (size_t p = 0; p < patterns.size(); ++p) {
     const ConstraintSpec& spec =
         constraints.empty() ? ConstraintSpec() : constraints[p];
@@ -104,11 +104,18 @@ std::vector<SequenceMatchInfo> ComputeMatchInfoIndexed(
     SEQHIDE_COUNTER_ADD("sanitize.index_dp_rows", candidates.size());
     SEQHIDE_COUNTER_ADD("sanitize.index_pruned_rows",
                         db.size() - candidates.size());
-    for (size_t t : candidates) {
-      uint64_t c = CountConstrainedMatchings(patterns[p], spec, db[t]);
-      info[t].pattern_support[p] = (c > 0);
-      info[t].matching_count = SatAdd(info[t].matching_count, c);
-    }
+    *dp_rows += candidates.size();
+    ThreadPool::Shared().ParallelFor(
+        candidates.size(), num_threads, [&](size_t begin, size_t end) {
+          MatchScratch scratch;
+          for (size_t i = begin; i < end; ++i) {
+            const size_t t = candidates[i];
+            uint64_t c = CountConstrainedMatchings(patterns[p], spec, db[t],
+                                                   &scratch);
+            info[t].pattern_support[p] = (c > 0);
+            info[t].matching_count = SatAdd(info[t].matching_count, c);
+          }
+        });
   }
   return info;
 }
@@ -130,7 +137,10 @@ std::string SanitizeReport::ToString() const {
     if (i > 0) out << ",";
     out << supports_after[i];
   }
-  out << "] elapsed=" << elapsed_seconds << "s (count=" << stages.count_seconds
+  out << "] threads=" << threads_used << " rows{count=" << count_rows
+      << " verify_recount=" << verify_recount_rows
+      << " verify_rescan=" << verify_rescan_rows << "}"
+      << " elapsed=" << elapsed_seconds << "s (count=" << stages.count_seconds
       << "s select=" << stages.select_seconds << "s mark="
       << stages.mark_seconds << "s verify=" << stages.verify_seconds << "s)}";
   return out.str();
@@ -149,10 +159,13 @@ Result<SanitizeReport> Sanitize(SequenceDatabase* db,
   SEQHIDE_TRACE_SPAN("sanitize");
   SEQHIDE_COUNTER_INC("sanitize.runs");
 
+  const size_t threads = ResolveThreadCount(opts.num_threads);
+  report.threads_used = threads;
+  const size_t num_patterns = patterns.size();
+
   // Optional inverted index: prunes the sequences that need any DP work.
   std::optional<InvertedIndex> index;
   if (opts.use_index) index.emplace(*db);
-  const InvertedIndex* index_ptr = index ? &*index : nullptr;
 
   auto spec_for = [&](size_t p) -> const ConstraintSpec& {
     static const ConstraintSpec kUnconstrained;
@@ -160,19 +173,27 @@ Result<SanitizeReport> Sanitize(SequenceDatabase* db,
   };
 
   // Stage 1 of Algorithm 1: matching-set sizes for every sequence
-  // (Lemma 2 / Lemma 4 DPs), plus the supports-before scan.
+  // (Lemma 2 / Lemma 4 DPs), row-partitioned across the pool. The
+  // per-pattern supports fall out of the same pass — pattern_support[p]
+  // is exactly "this row supports pattern p" — so no separate
+  // supports-before scan is needed.
   std::vector<SequenceMatchInfo> info;
   {
     obs::ScopedTimer stage_timer(&report.stages.count_seconds);
     SEQHIDE_TRACE_SPAN("count");
-    for (size_t p = 0; p < patterns.size(); ++p) {
-      report.supports_before.push_back(
-          ConstrainedSupport(*db, patterns[p], spec_for(p), index_ptr));
+    if (index) {
+      info = ComputeMatchInfoIndexed(*db, patterns, constraints, *index,
+                                     threads, &report.count_rows);
+    } else {
+      info = ComputeMatchInfo(*db, patterns, constraints, threads);
+      report.count_rows = db->size() * num_patterns;
     }
-    info = index ? ComputeMatchInfoIndexed(*db, patterns, constraints, *index)
-                 : ComputeMatchInfo(*db, patterns, constraints);
+    report.supports_before.assign(num_patterns, 0);
     for (const auto& i : info) {
       if (i.matching_count > 0) ++report.sequences_supporting_before;
+      for (size_t p = 0; p < num_patterns; ++p) {
+        if (i.pattern_support[p]) ++report.supports_before[p];
+      }
     }
   }
 
@@ -192,66 +213,95 @@ Result<SanitizeReport> Sanitize(SequenceDatabase* db,
   SEQHIDE_GAUGE_SET("sanitize.victims", victims.size());
 
   // Stage 3: destroy all matchings inside each victim. Victims are
-  // independent, so the stage parallelizes; a per-victim generator keyed
-  // on (seed, sequence index) makes the result identical for any thread
-  // count.
+  // independent, so the stage row-partitions over the pool; a per-victim
+  // generator keyed on (seed, sequence index) plus per-victim mark slots
+  // make the result identical for any thread count.
   {
     obs::ScopedTimer stage_timer(&report.stages.mark_seconds);
     SEQHIDE_TRACE_SPAN("mark");
-    auto sanitize_victim = [&](size_t t) -> size_t {
-      Rng local_rng(opts.seed ^ (0x9e3779b97f4a7c15ULL * (t + 1)));
-      LocalSanitizeResult local = SanitizeSequence(
-          db->mutable_sequence(t), patterns, constraints, opts.local,
-          &local_rng);
-      SEQHIDE_DCHECK(local.marks_introduced > 0)
-          << "selected sequence had no matchings";
-      return local.marks_introduced;
-    };
-    const size_t threads =
-        std::max<size_t>(1, std::min(opts.num_threads, victims.size()));
-    if (threads <= 1) {
-      for (size_t t : victims) report.marks_introduced += sanitize_victim(t);
-    } else {
-      std::atomic<size_t> next{0};
-      std::atomic<size_t> total_marks{0};
-      std::vector<std::thread> pool;
-      pool.reserve(threads);
-      for (size_t w = 0; w < threads; ++w) {
-        pool.emplace_back([&] {
-          for (;;) {
-            size_t slot = next.fetch_add(1);
-            if (slot >= victims.size()) return;
-            total_marks.fetch_add(sanitize_victim(victims[slot]));
+    std::vector<size_t> marks(victims.size(), 0);
+    ThreadPool::Shared().ParallelFor(
+        victims.size(), threads, [&](size_t begin, size_t end) {
+          MatchScratch scratch;
+          for (size_t i = begin; i < end; ++i) {
+            const size_t t = victims[i];
+            Rng local_rng(opts.seed ^ (0x9e3779b97f4a7c15ULL * (t + 1)));
+            LocalSanitizeResult local = SanitizeSequence(
+                db->mutable_sequence(t), patterns, constraints, opts.local,
+                &local_rng, &scratch);
+            SEQHIDE_DCHECK(local.marks_introduced > 0)
+                << "selected sequence had no matchings";
+            marks[i] = local.marks_introduced;
           }
         });
-      }
-      for (auto& worker : pool) worker.join();
-      report.marks_introduced = total_marks.load();
-    }
+    for (size_t m : marks) report.marks_introduced += m;
     report.sequences_sanitized = victims.size();
   }
 
   // The database changed; the pre-sanitization index is stale.
   index.reset();
-  index_ptr = nullptr;
 
   {
     obs::ScopedTimer stage_timer(&report.stages.verify_seconds);
     SEQHIDE_TRACE_SPAN("verify");
-    for (size_t p = 0; p < patterns.size(); ++p) {
-      report.supports_after.push_back(
-          ConstrainedSupport(*db, patterns[p], spec_for(p), nullptr));
+    // Incremental supports-after: marking replaces symbols with Δ inside
+    // victims only, and Δ never creates a matching, so a non-victim
+    // supports pattern p after exactly iff it did before. Only the
+    // victims need recounting:
+    //   after[p] = before[p] − (victims supporting p before)
+    //                        + (victims still supporting p now).
+    // The local stage destroys every matching, so the last term is 0 for
+    // every strategy we ship — but recounting keeps the identity valid
+    // for any future strategy that stops early.
+    std::vector<uint8_t> victim_still_supports(victims.size() * num_patterns,
+                                               0);
+    SEQHIDE_COUNTER_ADD("sanitize.verify_recount_rows", victims.size());
+    report.verify_recount_rows = victims.size();
+    ThreadPool::Shared().ParallelFor(
+        victims.size(), threads, [&](size_t begin, size_t end) {
+          MatchScratch scratch;
+          for (size_t i = begin; i < end; ++i) {
+            const size_t t = victims[i];
+            for (size_t p = 0; p < num_patterns; ++p) {
+              if (!info[t].pattern_support[p]) continue;
+              if (HasConstrainedMatch(patterns[p], spec_for(p), (*db)[t],
+                                      &scratch)) {
+                victim_still_supports[i * num_patterns + p] = 1;
+              }
+            }
+          }
+        });
+    report.supports_after.assign(num_patterns, 0);
+    for (size_t p = 0; p < num_patterns; ++p) {
+      size_t lost = 0, kept = 0;
+      for (size_t i = 0; i < victims.size(); ++i) {
+        if (info[victims[i]].pattern_support[p]) ++lost;
+        if (victim_still_supports[i * num_patterns + p]) ++kept;
+      }
+      report.supports_after[p] = report.supports_before[p] - lost + kept;
     }
+
     if (opts.verify) {
-      for (size_t p = 0; p < patterns.size(); ++p) {
+      // Full-rescan cross-check of the incremental bookkeeping, then the
+      // disclosure requirement itself.
+      report.verify_rescan_rows = db->size() * num_patterns;
+      for (size_t p = 0; p < num_patterns; ++p) {
+        const size_t rescan =
+            ConstrainedSupport(*db, patterns[p], spec_for(p), threads);
+        if (rescan != report.supports_after[p]) {
+          return Status::Internal(
+              "incremental supports-after mismatch for pattern " +
+              std::to_string(p) + ": incremental " +
+              std::to_string(report.supports_after[p]) + " vs full rescan " +
+              std::to_string(rescan));
+        }
         size_t limit =
             opts.per_pattern_psi.empty() ? opts.psi : opts.per_pattern_psi[p];
-        if (report.supports_after[p] > limit) {
+        if (rescan > limit) {
           return Status::Internal(
               "disclosure requirement violated after sanitization: pattern " +
-              std::to_string(p) + " has support " +
-              std::to_string(report.supports_after[p]) + " > " +
-              std::to_string(limit));
+              std::to_string(p) + " has support " + std::to_string(rescan) +
+              " > " + std::to_string(limit));
         }
       }
     }

@@ -65,6 +65,20 @@ struct SanitizeReport {
   // Where elapsed_seconds went, stage by stage.
   StageTimings stages;
 
+  // Parallel configuration and per-stage row workloads. threads_used is
+  // the resolved worker bound (after 0 = auto); the row totals are
+  // deterministic — identical for every thread count — so rows/worker
+  // (the load-balance figure) is rows / threads_used.
+  //
+  // count_rows: (sequence, pattern) DP evaluations in stage 1 (index
+  // pruning shrinks this). verify_recount_rows: victim rows recounted for
+  // the incremental supports-after. verify_rescan_rows: full-database
+  // rows rescanned by the opts.verify cross-check (0 when verify=false).
+  size_t threads_used = 1;
+  size_t count_rows = 0;
+  size_t verify_recount_rows = 0;
+  size_t verify_rescan_rows = 0;
+
   std::string ToString() const;
 };
 
@@ -73,8 +87,12 @@ struct SanitizeReport {
 //
 // Errors:
 //   InvalidArgument — empty/duplicate patterns, a pattern containing Δ,
-//                     malformed constraints, mismatched per-pattern ψ list.
-//   Internal        — post-verification failed (only with opts.verify).
+//                     malformed constraints, mismatched per-pattern ψ list,
+//                     options rejected by SanitizeOptions::Validate().
+//   Internal        — post-verification failed (only with opts.verify):
+//                     either a pattern's support still exceeds its ψ, or
+//                     the full-rescan cross-check disagrees with the
+//                     incremental supports-after.
 Result<SanitizeReport> Sanitize(SequenceDatabase* db,
                                 const std::vector<Sequence>& patterns,
                                 const std::vector<ConstraintSpec>& constraints,

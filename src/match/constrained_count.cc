@@ -16,7 +16,7 @@ namespace {
 uint64_t CountGapMatchingsEndingAt(const Sequence& pattern,
                                    const ConstraintSpec& spec,
                                    const Sequence& seq, size_t first,
-                                   size_t last) {
+                                   size_t last, MatchScratch* scratch) {
   const size_t m = pattern.size();
   SEQHIDE_DCHECK(last < seq.size());
   if (m == 0) return 0;
@@ -25,8 +25,8 @@ uint64_t CountGapMatchingsEndingAt(const Sequence& pattern,
   // ends[k-1][j] = gap-valid embeddings of S[1..k] within the slice,
   // ending exactly at absolute position j. Only positions in
   // [first, last] participate.
-  std::vector<std::vector<uint64_t>> ends(
-      m, std::vector<uint64_t>(seq.size(), 0));
+  std::vector<std::vector<uint64_t>>& ends = scratch->window;
+  ResizeAndZeroTable(&ends, m, seq.size());
   for (size_t j = first; j <= last; ++j) {
     if (seq[j] == pattern[0]) ends[0][j] = 1;
   }
@@ -56,24 +56,24 @@ uint64_t CountGapMatchingsEndingAt(const Sequence& pattern,
 
 // Total gap-valid (window-free) matchings: Σ_j Q[m][j].
 uint64_t CountGapMatchings(const Sequence& pattern, const ConstraintSpec& spec,
-                           const Sequence& seq) {
-  PrefixEndTable q = BuildGapEndTable(pattern, spec, seq);
-  return TotalFromPrefixEndTable(q);
+                           const Sequence& seq, MatchScratch* scratch) {
+  BuildGapEndTableInto(pattern, spec, seq, &scratch->fwd);
+  return TotalFromPrefixEndTable(scratch->fwd);
 }
 
 // Lemma 5: sum over ending positions j of the count of (gap-valid)
 // embeddings confined to the window [j - Ws + 1, j] that end exactly at j.
 uint64_t CountWindowedMatchings(const Sequence& pattern,
                                 const ConstraintSpec& spec,
-                                const Sequence& seq) {
+                                const Sequence& seq, MatchScratch* scratch) {
   const size_t ws = *spec.max_window();
   SEQHIDE_COUNTER_INC("match.window.calls");
   SEQHIDE_COUNTER_ADD("match.window.slices", seq.size());
   uint64_t total = 0;
   for (size_t j = 0; j < seq.size(); ++j) {
     size_t first = (j + 1 >= ws) ? j + 1 - ws : 0;
-    total = SatAdd(total,
-                   CountGapMatchingsEndingAt(pattern, spec, seq, first, j));
+    total = SatAdd(total, CountGapMatchingsEndingAt(pattern, spec, seq, first,
+                                                    j, scratch));
   }
   return total;
 }
@@ -83,14 +83,22 @@ uint64_t CountWindowedMatchings(const Sequence& pattern,
 PrefixEndTable BuildGapEndTable(const Sequence& pattern,
                                 const ConstraintSpec& spec,
                                 const Sequence& seq) {
+  PrefixEndTable table;
+  BuildGapEndTableInto(pattern, spec, seq, &table);
+  return table;
+}
+
+void BuildGapEndTableInto(const Sequence& pattern, const ConstraintSpec& spec,
+                          const Sequence& seq, PrefixEndTable* out) {
   const size_t m = pattern.size();
   const size_t n = seq.size();
   SEQHIDE_COUNTER_INC("match.gap.tables_built");
   SEQHIDE_COUNTER_ADD("match.gap.dp_rows", m);
   SEQHIDE_COUNTER_ADD("match.gap.dp_cells", m * (n + 1));
-  PrefixEndTable table(m + 1, std::vector<uint64_t>(n + 1, 0));
+  PrefixEndTable& table = *out;
+  ResizeAndZeroTable(&table, m + 1, n + 1);
   table[0][0] = 1;
-  if (m == 0) return table;
+  if (m == 0) return;
 
   // k = 1: any occurrence of the first symbol (no incoming arrow).
   for (size_t j = 1; j <= n; ++j) {
@@ -118,17 +126,24 @@ PrefixEndTable BuildGapEndTable(const Sequence& pattern,
       table[k][j] = sum;
     }
   }
-  return table;
 }
 
 uint64_t CountConstrainedMatchings(const Sequence& pattern,
                                    const ConstraintSpec& spec,
                                    const Sequence& seq) {
+  MatchScratch scratch;
+  return CountConstrainedMatchings(pattern, spec, seq, &scratch);
+}
+
+uint64_t CountConstrainedMatchings(const Sequence& pattern,
+                                   const ConstraintSpec& spec,
+                                   const Sequence& seq,
+                                   MatchScratch* scratch) {
   SEQHIDE_DCHECK(spec.Validate(pattern.size()).ok())
       << spec.Validate(pattern.size()).ToString();
-  if (spec.IsUnconstrained()) return CountMatchings(pattern, seq);
-  if (!spec.HasWindow()) return CountGapMatchings(pattern, spec, seq);
-  return CountWindowedMatchings(pattern, spec, seq);
+  if (spec.IsUnconstrained()) return CountMatchings(pattern, seq, scratch);
+  if (!spec.HasWindow()) return CountGapMatchings(pattern, spec, seq, scratch);
+  return CountWindowedMatchings(pattern, spec, seq, scratch);
 }
 
 uint64_t CountConstrainedMatchingsTotal(
@@ -136,11 +151,13 @@ uint64_t CountConstrainedMatchingsTotal(
     const std::vector<ConstraintSpec>& constraints, const Sequence& seq) {
   SEQHIDE_CHECK(constraints.empty() || constraints.size() == patterns.size())
       << "constraints must be empty or parallel to patterns";
+  MatchScratch scratch;
   uint64_t total = 0;
   for (size_t p = 0; p < patterns.size(); ++p) {
     const ConstraintSpec& spec =
         constraints.empty() ? ConstraintSpec() : constraints[p];
-    total = SatAdd(total, CountConstrainedMatchings(patterns[p], spec, seq));
+    total = SatAdd(total,
+                   CountConstrainedMatchings(patterns[p], spec, seq, &scratch));
   }
   return total;
 }
@@ -148,6 +165,11 @@ uint64_t CountConstrainedMatchingsTotal(
 bool HasConstrainedMatch(const Sequence& pattern, const ConstraintSpec& spec,
                          const Sequence& seq) {
   return CountConstrainedMatchings(pattern, spec, seq) > 0;
+}
+
+bool HasConstrainedMatch(const Sequence& pattern, const ConstraintSpec& spec,
+                         const Sequence& seq, MatchScratch* scratch) {
+  return CountConstrainedMatchings(pattern, spec, seq, scratch) > 0;
 }
 
 }  // namespace seqhide

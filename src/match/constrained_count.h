@@ -22,6 +22,7 @@
 
 #include "src/constraints/constraints.h"
 #include "src/match/prefix_table.h"
+#include "src/match/scratch.h"
 #include "src/seq/sequence.h"
 
 namespace seqhide {
@@ -35,12 +36,23 @@ PrefixEndTable BuildGapEndTable(const Sequence& pattern,
                                 const ConstraintSpec& spec,
                                 const Sequence& seq);
 
+// Allocation-free variant: writes into *out (resized exactly to
+// [m+1][n+1]); `out` may be a scratch-owned table.
+void BuildGapEndTableInto(const Sequence& pattern, const ConstraintSpec& spec,
+                          const Sequence& seq, PrefixEndTable* out);
+
 // |{matchings of `pattern` in `seq` satisfying `spec`}|. Dispatches:
 // unconstrained -> Lemma 2 count; gaps only -> Σ_j Q[m][j]; window
 // (with or without gaps) -> Lemma 5 windowed evaluation.
 uint64_t CountConstrainedMatchings(const Sequence& pattern,
                                    const ConstraintSpec& spec,
                                    const Sequence& seq);
+
+// Allocation-free variant: all DP tables live in *scratch (one scratch
+// per thread; see scratch.h). Bit-identical to the allocating overload.
+uint64_t CountConstrainedMatchings(const Sequence& pattern,
+                                   const ConstraintSpec& spec,
+                                   const Sequence& seq, MatchScratch* scratch);
 
 // Σ over patterns (constraints[i] applies to patterns[i]; `constraints`
 // may be empty meaning all-unconstrained).
@@ -53,6 +65,10 @@ uint64_t CountConstrainedMatchingsTotal(
 // matching", which the hiding problem uses as the disclosure predicate.)
 bool HasConstrainedMatch(const Sequence& pattern, const ConstraintSpec& spec,
                          const Sequence& seq);
+
+// Scratch-reusing variant of the support predicate.
+bool HasConstrainedMatch(const Sequence& pattern, const ConstraintSpec& spec,
+                         const Sequence& seq, MatchScratch* scratch);
 
 }  // namespace seqhide
 

@@ -6,6 +6,12 @@
 namespace seqhide {
 
 uint64_t CountMatchings(const Sequence& pattern, const Sequence& seq) {
+  MatchScratch scratch;
+  return CountMatchings(pattern, seq, &scratch);
+}
+
+uint64_t CountMatchings(const Sequence& pattern, const Sequence& seq,
+                        MatchScratch* scratch) {
   const size_t m = pattern.size();
   const size_t n = seq.size();
   if (m == 0) return 1;  // the empty embedding
@@ -18,7 +24,8 @@ uint64_t CountMatchings(const Sequence& pattern, const Sequence& seq) {
   // row[i] = number of embeddings of S[0..i-1] in the prefix of T seen so
   // far. Iterating i downward lets us update in place (row[i] depends on
   // the previous column's row[i] and row[i-1]).
-  std::vector<uint64_t> row(m + 1, 0);
+  std::vector<uint64_t>& row = scratch->count_row;
+  row.assign(m + 1, 0);
   row[0] = 1;
   for (size_t j = 0; j < n; ++j) {
     const SymbolId t = seq[j];

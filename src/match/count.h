@@ -13,6 +13,7 @@
 #include <limits>
 #include <vector>
 
+#include "src/match/scratch.h"
 #include "src/seq/sequence.h"
 
 namespace seqhide {
@@ -40,6 +41,11 @@ inline uint64_t SatMul(uint64_t a, uint64_t b) {
 // with P(0, j) = 1 and P(i, 0) = 0 for i > 0. Δ positions in T match
 // nothing. The empty pattern has exactly one (empty) matching.
 uint64_t CountMatchings(const Sequence& pattern, const Sequence& seq);
+
+// Allocation-free variant: the DP row lives in *scratch (one scratch per
+// thread; see scratch.h). Bit-identical to the allocating overload.
+uint64_t CountMatchings(const Sequence& pattern, const Sequence& seq,
+                        MatchScratch* scratch);
 
 // |M_{S_h}^T| = Σ_S |M_S^T|. Exact because matchings of distinct patterns
 // are distinct tuples (see matching_set.h). Patterns must be pairwise

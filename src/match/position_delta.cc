@@ -17,13 +17,14 @@ namespace {
 // Returned flattened as rows k = 0..m over n+1 "virtual" anchor positions:
 // index j = position in T; an extra anchor value is not needed because the
 // sanitizer only queries j that hold a real symbol.
-std::vector<std::vector<uint64_t>> BuildSuffixExtensionTable(
-    const Sequence& pattern, const ConstraintSpec& spec,
-    const Sequence& seq) {
+void BuildSuffixExtensionTableInto(const Sequence& pattern,
+                                   const ConstraintSpec& spec,
+                                   const Sequence& seq,
+                                   std::vector<std::vector<uint64_t>>* out) {
   const size_t m = pattern.size();
   const size_t n = seq.size();
-  std::vector<std::vector<uint64_t>> bwd(m + 1,
-                                         std::vector<uint64_t>(n, 0));
+  std::vector<std::vector<uint64_t>>& bwd = *out;
+  ResizeAndZeroTable(&bwd, m + 1, n);
   for (size_t j = 0; j < n; ++j) bwd[m][j] = 1;
   // Rows k = m-1 down to 1. In this loop `k` counts consumed prefix
   // symbols, so the next suffix symbol is S[k+1] = pattern[k] (0-based),
@@ -45,7 +46,27 @@ std::vector<std::vector<uint64_t>> BuildSuffixExtensionTable(
       bwd[k][j] = sum;
     }
   }
-  return bwd;
+}
+
+// Scratch-reusing mark-and-recount: scratch->marked is the working copy
+// (re-assigned per position, so no per-position allocation once its
+// capacity covers |seq|).
+void PositionDeltasByMarkingInto(const Sequence& pattern,
+                                 const ConstraintSpec& spec,
+                                 const Sequence& seq, MatchScratch* scratch,
+                                 std::vector<uint64_t>* out) {
+  SEQHIDE_COUNTER_INC("delta.marking_calls");
+  const uint64_t base = CountConstrainedMatchings(pattern, spec, seq, scratch);
+  out->assign(seq.size(), 0);
+  for (size_t i = 0; i < seq.size(); ++i) {
+    if (!IsRealSymbol(seq[i])) continue;
+    scratch->marked = seq;
+    scratch->marked.Mark(i);
+    uint64_t without =
+        CountConstrainedMatchings(pattern, spec, scratch->marked, scratch);
+    SEQHIDE_DCHECK(without <= base);
+    (*out)[i] = base - without;
+  }
 }
 
 }  // namespace
@@ -53,25 +74,42 @@ std::vector<std::vector<uint64_t>> BuildSuffixExtensionTable(
 std::vector<uint64_t> PositionDeltas(const Sequence& pattern,
                                      const ConstraintSpec& spec,
                                      const Sequence& seq) {
+  MatchScratch scratch;
+  std::vector<uint64_t> deltas;
+  PositionDeltasInto(pattern, spec, seq, &scratch, &deltas);
+  return deltas;
+}
+
+void PositionDeltasInto(const Sequence& pattern, const ConstraintSpec& spec,
+                        const Sequence& seq, MatchScratch* scratch,
+                        std::vector<uint64_t>* out) {
   SEQHIDE_CHECK(!pattern.empty());
   const size_t m = pattern.size();
   const size_t n = seq.size();
-  std::vector<uint64_t> deltas(n, 0);
-  if (n == 0) return deltas;
+  if (n == 0) {
+    out->clear();
+    return;
+  }
 
   if (spec.HasWindow()) {
     // The window couples both halves of the embedding through the first
     // matched position; use the always-correct mark-and-recount method.
-    return PositionDeltasByMarking(pattern, spec, seq);
+    PositionDeltasByMarkingInto(pattern, spec, seq, scratch, out);
+    return;
   }
   SEQHIDE_COUNTER_INC("delta.fast_calls");
 
   // fwd[k][j] (1-based j): gap-valid embeddings of S[1..k] ending at j.
-  PrefixEndTable fwd = spec.HasGaps() ? BuildGapEndTable(pattern, spec, seq)
-                                      : BuildPrefixEndTable(pattern, seq);
-  std::vector<std::vector<uint64_t>> bwd =
-      BuildSuffixExtensionTable(pattern, spec, seq);
+  PrefixEndTable& fwd = scratch->fwd;
+  if (spec.HasGaps()) {
+    BuildGapEndTableInto(pattern, spec, seq, &fwd);
+  } else {
+    BuildPrefixEndTableInto(pattern, seq, scratch, &fwd);
+  }
+  std::vector<std::vector<uint64_t>>& bwd = scratch->bwd;
+  BuildSuffixExtensionTableInto(pattern, spec, seq, &bwd);
 
+  out->assign(n, 0);
   for (size_t j = 0; j < n; ++j) {
     if (!IsRealSymbol(seq[j])) continue;
     uint64_t total = 0;
@@ -80,26 +118,35 @@ std::vector<uint64_t> PositionDeltas(const Sequence& pattern,
       // fwd uses 1-based columns: position j (0-based) is column j+1.
       total = SatAdd(total, SatMul(fwd[k][j + 1], bwd[k][j]));
     }
-    deltas[j] = total;
+    (*out)[j] = total;
   }
-  return deltas;
 }
 
 std::vector<uint64_t> PositionDeltasTotal(
     const std::vector<Sequence>& patterns,
     const std::vector<ConstraintSpec>& constraints, const Sequence& seq) {
+  MatchScratch scratch;
+  std::vector<uint64_t> total;
+  PositionDeltasTotalInto(patterns, constraints, seq, &scratch, &total);
+  return total;
+}
+
+void PositionDeltasTotalInto(const std::vector<Sequence>& patterns,
+                             const std::vector<ConstraintSpec>& constraints,
+                             const Sequence& seq, MatchScratch* scratch,
+                             std::vector<uint64_t>* out) {
   SEQHIDE_CHECK(constraints.empty() || constraints.size() == patterns.size())
       << "constraints must be empty or parallel to patterns";
-  std::vector<uint64_t> total(seq.size(), 0);
+  out->assign(seq.size(), 0);
   for (size_t p = 0; p < patterns.size(); ++p) {
     const ConstraintSpec& spec =
         constraints.empty() ? ConstraintSpec() : constraints[p];
-    std::vector<uint64_t> d = PositionDeltas(patterns[p], spec, seq);
+    std::vector<uint64_t>& d = scratch->pattern_deltas;
+    PositionDeltasInto(patterns[p], spec, seq, scratch, &d);
     for (size_t j = 0; j < seq.size(); ++j) {
-      total[j] = SatAdd(total[j], d[j]);
+      (*out)[j] = SatAdd((*out)[j], d[j]);
     }
   }
-  return total;
 }
 
 std::vector<uint64_t> PositionDeltasByDeletion(const Sequence& pattern,

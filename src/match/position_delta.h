@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "src/constraints/constraints.h"
+#include "src/match/scratch.h"
 #include "src/seq/sequence.h"
 
 namespace seqhide {
@@ -40,12 +41,28 @@ std::vector<uint64_t> PositionDeltas(const Sequence& pattern,
                                      const ConstraintSpec& spec,
                                      const Sequence& seq);
 
+// Allocation-free variant: DP tables live in *scratch, δ is written into
+// *out (resized to |seq|). `out` must not alias a buffer the counting
+// kernels use (scratch->pattern_deltas exists for exactly this).
+void PositionDeltasInto(const Sequence& pattern, const ConstraintSpec& spec,
+                        const Sequence& seq, MatchScratch* scratch,
+                        std::vector<uint64_t>* out);
+
 // Aggregate δ over a set of sensitive patterns: δ_{S_h}(T[i]) =
 // Σ_S δ_S(T[i]). `constraints` may be empty (all unconstrained) or
 // parallel to `patterns`.
 std::vector<uint64_t> PositionDeltasTotal(
     const std::vector<Sequence>& patterns,
     const std::vector<ConstraintSpec>& constraints, const Sequence& seq);
+
+// Allocation-free aggregate: per-pattern δ goes through
+// scratch->pattern_deltas and accumulates into *out. The local sanitizer
+// calls this once per marking round, so scratch reuse across rounds is
+// what makes the round loop allocation-free.
+void PositionDeltasTotalInto(const std::vector<Sequence>& patterns,
+                             const std::vector<ConstraintSpec>& constraints,
+                             const Sequence& seq, MatchScratch* scratch,
+                             std::vector<uint64_t>* out);
 
 // Paper's Theorem 2 deletion method. Unconstrained only. Test oracle /
 // documentation of the paper's algorithm.

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/match/scratch.h"
 #include "src/seq/sequence.h"
 
 namespace seqhide {
@@ -33,6 +34,13 @@ using PrefixEndTable = std::vector<std::vector<uint64_t>>;
 // O(n·m) prefix-sum implementation (production path).
 PrefixEndTable BuildPrefixEndTable(const Sequence& pattern,
                                    const Sequence& seq);
+
+// Allocation-free variant: writes into *out (resized exactly to
+// [m+1][n+1]) and borrows the running-sum buffers from *scratch. `out`
+// may be a scratch-owned table; it must not alias scratch->running or
+// scratch->column.
+void BuildPrefixEndTableInto(const Sequence& pattern, const Sequence& seq,
+                             MatchScratch* scratch, PrefixEndTable* out);
 
 // Literal transcription of the paper's Lemma 3 recurrence
 // (P_k^{j} = Σ_{l<j} P_{k-1}^{l} when S[k] = T[j]); O(n²·m). Test oracle.

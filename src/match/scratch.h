@@ -1,0 +1,59 @@
+// Caller-owned scratch buffers for the matching kernels.
+//
+// Every counting DP in src/match used to allocate its working tables per
+// call; the sanitization pipeline calls them once per (sequence, pattern)
+// pair per marking round, so allocation dominated short-sequence runs.
+// A MatchScratch owns every buffer those kernels need; the scratch-taking
+// overloads (CountMatchings, CountConstrainedMatchings, PositionDeltas…)
+// reuse them via assign()/resize(), making the hot loops allocation-free
+// once the buffers have warmed up to the workload's (n, m).
+//
+// Ownership rules:
+//   * One MatchScratch per thread — the buffers are mutable state, so a
+//     scratch must never be shared across concurrently running calls.
+//     The parallel stages create one per ParallelFor chunk.
+//   * Contents are overwritten by every call; nothing persists between
+//     calls, so reuse across different sequences/patterns is always safe
+//     and results are bit-identical to the allocating overloads.
+
+#ifndef SEQHIDE_MATCH_SCRATCH_H_
+#define SEQHIDE_MATCH_SCRATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/seq/sequence.h"
+
+namespace seqhide {
+
+struct MatchScratch {
+  // CountMatchings' rolled DP row.
+  std::vector<uint64_t> count_row;
+  // Prefix/gap end table (PrefixEndTable layout: [m+1][n+1]).
+  std::vector<std::vector<uint64_t>> fwd;
+  // PositionDeltas' suffix-extension table ([m+1][n]).
+  std::vector<std::vector<uint64_t>> bwd;
+  // Windowed counting's per-ending-position table ([m][n]).
+  std::vector<std::vector<uint64_t>> window;
+  // BuildPrefixEndTable's running sums and column buffer.
+  std::vector<uint64_t> running;
+  std::vector<uint64_t> column;
+  // Per-pattern δ buffer used by PositionDeltasTotal's accumulation.
+  std::vector<uint64_t> pattern_deltas;
+  // Mark-and-recount fallback's working copy of the sequence.
+  Sequence marked;
+};
+
+// Resizes *table to exactly rows × cols and zero-fills it, reusing the
+// existing row capacity. Exact row count matters: PrefixEndTable readers
+// use table.back().
+inline void ResizeAndZeroTable(std::vector<std::vector<uint64_t>>* table,
+                               size_t rows, size_t cols) {
+  if (table->size() != rows) table->resize(rows);
+  for (auto& row : *table) row.assign(cols, 0);
+}
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_MATCH_SCRATCH_H_

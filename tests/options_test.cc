@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/common/stopwatch.h"
+#include "src/common/thread_pool.h"
 
 namespace seqhide {
 namespace {
@@ -38,6 +39,22 @@ TEST(OptionsTest, StrategyNames) {
   EXPECT_EQ(ToString(GlobalStrategy::kRandom), "R");
   EXPECT_EQ(ToString(GlobalStrategy::kAscendingLength), "Len");
   EXPECT_EQ(ToString(GlobalStrategy::kHighAutocorrelationFirst), "Auto");
+}
+
+TEST(OptionsTest, ValidateAcceptsSaneThreadCounts) {
+  SanitizeOptions opts;
+  EXPECT_TRUE(opts.Validate().ok());
+  opts.num_threads = 0;  // auto: all hardware threads
+  EXPECT_TRUE(opts.Validate().ok());
+  opts.num_threads = kMaxThreads;
+  EXPECT_TRUE(opts.Validate().ok());
+}
+
+TEST(OptionsTest, ValidateRejectsAbsurdThreadCounts) {
+  SanitizeOptions opts;
+  opts.num_threads = kMaxThreads + 1;
+  Status status = opts.Validate();
+  EXPECT_TRUE(status.IsInvalidArgument()) << status;
 }
 
 TEST(StopwatchTest, MeasuresForwardTime) {

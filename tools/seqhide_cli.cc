@@ -8,6 +8,10 @@
 //                        [--threads N] [--stage2 keep|delete|replace]
 //                        [--stats-json FILE] [--trace-json FILE]
 //
+// --threads bounds the worker count for the parallel pipeline stages;
+// 0 means "auto" (all hardware threads). Results are bit-identical for
+// every --threads value.
+//
 // --stats-json writes a machine-readable run report (options, per-pattern
 // supports before/after, M1, per-stage wall times, obs counter dump) —
 // format documented in docs/observability.md. --trace-json writes the
@@ -63,7 +67,8 @@ void PrintUsage() {
       "  mine     --db FILE --sigma N [--max-len N] [--top N]\n"
       "           [--format seq|itemset]\n"
       "  sanitize --db FILE --out FILE --pattern P [--pattern P ...]\n"
-      "           [--psi N] [--algo HH|HR|RH|RR] [--seed N] [--threads N]\n"
+      "           [--psi N] [--algo HH|HR|RH|RR] [--seed N]\n"
+      "           [--threads N (0=auto)]\n"
       "           [--stage2 keep|delete|replace] [--format seq|itemset]\n"
       "           [--stats-json FILE] [--trace-json FILE]\n"
       "pattern syntax (seq):     \"a -> b\", \"a ->[0] b ->[2..6] c ; "
@@ -189,6 +194,13 @@ struct StatsJsonInput {
   double elapsed_seconds = 0.0;
   bool has_stages = false;
   StageTimings stages;
+  // Parallel configuration (seq pipeline only, has_parallel): resolved
+  // thread count and per-stage row workloads (see SanitizeReport).
+  bool has_parallel = false;
+  size_t threads_used = 1;
+  size_t count_rows = 0;
+  size_t verify_recount_rows = 0;
+  size_t verify_rescan_rows = 0;
 };
 
 // Writes the machine-readable run report next to the sanitized output.
@@ -229,6 +241,14 @@ Status WriteStatsJson(const std::string& path, const ParsedArgs& args,
     json.KeyDouble("select_seconds", input.stages.select_seconds);
     json.KeyDouble("mark_seconds", input.stages.mark_seconds);
     json.KeyDouble("verify_seconds", input.stages.verify_seconds);
+    json.EndObject();
+  }
+  if (input.has_parallel) {
+    json.Key("parallel").BeginObject();
+    json.KeyUint("threads_used", input.threads_used);
+    json.KeyUint("count_rows", input.count_rows);
+    json.KeyUint("verify_recount_rows", input.verify_recount_rows);
+    json.KeyUint("verify_rescan_rows", input.verify_rescan_rows);
     json.EndObject();
   }
   json.EndObject();
@@ -479,6 +499,11 @@ Status RunSanitize(const ParsedArgs& args) {
     stats.elapsed_seconds = report.elapsed_seconds;
     stats.has_stages = true;
     stats.stages = report.stages;
+    stats.has_parallel = true;
+    stats.threads_used = report.threads_used;
+    stats.count_rows = report.count_rows;
+    stats.verify_recount_rows = report.verify_recount_rows;
+    stats.verify_rescan_rows = report.verify_rescan_rows;
     SEQHIDE_RETURN_IF_ERROR(WriteStatsJson(it->second, args, stats));
     std::cout << "wrote stats " << it->second << "\n";
   }
