@@ -1,0 +1,51 @@
+// Overflow-checked size arithmetic for allocation sizing.
+//
+// Every DP kernel in src/match sizes its scratch tables as a product of
+// the pattern and sequence lengths; a hostile or merely enormous input
+// can make n·m overflow size_t (silently wrapping to a tiny allocation)
+// or exceed any sane memory envelope (bad_alloc aborting the process,
+// since the library is built without exceptions on the error path).
+// These helpers make both failure modes explicit: the multiply reports
+// overflow, and the budget comparison turns "too big" into a value the
+// caller can translate into Status::ResourceExhausted.
+
+#ifndef SEQHIDE_COMMON_CHECKED_MATH_H_
+#define SEQHIDE_COMMON_CHECKED_MATH_H_
+
+#include <cstddef>
+
+namespace seqhide {
+
+// *out = a * b; false on size_t overflow (*out is unspecified then).
+inline bool CheckedMul(size_t a, size_t b, size_t* out) {
+#if defined(__GNUC__) || defined(__clang__)
+  return !__builtin_mul_overflow(a, b, out);
+#else
+  if (b != 0 && a > static_cast<size_t>(-1) / b) return false;
+  *out = a * b;
+  return true;
+#endif
+}
+
+// *out = a + b; false on size_t overflow.
+inline bool CheckedAdd(size_t a, size_t b, size_t* out) {
+#if defined(__GNUC__) || defined(__clang__)
+  return !__builtin_add_overflow(a, b, out);
+#else
+  if (a > static_cast<size_t>(-1) - b) return false;
+  *out = a + b;
+  return true;
+#endif
+}
+
+// Byte size of a rows × cols table of `elem_size`-byte elements; false on
+// overflow at any step.
+inline bool CheckedTableBytes(size_t rows, size_t cols, size_t elem_size,
+                              size_t* out) {
+  size_t cells = 0;
+  return CheckedMul(rows, cols, &cells) && CheckedMul(cells, elem_size, out);
+}
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_COMMON_CHECKED_MATH_H_

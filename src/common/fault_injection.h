@@ -1,0 +1,97 @@
+// Deterministic fault injection for exercising recovery paths.
+//
+// Every error-handling branch in the pipeline that is hard to reach with
+// real inputs (an fstream failing mid-read, a checkpoint rename failing,
+// a worker thread failing to spawn) carries a named *fault site*:
+//
+//   if (SEQHIDE_FAULT_HIT("checkpoint.write.rename")) {
+//     return Status::IOError("injected fault: checkpoint.write.rename");
+//   }
+//
+// Tests (and the CLI via --inject-fault site:k) arm a site so that its
+// k-th hit fires exactly once; everything else is a relaxed atomic load of
+// "is anything armed at all", so unarmed runs pay one branch per site.
+// Defining SEQHIDE_FAULTS_DISABLED (CMake: -DSEQHIDE_ENABLE_FAULT_INJECTION=OFF,
+// mirroring SEQHIDE_ENABLE_OBSERVABILITY) compiles every site down to
+// `false`, so release builds pay nothing.
+//
+// Sites are declared in the catalog in fault_injection.cc; Arm() rejects
+// names that are not in the catalog, so a typo in a test arms nothing
+// silently. docs/robustness.md documents what each site simulates and
+// what the expected recovery is.
+
+#ifndef SEQHIDE_COMMON_FAULT_INJECTION_H_
+#define SEQHIDE_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace seqhide {
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // The process-wide injector consulted by SEQHIDE_FAULT_HIT.
+  static FaultInjector& Default();
+
+  // Every fault site compiled into the library, in catalog order. Arm()
+  // only accepts these names.
+  static const std::vector<std::string_view>& Catalog();
+
+  // Arms sites from a spec "site:k[,site:k...]": site fires on its k-th
+  // hit (1-based), exactly once. InvalidArgument for malformed specs or
+  // names not in the catalog.
+  Status Arm(std::string_view spec);
+
+  // Arms a single site programmatically. hit_number is 1-based.
+  Status ArmSite(std::string_view site, uint64_t hit_number);
+
+  // Disarms everything and zeroes all hit counters.
+  void Reset();
+
+  // True iff `site` is armed and this is its trigger hit. Called by the
+  // macro; sites not in the catalog CHECK-fail in debug builds (a site
+  // string that never got catalogued cannot be armed or swept).
+  bool ShouldFail(std::string_view site);
+
+  // Total number of faults that have fired since the last Reset().
+  uint64_t FaultsFired() const;
+
+  // Number of currently armed sites (fired sites stay counted until
+  // Reset(), so tests can assert "armed but never reached").
+  size_t ArmedCount() const;
+
+ private:
+  struct ArmedSite {
+    uint64_t trigger_hit = 0;  // fire when hits reaches this value
+    uint64_t hits = 0;
+    bool fired = false;
+  };
+
+  // Fast path: when 0, ShouldFail returns false without locking.
+  std::atomic<size_t> armed_count_{0};
+  std::atomic<uint64_t> faults_fired_{0};
+  mutable std::mutex mu_;
+  std::map<std::string, ArmedSite, std::less<>> armed_;
+};
+
+}  // namespace seqhide
+
+#if !defined(SEQHIDE_FAULTS_DISABLED)
+#define SEQHIDE_FAULT_HIT(site) \
+  (::seqhide::FaultInjector::Default().ShouldFail(site))
+#else
+#define SEQHIDE_FAULT_HIT(site) (false)
+#endif
+
+#endif  // SEQHIDE_COMMON_FAULT_INJECTION_H_

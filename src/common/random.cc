@@ -26,6 +26,20 @@ Rng::Rng(uint64_t seed) {
   if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
 }
 
+std::array<uint64_t, 4> Rng::SaveState() const {
+  return {s_[0], s_[1], s_[2], s_[3]};
+}
+
+Rng Rng::FromState(const std::array<uint64_t, 4>& state) {
+  Rng rng;
+  for (size_t i = 0; i < 4; ++i) rng.s_[i] = state[i];
+  // Preserve the non-zero-state invariant even for a hand-built state.
+  if (rng.s_[0] == 0 && rng.s_[1] == 0 && rng.s_[2] == 0 && rng.s_[3] == 0) {
+    rng.s_[0] = 1;
+  }
+  return rng;
+}
+
 uint64_t Rng::NextU64() {
   // xoshiro256** step.
   const uint64_t result = Rotl(s_[1] * 5, 7) * 9;

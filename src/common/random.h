@@ -10,6 +10,7 @@
 #ifndef SEQHIDE_COMMON_RANDOM_H_
 #define SEQHIDE_COMMON_RANDOM_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -61,8 +62,18 @@ class Rng {
   // repetitions its own stream while keeping the parent reproducible.
   Rng Fork();
 
+  // Raw xoshiro256** state, for persisting a generator's stream position
+  // in a checkpoint. The Gaussian cache is not part of the saved state:
+  // a restored generator starts with an empty cache, so callers mixing
+  // NextGaussian with checkpointing must checkpoint only at points where
+  // the cache is empty (the sanitizer never draws Gaussians).
+  std::array<uint64_t, 4> SaveState() const;
+  static Rng FromState(const std::array<uint64_t, 4>& state);
+
  private:
-  uint64_t s_[4];
+  Rng() = default;  // all-zero state; only FromState uses this
+
+  uint64_t s_[4] = {0, 0, 0, 0};
   bool has_cached_gaussian_ = false;
   double cached_gaussian_ = 0.0;
 };

@@ -28,6 +28,9 @@ enum class StatusCode : int {
   kCorruption = 7,        // on-disk data failed to parse
   kInternal = 8,          // invariant violation that is not the caller's fault
   kUnimplemented = 9,     // feature intentionally not supported
+  kResourceExhausted = 10,  // a RunBudget ceiling (memory, rounds) was hit
+  kDeadlineExceeded = 11,   // a wall-clock deadline passed
+  kCancelled = 12,          // the caller asked the operation to stop
 };
 
 // Human-readable name of a code ("InvalidArgument", ...).
@@ -71,6 +74,15 @@ class [[nodiscard]] Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -83,6 +95,17 @@ class [[nodiscard]] Status {
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
 
   // "OK" or "<CodeName>: <message>".
   std::string ToString() const;

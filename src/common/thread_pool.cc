@@ -1,7 +1,9 @@
 #include "src/common/thread_pool.h"
 
 #include <algorithm>
+#include <system_error>
 
+#include "src/common/fault_injection.h"
 #include "src/common/logging.h"
 
 namespace seqhide {
@@ -42,7 +44,23 @@ size_t ThreadPool::num_workers() const {
 void ThreadPool::EnsureWorkersLocked(size_t target) {
   target = std::min(target, max_workers_);
   while (workers_.size() < target) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    // Thread creation can fail under resource pressure (EAGAIN). The pool
+    // degrades instead of dying: every region is drained by the calling
+    // thread plus whatever workers exist, so correctness never depends on
+    // a spawn succeeding.
+    if (SEQHIDE_FAULT_HIT("threadpool.spawn")) {
+      SEQHIDE_LOG(Warn) << "injected fault: threadpool.spawn; continuing with "
+                        << workers_.size() << " workers";
+      return;
+    }
+    try {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    } catch (const std::system_error& e) {
+      SEQHIDE_LOG(Warn) << "worker spawn failed (" << e.what()
+                        << "); continuing with " << workers_.size()
+                        << " workers";
+      return;
+    }
   }
 }
 

@@ -40,11 +40,20 @@ LocalSanitizeResult SanitizeSequence(
   // stay warm across rounds and across sequences on the same thread).
   std::vector<uint64_t> deltas;
   std::vector<size_t> candidates;
+  scratch->exhausted = false;
   for (;;) {
     // Each round recomputes δ for every pattern — the dominant cost of
     // the local stage and the number the paper's Alg. 1 loop hides.
     SEQHIDE_COUNTER_INC("local.delta_recomputations");
     PositionDeltasTotalInto(patterns, constraints, *seq, scratch, &deltas);
+    if (scratch->exhausted) {
+      // A DP table blew the memory budget mid-recomputation, so `deltas`
+      // is partial; marking from it could pick a suboptimal position and
+      // the loop could not prove termination anyway. Stop here and let
+      // the caller degrade.
+      result.exhausted = true;
+      break;
+    }
 
     // Positions involved in at least one matching ("reasonable choices").
     candidates.clear();

@@ -28,6 +28,11 @@ struct LocalSanitizeResult {
   size_t marks_introduced = 0;
   // Positions marked, in the order chosen (useful for audits and tests).
   std::vector<size_t> marked_positions;
+  // True when the scratch's memory budget refused a DP table, so the loop
+  // stopped early and the sequence may still hold matchings. Marks made
+  // before the refusal are kept (they never hurt). The caller decides how
+  // to degrade; see RunBudget in options.h.
+  bool exhausted = false;
 };
 
 // Destroys every (constrained) matching of every pattern in `patterns`

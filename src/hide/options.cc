@@ -10,6 +10,19 @@ Status SanitizeOptions::Validate() const {
         "num_threads = " + std::to_string(num_threads) + " exceeds kMaxThreads (" +
         std::to_string(kMaxThreads) + "); use 0 for hardware concurrency");
   }
+  if (mark_round_size == 0) {
+    return Status::InvalidArgument("mark_round_size must be >= 1");
+  }
+  if (!checkpoint_path.empty() && checkpoint_every_rounds == 0) {
+    return Status::InvalidArgument(
+        "checkpoint_every_rounds must be >= 1 when checkpointing");
+  }
+  if (resume && checkpoint_path.empty()) {
+    return Status::InvalidArgument("resume requires a checkpoint path");
+  }
+  if (budget.deadline_seconds < 0.0) {
+    return Status::InvalidArgument("deadline_seconds must be >= 0");
+  }
   return Status::OK();
 }
 

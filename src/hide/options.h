@@ -10,6 +10,7 @@
 #ifndef SEQHIDE_HIDE_OPTIONS_H_
 #define SEQHIDE_HIDE_OPTIONS_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -18,6 +19,40 @@
 #include "src/common/status.h"
 
 namespace seqhide {
+
+// Resource budget for one Sanitize() run. All limits default to
+// "unlimited"; a default-constructed budget changes nothing. Budgets are
+// checked at stage boundaries and between marking rounds (see
+// SanitizeOptions::mark_round_size), never mid-kernel, so a run can
+// overshoot a deadline by at most one round — that granularity is the
+// price of keeping the hot loops check-free and the output deterministic.
+// On exhaustion the pipeline stops marking, still verifies, and returns a
+// *degraded* report (SanitizeReport::degraded) listing the patterns still
+// exposed; it does not return an error.
+struct RunBudget {
+  // Wall-clock deadline in seconds from Sanitize() entry; 0 = none.
+  // Exceeding it stops the run with StatusCode::kDeadlineExceeded.
+  double deadline_seconds = 0.0;
+  // Ceiling on any single DP table allocated by the mark stage, in bytes;
+  // 0 = none. A victim whose tables would exceed it is skipped (marks
+  // already made are kept) and the run degrades with
+  // StatusCode::kResourceExhausted. Deterministic: table sizes are a pure
+  // function of the input, so the same victims are skipped at any thread
+  // count.
+  size_t max_table_bytes = 0;
+  // Maximum number of marking rounds (of mark_round_size victims each);
+  // 0 = unlimited. Exceeding it degrades with kResourceExhausted.
+  size_t max_mark_rounds = 0;
+  // Optional cooperative cancellation flag, polled at the same boundaries
+  // as the deadline. The caller owns the atomic and may set it from any
+  // thread; the run degrades with StatusCode::kCancelled.
+  const std::atomic<bool>* cancel = nullptr;
+
+  bool Enabled() const {
+    return deadline_seconds > 0.0 || max_table_bytes > 0 ||
+           max_mark_rounds > 0 || cancel != nullptr;
+  }
+};
 
 enum class LocalStrategy {
   // Paper's local heuristic: repeatedly mark the position involved in the
@@ -94,9 +129,33 @@ struct SanitizeOptions {
   // `seed` and the sequence's index.
   size_t num_threads = 1;
 
-  // InvalidArgument for nonsensical settings (currently: num_threads >
-  // kMaxThreads). Sanitize() calls this; CLI/bench code can call it
-  // early for a better error location.
+  // Resource limits; default = unlimited (see RunBudget above).
+  RunBudget budget;
+
+  // Victims are marked in rounds of this many sequences; budget checks,
+  // fault-injection sites, and periodic checkpoints sit between rounds.
+  // The default is large enough that round bookkeeping is invisible in
+  // the benches yet small enough for useful deadline granularity. Purely
+  // an execution knob: any value produces the identical database.
+  size_t mark_round_size = 256;
+
+  // When non-empty, a crash-safe checkpoint of pipeline state is written
+  // to this path after victim selection, every checkpoint_every_rounds
+  // marking rounds, and on a budget stop; a successful run deletes it.
+  // See src/hide/checkpoint.h for the format.
+  std::string checkpoint_path;
+  size_t checkpoint_every_rounds = 1;
+
+  // Resume from checkpoint_path if it exists (falls back to a fresh run
+  // when the file is missing; fails on a corrupt or mismatched one). The
+  // resumed run's database, report, and metrics are byte-identical to an
+  // uninterrupted run with the same options at any thread count.
+  bool resume = false;
+
+  // InvalidArgument for nonsensical settings (num_threads > kMaxThreads,
+  // zero round sizes, resume without a checkpoint path, negative
+  // deadline). Sanitize() calls this; CLI/bench code can call it early
+  // for a better error location.
   Status Validate() const;
 
   // Shorthand constructors for the paper's four named algorithms.

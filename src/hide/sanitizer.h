@@ -43,6 +43,17 @@ struct StageTimings {
   double verify_seconds = 0.0;
 };
 
+// A sensitive pattern whose support still exceeds its threshold after a
+// degraded (budget-stopped) run.
+struct ExposedPattern {
+  size_t pattern_index = 0;
+  // Support in the partially sanitized database.
+  size_t residual_support = 0;
+  // The threshold it should have been brought under (ψ or the pattern's
+  // per_pattern_psi entry).
+  size_t limit = 0;
+};
+
 // What happened during one Sanitize() call.
 struct SanitizeReport {
   // Total Δ symbols introduced — the paper's M1 data-distortion measure.
@@ -78,6 +89,34 @@ struct SanitizeReport {
   size_t count_rows = 0;
   size_t verify_recount_rows = 0;
   size_t verify_rescan_rows = 0;
+
+  // --- Robustness (RunBudget / checkpointing; see options.h) ---
+
+  // True when a resource budget (or injected fault at a stage boundary)
+  // stopped the run before every victim was sanitized. The report is then
+  // *partial but honest*: marks already made are kept, supports_after is
+  // exact for the partially sanitized database, and `exposed` lists the
+  // patterns whose disclosure requirement is still unmet. A degraded run
+  // returns OK — the caller inspects this flag — because the database is
+  // in a valid, resumable state, not a broken one.
+  bool degraded = false;
+  // Why the run degraded: kResourceExhausted (table budget or round
+  // limit), kDeadlineExceeded, or kCancelled. kOk when !degraded.
+  StatusCode stop_reason = StatusCode::kOk;
+  // Patterns with residual_support > limit; empty when !degraded.
+  std::vector<ExposedPattern> exposed;
+
+  // Mark-stage rounds (of SanitizeOptions::mark_round_size victims).
+  // rounds_completed < rounds_total iff the run stopped early.
+  size_t rounds_completed = 0;
+  size_t rounds_total = 0;
+  // Victims whose DP tables exceeded RunBudget::max_table_bytes; their
+  // partial marks are kept but they may still hold matchings.
+  size_t victims_skipped = 0;
+  // Periodic checkpoints written (the final stop-write is not counted).
+  size_t checkpoints_written = 0;
+  // True when this run continued from a loaded checkpoint.
+  bool resumed = false;
 
   std::string ToString() const;
 };

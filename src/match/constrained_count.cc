@@ -26,7 +26,7 @@ uint64_t CountGapMatchingsEndingAt(const Sequence& pattern,
   // ending exactly at absolute position j. Only positions in
   // [first, last] participate.
   std::vector<std::vector<uint64_t>>& ends = scratch->window;
-  ResizeAndZeroTable(&ends, m, seq.size());
+  if (!TryResizeAndZeroTable(scratch, &ends, m, seq.size())) return 0;
   for (size_t j = first; j <= last; ++j) {
     if (seq[j] == pattern[0]) ends[0][j] = 1;
   }
@@ -57,7 +57,7 @@ uint64_t CountGapMatchingsEndingAt(const Sequence& pattern,
 // Total gap-valid (window-free) matchings: Σ_j Q[m][j].
 uint64_t CountGapMatchings(const Sequence& pattern, const ConstraintSpec& spec,
                            const Sequence& seq, MatchScratch* scratch) {
-  BuildGapEndTableInto(pattern, spec, seq, &scratch->fwd);
+  BuildGapEndTableInto(pattern, spec, seq, scratch, &scratch->fwd);
   return TotalFromPrefixEndTable(scratch->fwd);
 }
 
@@ -90,13 +90,20 @@ PrefixEndTable BuildGapEndTable(const Sequence& pattern,
 
 void BuildGapEndTableInto(const Sequence& pattern, const ConstraintSpec& spec,
                           const Sequence& seq, PrefixEndTable* out) {
+  MatchScratch unlimited;
+  BuildGapEndTableInto(pattern, spec, seq, &unlimited, out);
+}
+
+void BuildGapEndTableInto(const Sequence& pattern, const ConstraintSpec& spec,
+                          const Sequence& seq, MatchScratch* scratch,
+                          PrefixEndTable* out) {
   const size_t m = pattern.size();
   const size_t n = seq.size();
+  PrefixEndTable& table = *out;
+  if (!TryResizeAndZeroTable(scratch, &table, m + 1, n + 1)) return;
   SEQHIDE_COUNTER_INC("match.gap.tables_built");
   SEQHIDE_COUNTER_ADD("match.gap.dp_rows", m);
   SEQHIDE_COUNTER_ADD("match.gap.dp_cells", m * (n + 1));
-  PrefixEndTable& table = *out;
-  ResizeAndZeroTable(&table, m + 1, n + 1);
   table[0][0] = 1;
   if (m == 0) return;
 

@@ -41,6 +41,14 @@ PrefixEndTable BuildGapEndTable(const Sequence& pattern,
 void BuildGapEndTableInto(const Sequence& pattern, const ConstraintSpec& spec,
                           const Sequence& seq, PrefixEndTable* out);
 
+// Budget-checked variant: table sizing goes through scratch's memory
+// ceiling; on refusal *out becomes a 1×1 zero table and
+// scratch->exhausted is raised. The 4-arg overload is this one with an
+// unlimited scratch.
+void BuildGapEndTableInto(const Sequence& pattern, const ConstraintSpec& spec,
+                          const Sequence& seq, MatchScratch* scratch,
+                          PrefixEndTable* out);
+
 // |{matchings of `pattern` in `seq` satisfying `spec`}|. Dispatches:
 // unconstrained -> Lemma 2 count; gaps only -> Σ_j Q[m][j]; window
 // (with or without gaps) -> Lemma 5 windowed evaluation.

@@ -16,6 +16,7 @@ uint64_t CountMatchings(const Sequence& pattern, const Sequence& seq,
   const size_t n = seq.size();
   if (m == 0) return 1;  // the empty embedding
   if (m > n) return 0;
+  if (!scratch->BudgetAllowsCells(m + 1)) return 0;
   SEQHIDE_COUNTER_INC("match.count.calls");
   SEQHIDE_COUNTER_ADD("match.count.dp_rows", m);
   SEQHIDE_COUNTER_ADD("match.count.dp_cells", m * n);

@@ -19,12 +19,12 @@ namespace {
 // sanitizer only queries j that hold a real symbol.
 void BuildSuffixExtensionTableInto(const Sequence& pattern,
                                    const ConstraintSpec& spec,
-                                   const Sequence& seq,
+                                   const Sequence& seq, MatchScratch* scratch,
                                    std::vector<std::vector<uint64_t>>* out) {
   const size_t m = pattern.size();
   const size_t n = seq.size();
   std::vector<std::vector<uint64_t>>& bwd = *out;
-  ResizeAndZeroTable(&bwd, m + 1, n);
+  if (!TryResizeAndZeroTable(scratch, &bwd, m + 1, n)) return;
   for (size_t j = 0; j < n; ++j) bwd[m][j] = 1;
   // Rows k = m-1 down to 1. In this loop `k` counts consumed prefix
   // symbols, so the next suffix symbol is S[k+1] = pattern[k] (0-based),
@@ -102,12 +102,18 @@ void PositionDeltasInto(const Sequence& pattern, const ConstraintSpec& spec,
   // fwd[k][j] (1-based j): gap-valid embeddings of S[1..k] ending at j.
   PrefixEndTable& fwd = scratch->fwd;
   if (spec.HasGaps()) {
-    BuildGapEndTableInto(pattern, spec, seq, &fwd);
+    BuildGapEndTableInto(pattern, spec, seq, scratch, &fwd);
   } else {
     BuildPrefixEndTableInto(pattern, seq, scratch, &fwd);
   }
   std::vector<std::vector<uint64_t>>& bwd = scratch->bwd;
-  BuildSuffixExtensionTableInto(pattern, spec, seq, &bwd);
+  BuildSuffixExtensionTableInto(pattern, spec, seq, scratch, &bwd);
+  if (scratch->exhausted) {
+    // One of the tables was refused by the memory budget; either table may
+    // be a 1×1 stub, so the combination below would index out of range.
+    out->assign(n, 0);
+    return;
+  }
 
   out->assign(n, 0);
   for (size_t j = 0; j < n; ++j) {

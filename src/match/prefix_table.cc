@@ -18,7 +18,7 @@ void BuildPrefixEndTableInto(const Sequence& pattern, const Sequence& seq,
   const size_t m = pattern.size();
   const size_t n = seq.size();
   PrefixEndTable& table = *out;
-  ResizeAndZeroTable(&table, m + 1, n + 1);
+  if (!TryResizeAndZeroTable(scratch, &table, m + 1, n + 1)) return;
   table[0][0] = 1;
 
   // running[k] = Σ_{l<=j_processed} table[k][l]; lets each entry be filled

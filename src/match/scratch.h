@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/checked_math.h"
 #include "src/seq/sequence.h"
 
 namespace seqhide {
@@ -43,6 +44,40 @@ struct MatchScratch {
   std::vector<uint64_t> pattern_deltas;
   // Mark-and-recount fallback's working copy of the sequence.
   Sequence marked;
+
+  // Memory ceiling (bytes) for any single DP table sized through this
+  // scratch; 0 = unlimited. Stages running under a RunBudget set it so
+  // that an over-budget n·m allocation is refused instead of attempted.
+  size_t max_table_bytes = 0;
+  // Sticky flag raised when a kernel refused an allocation because the
+  // requested table would overflow size_t or exceed max_table_bytes. The
+  // kernel then returns a safe zero result; callers that care translate
+  // the flag into Status::ResourceExhausted (hide/sanitizer.cc does) and
+  // must clear it before reuse.
+  bool exhausted = false;
+
+  // True iff a table of `cells` uint64 entries fits the ceiling (and its
+  // byte size does not overflow). On failure sets `exhausted`.
+  bool BudgetAllowsCells(size_t cells) {
+    size_t bytes = 0;
+    if (!CheckedMul(cells, sizeof(uint64_t), &bytes) ||
+        (max_table_bytes != 0 && bytes > max_table_bytes)) {
+      exhausted = true;
+      return false;
+    }
+    return true;
+  }
+
+  // Checked-multiply variant for rows × cols tables.
+  bool BudgetAllowsTable(size_t rows, size_t cols) {
+    size_t bytes = 0;
+    if (!CheckedTableBytes(rows, cols, sizeof(uint64_t), &bytes) ||
+        (max_table_bytes != 0 && bytes > max_table_bytes)) {
+      exhausted = true;
+      return false;
+    }
+    return true;
+  }
 };
 
 // Resizes *table to exactly rows × cols and zero-fills it, reusing the
@@ -52,6 +87,22 @@ inline void ResizeAndZeroTable(std::vector<std::vector<uint64_t>>* table,
                                size_t rows, size_t cols) {
   if (table->size() != rows) table->resize(rows);
   for (auto& row : *table) row.assign(cols, 0);
+}
+
+// Budget-checked variant: refuses (returns false, sets scratch->exhausted)
+// when rows × cols × 8 overflows or exceeds scratch->max_table_bytes. On
+// refusal *table is shrunk to a 1×1 zero table so readers that ignore the
+// flag (TotalFromPrefixEndTable, table.back()) still see a valid, empty
+// result instead of stale data.
+inline bool TryResizeAndZeroTable(MatchScratch* scratch,
+                                  std::vector<std::vector<uint64_t>>* table,
+                                  size_t rows, size_t cols) {
+  if (!scratch->BudgetAllowsTable(rows, cols)) {
+    ResizeAndZeroTable(table, 1, 1);
+    return false;
+  }
+  ResizeAndZeroTable(table, rows, cols);
+  return true;
 }
 
 }  // namespace seqhide

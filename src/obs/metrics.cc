@@ -29,6 +29,19 @@ void Histogram::Reset() {
   sum_.store(0, std::memory_order_relaxed);
 }
 
+void Histogram::Restore(
+    uint64_t count, uint64_t sum,
+    const std::vector<std::pair<uint64_t, uint64_t>>& buckets) {
+  Reset();
+  for (const auto& [lower, bucket_count] : buckets) {
+    // The lower bound round-trips exactly: BucketFor(BucketLowerBound(b))
+    // == b for every bucket index.
+    buckets_[BucketFor(lower)].store(bucket_count, std::memory_order_relaxed);
+  }
+  count_.store(count, std::memory_order_relaxed);
+  sum_.store(sum, std::memory_order_relaxed);
+}
+
 size_t Histogram::BucketFor(uint64_t value) {
   // bit_width(0) = 0, bit_width(1) = 1, ..., so bucket b holds values
   // whose highest set bit is b-1: [2^(b-1), 2^b).
@@ -134,6 +147,40 @@ void MetricsRegistry::Reset() {
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
   spans_.clear();
+}
+
+void MetricsRegistry::Restore(const MetricsSnapshot& snap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+  spans_.clear();
+  // Find-or-create inline (GetCounter et al. would deadlock on mu_).
+  for (const auto& [name, value] : snap.counters) {
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+      it = counters_.emplace(name, std::make_unique<Counter>()).first;
+    }
+    it->second->Set(value);
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+      it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+    }
+    it->second->Set(value);
+  }
+  for (const auto& [name, data] : snap.histograms) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_.emplace(name, std::make_unique<Histogram>()).first;
+    }
+    it->second->Restore(data.count, data.sum, data.buckets);
+  }
+  for (const auto& [path, data] : snap.spans) {
+    spans_[path] =
+        SpanAggregate{data.count, data.total_ns, data.min_ns, data.max_ns};
+  }
 }
 
 double HistogramPercentile(const MetricsSnapshot::HistogramData& data,

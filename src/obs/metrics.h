@@ -29,6 +29,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace seqhide {
@@ -41,6 +42,9 @@ class Counter {
   void Increment() { Add(1); }
   uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { value_.store(0, std::memory_order_relaxed); }
+  // Overwrites the count; only for restoring a snapshot (checkpoint
+  // resume), never for normal recording.
+  void Set(uint64_t value) { value_.store(value, std::memory_order_relaxed); }
 
  private:
   std::atomic<uint64_t> value_{0};
@@ -70,6 +74,11 @@ class Histogram {
   uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
   uint64_t BucketCount(size_t bucket) const;
   void Reset();
+  // Overwrites the histogram from snapshot form: (inclusive lower bound,
+  // count) pairs as produced by MetricsRegistry::Snapshot(). Only for
+  // checkpoint resume; not safe concurrently with Record().
+  void Restore(uint64_t count, uint64_t sum,
+               const std::vector<std::pair<uint64_t, uint64_t>>& buckets);
 
   // Inclusive lower bound of a bucket: 0 for bucket 0, else 2^(bucket-1).
   static uint64_t BucketLowerBound(size_t bucket);
@@ -134,6 +143,13 @@ class MetricsRegistry {
   // pointers remain valid (counters are reset in place). Intended for
   // tests and bench section boundaries, not for concurrent production use.
   void Reset();
+
+  // Reset() followed by writing every metric in `snap` back into the
+  // registry (creating metrics that do not exist yet). After Restore the
+  // registry's Snapshot() equals `snap`, which is exactly what checkpoint
+  // resume needs to make a resumed run's final metrics byte-identical to
+  // an uninterrupted one. Not safe concurrently with recording.
+  void Restore(const MetricsSnapshot& snap);
 
  private:
   struct SpanAggregate {

@@ -1,0 +1,60 @@
+// Overflow-checked size arithmetic (src/common/checked_math.h) — the
+// guards under every DP scratch allocation in src/match.
+
+#include "src/common/checked_math.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <limits>
+
+namespace seqhide {
+namespace {
+
+constexpr size_t kMax = std::numeric_limits<size_t>::max();
+
+TEST(CheckedMathTest, MulBasics) {
+  size_t out = 0;
+  EXPECT_TRUE(CheckedMul(0, 0, &out));
+  EXPECT_EQ(out, 0u);
+  EXPECT_TRUE(CheckedMul(7, 6, &out));
+  EXPECT_EQ(out, 42u);
+  EXPECT_TRUE(CheckedMul(kMax, 1, &out));
+  EXPECT_EQ(out, kMax);
+  EXPECT_TRUE(CheckedMul(0, kMax, &out));
+  EXPECT_EQ(out, 0u);
+}
+
+TEST(CheckedMathTest, MulOverflow) {
+  size_t out = 0;
+  EXPECT_FALSE(CheckedMul(kMax, 2, &out));
+  EXPECT_FALSE(CheckedMul(kMax / 2 + 1, 2, &out));
+  // Just below the overflow boundary still succeeds.
+  EXPECT_TRUE(CheckedMul(kMax / 2, 2, &out));
+  EXPECT_EQ(out, kMax - 1);
+}
+
+TEST(CheckedMathTest, AddBasics) {
+  size_t out = 0;
+  EXPECT_TRUE(CheckedAdd(1, 2, &out));
+  EXPECT_EQ(out, 3u);
+  EXPECT_TRUE(CheckedAdd(kMax, 0, &out));
+  EXPECT_EQ(out, kMax);
+  EXPECT_FALSE(CheckedAdd(kMax, 1, &out));
+  EXPECT_FALSE(CheckedAdd(kMax / 2 + 1, kMax / 2 + 1, &out));
+}
+
+TEST(CheckedMathTest, TableBytes) {
+  size_t out = 0;
+  EXPECT_TRUE(CheckedTableBytes(10, 20, 8, &out));
+  EXPECT_EQ(out, 1600u);
+  EXPECT_TRUE(CheckedTableBytes(0, kMax, 8, &out));
+  EXPECT_EQ(out, 0u);
+  // rows*cols overflows.
+  EXPECT_FALSE(CheckedTableBytes(kMax, 2, 1, &out));
+  // cells fits but cells*elem_size overflows.
+  EXPECT_FALSE(CheckedTableBytes(kMax / 4, 2, 8, &out));
+}
+
+}  // namespace
+}  // namespace seqhide

@@ -1,0 +1,122 @@
+#!/bin/sh
+# End-to-end checkpoint/resume through the CLI (registered in CTest).
+# Interrupts a sanitize run with an injected boundary fault, resumes from
+# the checkpoint, and asserts the resumed run's database and stats-json
+# report are identical to an uninterrupted run (timing fields and the
+# `resumed` flag excluded). Also covers --input-mode lenient end to end.
+# $1 = path to the seqhide_cli binary.
+# $2 = "on"|"off": whether fault injection is compiled in
+#      (SEQHIDE_ENABLE_FAULT_INJECTION); the interrupt leg needs it.
+set -eu
+
+CLI="$1"
+FAULTS="${2:-on}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# A database large enough for several marking rounds at --round-size 2.
+seq_line() { echo "a b c d a b c"; }
+: > "$WORK/db.txt"
+i=0
+while [ "$i" -lt 24 ]; do
+  seq_line >> "$WORK/db.txt"
+  echo "b c a x y" >> "$WORK/db.txt"
+  i=$((i + 1))
+done
+
+COMMON_ARGS="--psi 1 --algo HH --seed 7 --round-size 2"
+PATTERN="a -> b -> c"
+
+# Uninterrupted reference run (checkpointing on, so its cadence counters
+# match the interrupted+resumed legs; completion deletes the file).
+"$CLI" sanitize --db "$WORK/db.txt" --out "$WORK/ref.txt" \
+    --pattern "$PATTERN" $COMMON_ARGS --checkpoint "$WORK/ref.ckpt" \
+    --stats-json "$WORK/ref.json" > /dev/null
+if [ -f "$WORK/ref.ckpt" ]; then
+  echo "FAIL: reference checkpoint survived"
+  exit 1
+fi
+
+if [ "$FAULTS" = "on" ]; then
+  # Interrupted leg: stop at the second round boundary, leaving a
+  # checkpoint behind.
+  "$CLI" sanitize --db "$WORK/db.txt" --out "$WORK/partial.txt" \
+      --pattern "$PATTERN" $COMMON_ARGS --checkpoint "$WORK/run.ckpt" \
+      --inject-fault sanitize.mark_round:2 > /dev/null
+  [ -f "$WORK/run.ckpt" ] || { echo "FAIL: no checkpoint written"; exit 1; }
+
+  # Resumed leg: finish from the checkpoint.
+  "$CLI" sanitize --db "$WORK/db.txt" --out "$WORK/resumed.txt" \
+      --pattern "$PATTERN" $COMMON_ARGS --checkpoint "$WORK/run.ckpt" --resume \
+      --stats-json "$WORK/resumed.json" > /dev/null
+  if [ -f "$WORK/run.ckpt" ]; then
+    echo "FAIL: checkpoint survived completion"
+    exit 1
+  fi
+
+  cmp -s "$WORK/ref.txt" "$WORK/resumed.txt" || {
+    echo "FAIL: resumed database differs from uninterrupted run"
+    exit 1
+  }
+
+  if command -v python3 > /dev/null 2>&1; then
+    python3 - "$WORK/ref.json" "$WORK/resumed.json" <<'PYEOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    ref = json.load(f)
+with open(sys.argv[2]) as f:
+    got = json.load(f)
+
+def scrub(doc):
+    # Drop wall-clock numbers and the fields that legitimately differ
+    # between a resumed run and its reference (the output path and the
+    # resumed provenance flag). Everything else must match exactly.
+    doc["options"].pop("out", None)
+    doc["report"].pop("elapsed_seconds", None)
+    doc["report"].pop("stages", None)
+    doc["report"].get("robustness", {}).pop("resumed", None)
+    for span in doc.get("spans", {}).values():
+        for key in ("total_ns", "min_ns", "max_ns"):
+            span.pop(key, None)
+    return doc
+
+ref, got = scrub(ref), scrub(got)
+if ref != got:
+    for key in sorted(set(ref) | set(got)):
+        if ref.get(key) != got.get(key):
+            print(f"  differing section: {key}", file=sys.stderr)
+    raise SystemExit("FAIL: resumed stats-json differs from reference")
+if json.load(open(sys.argv[2]))["report"]["robustness"]["resumed"] is not True:
+    raise SystemExit("FAIL: resumed flag not set")
+PYEOF
+  fi
+fi
+
+# Lenient input end to end: damaged lines are skipped, run still succeeds.
+printf 'bad\001row here\n' >> "$WORK/db.txt"
+"$CLI" sanitize --db "$WORK/db.txt" --out "$WORK/lenient.txt" \
+    --pattern "$PATTERN" $COMMON_ARGS --input-mode lenient \
+    --stats-json "$WORK/lenient.json" 2> "$WORK/lenient.err" > /dev/null
+grep -q "skipped" "$WORK/lenient.err" || {
+  echo "FAIL: lenient mode printed no skip warning"; exit 1;
+}
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$WORK/lenient.json" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    stats = json.load(f)
+inp = stats["report"]["robustness"]["input"]
+if inp["lines_skipped"] != 1 or inp["errors_total"] != 1:
+    raise SystemExit(f"FAIL: lenient accounting wrong: {inp}")
+PYEOF
+fi
+
+# Strict mode must refuse the same file.
+if "$CLI" sanitize --db "$WORK/db.txt" --out "$WORK/strict.txt" \
+    --pattern "$PATTERN" $COMMON_ARGS > /dev/null 2>&1; then
+  echo "FAIL: strict mode accepted a damaged file"
+  exit 1
+fi
+
+echo "PASS"

@@ -107,12 +107,22 @@ TEST(SanitizerEdgeTest, EmptyDatabaseIsFine) {
 }
 
 TEST(SanitizerEdgeTest, PatternLongerThanEverySequence) {
+  // A pattern no sequence can contain has support 0 everywhere and
+  // forever; asking to hide it is a malformed request (usually a pattern
+  // pasted against the wrong database) and fails fast.
   SequenceDatabase db;
   db.AddFromNames({"a", "b"});
   Sequence pattern = Seq(&db.alphabet(), "a b a b a b");
   auto report = Sanitize(&db, {pattern}, SanitizeOptions::HH());
-  ASSERT_TRUE(report.ok());
-  EXPECT_EQ(report->marks_introduced, 0u);
+  EXPECT_TRUE(report.status().IsInvalidArgument());
+  EXPECT_EQ(db.TotalMarkCount(), 0u);
+
+  // A pattern that fits at least one sequence is fine, even if it is
+  // longer than the others.
+  db.AddFromNames({"a", "b", "a", "b", "a", "b"});
+  auto report2 = Sanitize(&db, {pattern}, SanitizeOptions::HH());
+  ASSERT_TRUE(report2.ok()) << report2.status();
+  EXPECT_EQ(report2->supports_after[0], 0u);
 }
 
 TEST(SanitizerEdgeTest, WholeDatabaseIsOneGiantSupporter) {

@@ -1,0 +1,108 @@
+// FaultInjector (src/common/fault_injection.h): arming semantics, the
+// exactly-once k-th-hit contract, spec parsing, and catalog hygiene.
+
+#include "src/common/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace seqhide {
+namespace {
+
+// Every test leaves the process-wide injector clean for its neighbors.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Default().Reset(); }
+  void TearDown() override { FaultInjector::Default().Reset(); }
+};
+
+TEST_F(FaultInjectionTest, UnarmedSiteNeverFires) {
+  FaultInjector& fi = FaultInjector::Default();
+  EXPECT_EQ(fi.ArmedCount(), 0u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(SEQHIDE_FAULT_HIT("io.db.open"));
+  }
+  EXPECT_EQ(fi.FaultsFired(), 0u);
+}
+
+TEST_F(FaultInjectionTest, FiresExactlyOnceOnKthHit) {
+  FaultInjector& fi = FaultInjector::Default();
+  ASSERT_TRUE(fi.ArmSite("io.db.read", 3).ok());
+  EXPECT_EQ(fi.ArmedCount(), 1u);
+  EXPECT_FALSE(fi.ShouldFail("io.db.read"));  // hit 1
+  EXPECT_FALSE(fi.ShouldFail("io.db.read"));  // hit 2
+  EXPECT_TRUE(fi.ShouldFail("io.db.read"));   // hit 3 fires
+  // Fired sites stay latched: no re-fire, and they stay counted as armed
+  // so tests can distinguish "fired" from "never reached".
+  EXPECT_FALSE(fi.ShouldFail("io.db.read"));
+  EXPECT_EQ(fi.FaultsFired(), 1u);
+  EXPECT_EQ(fi.ArmedCount(), 1u);
+}
+
+TEST_F(FaultInjectionTest, SitesAreIndependent) {
+  FaultInjector& fi = FaultInjector::Default();
+  ASSERT_TRUE(fi.ArmSite("io.db.open", 1).ok());
+  ASSERT_TRUE(fi.ArmSite("io.db.write", 2).ok());
+  EXPECT_TRUE(fi.ShouldFail("io.db.open"));
+  EXPECT_FALSE(fi.ShouldFail("io.db.write"));
+  EXPECT_FALSE(fi.ShouldFail("io.db.read"));  // never armed
+  EXPECT_TRUE(fi.ShouldFail("io.db.write"));
+  EXPECT_EQ(fi.FaultsFired(), 2u);
+}
+
+TEST_F(FaultInjectionTest, ArmSpecParsesMultipleSites) {
+  FaultInjector& fi = FaultInjector::Default();
+  ASSERT_TRUE(fi.Arm("io.db.open:1,sanitize.mark_round:2").ok());
+  EXPECT_EQ(fi.ArmedCount(), 2u);
+  EXPECT_TRUE(fi.ShouldFail("io.db.open"));
+  EXPECT_FALSE(fi.ShouldFail("sanitize.mark_round"));
+  EXPECT_TRUE(fi.ShouldFail("sanitize.mark_round"));
+}
+
+TEST_F(FaultInjectionTest, MalformedSpecsAreRejected) {
+  FaultInjector& fi = FaultInjector::Default();
+  EXPECT_TRUE(fi.Arm("io.db.open").IsInvalidArgument());
+  EXPECT_TRUE(fi.Arm("io.db.open:zero").IsInvalidArgument());
+  EXPECT_TRUE(fi.Arm("io.db.open:0").IsInvalidArgument());
+  EXPECT_TRUE(fi.Arm("io.db.open:-1").IsInvalidArgument());
+  EXPECT_TRUE(fi.Arm("no.such.site:1").IsInvalidArgument());
+  EXPECT_TRUE(fi.ArmSite("io.db.open", 0).IsInvalidArgument());
+  // Nothing was half-armed by the failures.
+  EXPECT_EQ(fi.ArmedCount(), 0u);
+}
+
+TEST_F(FaultInjectionTest, RearmResetsTheCounter) {
+  FaultInjector& fi = FaultInjector::Default();
+  ASSERT_TRUE(fi.ArmSite("io.db.open", 2).ok());
+  EXPECT_FALSE(fi.ShouldFail("io.db.open"));  // hit 1
+  ASSERT_TRUE(fi.ArmSite("io.db.open", 2).ok());
+  EXPECT_FALSE(fi.ShouldFail("io.db.open"));  // hit 1 again after re-arm
+  EXPECT_TRUE(fi.ShouldFail("io.db.open"));
+}
+
+TEST_F(FaultInjectionTest, ResetDisarmsEverything) {
+  FaultInjector& fi = FaultInjector::Default();
+  ASSERT_TRUE(fi.Arm("io.db.open:1,io.db.read:1").ok());
+  EXPECT_TRUE(fi.ShouldFail("io.db.open"));
+  fi.Reset();
+  EXPECT_EQ(fi.ArmedCount(), 0u);
+  EXPECT_EQ(fi.FaultsFired(), 0u);
+  EXPECT_FALSE(fi.ShouldFail("io.db.read"));
+}
+
+TEST_F(FaultInjectionTest, CatalogIsNonEmptyUniqueAndArmable) {
+  const auto& catalog = FaultInjector::Catalog();
+  ASSERT_FALSE(catalog.empty());
+  FaultInjector& fi = FaultInjector::Default();
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    for (size_t j = i + 1; j < catalog.size(); ++j) {
+      EXPECT_NE(catalog[i], catalog[j]) << "duplicate catalog entry";
+    }
+    EXPECT_TRUE(fi.ArmSite(catalog[i], 1).ok()) << catalog[i];
+  }
+  EXPECT_EQ(fi.ArmedCount(), catalog.size());
+}
+
+}  // namespace
+}  // namespace seqhide

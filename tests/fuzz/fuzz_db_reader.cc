@@ -1,0 +1,75 @@
+// libFuzzer harness for the database/pattern text reader (src/seq/io.h).
+//
+// Invariants checked on every input, beyond "does not crash under
+// ASan/UBSan":
+//   * strict mode returns OK or Corruption/IOError — never aborts;
+//   * lenient mode never fails on parse errors (only on stream errors),
+//     and its accounting is consistent (skipped <= total,
+//     errors.size() <= min(errors_total, max_logged_errors));
+//   * a lenient read that skips nothing parses databases identical in
+//     size to the strict read;
+//   * whatever was accepted round-trips: Write(Read(x)) reparses to the
+//     same database.
+//
+// Build (clang only):
+//   cmake -B build-fuzz -DSEQHIDE_BUILD_FUZZERS=ON -DCMAKE_CXX_COMPILER=clang++
+//   ./build-fuzz/tests/fuzz/fuzz_db_reader tests/fuzz/corpus/db_reader
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "src/seq/io.h"
+
+namespace {
+
+void Check(bool cond, const char* what) {
+  if (!cond) {
+    __builtin_trap();
+    (void)what;
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  seqhide::ReadOptions strict;
+  // Small caps so the fuzzer can reach the overlong-token and
+  // too-many-symbols branches with short inputs.
+  strict.max_token_chars = 16;
+  strict.max_line_symbols = 64;
+  seqhide::ReadReport strict_report;
+  auto strict_db =
+      seqhide::ReadDatabaseFromString(text, strict, &strict_report);
+  Check(strict_db.ok() || strict_db.status().IsCorruption() ||
+            strict_db.status().IsIOError(),
+        "strict read: unexpected status class");
+
+  seqhide::ReadOptions lenient = strict;
+  lenient.mode = seqhide::InputMode::kLenient;
+  seqhide::ReadReport report;
+  auto db = seqhide::ReadDatabaseFromString(text, lenient, &report);
+  Check(db.ok() || db.status().IsIOError(), "lenient read failed on parse");
+  if (!db.ok()) return 0;
+
+  Check(report.lines_skipped <= report.lines_total, "skipped > total");
+  Check(report.errors.size() <= report.errors_total, "log > count");
+  Check(report.errors.size() <= lenient.max_logged_errors, "log over cap");
+  if (strict_db.ok()) {
+    Check(report.lines_skipped == 0, "strict ok but lenient skipped");
+    Check(db->size() == strict_db->size(), "strict/lenient size mismatch");
+  }
+
+  // Round-trip: serialize what was accepted and reparse it strictly.
+  const std::string serialized = seqhide::WriteDatabaseToString(*db);
+  auto again = seqhide::ReadDatabaseFromString(serialized);
+  Check(again.ok(), "round-trip reparse failed");
+  Check(again->size() == db->size(), "round-trip size mismatch");
+  for (size_t t = 0; t < db->size(); ++t) {
+    Check((*again)[t].size() == (*db)[t].size(), "round-trip length");
+  }
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Lenient vs strict database reading (src/seq/io.h): malformed-line
+// detection with line/column numbers, the capped error log, and the
+// guarantee that a lenient read's alphabet equals a strict read of the
+// same file with the bad lines removed.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/seq/io.h"
+
+namespace seqhide {
+namespace {
+
+ReadOptions Lenient() {
+  ReadOptions opts;
+  opts.mode = InputMode::kLenient;
+  return opts;
+}
+
+TEST(IoLenientTest, ParseInputModeValues) {
+  auto strict = ParseInputMode("strict");
+  ASSERT_TRUE(strict.ok());
+  EXPECT_EQ(*strict, InputMode::kStrict);
+  auto lenient = ParseInputMode("lenient");
+  ASSERT_TRUE(lenient.ok());
+  EXPECT_EQ(*lenient, InputMode::kLenient);
+  EXPECT_TRUE(ParseInputMode("").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseInputMode("Strict").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseInputMode("loose").status().IsInvalidArgument());
+}
+
+TEST(IoLenientTest, StrictModeNamesLineAndColumn) {
+  // Control character at line 2, inside the second token.
+  const std::string text = "a b\nok \x01" "bad\n";
+  ReadReport report;
+  auto db = ReadDatabaseFromString(text, ReadOptions{}, &report);
+  ASSERT_TRUE(db.status().IsCorruption()) << db.status();
+  EXPECT_NE(db.status().message().find("line 2"), std::string::npos)
+      << db.status();
+  EXPECT_NE(db.status().message().find("column 4"), std::string::npos)
+      << db.status();
+  // The report is filled up to the failing line.
+  EXPECT_EQ(report.lines_total, 2u);
+  EXPECT_EQ(report.errors_total, 1u);
+}
+
+TEST(IoLenientTest, LenientSkipsAndCounts) {
+  const std::string text = "a b\nbad\x7ftoken c\nc d\n";
+  ReadReport report;
+  auto db = ReadDatabaseFromString(text, Lenient(), &report);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->size(), 2u);
+  EXPECT_EQ(report.lines_total, 3u);
+  EXPECT_EQ(report.lines_skipped, 1u);
+  EXPECT_EQ(report.errors_total, 1u);
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_EQ(report.errors[0].line, 2u);
+  EXPECT_EQ(report.errors[0].column, 4u);  // the 0x7f inside "bad\x7ftoken"
+}
+
+TEST(IoLenientTest, SkippedLinesInternNothing) {
+  // The bad line mentions symbols (x, y) that appear nowhere else; a
+  // lenient read must produce the same alphabet as a strict read of the
+  // file without that line — no phantom symbols from a half-parsed row.
+  const std::string with_bad = "a b\nx \x02 y\nb c\n";
+  const std::string cleaned = "a b\nb c\n";
+  auto lenient_db = ReadDatabaseFromString(with_bad, Lenient());
+  ASSERT_TRUE(lenient_db.ok()) << lenient_db.status();
+  auto strict_db = ReadDatabaseFromString(cleaned);
+  ASSERT_TRUE(strict_db.ok());
+  ASSERT_EQ(lenient_db->alphabet().size(), strict_db->alphabet().size());
+  for (SymbolId id = 0;
+       id < static_cast<SymbolId>(strict_db->alphabet().size()); ++id) {
+    EXPECT_EQ(lenient_db->alphabet().Name(id), strict_db->alphabet().Name(id));
+  }
+  ASSERT_EQ(lenient_db->size(), strict_db->size());
+  for (size_t t = 0; t < strict_db->size(); ++t) {
+    EXPECT_TRUE((*lenient_db)[t] == (*strict_db)[t]) << t;
+  }
+}
+
+TEST(IoLenientTest, ErrorLogIsCapped) {
+  ReadOptions opts = Lenient();
+  opts.max_logged_errors = 3;
+  std::string text;
+  for (int i = 0; i < 10; ++i) text += "bad\x01line\n";
+  ReadReport report;
+  auto db = ReadDatabaseFromString(text, opts, &report);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->size(), 0u);
+  EXPECT_EQ(report.lines_total, 10u);
+  EXPECT_EQ(report.lines_skipped, 10u);
+  EXPECT_EQ(report.errors_total, 10u);
+  EXPECT_EQ(report.errors.size(), 3u) << "log must be capped, count must not";
+  EXPECT_EQ(report.errors[0].line, 1u);
+  EXPECT_EQ(report.errors[2].line, 3u);
+}
+
+TEST(IoLenientTest, OverlongTokenIsMalformed) {
+  ReadOptions opts = Lenient();
+  opts.max_token_chars = 4;
+  ReadReport report;
+  auto db = ReadDatabaseFromString("abcd efghi\nok go\n", opts, &report);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->size(), 1u);
+  EXPECT_EQ(report.lines_skipped, 1u);
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_EQ(report.errors[0].line, 1u);
+  EXPECT_EQ(report.errors[0].column, 6u);  // "efghi" starts at column 6
+
+  // Strict mode turns the same issue into Corruption.
+  opts.mode = InputMode::kStrict;
+  EXPECT_TRUE(ReadDatabaseFromString("abcd efghi\n", opts)
+                  .status()
+                  .IsCorruption());
+}
+
+TEST(IoLenientTest, TooManySymbolsIsMalformed) {
+  ReadOptions opts = Lenient();
+  opts.max_line_symbols = 3;
+  ReadReport report;
+  auto db = ReadDatabaseFromString("a b c d\na b c\n", opts, &report);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->size(), 1u);
+  EXPECT_EQ((*db)[0].size(), 3u);
+  EXPECT_EQ(report.lines_skipped, 1u);
+}
+
+TEST(IoLenientTest, TabsAreOrdinaryWhitespace) {
+  ReadReport report;
+  auto db = ReadDatabaseFromString("a\tb\tc\n", Lenient(), &report);
+  ASSERT_TRUE(db.ok()) << db.status();
+  ASSERT_EQ(db->size(), 1u);
+  EXPECT_EQ((*db)[0].size(), 3u);
+  EXPECT_EQ(report.lines_skipped, 0u);
+}
+
+TEST(IoLenientTest, DeltaTokenSurvivesLenientMode) {
+  auto db = ReadDatabaseFromString("a ^ b\nbad\x03row\n", Lenient());
+  ASSERT_TRUE(db.ok());
+  ASSERT_EQ(db->size(), 1u);
+  EXPECT_TRUE((*db)[0].IsMarked(1));
+  EXPECT_EQ(db->alphabet().size(), 2u);
+}
+
+TEST(IoLenientTest, AllLinesBadYieldsEmptyDatabase) {
+  ReadReport report;
+  auto db = ReadDatabaseFromString("\x01\n\x02\n", Lenient(), &report);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->size(), 0u);
+  EXPECT_EQ(db->alphabet().size(), 0u);
+  EXPECT_EQ(report.lines_skipped, 2u);
+}
+
+}  // namespace
+}  // namespace seqhide

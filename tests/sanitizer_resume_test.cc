@@ -1,0 +1,333 @@
+// Crash-safe checkpoint/resume (src/hide/checkpoint.h + sanitizer.cc):
+// for every kill point (after selection, after each early marking round)
+// and across thread counts, interrupting a run and resuming it must
+// produce the byte-identical database, report, and metrics that an
+// uninterrupted run produces. Kills are simulated deterministically with
+// budget stops and injected faults — both leave exactly the on-disk state
+// a real crash at that boundary would.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/fault_injection.h"
+#include "src/common/random.h"
+#include "src/data/workload.h"
+#include "src/hide/checkpoint.h"
+#include "src/hide/sanitizer.h"
+#include "src/obs/metrics.h"
+#include "tests/test_util.h"
+
+namespace seqhide {
+namespace {
+
+SequenceDatabase BaseDb() {
+  RandomDatabaseOptions gen;
+  gen.num_sequences = 100;
+  gen.min_length = 8;
+  gen.max_length = 20;
+  gen.alphabet_size = 4;
+  gen.seed = 20240;
+  return MakeRandomDatabase(gen);
+}
+
+std::vector<Sequence> BasePatterns() {
+  SequenceDatabase db = BaseDb();
+  Rng rng(5);
+  std::vector<Sequence> patterns = {testutil::RandomSeq(&rng, 2, 4),
+                                    testutil::RandomSeq(&rng, 3, 4)};
+  if (patterns[0] == patterns[1]) patterns.pop_back();
+  return patterns;
+}
+
+SanitizeOptions BaseOpts(const std::string& checkpoint_path, size_t threads) {
+  SanitizeOptions opts = SanitizeOptions::HH();
+  opts.psi = 2;
+  opts.mark_round_size = 8;
+  opts.num_threads = threads;
+  opts.checkpoint_path = checkpoint_path;
+  opts.checkpoint_every_rounds = 1;
+  return opts;
+}
+
+bool FileExists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return in.good();
+}
+
+struct RunOutput {
+  SequenceDatabase db;
+  SanitizeReport report;
+  obs::MetricsSnapshot metrics;
+  Status status = Status::OK();
+};
+
+RunOutput RunSanitize(const SanitizeOptions& opts) {
+  RunOutput out;
+  obs::MetricsRegistry::Default().Reset();
+  out.db = BaseDb();
+  auto report = Sanitize(&out.db, BasePatterns(), {}, opts);
+  out.status = report.status();
+  if (report.ok()) out.report = *report;
+  out.metrics = obs::MetricsRegistry::Default().Snapshot();
+  return out;
+}
+
+void ExpectIdenticalOutcome(const RunOutput& want, const RunOutput& got,
+                            const std::string& what) {
+  // Database bytes.
+  ASSERT_EQ(want.db.size(), got.db.size()) << what;
+  for (size_t t = 0; t < want.db.size(); ++t) {
+    EXPECT_TRUE(want.db[t] == got.db[t]) << what << " sequence " << t;
+  }
+  // Every deterministic report field. `resumed`, threads_used, and wall
+  // times are configuration/provenance, not results, and are excluded.
+  const SanitizeReport& a = want.report;
+  const SanitizeReport& b = got.report;
+  EXPECT_EQ(a.marks_introduced, b.marks_introduced) << what;
+  EXPECT_EQ(a.sequences_sanitized, b.sequences_sanitized) << what;
+  EXPECT_EQ(a.sequences_supporting_before, b.sequences_supporting_before)
+      << what;
+  EXPECT_EQ(a.supports_before, b.supports_before) << what;
+  EXPECT_EQ(a.supports_after, b.supports_after) << what;
+  EXPECT_EQ(a.count_rows, b.count_rows) << what;
+  EXPECT_EQ(a.degraded, b.degraded) << what;
+  EXPECT_EQ(a.stop_reason, b.stop_reason) << what;
+  EXPECT_EQ(a.rounds_completed, b.rounds_completed) << what;
+  EXPECT_EQ(a.rounds_total, b.rounds_total) << what;
+  EXPECT_EQ(a.victims_skipped, b.victims_skipped) << what;
+  EXPECT_EQ(a.checkpoints_written, b.checkpoints_written) << what;
+  // Metrics: counters, gauges and histograms are event totals and must
+  // match exactly; spans carry wall-clock ns, so only counts compare.
+  // Zero-valued counters are dropped first: the SEQHIDE_COUNTER macros
+  // cache registrations in function-local statics, so a counter touched
+  // by an *earlier* run in this process stays registered (at zero) in
+  // later snapshots. A restarted process — the real resume scenario,
+  // pinned end to end by tests/checkpoint_resume_test.sh — has no such
+  // residue.
+  auto nonzero = [](const std::map<std::string, uint64_t>& counters) {
+    std::map<std::string, uint64_t> out;
+    for (const auto& [name, value] : counters) {
+      if (value != 0) out.emplace(name, value);
+    }
+    return out;
+  };
+  EXPECT_EQ(nonzero(want.metrics.counters), nonzero(got.metrics.counters))
+      << what;
+  EXPECT_EQ(want.metrics.gauges, got.metrics.gauges) << what;
+  ASSERT_EQ(want.metrics.histograms.size(), got.metrics.histograms.size())
+      << what;
+  for (const auto& [name, data] : want.metrics.histograms) {
+    auto it = got.metrics.histograms.find(name);
+    ASSERT_NE(it, got.metrics.histograms.end()) << what << " " << name;
+    EXPECT_EQ(data.count, it->second.count) << what << " " << name;
+    EXPECT_EQ(data.sum, it->second.sum) << what << " " << name;
+    EXPECT_EQ(data.buckets, it->second.buckets) << what << " " << name;
+  }
+  ASSERT_EQ(want.metrics.spans.size(), got.metrics.spans.size()) << what;
+  for (const auto& [path, span] : want.metrics.spans) {
+    auto it = got.metrics.spans.find(path);
+    ASSERT_NE(it, got.metrics.spans.end()) << what << " " << path;
+    EXPECT_EQ(span.count, it->second.count) << what << " " << path;
+  }
+}
+
+class SanitizerResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Default().Reset(); }
+  void TearDown() override { FaultInjector::Default().Reset(); }
+};
+
+TEST_F(SanitizerResumeTest, KillAndResumeMatrixIsByteIdentical) {
+#ifdef SEQHIDE_FAULTS_DISABLED
+  GTEST_SKIP() << "fault injection compiled out";
+#endif
+  const std::string path = ::testing::TempDir() + "/resume_matrix.ckpt";
+  std::remove(path.c_str());
+
+  // The uninterrupted reference, checkpointing along the way.
+  RunOutput reference = RunSanitize(BaseOpts(path, 1));
+  ASSERT_TRUE(reference.status.ok()) << reference.status;
+  ASSERT_FALSE(reference.report.degraded);
+  ASSERT_GT(reference.report.rounds_total, 3u)
+      << "workload too small to interrupt mid-run";
+  EXPECT_FALSE(FileExists(path)) << "completed run must delete its checkpoint";
+
+  struct KillPoint {
+    const char* name;
+    const char* fault;       // nullptr = use max_mark_rounds instead
+    size_t max_rounds;
+  };
+  const KillPoint kill_points[] = {
+      {"after-select", "sanitize.after_select", 0},
+      {"round-boundary-fault", "sanitize.mark_round", 0},
+      {"after-round-1", nullptr, 1},
+      {"after-round-2", nullptr, 2},
+      {"after-round-3", nullptr, 3},
+  };
+  const std::pair<size_t, size_t> thread_pairs[] = {{1, 1}, {2, 8}, {8, 2}};
+
+  for (const KillPoint& kp : kill_points) {
+    for (auto [kill_threads, resume_threads] : thread_pairs) {
+      const std::string what = std::string(kp.name) +
+                               " kill_threads=" + std::to_string(kill_threads) +
+                               " resume_threads=" +
+                               std::to_string(resume_threads);
+      std::remove(path.c_str());
+
+      // Interrupt.
+      SanitizeOptions kill_opts = BaseOpts(path, kill_threads);
+      kill_opts.budget.max_mark_rounds = kp.max_rounds;
+      if (kp.fault != nullptr) {
+        ASSERT_TRUE(FaultInjector::Default().ArmSite(kp.fault, 1).ok());
+      }
+      RunOutput interrupted = RunSanitize(kill_opts);
+      FaultInjector::Default().Reset();
+      ASSERT_TRUE(interrupted.status.ok()) << what << ": "
+                                           << interrupted.status;
+      ASSERT_TRUE(interrupted.report.degraded) << what;
+      ASSERT_LT(interrupted.report.rounds_completed,
+                interrupted.report.rounds_total)
+          << what;
+      ASSERT_TRUE(FileExists(path))
+          << what << ": interrupted run must leave a checkpoint";
+
+      // Resume and finish.
+      SanitizeOptions resume_opts = BaseOpts(path, resume_threads);
+      resume_opts.resume = true;
+      RunOutput resumed = RunSanitize(resume_opts);
+      ASSERT_TRUE(resumed.status.ok()) << what << ": " << resumed.status;
+      EXPECT_TRUE(resumed.report.resumed) << what;
+      EXPECT_FALSE(resumed.report.degraded) << what;
+      EXPECT_FALSE(FileExists(path))
+          << what << ": completed resume must delete the checkpoint";
+      ExpectIdenticalOutcome(reference, resumed, what);
+    }
+  }
+}
+
+TEST_F(SanitizerResumeTest, DoubleInterruptionStillConverges) {
+  const std::string path = ::testing::TempDir() + "/resume_chain.ckpt";
+  std::remove(path.c_str());
+
+  RunOutput reference = RunSanitize(BaseOpts(path, 1));
+  ASSERT_TRUE(reference.status.ok()) << reference.status;
+
+  // Stop after round 1; resume but stop again two rounds later; then
+  // resume to completion. Three processes, one logical run.
+  SanitizeOptions first = BaseOpts(path, 2);
+  first.budget.max_mark_rounds = 1;
+  RunOutput run1 = RunSanitize(first);
+  ASSERT_TRUE(run1.status.ok()) << run1.status;
+  ASSERT_TRUE(run1.report.degraded);
+
+  SanitizeOptions second = BaseOpts(path, 8);
+  second.resume = true;
+  second.budget.max_mark_rounds = 2;
+  RunOutput run2 = RunSanitize(second);
+  ASSERT_TRUE(run2.status.ok()) << run2.status;
+  ASSERT_TRUE(run2.report.degraded);
+  ASSERT_TRUE(run2.report.resumed);
+  ASSERT_EQ(run2.report.rounds_completed, 3u);
+
+  SanitizeOptions last = BaseOpts(path, 1);
+  last.resume = true;
+  RunOutput final_run = RunSanitize(last);
+  ASSERT_TRUE(final_run.status.ok()) << final_run.status;
+  EXPECT_TRUE(final_run.report.resumed);
+  EXPECT_FALSE(final_run.report.degraded);
+  ExpectIdenticalOutcome(reference, final_run, "double interruption");
+}
+
+TEST_F(SanitizerResumeTest, ResumeWithoutCheckpointRunsFresh) {
+  const std::string path = ::testing::TempDir() + "/resume_missing.ckpt";
+  std::remove(path.c_str());
+
+  RunOutput reference = RunSanitize(BaseOpts(path, 1));
+  ASSERT_TRUE(reference.status.ok()) << reference.status;
+
+  SanitizeOptions opts = BaseOpts(path, 1);
+  opts.resume = true;  // nothing to resume from
+  RunOutput got = RunSanitize(opts);
+  ASSERT_TRUE(got.status.ok()) << got.status;
+  EXPECT_FALSE(got.report.resumed) << "missing checkpoint => fresh run";
+  ExpectIdenticalOutcome(reference, got, "fresh fallback");
+}
+
+TEST_F(SanitizerResumeTest, StopBeforeSelectionLeavesNoCheckpoint) {
+#ifdef SEQHIDE_FAULTS_DISABLED
+  GTEST_SKIP() << "fault injection compiled out";
+#endif
+  const std::string path = ::testing::TempDir() + "/resume_nosel.ckpt";
+  std::remove(path.c_str());
+
+  SanitizeOptions opts = BaseOpts(path, 1);
+  ASSERT_TRUE(
+      FaultInjector::Default().ArmSite("sanitize.after_count", 1).ok());
+  RunOutput interrupted = RunSanitize(opts);
+  FaultInjector::Default().Reset();
+  ASSERT_TRUE(interrupted.status.ok()) << interrupted.status;
+  EXPECT_TRUE(interrupted.report.degraded);
+  EXPECT_EQ(interrupted.report.marks_introduced, 0u);
+  // Selection never happened, so there is nothing worth resuming.
+  EXPECT_FALSE(FileExists(path));
+}
+
+TEST_F(SanitizerResumeTest, MismatchedOptionsAreRejected) {
+  const std::string path = ::testing::TempDir() + "/resume_mismatch.ckpt";
+  std::remove(path.c_str());
+
+  SanitizeOptions opts = BaseOpts(path, 1);
+  opts.budget.max_mark_rounds = 1;
+  RunOutput interrupted = RunSanitize(opts);
+  ASSERT_TRUE(interrupted.status.ok()) << interrupted.status;
+  ASSERT_TRUE(FileExists(path));
+
+  // Same checkpoint, different result-affecting option: refused.
+  SanitizeOptions other = BaseOpts(path, 1);
+  other.resume = true;
+  other.psi = 3;
+  obs::MetricsRegistry::Default().Reset();
+  SequenceDatabase db = BaseDb();
+  auto result = Sanitize(&db, BasePatterns(), {}, other);
+  EXPECT_TRUE(result.status().IsFailedPrecondition()) << result.status();
+  std::remove(path.c_str());
+}
+
+TEST_F(SanitizerResumeTest, CorruptCheckpointIsRejected) {
+  const std::string path = ::testing::TempDir() + "/resume_corrupt.ckpt";
+  std::remove(path.c_str());
+
+  SanitizeOptions opts = BaseOpts(path, 1);
+  opts.budget.max_mark_rounds = 1;
+  RunOutput interrupted = RunSanitize(opts);
+  ASSERT_TRUE(interrupted.status.ok()) << interrupted.status;
+  ASSERT_TRUE(FileExists(path));
+
+  // Flip one payload byte.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  bytes[bytes.size() - 1] ^= 0x01;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  SanitizeOptions resume_opts = BaseOpts(path, 1);
+  resume_opts.resume = true;
+  obs::MetricsRegistry::Default().Reset();
+  SequenceDatabase db = BaseDb();
+  auto result = Sanitize(&db, BasePatterns(), {}, resume_opts);
+  EXPECT_TRUE(result.status().IsCorruption()) << result.status();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace seqhide

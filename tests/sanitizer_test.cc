@@ -52,10 +52,28 @@ TEST(SanitizerTest, PsiAboveSupportIsNoOp) {
   SequenceDatabase db = SmallDb();
   std::vector<Sequence> patterns = {Seq(&db.alphabet(), "a b c")};
   SanitizeOptions opts = SanitizeOptions::HH();
-  opts.psi = 5;
+  opts.psi = db.size();  // >= any possible support: nothing to hide
   auto report = Sanitize(&db, patterns, opts);
   ASSERT_TRUE(report.ok()) << report.status();
   EXPECT_EQ(report->marks_introduced, 0u);
+  EXPECT_EQ(db.TotalMarkCount(), 0u);
+}
+
+TEST(SanitizerTest, PsiAboveDatabaseSizeIsRejected) {
+  // A ψ no support can ever reach is a configuration bug (most often a
+  // psi/sigma mix-up), not a no-op; it fails fast instead of silently
+  // doing nothing.
+  SequenceDatabase db = SmallDb();
+  std::vector<Sequence> patterns = {Seq(&db.alphabet(), "a b c")};
+  SanitizeOptions opts = SanitizeOptions::HH();
+  opts.psi = db.size() + 1;
+  EXPECT_TRUE(
+      Sanitize(&db, patterns, opts).status().IsInvalidArgument());
+  // Same check for the per-pattern thresholds.
+  opts.psi = 0;
+  opts.per_pattern_psi = {db.size() + 1};
+  EXPECT_TRUE(
+      Sanitize(&db, patterns, opts).status().IsInvalidArgument());
   EXPECT_EQ(db.TotalMarkCount(), 0u);
 }
 

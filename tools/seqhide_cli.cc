@@ -7,10 +7,24 @@
 //                        [--psi N] [--algo HH|HR|RH|RR] [--seed N]
 //                        [--threads N] [--stage2 keep|delete|replace]
 //                        [--stats-json FILE] [--trace-json FILE]
+//                        [--deadline-seconds S] [--max-table-bytes N]
+//                        [--max-rounds N] [--round-size N]
+//                        [--checkpoint FILE] [--checkpoint-every N]
+//                        [--resume]
 //
 // --threads bounds the worker count for the parallel pipeline stages;
 // 0 means "auto" (all hardware threads). Results are bit-identical for
 // every --threads value.
+//
+// Robustness (docs/robustness.md): --deadline-seconds / --max-table-bytes /
+// --max-rounds set the RunBudget; when it runs out the command still exits
+// 0 with a DEGRADED report listing still-exposed patterns. --checkpoint
+// writes a crash-safe snapshot every --checkpoint-every rounds; --resume
+// (valueless) continues from it, producing the byte-identical database a
+// never-interrupted run would have written. --input-mode strict|lenient
+// (every db-loading command) selects how malformed input lines are
+// handled. --inject-fault site:k[,site:k...] arms deterministic faults
+// for testing recovery paths.
 //
 // --stats-json writes a machine-readable run report (options, per-pattern
 // supports before/after, M1, per-stage wall times, obs counter dump) —
@@ -32,6 +46,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/fault_injection.h"
+#include "src/common/status.h"
 #include "src/common/string_util.h"
 #include "src/obs/metrics.h"
 #include "src/obs/stats_json.h"
@@ -71,6 +87,10 @@ void PrintUsage() {
       "           [--threads N (0=auto)]\n"
       "           [--stage2 keep|delete|replace] [--format seq|itemset]\n"
       "           [--stats-json FILE] [--trace-json FILE]\n"
+      "           [--deadline-seconds S] [--max-table-bytes N]\n"
+      "           [--max-rounds N] [--round-size N]\n"
+      "           [--checkpoint FILE] [--checkpoint-every N] [--resume]\n"
+      "common:    [--input-mode strict|lenient] [--inject-fault site:k,...]\n"
       "pattern syntax (seq):     \"a -> b\", \"a ->[0] b ->[2..6] c ; "
       "window<=10\"\n"
       "pattern syntax (itemset): \"(formula) (coupon,snacks)\"\n";
@@ -93,6 +113,10 @@ bool ParseArgs(int argc, char** argv, ParsedArgs* out) {
     std::string flag = argv[i];
     if (flag.size() < 3 || flag[0] != '-' || flag[1] != '-') return false;
     flag = flag.substr(2);
+    if (flag == "resume") {  // the one valueless flag
+      out->flags["resume"] = "true";
+      continue;
+    }
     if (i + 1 >= argc) return false;
     std::string value = argv[++i];
     if (flag == "pattern") {
@@ -113,13 +137,18 @@ Status ValidateFlags(const ParsedArgs& args) {
     std::vector<const char*> flags;
   };
   static const std::map<std::string, CommandSpec> kCommands = {
-      {"stats", {false, {"db", "format"}}},
-      {"support", {true, {"db"}}},
-      {"mine", {false, {"db", "sigma", "max-len", "top", "format"}}},
+      {"stats", {false, {"db", "format", "input-mode", "inject-fault"}}},
+      {"support", {true, {"db", "input-mode", "inject-fault"}}},
+      {"mine",
+       {false,
+        {"db", "sigma", "max-len", "top", "format", "input-mode",
+         "inject-fault"}}},
       {"sanitize",
        {true,
         {"db", "out", "psi", "algo", "seed", "threads", "stage2", "format",
-         "stats-json", "trace-json"}}},
+         "stats-json", "trace-json", "input-mode", "inject-fault",
+         "deadline-seconds", "max-table-bytes", "max-rounds", "round-size",
+         "checkpoint", "checkpoint-every", "resume"}}},
   };
   auto it = kCommands.find(args.command);
   if (it == kCommands.end()) return Status::OK();  // dispatch rejects it
@@ -152,12 +181,53 @@ Result<size_t> FlagAsSize(const ParsedArgs& args, const std::string& name,
   return static_cast<size_t>(*v);
 }
 
-Result<SequenceDatabase> LoadDb(const ParsedArgs& args) {
+Result<double> FlagAsDouble(const ParsedArgs& args, const std::string& name,
+                            double fallback) {
+  auto it = args.flags.find(name);
+  if (it == args.flags.end()) return fallback;
+  auto v = ParseDouble(it->second);
+  if (!v.has_value() || *v < 0.0) {
+    return Status::InvalidArgument("--" + name +
+                                   " needs a non-negative number");
+  }
+  return *v;
+}
+
+Result<ReadOptions> ReadOptionsFromFlags(const ParsedArgs& args) {
+  ReadOptions opts;
+  if (auto it = args.flags.find("input-mode"); it != args.flags.end()) {
+    SEQHIDE_ASSIGN_OR_RETURN(opts.mode, ParseInputMode(it->second));
+  }
+  return opts;
+}
+
+// Loads --db honoring --input-mode. In lenient mode skipped lines are
+// summarized on stderr (and land in the stats-json robustness block when
+// `report` is threaded through to it).
+Result<SequenceDatabase> LoadDb(const ParsedArgs& args,
+                                ReadReport* report = nullptr) {
   auto it = args.flags.find("db");
   if (it == args.flags.end()) {
     return Status::InvalidArgument("--db FILE is required");
   }
-  return ReadDatabaseFromFile(it->second);
+  SEQHIDE_ASSIGN_OR_RETURN(ReadOptions read_opts, ReadOptionsFromFlags(args));
+  ReadReport local;
+  ReadReport& rep = report != nullptr ? *report : local;
+  SEQHIDE_ASSIGN_OR_RETURN(SequenceDatabase db,
+                           ReadDatabaseFromFile(it->second, read_opts, &rep));
+  if (rep.lines_skipped > 0) {
+    std::cerr << "warning: skipped " << rep.lines_skipped << " of "
+              << rep.lines_total << " malformed input lines\n";
+    for (const ReadError& e : rep.errors) {
+      std::cerr << "  line " << e.line << ", column " << e.column << ": "
+                << e.message << "\n";
+    }
+    if (rep.errors_total > rep.errors.size()) {
+      std::cerr << "  ... and " << rep.errors_total - rep.errors.size()
+                << " more\n";
+    }
+  }
+  return db;
 }
 
 Result<std::vector<ConstrainedPattern>> ParsePatterns(
@@ -201,6 +271,21 @@ struct StatsJsonInput {
   size_t count_rows = 0;
   size_t verify_recount_rows = 0;
   size_t verify_rescan_rows = 0;
+  // Robustness block (seq pipeline only, has_robustness): degraded-run
+  // outcome, checkpoint/resume accounting, lenient-input summary, and
+  // fault-injection accounting. Schema: docs/robustness.md.
+  bool has_robustness = false;
+  bool degraded = false;
+  StatusCode stop_reason = StatusCode::kOk;
+  std::vector<ExposedPattern> exposed;
+  size_t rounds_completed = 0;
+  size_t rounds_total = 0;
+  size_t victims_skipped = 0;
+  size_t checkpoints_written = 0;
+  bool resumed = false;
+  ReadReport read_report;
+  size_t faults_armed = 0;
+  size_t faults_fired = 0;
 };
 
 // Writes the machine-readable run report next to the sanitized output.
@@ -216,7 +301,13 @@ Status WriteStatsJson(const std::string& path, const ParsedArgs& args,
   json.Key("options").BeginObject();
   json.KeyString("format", input.format);
   for (const auto& [flag, value] : args.flags) {
-    if (flag == "format" || flag == "stats-json") continue;
+    // checkpoint/resume/inject-fault are excluded so a resumed run's
+    // stats-json is byte-comparable (timings aside) with the
+    // uninterrupted run's.
+    if (flag == "format" || flag == "stats-json" || flag == "checkpoint" ||
+        flag == "resume" || flag == "inject-fault") {
+      continue;
+    }
     json.KeyString(flag, value);
   }
   json.EndObject();
@@ -249,6 +340,35 @@ Status WriteStatsJson(const std::string& path, const ParsedArgs& args,
     json.KeyUint("count_rows", input.count_rows);
     json.KeyUint("verify_recount_rows", input.verify_recount_rows);
     json.KeyUint("verify_rescan_rows", input.verify_rescan_rows);
+    json.EndObject();
+  }
+  if (input.has_robustness) {
+    json.Key("robustness").BeginObject();
+    json.KeyBool("degraded", input.degraded);
+    json.KeyString("stop_reason", StatusCodeToString(input.stop_reason));
+    json.KeyUint("rounds_completed", input.rounds_completed);
+    json.KeyUint("rounds_total", input.rounds_total);
+    json.KeyUint("victims_skipped", input.victims_skipped);
+    json.KeyUint("checkpoints_written", input.checkpoints_written);
+    json.KeyBool("resumed", input.resumed);
+    json.Key("exposed").BeginArray();
+    for (const ExposedPattern& e : input.exposed) {
+      json.BeginObject();
+      json.KeyUint("pattern_index", e.pattern_index);
+      json.KeyUint("residual_support", e.residual_support);
+      json.KeyUint("limit", e.limit);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.Key("input").BeginObject();
+    json.KeyUint("lines_total", input.read_report.lines_total);
+    json.KeyUint("lines_skipped", input.read_report.lines_skipped);
+    json.KeyUint("errors_total", input.read_report.errors_total);
+    json.EndObject();
+    json.Key("faults").BeginObject();
+    json.KeyUint("armed", input.faults_armed);
+    json.KeyUint("fired", input.faults_fired);
+    json.EndObject();
     json.EndObject();
   }
   json.EndObject();
@@ -423,7 +543,8 @@ Status RunMine(const ParsedArgs& args) {
 }
 
 Status RunSanitize(const ParsedArgs& args) {
-  SEQHIDE_ASSIGN_OR_RETURN(SequenceDatabase db, LoadDb(args));
+  ReadReport read_report;
+  SEQHIDE_ASSIGN_OR_RETURN(SequenceDatabase db, LoadDb(args, &read_report));
   auto out_it = args.flags.find("out");
   if (out_it == args.flags.end()) {
     return Status::InvalidArgument("--out FILE is required");
@@ -445,6 +566,21 @@ Status RunSanitize(const ParsedArgs& args) {
   SEQHIDE_ASSIGN_OR_RETURN(opts.psi, FlagAsSize(args, "psi", 0));
   SEQHIDE_ASSIGN_OR_RETURN(opts.seed, FlagAsSize(args, "seed", 1));
   SEQHIDE_ASSIGN_OR_RETURN(opts.num_threads, FlagAsSize(args, "threads", 1));
+  SEQHIDE_ASSIGN_OR_RETURN(opts.budget.deadline_seconds,
+                           FlagAsDouble(args, "deadline-seconds", 0.0));
+  SEQHIDE_ASSIGN_OR_RETURN(opts.budget.max_table_bytes,
+                           FlagAsSize(args, "max-table-bytes", 0));
+  SEQHIDE_ASSIGN_OR_RETURN(opts.budget.max_mark_rounds,
+                           FlagAsSize(args, "max-rounds", 0));
+  SEQHIDE_ASSIGN_OR_RETURN(opts.mark_round_size,
+                           FlagAsSize(args, "round-size", opts.mark_round_size));
+  if (auto it = args.flags.find("checkpoint"); it != args.flags.end()) {
+    opts.checkpoint_path = it->second;
+  }
+  SEQHIDE_ASSIGN_OR_RETURN(
+      opts.checkpoint_every_rounds,
+      FlagAsSize(args, "checkpoint-every", opts.checkpoint_every_rounds));
+  opts.resume = args.flags.count("resume") > 0;
   std::string algo = "HH";
   if (auto it = args.flags.find("algo"); it != args.flags.end()) {
     algo = it->second;
@@ -504,6 +640,18 @@ Status RunSanitize(const ParsedArgs& args) {
     stats.count_rows = report.count_rows;
     stats.verify_recount_rows = report.verify_recount_rows;
     stats.verify_rescan_rows = report.verify_rescan_rows;
+    stats.has_robustness = true;
+    stats.degraded = report.degraded;
+    stats.stop_reason = report.stop_reason;
+    stats.exposed = report.exposed;
+    stats.rounds_completed = report.rounds_completed;
+    stats.rounds_total = report.rounds_total;
+    stats.victims_skipped = report.victims_skipped;
+    stats.checkpoints_written = report.checkpoints_written;
+    stats.resumed = report.resumed;
+    stats.read_report = read_report;
+    stats.faults_armed = FaultInjector::Default().ArmedCount();
+    stats.faults_fired = FaultInjector::Default().FaultsFired();
     SEQHIDE_RETURN_IF_ERROR(WriteStatsJson(it->second, args, stats));
     std::cout << "wrote stats " << it->second << "\n";
   }
@@ -525,6 +673,13 @@ int Main(int argc, char** argv) {
   if (!itemset.ok()) {
     std::cerr << "error: " << itemset.status() << "\n";
     return 1;
+  }
+  if (auto it = args.flags.find("inject-fault"); it != args.flags.end()) {
+    Status armed = FaultInjector::Default().Arm(it->second);
+    if (!armed.ok()) {
+      std::cerr << "error: " << armed << "\n";
+      return 1;
+    }
   }
 
   // --trace-json (sanitize only, enforced above): capture every span the
