@@ -1,0 +1,157 @@
+#include "src/testing/oracles.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "src/match/count.h"  // SatAdd/kCountSaturated only
+
+namespace seqhide {
+namespace proptest {
+
+namespace {
+
+// Visits every embedding of `pattern` in `seq` (strictly increasing
+// 0-based positions, Δ matches nothing) in lexicographic order, calling
+// `visit` with the position tuple. `visit` returns false to stop the
+// walk early. This recursion is the single source of truth for every
+// oracle below.
+void WalkEmbeddings(const Sequence& pattern, const Sequence& seq,
+                    const std::function<bool(const std::vector<size_t>&)>& visit) {
+  std::vector<size_t> positions;
+  positions.reserve(pattern.size());
+  bool stopped = false;
+  std::function<void(size_t, size_t)> recurse = [&](size_t k, size_t from) {
+    if (stopped) return;
+    if (k == pattern.size()) {
+      if (!visit(positions)) stopped = true;
+      return;
+    }
+    for (size_t j = from; j < seq.size() && !stopped; ++j) {
+      if (seq[j] != pattern[k]) continue;
+      positions.push_back(j);
+      recurse(k + 1, j + 1);
+      positions.pop_back();
+    }
+  };
+  recurse(0, 0);
+}
+
+}  // namespace
+
+uint64_t OracleCountMatchings(const Sequence& pattern, const Sequence& seq) {
+  return OracleConstrainedCount(pattern, ConstraintSpec(), seq);
+}
+
+uint64_t OracleConstrainedCount(const Sequence& pattern,
+                                const ConstraintSpec& spec,
+                                const Sequence& seq) {
+  uint64_t count = 0;
+  WalkEmbeddings(pattern, seq, [&](const std::vector<size_t>& positions) {
+    if (spec.SatisfiedBy(positions)) count = SatAdd(count, 1);
+    return count != kCountSaturated;
+  });
+  return count;
+}
+
+std::vector<uint64_t> OraclePositionDeltas(const Sequence& pattern,
+                                           const ConstraintSpec& spec,
+                                           const Sequence& seq) {
+  std::vector<uint64_t> deltas(seq.size(), 0);
+  WalkEmbeddings(pattern, seq, [&](const std::vector<size_t>& positions) {
+    if (spec.SatisfiedBy(positions)) {
+      for (size_t pos : positions) deltas[pos] = SatAdd(deltas[pos], 1);
+    }
+    return true;
+  });
+  return deltas;
+}
+
+PrefixEndTable OraclePrefixEndTable(const Sequence& pattern,
+                                    const Sequence& seq) {
+  const size_t m = pattern.size();
+  const size_t n = seq.size();
+  PrefixEndTable table(m + 1, std::vector<uint64_t>(n + 1, 0));
+  table[0][0] = 1;
+  for (size_t k = 1; k <= m; ++k) {
+    Sequence prefix;
+    for (size_t i = 0; i < k; ++i) prefix.Append(pattern[i]);
+    WalkEmbeddings(prefix, seq, [&](const std::vector<size_t>& positions) {
+      size_t last = positions.back() + 1;  // table content is 1-based
+      table[k][last] = SatAdd(table[k][last], 1);
+      return true;
+    });
+  }
+  return table;
+}
+
+bool OracleHasMatch(const Sequence& pattern, const ConstraintSpec& spec,
+                    const Sequence& seq) {
+  bool found = false;
+  WalkEmbeddings(pattern, seq, [&](const std::vector<size_t>& positions) {
+    if (spec.SatisfiedBy(positions)) found = true;
+    return !found;
+  });
+  return found;
+}
+
+size_t OracleSupport(const Sequence& pattern, const ConstraintSpec& spec,
+                     const SequenceDatabase& db) {
+  size_t support = 0;
+  for (size_t t = 0; t < db.size(); ++t) {
+    if (OracleHasMatch(pattern, spec, db[t])) ++support;
+  }
+  return support;
+}
+
+namespace {
+
+bool AnyMatchSurvives(const Sequence& seq,
+                      const std::vector<Sequence>& patterns,
+                      const std::vector<ConstraintSpec>& constraints) {
+  static const ConstraintSpec kUnconstrained;
+  for (size_t p = 0; p < patterns.size(); ++p) {
+    const ConstraintSpec& spec =
+        constraints.empty() ? kUnconstrained : constraints[p];
+    if (OracleHasMatch(patterns[p], spec, seq)) return true;
+  }
+  return false;
+}
+
+// Tries every k-subset of positions [0, n) as a mark set.
+bool SomeMarkSetWorks(const Sequence& seq,
+                      const std::vector<Sequence>& patterns,
+                      const std::vector<ConstraintSpec>& constraints,
+                      size_t k) {
+  const size_t n = seq.size();
+  std::vector<size_t> subset;
+  std::function<bool(size_t)> recurse = [&](size_t from) -> bool {
+    if (subset.size() == k) {
+      Sequence marked = seq;
+      for (size_t pos : subset) marked.Mark(pos);
+      return !AnyMatchSurvives(marked, patterns, constraints);
+    }
+    for (size_t j = from; j + (k - subset.size()) <= n; ++j) {
+      subset.push_back(j);
+      if (recurse(j + 1)) return true;
+      subset.pop_back();
+    }
+    return false;
+  };
+  return recurse(0);
+}
+
+}  // namespace
+
+size_t OracleOptimalMarks(const Sequence& seq,
+                          const std::vector<Sequence>& patterns,
+                          const std::vector<ConstraintSpec>& constraints) {
+  if (!AnyMatchSurvives(seq, patterns, constraints)) return 0;
+  for (size_t k = 1; k <= seq.size(); ++k) {
+    if (SomeMarkSetWorks(seq, patterns, constraints, k)) return k;
+  }
+  // Marking everything always works (Δ matches no pattern symbol).
+  return seq.size();
+}
+
+}  // namespace proptest
+}  // namespace seqhide

@@ -1,0 +1,102 @@
+#include "src/testing/prop.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "src/testing/shrinker.h"
+
+namespace seqhide {
+namespace proptest {
+
+namespace {
+
+std::optional<uint64_t> EnvU64(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') return std::nullopt;
+  return static_cast<uint64_t>(parsed);
+}
+
+}  // namespace
+
+size_t EffectiveCaseCount(size_t default_cases) {
+  if (EnvU64("SEQHIDE_PROP_SEED").has_value()) return 1;
+  if (auto cases = EnvU64("SEQHIDE_PROP_CASES");
+      cases.has_value() && *cases > 0) {
+    return static_cast<size_t>(*cases);
+  }
+  return default_cases;
+}
+
+PropResult CheckProperty(const PropConfig& config, const Property& property) {
+  PropResult result;
+  result.name = config.name;
+
+  const std::optional<uint64_t> only_seed = EnvU64("SEQHIDE_PROP_SEED");
+  const size_t cases = EffectiveCaseCount(config.cases);
+
+  for (size_t i = 0; i < cases; ++i) {
+    uint64_t case_seed;
+    if (only_seed.has_value()) {
+      case_seed = *only_seed;
+    } else {
+      // SplitMix64 of (base + index): uncorrelated full-entropy seeds
+      // that are still re-derivable from the printed value alone.
+      uint64_t state = config.seed + i;
+      case_seed = SplitMix64(&state);
+    }
+
+    Rng rng(case_seed);
+    PropInstance instance = GenInstance(&rng, config.gen);
+    std::string message = property(instance);
+    ++result.cases_run;
+
+    if (!message.empty()) {
+      PropFailure failure;
+      failure.seed = case_seed;
+      failure.case_index = i;
+      failure.message = std::move(message);
+
+      ShrinkResult shrunk = ShrinkInstance(
+          instance,
+          [&property](const PropInstance& candidate) {
+            return property(candidate).empty();
+          },
+          config.max_shrink_runs);
+      failure.shrunk = std::move(shrunk.instance);
+      failure.shrink_steps = shrunk.accepted_steps;
+      failure.shrink_runs = shrunk.predicate_runs;
+      failure.shrunk_message = property(failure.shrunk);
+
+      result.failure = std::move(failure);
+      return result;
+    }
+  }
+  return result;
+}
+
+std::string PropResult::Report() const {
+  if (!failure.has_value()) {
+    return "property '" + name + "': " + std::to_string(cases_run) +
+           " cases passed\n";
+  }
+  const PropFailure& f = *failure;
+  std::string out;
+  out += "property '" + name + "' FAILED at case " +
+         std::to_string(f.case_index) + " (seed " + std::to_string(f.seed) +
+         ")\n";
+  out += "failure: " + f.message + "\n";
+  out += "shrunken counterexample (" + std::to_string(f.shrink_steps) +
+         " reductions, " + std::to_string(f.shrink_runs) +
+         " predicate runs):\n";
+  out += f.shrunk.DebugString();
+  if (!f.shrunk_message.empty() && f.shrunk_message != f.message) {
+    out += "failure on shrunken instance: " + f.shrunk_message + "\n";
+  }
+  return out;
+}
+
+}  // namespace proptest
+}  // namespace seqhide

@@ -1,0 +1,98 @@
+// Property-check driver: runs one property over many seeded random
+// instances, and on failure shrinks the counterexample and packages a
+// reproducible report.
+//
+// Usage (in a gtest, via tests/prop/prop_gtest.h):
+//
+//   PropConfig config;
+//   config.name = "count/dp-equals-enumeration";
+//   config.seed = 0xC0FFEE;
+//   EXPECT_PROP_OK(CheckProperty(config, [](const PropInstance& inst) {
+//     for (const Sequence& row : inst.db.sequences())
+//       for (const Sequence& s : inst.patterns)
+//         if (CountMatchings(s, row) != OracleCountMatchings(s, row))
+//           return std::string("DP != enumeration on some row");
+//     return std::string();
+//   }));
+//
+// Each case derives its own 64-bit seed from (config.seed, case index)
+// via SplitMix64; the instance is a pure function of that case seed. Two
+// environment knobs override the run shape:
+//
+//   SEQHIDE_PROP_CASES=<n>  absolute case count per property. Tier-1
+//                           defaults keep suites fast (~200); the nightly
+//                           CI job sets 10x. Also available as a CMake
+//                           cache variable of the same name, which wires
+//                           the environment into every prop ctest.
+//   SEQHIDE_PROP_SEED=<s>   run exactly one case with seed <s> — the
+//                           one-line repro printed by a failing property.
+//
+// A failure stops the run, shrinks the instance (see shrinker.h), and
+// returns a PropResult whose Report() contains the failing seed, the
+// shrunken instance dump, and the property's message on it.
+
+#ifndef SEQHIDE_TESTING_PROP_H_
+#define SEQHIDE_TESTING_PROP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "src/testing/generators.h"
+
+namespace seqhide {
+namespace proptest {
+
+// A property: returns the empty string when the instance satisfies it,
+// or a failure message. Must be deterministic in the instance.
+using Property = std::function<std::string(const PropInstance&)>;
+
+struct PropConfig {
+  // Short slug identifying the property in reports ("count/dp-vs-oracle").
+  std::string name;
+  // Cases per run before SEQHIDE_PROP_CASES override.
+  size_t cases = 200;
+  // Base seed; vary per property so suites explore different instances.
+  uint64_t seed = 1;
+  // Instance shape.
+  GenOptions gen;
+  // Predicate-evaluation budget handed to the shrinker on failure.
+  size_t max_shrink_runs = 4000;
+};
+
+struct PropFailure {
+  uint64_t seed = 0;        // the case seed — feeds SEQHIDE_PROP_SEED
+  size_t case_index = 0;
+  std::string message;      // property message on the original instance
+  std::string shrunk_message;  // property message on the shrunken one
+  PropInstance shrunk;
+  size_t shrink_steps = 0;
+  size_t shrink_runs = 0;
+};
+
+struct PropResult {
+  std::string name;
+  size_t cases_run = 0;
+  std::optional<PropFailure> failure;
+
+  bool ok() const { return !failure.has_value(); }
+
+  // Multi-line failure report: property name, failing seed, messages, and
+  // the shrunken instance. The caller appends the invocation-specific
+  // repro command (see EXPECT_PROP_OK in tests/prop/prop_gtest.h).
+  std::string Report() const;
+};
+
+// Number of cases a property will run right now: `default_cases`
+// unless SEQHIDE_PROP_CASES overrides it (SEQHIDE_PROP_SEED forces 1).
+size_t EffectiveCaseCount(size_t default_cases);
+
+// Runs the property; stops (and shrinks) at the first failing case.
+PropResult CheckProperty(const PropConfig& config, const Property& property);
+
+}  // namespace proptest
+}  // namespace seqhide
+
+#endif  // SEQHIDE_TESTING_PROP_H_

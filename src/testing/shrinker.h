@@ -1,0 +1,51 @@
+// Counterexample shrinker: minimizes a failing PropInstance.
+//
+// A raw random counterexample is usually noisy — ten sequences, three
+// patterns, one of which matters. The shrinker greedily deletes whatever
+// it can while the property keeps failing: whole sequences, whole
+// patterns, individual symbols from either, constraint specs, and option
+// complexity (threads, index, strategy randomness), iterating to a
+// fixpoint. The result is a 1-minimal instance: removing any single
+// remaining piece makes the property pass (or the run budget was hit).
+//
+// The shrinker only ever *removes or simplifies* — it never invents new
+// symbols — so a shrunken instance is always a sub-instance of the
+// original and remains valid input for Sanitize() (patterns stay
+// non-empty, distinct and Δ-free; per-arrow constraint arity is kept in
+// sync when pattern symbols are deleted).
+
+#ifndef SEQHIDE_TESTING_SHRINKER_H_
+#define SEQHIDE_TESTING_SHRINKER_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "src/testing/generators.h"
+
+namespace seqhide {
+namespace proptest {
+
+// A property predicate: returns true when the property HOLDS on the
+// instance. The shrinker keeps mutations on which it returns false.
+// Predicates must be deterministic — the shrinker re-evaluates candidates
+// and assumes a stable verdict.
+using PropPredicate = std::function<bool(const PropInstance&)>;
+
+struct ShrinkResult {
+  PropInstance instance;      // smallest failing instance found
+  size_t accepted_steps = 0;  // mutations that kept the failure
+  size_t predicate_runs = 0;  // total predicate evaluations spent
+  bool budget_exhausted = false;
+};
+
+// Shrinks `failing` (on which `property` must return false) by greedy
+// deletion until no single mutation keeps it failing, or until
+// `max_predicate_runs` evaluations have been spent.
+ShrinkResult ShrinkInstance(const PropInstance& failing,
+                            const PropPredicate& property,
+                            size_t max_predicate_runs = 4000);
+
+}  // namespace proptest
+}  // namespace seqhide
+
+#endif  // SEQHIDE_TESTING_SHRINKER_H_

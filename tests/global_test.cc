@@ -111,6 +111,42 @@ TEST_F(GlobalSelectionTest, MultiThresholdRespectsPerPatternAllowance) {
   EXPECT_EQ(victims, (std::vector<size_t>{0, 1, 2}));
 }
 
+// Randomized invariants on generated instances (shared generators from
+// src/testing/): every strategy selects only supporters, and exactly
+// max(0, supporters - psi) of them, so at most psi supporters survive.
+TEST(GlobalSelectionRandomizedTest, EveryStrategyKeepsAtMostPsiSupporters) {
+  Rng rng(0x91054a1);
+  proptest::GenOptions gen;
+  gen.min_sequences = 3;
+  gen.max_sequences = 10;
+  gen.min_patterns = 1;
+  gen.max_patterns = 1;  // single pattern: supporter counting is exact
+  for (int i = 0; i < 100; ++i) {
+    proptest::PropInstance inst = proptest::GenInstance(&rng, gen);
+    auto info = ComputeMatchInfo(inst.db, inst.patterns, inst.constraints);
+    size_t supporters = 0;
+    for (const SequenceMatchInfo& s : info) {
+      if (s.matching_count > 0) ++supporters;
+    }
+    size_t psi = rng.NextBounded(inst.db.size() + 1);
+    size_t expect_victims = supporters > psi ? supporters - psi : 0;
+    for (GlobalStrategy strategy :
+         {GlobalStrategy::kHeuristic, GlobalStrategy::kRandom,
+          GlobalStrategy::kAscendingLength,
+          GlobalStrategy::kHighAutocorrelationFirst}) {
+      auto victims =
+          SelectSequencesToSanitize(inst.db, info, strategy, psi, &rng);
+      EXPECT_EQ(victims.size(), expect_victims)
+          << "strategy=" << ToString(strategy) << " psi=" << psi << "\n"
+          << inst.DebugString();
+      for (size_t v : victims) {
+        EXPECT_GT(info[v].matching_count, 0u)
+            << "non-supporter selected by " << ToString(strategy);
+      }
+    }
+  }
+}
+
 TEST(MultiThresholdTest, DifferentThresholdsPerPattern) {
   SequenceDatabase db;
   db.AddFromNames({"a", "b"});            // supports P0 only

@@ -113,6 +113,52 @@ TEST(OptimalSanitizeTest, RespectsConstraints) {
   EXPECT_EQ(opt.num_marks, 1u);
 }
 
+TEST(OptimalSanitizeTest, EmptyPatternSetNeedsNoMarks) {
+  Alphabet a;
+  Sequence t = Seq(&a, "a b c");
+  OptimalSanitization opt = OptimalSanitizeSequence(t, {}, {});
+  EXPECT_EQ(opt.num_marks, 0u);
+  EXPECT_TRUE(opt.positions.empty());
+}
+
+TEST(OptimalSanitizeTest, EmptySequenceNeedsNoMarks) {
+  Alphabet a;
+  OptimalSanitization opt =
+      OptimalSanitizeSequence(Sequence(), {Seq(&a, "a")}, {});
+  EXPECT_EQ(opt.num_marks, 0u);
+}
+
+TEST(OptimalSanitizeTest, AllDeltaSequenceNeedsNoMarks) {
+  // Δ matches nothing, so a fully marked sequence is already sanitized
+  // for every pattern.
+  Alphabet a;
+  Sequence t = Seq(&a, "a b a");
+  for (size_t i = 0; i < t.size(); ++i) t.Mark(i);
+  OptimalSanitization opt =
+      OptimalSanitizeSequence(t, {Seq(&a, "a"), Seq(&a, "a b")}, {});
+  EXPECT_EQ(opt.num_marks, 0u);
+}
+
+TEST(OptimalSanitizeTest, PatternEqualToFullSequenceNeedsOneMark) {
+  // T == S: exactly one matching (the identity), so one mark anywhere in
+  // it is optimal — never |T| marks.
+  Alphabet a;
+  Sequence t = Seq(&a, "a b c d");
+  OptimalSanitization opt = OptimalSanitizeSequence(t, {t}, {});
+  EXPECT_EQ(opt.num_marks, 1u);
+  ASSERT_EQ(opt.positions.size(), 1u);
+  EXPECT_LT(opt.positions[0], t.size());
+}
+
+TEST(MinHittingSetTest, EmptyUniverseHasEmptyHittingSet) {
+  HittingSetInstance empty;
+  EXPECT_EQ(MinHittingSetSize(empty), 0u);
+  auto inst = ReduceHittingSetToSanitization(empty);
+  ASSERT_TRUE(inst.ok()) << inst.status();
+  EXPECT_EQ(inst->sequence.size(), 0u);
+  EXPECT_TRUE(inst->patterns.empty());
+}
+
 // The heart of Theorem 1: the optimum of the reduced sanitization problem
 // equals the optimum of the hitting set instance — verified on random
 // instances.

@@ -1,0 +1,113 @@
+// Differential properties for the Lemma 2 counting kernel (match/count.h):
+// the O(nm) DP — in both its allocating and scratch-reuse forms — must
+// equal definitional embedding enumeration on every (pattern, row) pair
+// of seeded random instances, and the per-pattern total must sum.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/match/count.h"
+#include "src/match/scratch.h"
+#include "src/testing/oracles.h"
+#include "tests/prop/prop_gtest.h"
+
+namespace seqhide {
+namespace proptest {
+namespace {
+
+std::string Where(size_t row, size_t pattern) {
+  return " (row T" + std::to_string(row) + ", pattern S" +
+         std::to_string(pattern) + ")";
+}
+
+TEST(CountProps, DPEqualsEnumeration) {
+  PropConfig config;
+  config.name = "count/dp-equals-enumeration";
+  config.seed = 0x5eed0001;
+  EXPECT_PROP_OK(CheckProperty(config, [](const PropInstance& inst) {
+    for (size_t t = 0; t < inst.db.size(); ++t) {
+      for (size_t p = 0; p < inst.patterns.size(); ++p) {
+        uint64_t fast = CountMatchings(inst.patterns[p], inst.db[t]);
+        uint64_t oracle = OracleCountMatchings(inst.patterns[p], inst.db[t]);
+        if (fast != oracle) {
+          return "CountMatchings=" + std::to_string(fast) +
+                 " but enumeration=" + std::to_string(oracle) + Where(t, p);
+        }
+      }
+    }
+    return std::string();
+  }));
+}
+
+TEST(CountProps, ScratchOverloadIsBitIdentical) {
+  PropConfig config;
+  config.name = "count/scratch-equals-allocating";
+  config.seed = 0x5eed0002;
+  EXPECT_PROP_OK(CheckProperty(config, [](const PropInstance& inst) {
+    MatchScratch scratch;
+    for (size_t t = 0; t < inst.db.size(); ++t) {
+      for (size_t p = 0; p < inst.patterns.size(); ++p) {
+        uint64_t plain = CountMatchings(inst.patterns[p], inst.db[t]);
+        uint64_t reused =
+            CountMatchings(inst.patterns[p], inst.db[t], &scratch);
+        if (plain != reused) {
+          return "allocating=" + std::to_string(plain) +
+                 " scratch=" + std::to_string(reused) + Where(t, p);
+        }
+      }
+    }
+    return std::string();
+  }));
+}
+
+TEST(CountProps, TotalSumsOverPatterns) {
+  PropConfig config;
+  config.name = "count/total-sums-patterns";
+  config.seed = 0x5eed0003;
+  EXPECT_PROP_OK(CheckProperty(config, [](const PropInstance& inst) {
+    for (size_t t = 0; t < inst.db.size(); ++t) {
+      uint64_t total = CountMatchingsTotal(inst.patterns, inst.db[t]);
+      uint64_t sum = 0;
+      for (const Sequence& pattern : inst.patterns) {
+        sum = SatAdd(sum, OracleCountMatchings(pattern, inst.db[t]));
+      }
+      if (total != sum) {
+        return "CountMatchingsTotal=" + std::to_string(total) +
+               " but oracle sum=" + std::to_string(sum) + " (row T" +
+               std::to_string(t) + ")";
+      }
+    }
+    return std::string();
+  }));
+}
+
+// Metamorphic: marking any position never increases the count (Δ matches
+// nothing, so marking only destroys embeddings — paper §4).
+TEST(CountProps, MarkingIsMonotoneNonIncreasing) {
+  PropConfig config;
+  config.name = "count/marking-monotone";
+  config.seed = 0x5eed0004;
+  EXPECT_PROP_OK(CheckProperty(config, [](const PropInstance& inst) {
+    for (size_t t = 0; t < inst.db.size(); ++t) {
+      for (size_t p = 0; p < inst.patterns.size(); ++p) {
+        uint64_t before = CountMatchings(inst.patterns[p], inst.db[t]);
+        for (size_t pos = 0; pos < inst.db[t].size(); ++pos) {
+          Sequence marked = inst.db[t];
+          marked.Mark(pos);
+          uint64_t after = CountMatchings(inst.patterns[p], marked);
+          if (after > before) {
+            return "marking position " + std::to_string(pos) +
+                   " raised count " + std::to_string(before) + " -> " +
+                   std::to_string(after) + Where(t, p);
+          }
+        }
+      }
+    }
+    return std::string();
+  }));
+}
+
+}  // namespace
+}  // namespace proptest
+}  // namespace seqhide

@@ -1,0 +1,64 @@
+// gtest glue for the property harness (src/testing/prop.h).
+//
+// EXPECT_PROP_OK(result) asserts a PropResult passed; on failure it
+// prints the harness report (failing seed, shrunken instance) followed by
+// a one-line repro command that re-runs exactly the failing case:
+//
+//   repro: SEQHIDE_PROP_SEED=<seed> ./tests/<binary> --gtest_filter=S.T
+//
+// The binary path is resolved from /proc/self/exe (with a placeholder
+// fallback off Linux).
+
+#ifndef SEQHIDE_TESTS_PROP_PROP_GTEST_H_
+#define SEQHIDE_TESTS_PROP_PROP_GTEST_H_
+
+#include <gtest/gtest.h>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+#include <string>
+
+#include "src/testing/prop.h"
+
+namespace seqhide {
+namespace proptest {
+
+// "SEQHIDE_PROP_SEED=<seed> <binary> --gtest_filter=<Suite>.<Test>" for
+// the currently running gtest. `binary` falls back to a placeholder when
+// argv is unavailable.
+inline std::string ReproCommand(uint64_t seed) {
+  std::string binary = "<prop-test-binary>";
+#if defined(__linux__)
+  char path[4096];
+  ssize_t len = ::readlink("/proc/self/exe", path, sizeof(path) - 1);
+  if (len > 0) {
+    path[len] = '\0';
+    binary = path;
+  }
+#endif
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string filter = info == nullptr
+                           ? std::string("*")
+                           : std::string(info->test_suite_name()) + "." +
+                                 std::string(info->name());
+  return "SEQHIDE_PROP_SEED=" + std::to_string(seed) + " " + binary +
+         " --gtest_filter=" + filter;
+}
+
+}  // namespace proptest
+}  // namespace seqhide
+
+#define EXPECT_PROP_OK(expr)                                                 \
+  do {                                                                       \
+    const ::seqhide::proptest::PropResult& prop_result_ = (expr);            \
+    if (!prop_result_.ok()) {                                                \
+      ADD_FAILURE() << prop_result_.Report() << "repro: "                    \
+                    << ::seqhide::proptest::ReproCommand(                    \
+                           prop_result_.failure->seed);                      \
+    }                                                                        \
+  } while (0)
+
+#endif  // SEQHIDE_TESTS_PROP_PROP_GTEST_H_

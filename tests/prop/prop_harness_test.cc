@@ -1,0 +1,251 @@
+// Tests of the property harness itself (src/testing/): generator
+// determinism and validity, shrinker minimality, env-knob handling, and
+// the acceptance check that a deliberately injected off-by-one in a fast
+// kernel is caught and shrunk to a re-runnable counterexample.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "src/hide/sanitizer.h"
+#include "src/match/count.h"
+#include "src/testing/oracles.h"
+#include "src/testing/shrinker.h"
+#include "tests/prop/prop_gtest.h"
+
+namespace seqhide {
+namespace proptest {
+namespace {
+
+// RAII environment override (or, with no value, unset) so env-knob tests
+// cannot leak state — and are immune to an ambient SEQHIDE_PROP_CASES,
+// e.g. from the nightly CI job.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : ScopedEnv(name) {
+    setenv(name, value.c_str(), /*overwrite=*/1);
+  }
+  explicit ScopedEnv(const char* name) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    unsetenv(name);
+  }
+  ~ScopedEnv() {
+    if (saved_.has_value()) {
+      setenv(name_, saved_->c_str(), 1);
+    } else {
+      unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+bool SameInstance(const PropInstance& a, const PropInstance& b) {
+  if (a.db.size() != b.db.size()) return false;
+  for (size_t i = 0; i < a.db.size(); ++i) {
+    if (!(a.db[i] == b.db[i])) return false;
+  }
+  return a.patterns == b.patterns && a.constraints == b.constraints &&
+         a.options.psi == b.options.psi &&
+         a.options.seed == b.options.seed &&
+         a.options.num_threads == b.options.num_threads;
+}
+
+TEST(GeneratorTest, SameSeedSameInstance) {
+  GenOptions gen;
+  for (uint64_t seed : {1ull, 42ull, 0xDEADBEEFull}) {
+    Rng a(seed), b(seed);
+    EXPECT_TRUE(SameInstance(GenInstance(&a, gen), GenInstance(&b, gen)))
+        << "seed " << seed;
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiverge) {
+  GenOptions gen;
+  Rng a(1), b(2);
+  size_t equal = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (SameInstance(GenInstance(&a, gen), GenInstance(&b, gen))) ++equal;
+  }
+  EXPECT_LT(equal, 3u);
+}
+
+// Every generated instance must be accepted by Sanitize() — otherwise
+// the sanitizer property suites would silently test nothing.
+TEST(GeneratorTest, InstancesAreAlwaysValidSanitizerInput) {
+  Rng rng(777);
+  GenOptions gen;
+  for (int i = 0; i < 100; ++i) {
+    PropInstance inst = GenInstance(&rng, gen);
+    SequenceDatabase db = inst.db;
+    auto report = Sanitize(&db, inst.patterns, inst.constraints,
+                           inst.options);
+    EXPECT_TRUE(report.ok()) << report.status() << "\n" << inst.DebugString();
+  }
+}
+
+TEST(GeneratorTest, DeltaDensityProducesMarks) {
+  Rng rng(11);
+  GenOptions gen;
+  gen.delta_density = 0.5;
+  gen.min_sequences = 10;
+  gen.max_sequences = 10;
+  gen.min_length = 10;
+  gen.max_length = 10;
+  EXPECT_GT(GenDatabase(&rng, gen).TotalMarkCount(), 20u);
+}
+
+TEST(ShrinkerTest, ShrinksToMinimalFailingInstance) {
+  // Failing predicate: "fewer than 3 real symbols in the database". The
+  // 1-minimal failing instance has exactly 3 real symbols (removing any
+  // one more would make the property hold), one pattern of one symbol,
+  // and no constraints.
+  auto property = [](const PropInstance& inst) {
+    size_t real = 0;
+    for (const Sequence& row : inst.db.sequences()) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (IsRealSymbol(row[i])) ++real;
+      }
+    }
+    return real < 3;
+  };
+
+  Rng rng(2025);
+  GenOptions gen;
+  gen.min_sequences = 6;
+  gen.max_sequences = 10;
+  gen.min_length = 6;
+  gen.delta_density = 0.0;
+  PropInstance failing = GenInstance(&rng, gen);
+  ASSERT_FALSE(property(failing));
+
+  ShrinkResult result = ShrinkInstance(failing, property);
+  EXPECT_FALSE(property(result.instance)) << "shrunken instance must fail";
+  EXPECT_FALSE(result.budget_exhausted);
+  size_t real = 0;
+  for (const Sequence& row : result.instance.db.sequences()) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (IsRealSymbol(row[i])) ++real;
+    }
+  }
+  EXPECT_EQ(real, 3u);
+  EXPECT_EQ(result.instance.patterns.size(), 1u);
+  EXPECT_EQ(result.instance.patterns[0].size(), 1u);
+  EXPECT_GT(result.accepted_steps, 0u);
+}
+
+TEST(ShrinkerTest, RespectsPredicateBudget) {
+  size_t runs = 0;
+  auto property = [&runs](const PropInstance&) {
+    ++runs;
+    return false;  // always failing: shrinks until nothing is removable
+  };
+  Rng rng(3);
+  GenOptions gen;
+  gen.min_sequences = 8;
+  gen.max_sequences = 10;
+  gen.min_length = 8;
+  PropInstance failing = GenInstance(&rng, gen);
+  ShrinkResult result = ShrinkInstance(failing, property, 10);
+  EXPECT_LE(result.predicate_runs, 10u);
+  EXPECT_EQ(result.predicate_runs, runs);
+  EXPECT_TRUE(result.budget_exhausted);
+}
+
+TEST(PropHarnessTest, CaseCountEnvOverride) {
+  ScopedEnv no_cases("SEQHIDE_PROP_CASES");
+  ScopedEnv no_seed("SEQHIDE_PROP_SEED");
+  {
+    ScopedEnv cases("SEQHIDE_PROP_CASES", "17");
+    EXPECT_EQ(EffectiveCaseCount(200), 17u);
+  }
+  {
+    ScopedEnv seed("SEQHIDE_PROP_SEED", "12345");
+    EXPECT_EQ(EffectiveCaseCount(200), 1u);
+  }
+  EXPECT_EQ(EffectiveCaseCount(200), 200u);
+}
+
+TEST(PropHarnessTest, PassingPropertyRunsAllCases) {
+  PropConfig config;
+  config.name = "harness/always-passes";
+  config.cases = 25;
+  PropResult result =
+      CheckProperty(config, [](const PropInstance&) { return std::string(); });
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.cases_run, EffectiveCaseCount(25));
+}
+
+// The acceptance check of the subsystem: seed an off-by-one into a copy
+// of the Lemma 2 counting kernel (the DP is run over T without its last
+// element — a classic loop-bound slip), and require the harness to (a)
+// catch it, (b) shrink the counterexample to the minimum, and (c) print
+// a seed that re-runs just that case.
+uint64_t BuggyCountMatchings(const Sequence& pattern, const Sequence& seq) {
+  Sequence truncated;
+  for (size_t i = 0; i + 1 < seq.size(); ++i) truncated.Append(seq[i]);
+  return CountMatchings(pattern, truncated);
+}
+
+TEST(PropHarnessTest, InjectedOffByOneIsCaughtShrunkAndReRunnable) {
+  // Neutralize ambient knobs: the catch guarantee is calibrated for the
+  // config's own case count.
+  ScopedEnv no_cases("SEQHIDE_PROP_CASES");
+  ScopedEnv no_seed("SEQHIDE_PROP_SEED");
+  PropConfig config;
+  config.name = "harness/injected-off-by-one";
+  config.seed = 0x0FF1CE;
+  Property property = [](const PropInstance& inst) {
+    for (size_t t = 0; t < inst.db.size(); ++t) {
+      for (size_t p = 0; p < inst.patterns.size(); ++p) {
+        uint64_t fast = BuggyCountMatchings(inst.patterns[p], inst.db[t]);
+        uint64_t oracle = OracleCountMatchings(inst.patterns[p], inst.db[t]);
+        if (fast != oracle) {
+          return "kernel=" + std::to_string(fast) +
+                 " oracle=" + std::to_string(oracle) + " (row T" +
+                 std::to_string(t) + ", pattern S" + std::to_string(p) + ")";
+        }
+      }
+    }
+    return std::string();
+  };
+
+  PropResult result = CheckProperty(config, property);
+  ASSERT_FALSE(result.ok()) << "the injected bug must be caught";
+  const PropFailure& failure = *result.failure;
+
+  // The shrunken counterexample still fails, and is minimal for this bug:
+  // one row, one single-symbol pattern matching only the row's last
+  // element — the smallest instance where dropping T's last element
+  // changes the count.
+  EXPECT_FALSE(property(failure.shrunk).empty());
+  EXPECT_EQ(failure.shrunk.db.size(), 1u);
+  EXPECT_EQ(failure.shrunk.patterns.size(), 1u);
+  EXPECT_EQ(failure.shrunk.patterns[0].size(), 1u);
+  ASSERT_GE(failure.shrunk.db[0].size(), 1u);
+  EXPECT_LE(failure.shrunk.db[0].size(), 2u);
+
+  // The report carries the seed and the shrunken instance dump.
+  std::string report = result.Report();
+  EXPECT_NE(report.find(std::to_string(failure.seed)), std::string::npos);
+  EXPECT_NE(report.find("shrunken counterexample"), std::string::npos);
+
+  // The printed seed re-runs exactly the failing case.
+  {
+    ScopedEnv seed_env("SEQHIDE_PROP_SEED", std::to_string(failure.seed));
+    PropResult rerun = CheckProperty(config, property);
+    ASSERT_FALSE(rerun.ok());
+    EXPECT_EQ(rerun.cases_run, 1u);
+    EXPECT_EQ(rerun.failure->seed, failure.seed);
+    EXPECT_EQ(rerun.failure->message, failure.message);
+  }
+}
+
+}  // namespace
+}  // namespace proptest
+}  // namespace seqhide

@@ -1,0 +1,144 @@
+// Differential properties for δ(T[i]) (match/position_delta.h). The
+// production forward×backward method, the paper's Theorem 2 deletion
+// method, and the mark-and-recount method must all equal the definitional
+// enumeration count of embeddings involving each position — the deletion
+// method only where it is defined (unconstrained matching).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/match/count.h"
+#include "src/match/position_delta.h"
+#include "src/match/scratch.h"
+#include "src/testing/oracles.h"
+#include "tests/prop/prop_gtest.h"
+
+namespace seqhide {
+namespace proptest {
+namespace {
+
+ConstraintSpec SpecFor(const PropInstance& inst, size_t p) {
+  return inst.constraints.empty() ? ConstraintSpec() : inst.constraints[p];
+}
+
+std::string DiffDeltas(const std::vector<uint64_t>& got,
+                       const std::vector<uint64_t>& want,
+                       const std::string& got_name,
+                       const std::string& want_name, size_t row,
+                       size_t pattern) {
+  if (got.size() != want.size()) {
+    return got_name + " size " + std::to_string(got.size()) + " != " +
+           want_name + " size " + std::to_string(want.size());
+  }
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (got[i] != want[i]) {
+      return got_name + "[" + std::to_string(i) + "]=" +
+             std::to_string(got[i]) + " but " + want_name + "=" +
+             std::to_string(want[i]) + " (row T" + std::to_string(row) +
+             ", pattern S" + std::to_string(pattern) + ")";
+    }
+  }
+  return std::string();
+}
+
+TEST(PositionDeltaProps, ProductionEqualsEnumeration) {
+  PropConfig config;
+  config.name = "position-delta/production-equals-enumeration";
+  config.seed = 0x5eed0201;
+  EXPECT_PROP_OK(CheckProperty(config, [](const PropInstance& inst) {
+    for (size_t t = 0; t < inst.db.size(); ++t) {
+      for (size_t p = 0; p < inst.patterns.size(); ++p) {
+        ConstraintSpec spec = SpecFor(inst, p);
+        auto fast = PositionDeltas(inst.patterns[p], spec, inst.db[t]);
+        auto oracle = OraclePositionDeltas(inst.patterns[p], spec, inst.db[t]);
+        std::string diff =
+            DiffDeltas(fast, oracle, "production", "enumeration", t, p);
+        if (!diff.empty()) return diff;
+      }
+    }
+    return std::string();
+  }));
+}
+
+TEST(PositionDeltaProps, MarkingMethodEqualsEnumeration) {
+  PropConfig config;
+  config.name = "position-delta/marking-equals-enumeration";
+  config.seed = 0x5eed0202;
+  EXPECT_PROP_OK(CheckProperty(config, [](const PropInstance& inst) {
+    for (size_t t = 0; t < inst.db.size(); ++t) {
+      for (size_t p = 0; p < inst.patterns.size(); ++p) {
+        ConstraintSpec spec = SpecFor(inst, p);
+        auto marking =
+            PositionDeltasByMarking(inst.patterns[p], spec, inst.db[t]);
+        auto oracle = OraclePositionDeltas(inst.patterns[p], spec, inst.db[t]);
+        std::string diff =
+            DiffDeltas(marking, oracle, "marking", "enumeration", t, p);
+        if (!diff.empty()) return diff;
+      }
+    }
+    return std::string();
+  }));
+}
+
+// Theorem 2's deletion construction is only valid unconstrained; compare
+// it against the other two methods there.
+TEST(PositionDeltaProps, DeletionMethodAgreesUnconstrained) {
+  PropConfig config;
+  config.name = "position-delta/deletion-agrees-unconstrained";
+  config.seed = 0x5eed0203;
+  config.gen.constrained_probability = 0.0;
+  EXPECT_PROP_OK(CheckProperty(config, [](const PropInstance& inst) {
+    for (size_t t = 0; t < inst.db.size(); ++t) {
+      for (size_t p = 0; p < inst.patterns.size(); ++p) {
+        auto deletion =
+            PositionDeltasByDeletion(inst.patterns[p], inst.db[t]);
+        auto oracle = OraclePositionDeltas(inst.patterns[p], ConstraintSpec(),
+                                           inst.db[t]);
+        std::string diff =
+            DiffDeltas(deletion, oracle, "deletion", "enumeration", t, p);
+        if (!diff.empty()) return diff;
+        auto fast =
+            PositionDeltas(inst.patterns[p], ConstraintSpec(), inst.db[t]);
+        diff = DiffDeltas(deletion, fast, "deletion", "production", t, p);
+        if (!diff.empty()) return diff;
+      }
+    }
+    return std::string();
+  }));
+}
+
+TEST(PositionDeltaProps, TotalAccumulatesAndScratchMatches) {
+  PropConfig config;
+  config.name = "position-delta/total-and-scratch";
+  config.seed = 0x5eed0204;
+  EXPECT_PROP_OK(CheckProperty(config, [](const PropInstance& inst) {
+    MatchScratch scratch;
+    std::vector<uint64_t> reused;
+    for (size_t t = 0; t < inst.db.size(); ++t) {
+      auto total = PositionDeltasTotal(inst.patterns, inst.constraints,
+                                       inst.db[t]);
+      std::vector<uint64_t> sum(inst.db[t].size(), 0);
+      for (size_t p = 0; p < inst.patterns.size(); ++p) {
+        auto one = OraclePositionDeltas(inst.patterns[p], SpecFor(inst, p),
+                                        inst.db[t]);
+        for (size_t i = 0; i < sum.size(); ++i) sum[i] = SatAdd(sum[i], one[i]);
+      }
+      std::string diff =
+          DiffDeltas(total, sum, "total", "oracle-sum", t, inst.patterns.size());
+      if (!diff.empty()) return diff;
+
+      PositionDeltasTotalInto(inst.patterns, inst.constraints, inst.db[t],
+                              &scratch, &reused);
+      diff = DiffDeltas(reused, total, "scratch-total", "total", t,
+                        inst.patterns.size());
+      if (!diff.empty()) return diff;
+    }
+    return std::string();
+  }));
+}
+
+}  // namespace
+}  // namespace proptest
+}  // namespace seqhide

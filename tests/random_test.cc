@@ -6,6 +6,9 @@
 #include <cmath>
 #include <set>
 
+#include "src/seq/database.h"
+#include "tests/test_util.h"
+
 namespace seqhide {
 namespace {
 
@@ -136,6 +139,34 @@ TEST(RngTest, ForkProducesIndependentStream) {
 TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
   uint64_t s1 = 0, s2 = 0;
   for (int i = 0; i < 10; ++i) EXPECT_EQ(SplitMix64(&s1), SplitMix64(&s2));
+}
+
+// The test-suite helpers are thin wrappers over the property-testing
+// generators (single seeding convention); pin that routing so the two
+// can never drift apart.
+TEST(GeneratorRoutingTest, TestUtilRandomSeqIsThePropGenerator) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 20; ++i) {
+    Sequence ours = testutil::RandomSeq(&a, 8, 4);
+    Sequence theirs = proptest::GenSequence(&b, 8, 4, /*delta_density=*/0.0,
+                                            /*repeat_bias=*/0.0);
+    EXPECT_TRUE(ours == theirs) << "iteration " << i;
+  }
+}
+
+TEST(GeneratorRoutingTest, RandomDbIsSeedDeterministicAndUnmarked) {
+  Rng a(7), b(7);
+  SequenceDatabase da = testutil::RandomDb(&a, 12, 3, 9, 5);
+  SequenceDatabase db = testutil::RandomDb(&b, 12, 3, 9, 5);
+  ASSERT_EQ(da.size(), 12u);
+  ASSERT_EQ(da.size(), db.size());
+  EXPECT_EQ(da.alphabet().size(), 5u);
+  EXPECT_EQ(da.TotalMarkCount(), 0u);
+  for (size_t i = 0; i < da.size(); ++i) {
+    EXPECT_TRUE(da[i] == db[i]) << "row " << i;
+    EXPECT_GE(da[i].size(), 3u);
+    EXPECT_LE(da[i].size(), 9u);
+  }
 }
 
 }  // namespace

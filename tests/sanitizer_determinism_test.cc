@@ -10,7 +10,6 @@
 #include <vector>
 
 #include "src/common/random.h"
-#include "src/data/workload.h"
 #include "src/hide/sanitizer.h"
 #include "src/match/constrained_count.h"
 #include "src/obs/metrics.h"
@@ -105,14 +104,13 @@ std::vector<Config> Configs() {
 }
 
 TEST(SanitizerDeterminismTest, ThreadCountIsInvisibleInEveryOutput) {
+  // One Rng drives the database and the patterns (shared generator
+  // convention from src/testing/generators.h).
   Rng rng(2024);
-  RandomDatabaseOptions gen;
-  gen.num_sequences = 80;
-  gen.min_length = 6;
-  gen.max_length = 20;
-  gen.alphabet_size = 6;
-  gen.seed = 4242;
-  SequenceDatabase base = MakeRandomDatabase(gen);
+  SequenceDatabase base = testutil::RandomDb(&rng, /*rows=*/80,
+                                             /*min_length=*/6,
+                                             /*max_length=*/20,
+                                             /*alphabet_size=*/6);
   std::vector<Sequence> patterns = {testutil::RandomSeq(&rng, 2, 6),
                                     testutil::RandomSeq(&rng, 3, 6)};
   if (patterns[0] == patterns[1]) patterns.pop_back();
@@ -150,13 +148,9 @@ TEST(SanitizerDeterminismTest, IncrementalVerifyEqualsFullRescan) {
   // released database to pin the reported numbers to ground truth.
   for (uint64_t round = 0; round < 4; ++round) {
     Rng rng(100 + round);
-    RandomDatabaseOptions gen;
-    gen.num_sequences = 50 + 10 * round;
-    gen.min_length = 4;
-    gen.max_length = 16;
-    gen.alphabet_size = 5;
-    gen.seed = 9000 + round;
-    SequenceDatabase base = MakeRandomDatabase(gen);
+    SequenceDatabase base =
+        testutil::RandomDb(&rng, /*rows=*/50 + 10 * round, /*min_length=*/4,
+                           /*max_length=*/16, /*alphabet_size=*/5);
     std::vector<Sequence> patterns = {testutil::RandomSeq(&rng, 2, 5),
                                       testutil::RandomSeq(&rng, 3, 5)};
     if (patterns[0] == patterns[1]) patterns.pop_back();

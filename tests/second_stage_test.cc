@@ -179,6 +179,69 @@ TEST(ReplaceMarksPropertyTest, NeverRegenerates) {
   }
 }
 
+TEST(DeleteMarksTest, AllDeltaDatabaseBecomesEmpty) {
+  SequenceDatabase db;
+  db.AddFromNames({"a", "b"});
+  db.AddFromNames({"c"});
+  for (size_t t = 0; t < db.size(); ++t) {
+    for (size_t i = 0; i < db[t].size(); ++i) db.mutable_sequence(t)->Mark(i);
+  }
+  EXPECT_EQ(DeleteMarks(&db), 3u);
+  EXPECT_EQ(db.size(), 0u);
+}
+
+TEST(ReplaceMarksEdgeTest, AllDeltaRowIsFullyReplacedWithSafeSymbols) {
+  // A fully marked row plus neutral symbols in Σ: every Δ must get a real
+  // symbol and the pattern must stay at support 0.
+  SequenceDatabase db;
+  db.AddFromNames({"a", "b", "a", "b"});
+  db.AddFromNames({"n1", "n2"});
+  std::vector<Sequence> patterns = {Seq(&db.alphabet(), "a b")};
+  for (size_t i = 0; i < db[0].size(); ++i) db.mutable_sequence(0)->Mark(i);
+  auto report = ReplaceMarks(&db, patterns, {}, ReplaceOptions());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->replaced, 4u);
+  EXPECT_EQ(db.TotalMarkCount(), 0u);
+  EXPECT_EQ(db[0].size(), 4u);
+  EXPECT_EQ(Support(patterns[0], db), 0u);
+}
+
+TEST(ReplaceMarksEdgeTest, PatternEqualToFullSequenceStaysHiddenEndToEnd) {
+  // ψ = 0 end to end on a row identical to the sensitive pattern, through
+  // both release policies.
+  for (bool use_delete : {true, false}) {
+    SequenceDatabase db;
+    db.AddFromNames({"a", "b", "c"});
+    db.AddFromNames({"n1", "n2", "n3"});
+    std::vector<Sequence> patterns = {Seq(&db.alphabet(), "a b c")};
+    SanitizeOptions opts = SanitizeOptions::HH();
+    opts.psi = 0;
+    auto sanitized = Sanitize(&db, patterns, opts);
+    ASSERT_TRUE(sanitized.ok()) << sanitized.status();
+    ASSERT_GT(db.TotalMarkCount(), 0u);
+    if (use_delete) {
+      DeleteMarks(&db);
+    } else {
+      auto report = ReplaceMarks(&db, patterns, {}, ReplaceOptions());
+      ASSERT_TRUE(report.ok()) << report.status();
+      EXPECT_EQ(db.TotalMarkCount(), 0u);
+    }
+    EXPECT_EQ(Support(patterns[0], db), 0u) << "use_delete=" << use_delete;
+  }
+}
+
+TEST(FakePatternAuditTest, AllDeltaReleaseHasNoFakes) {
+  SequenceDatabase original;
+  original.AddFromNames({"a", "b"});
+  SequenceDatabase released = original;
+  for (size_t i = 0; i < released[0].size(); ++i) {
+    released.mutable_sequence(0)->Mark(i);
+  }
+  auto fakes = CountFakeFrequentPatterns(original, released, 1, 2);
+  ASSERT_TRUE(fakes.ok()) << fakes.status();
+  EXPECT_EQ(*fakes, 0u);
+}
+
 TEST(FakePatternAuditTest, MarkingAloneNeverCreatesFakes) {
   SequenceDatabase original;
   for (int i = 0; i < 8; ++i) original.AddFromNames({"a", "b", "c", "d"});

@@ -1,4 +1,9 @@
 // Shared helpers for the seqhide test suite.
+//
+// Random inputs are routed through the property-testing generators in
+// src/testing/generators.h so every suite shares one generator and one
+// seeding convention (an explicit Rng* owns all randomness — no separate
+// per-helper seeds).
 
 #ifndef SEQHIDE_TESTS_TEST_UTIL_H_
 #define SEQHIDE_TESTS_TEST_UTIL_H_
@@ -10,6 +15,7 @@
 #include "src/common/string_util.h"
 #include "src/seq/alphabet.h"
 #include "src/seq/sequence.h"
+#include "src/testing/generators.h"
 
 namespace seqhide {
 namespace testutil {
@@ -20,13 +26,27 @@ inline Sequence Seq(Alphabet* alphabet, const std::string& text) {
   return Sequence::FromNames(alphabet, SplitWhitespace(text));
 }
 
-// Random sequence of `length` symbols drawn from ids [0, alphabet_size).
+// Random sequence of `length` symbols drawn from ids [0, alphabet_size),
+// with no Δ marks and no repeat bias.
 inline Sequence RandomSeq(Rng* rng, size_t length, size_t alphabet_size) {
-  Sequence out;
-  for (size_t i = 0; i < length; ++i) {
-    out.Append(static_cast<SymbolId>(rng->NextBounded(alphabet_size)));
-  }
-  return out;
+  return proptest::GenSequence(rng, length, alphabet_size,
+                               /*delta_density=*/0.0, /*repeat_bias=*/0.0);
+}
+
+// Random database of exactly `rows` unmarked sequences with lengths in
+// [min_length, max_length] over an alphabet of `alphabet_size` symbols
+// ("s0".."sN", pre-interned). All randomness comes from `rng`.
+inline SequenceDatabase RandomDb(Rng* rng, size_t rows, size_t min_length,
+                                 size_t max_length, size_t alphabet_size) {
+  proptest::GenOptions gen;
+  gen.min_sequences = rows;
+  gen.max_sequences = rows;
+  gen.min_length = min_length;
+  gen.max_length = max_length;
+  gen.min_alphabet = alphabet_size;
+  gen.max_alphabet = alphabet_size;
+  gen.delta_density = 0.0;
+  return proptest::GenDatabase(rng, gen);
 }
 
 }  // namespace testutil
