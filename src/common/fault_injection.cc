@@ -15,6 +15,14 @@ constexpr std::string_view kCatalog[] = {
     "io.db.read",
     "io.db.write.open",
     "io.db.write",
+    // seq/binary_format.cc + seq/mmap_file.cc — the seqhidb binary
+    // format. Write-path failures leave the destination untouched (tmp +
+    // rename); open/map failures surface as IOError to the caller.
+    "io.bindb.write.open",
+    "io.bindb.write",
+    "io.bindb.write.rename",
+    "io.bindb.open",
+    "io.bindb.map",
     // hide/sanitizer.cc — stage boundaries (fire = stop like a
     // cancellation at that boundary; the pipeline degrades gracefully)
     // and the verify stage (fire = verification reports Cancelled).

@@ -17,7 +17,7 @@ namespace {
 // the same sequence; our instantiation of the paper's "auto-correlation"
 // sketch (§8): the more repetitive a sequence, the fewer distinct
 // subsequences it contributes, the cheaper it is to distort.
-double AutocorrelationScore(const Sequence& seq) {
+double AutocorrelationScore(SequenceView seq) {
   std::unordered_set<SymbolId> distinct;
   size_t real = 0;
   for (size_t i = 0; i < seq.size(); ++i) {
@@ -33,13 +33,20 @@ double AutocorrelationScore(const Sequence& seq) {
 }  // namespace
 
 std::vector<SequenceMatchInfo> ComputeMatchInfo(
-    const SequenceDatabase& db, const std::vector<Sequence>& patterns,
+    const DatabaseView& db, const std::vector<Sequence>& patterns,
     const std::vector<ConstraintSpec>& constraints) {
   return ComputeMatchInfo(db, patterns, constraints, /*num_threads=*/1);
 }
 
 std::vector<SequenceMatchInfo> ComputeMatchInfo(
     const SequenceDatabase& db, const std::vector<Sequence>& patterns,
+    const std::vector<ConstraintSpec>& constraints) {
+  return ComputeMatchInfo(DatabaseView(db), patterns, constraints,
+                          /*num_threads=*/1);
+}
+
+std::vector<SequenceMatchInfo> ComputeMatchInfo(
+    const DatabaseView& db, const std::vector<Sequence>& patterns,
     const std::vector<ConstraintSpec>& constraints, size_t num_threads) {
   SEQHIDE_CHECK(constraints.empty() || constraints.size() == patterns.size())
       << "constraints must be empty or parallel to patterns";
@@ -69,8 +76,15 @@ std::vector<SequenceMatchInfo> ComputeMatchInfo(
   return info;
 }
 
+std::vector<SequenceMatchInfo> ComputeMatchInfo(
+    const SequenceDatabase& db, const std::vector<Sequence>& patterns,
+    const std::vector<ConstraintSpec>& constraints, size_t num_threads) {
+  return ComputeMatchInfo(DatabaseView(db), patterns, constraints,
+                          num_threads);
+}
+
 std::vector<size_t> SelectSequencesToSanitize(
-    const SequenceDatabase& db, const std::vector<SequenceMatchInfo>& info,
+    const DatabaseView& db, const std::vector<SequenceMatchInfo>& info,
     GlobalStrategy strategy, size_t psi, Rng* rng) {
   SEQHIDE_CHECK(strategy != GlobalStrategy::kRandom || rng != nullptr)
       << "the Random global strategy needs an Rng";
@@ -113,6 +127,12 @@ std::vector<size_t> SelectSequencesToSanitize(
   supporters.resize(to_sanitize);
   std::sort(supporters.begin(), supporters.end());
   return supporters;
+}
+
+std::vector<size_t> SelectSequencesToSanitize(
+    const SequenceDatabase& db, const std::vector<SequenceMatchInfo>& info,
+    GlobalStrategy strategy, size_t psi, Rng* rng) {
+  return SelectSequencesToSanitize(DatabaseView(db), info, strategy, psi, rng);
 }
 
 std::vector<size_t> SelectSequencesToSanitizeMultiThreshold(

@@ -16,6 +16,7 @@
 #include "src/constraints/constraints.h"
 #include "src/hide/options.h"
 #include "src/seq/database.h"
+#include "src/seq/view.h"
 
 namespace seqhide {
 
@@ -28,7 +29,12 @@ struct SequenceMatchInfo {
   std::vector<bool> pattern_support;
 };
 
-// Computes SequenceMatchInfo for every sequence of `db`.
+// Computes SequenceMatchInfo for every sequence of `db`. The
+// DatabaseView overloads serve in-memory and memory-mapped databases
+// alike; the SequenceDatabase overloads are thin adapters over them.
+std::vector<SequenceMatchInfo> ComputeMatchInfo(
+    const DatabaseView& db, const std::vector<Sequence>& patterns,
+    const std::vector<ConstraintSpec>& constraints);
 std::vector<SequenceMatchInfo> ComputeMatchInfo(
     const SequenceDatabase& db, const std::vector<Sequence>& patterns,
     const std::vector<ConstraintSpec>& constraints);
@@ -38,12 +44,20 @@ std::vector<SequenceMatchInfo> ComputeMatchInfo(
 // row writes only its own info slot, so the result is bit-identical to
 // the serial overload for any thread count.
 std::vector<SequenceMatchInfo> ComputeMatchInfo(
+    const DatabaseView& db, const std::vector<Sequence>& patterns,
+    const std::vector<ConstraintSpec>& constraints, size_t num_threads);
+std::vector<SequenceMatchInfo> ComputeMatchInfo(
     const SequenceDatabase& db, const std::vector<Sequence>& patterns,
     const std::vector<ConstraintSpec>& constraints, size_t num_threads);
 
 // Returns the indices of the sequences to sanitize so that at most `psi`
 // sequences keep a matching. Only supporters (matching_count > 0) are ever
-// selected. `rng` is needed only by GlobalStrategy::kRandom.
+// selected. `rng` is needed only by GlobalStrategy::kRandom. `db` is
+// consulted only by the length/autocorrelation tie-break strategies, so
+// the DatabaseView overload works zero-copy off a mapped database.
+std::vector<size_t> SelectSequencesToSanitize(
+    const DatabaseView& db, const std::vector<SequenceMatchInfo>& info,
+    GlobalStrategy strategy, size_t psi, Rng* rng);
 std::vector<size_t> SelectSequencesToSanitize(
     const SequenceDatabase& db, const std::vector<SequenceMatchInfo>& info,
     GlobalStrategy strategy, size_t psi, Rng* rng);

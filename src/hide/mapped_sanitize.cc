@@ -1,0 +1,464 @@
+#include "src/hide/mapped_sanitize.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+
+#include "src/common/logging.h"
+#include "src/common/random.h"
+#include "src/common/stopwatch.h"
+#include "src/common/thread_pool.h"
+#include "src/hide/global.h"
+#include "src/hide/local.h"
+#include "src/match/constrained_count.h"
+#include "src/match/count.h"
+#include "src/match/scratch.h"
+#include "src/obs/macros.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/seq/view.h"
+
+namespace seqhide {
+namespace {
+
+// Mirror of sanitizer.cc's ValidateInputs over the mapped rows, plus the
+// mapped-path restriction: checkpointing needs a mutable database to
+// fingerprint and replay into, which an overlay run does not have.
+Status ValidateInputs(const MappedDatabase& db,
+                      const std::vector<Sequence>& patterns,
+                      const std::vector<ConstraintSpec>& constraints,
+                      const SanitizeOptions& opts) {
+  SEQHIDE_RETURN_IF_ERROR(opts.Validate());
+  if (!opts.checkpoint_path.empty() || opts.resume) {
+    return Status::InvalidArgument(
+        "checkpoint/resume is not supported on a mapped database; "
+        "materialize it with ToDatabase() and use Sanitize()");
+  }
+  if (patterns.empty()) {
+    return Status::InvalidArgument("no sensitive patterns given");
+  }
+  std::set<Sequence> seen;
+  for (const auto& p : patterns) {
+    if (p.empty()) {
+      return Status::InvalidArgument("sensitive pattern must be non-empty");
+    }
+    for (size_t i = 0; i < p.size(); ++i) {
+      if (!IsRealSymbol(p[i])) {
+        return Status::InvalidArgument(
+            "sensitive pattern contains the marking symbol");
+      }
+    }
+    if (!seen.insert(p).second) {
+      return Status::InvalidArgument(
+          "duplicate sensitive pattern: " + p.DebugString() +
+          " (duplicates would double-count matchings)");
+    }
+  }
+  if (!constraints.empty() && constraints.size() != patterns.size()) {
+    return Status::InvalidArgument(
+        "constraints list must be empty or have one entry per pattern");
+  }
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    SEQHIDE_RETURN_IF_ERROR(constraints[i].Validate(patterns[i].size()));
+  }
+  if (!opts.per_pattern_psi.empty() &&
+      opts.per_pattern_psi.size() != patterns.size()) {
+    return Status::InvalidArgument(
+        "per_pattern_psi must be empty or have one entry per pattern");
+  }
+  if (db.size() > 0) {
+    if (opts.per_pattern_psi.empty()) {
+      if (opts.psi > db.size()) {
+        return Status::InvalidArgument(
+            "psi = " + std::to_string(opts.psi) + " exceeds the database size (" +
+            std::to_string(db.size()) + "); no pattern's support can be that large");
+      }
+    } else {
+      for (size_t i = 0; i < opts.per_pattern_psi.size(); ++i) {
+        if (opts.per_pattern_psi[i] > db.size()) {
+          return Status::InvalidArgument(
+              "per_pattern_psi[" + std::to_string(i) + "] = " +
+              std::to_string(opts.per_pattern_psi[i]) +
+              " exceeds the database size (" + std::to_string(db.size()) + ")");
+        }
+      }
+    }
+    size_t max_len = 0;
+    for (size_t t = 0; t < db.size(); ++t) {
+      max_len = std::max(max_len, db.row(t).size());
+    }
+    for (const auto& p : patterns) {
+      if (p.size() > max_len) {
+        return Status::InvalidArgument(
+            "sensitive pattern " + p.DebugString() + " has " +
+            std::to_string(p.size()) +
+            " symbols but the longest database sequence has " +
+            std::to_string(max_len) + "; it can never be supported");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// Index-pruned count stage over the mapped indexes; the analogue of
+// sanitizer.cc's ComputeMatchInfoIndexed with CandidateRows() standing in
+// for InvertedIndex::CandidateSupporters(). Both candidate sets are exact
+// supersets of the true supporters, so the resulting info is identical —
+// a row missing from one set would have contributed zero anyway.
+std::vector<SequenceMatchInfo> ComputeMatchInfoMapped(
+    const MappedDatabase& db, const std::vector<Sequence>& patterns,
+    const std::vector<ConstraintSpec>& constraints, size_t num_threads,
+    size_t* dp_rows) {
+  std::vector<SequenceMatchInfo> info(db.size());
+  for (size_t t = 0; t < db.size(); ++t) {
+    info[t].index = t;
+    info[t].pattern_support.resize(patterns.size(), false);
+  }
+  *dp_rows = 0;
+  for (size_t p = 0; p < patterns.size(); ++p) {
+    const ConstraintSpec& spec =
+        constraints.empty() ? ConstraintSpec() : constraints[p];
+    const std::vector<size_t> candidates = db.CandidateRows(patterns[p]);
+    SEQHIDE_COUNTER_ADD("sanitize.index_dp_rows", candidates.size());
+    SEQHIDE_COUNTER_ADD("sanitize.index_pruned_rows",
+                        db.size() - candidates.size());
+    *dp_rows += candidates.size();
+    ThreadPool::Shared().ParallelFor(
+        candidates.size(), num_threads, [&](size_t begin, size_t end) {
+          MatchScratch scratch;
+          for (size_t i = begin; i < end; ++i) {
+            const size_t t = candidates[i];
+            uint64_t c = CountConstrainedMatchings(patterns[p], spec, db.row(t),
+                                                   &scratch);
+            info[t].pattern_support[p] = (c > 0);
+            info[t].matching_count = SatAdd(info[t].matching_count, c);
+          }
+        });
+  }
+  return info;
+}
+
+}  // namespace
+
+Result<MappedSanitizeResult> SanitizeMapped(
+    const MappedDatabase& db, const std::vector<Sequence>& patterns,
+    const std::vector<ConstraintSpec>& constraints,
+    const SanitizeOptions& opts) {
+  SEQHIDE_RETURN_IF_ERROR(ValidateInputs(db, patterns, constraints, opts));
+
+  Stopwatch timer;
+  MappedSanitizeResult result;
+  SanitizeReport& report = result.report;
+  Rng rng(opts.seed);
+  SEQHIDE_TRACE_SPAN("sanitize_mapped");
+  SEQHIDE_COUNTER_INC("sanitize.mapped_runs");
+
+  const size_t threads = ResolveThreadCount(opts.num_threads);
+  report.threads_used = threads;
+  const size_t num_patterns = patterns.size();
+  const RunBudget& budget = opts.budget;
+  const DatabaseView view = db.view();
+
+  auto budget_stop = [&]() -> StatusCode {
+    if (budget.cancel != nullptr &&
+        budget.cancel->load(std::memory_order_relaxed)) {
+      return StatusCode::kCancelled;
+    }
+    if (budget.deadline_seconds > 0.0 &&
+        timer.ElapsedSeconds() >= budget.deadline_seconds) {
+      return StatusCode::kDeadlineExceeded;
+    }
+    return StatusCode::kOk;
+  };
+
+  auto spec_for = [&](size_t p) -> const ConstraintSpec& {
+    static const ConstraintSpec kUnconstrained;
+    return constraints.empty() ? kUnconstrained : constraints[p];
+  };
+
+  StatusCode stop = StatusCode::kOk;
+  std::vector<size_t> victims;
+  std::vector<uint8_t> victim_support;
+  std::vector<size_t> marks;
+  std::vector<std::vector<size_t>> positions;
+  std::vector<uint8_t> skipped;
+  bool selection_done = false;
+
+  // Stage 1: matching-set sizes for every row, zero-copy off the mapping.
+  std::vector<SequenceMatchInfo> info;
+  {
+    obs::ScopedTimer stage_timer(&report.stages.count_seconds);
+    SEQHIDE_TRACE_SPAN("count");
+    if (opts.use_index) {
+      info = ComputeMatchInfoMapped(db, patterns, constraints, threads,
+                                    &report.count_rows);
+    } else {
+      info = ComputeMatchInfo(view, patterns, constraints, threads);
+      report.count_rows = db.size() * num_patterns;
+    }
+    report.supports_before.assign(num_patterns, 0);
+    for (const auto& i : info) {
+      if (i.matching_count > 0) ++report.sequences_supporting_before;
+      for (size_t p = 0; p < num_patterns; ++p) {
+        if (i.pattern_support[p]) ++report.supports_before[p];
+      }
+    }
+  }
+  stop = budget_stop();
+
+  if (stop == StatusCode::kOk) {
+    // Stage 2: pick the victims. Draws from the same Rng(seed) stream,
+    // after an identical count stage, as the in-memory pipeline.
+    {
+      obs::ScopedTimer stage_timer(&report.stages.select_seconds);
+      SEQHIDE_TRACE_SPAN("select");
+      if (!opts.per_pattern_psi.empty()) {
+        victims =
+            SelectSequencesToSanitizeMultiThreshold(info, opts.per_pattern_psi);
+      } else {
+        victims =
+            SelectSequencesToSanitize(view, info, opts.global, opts.psi, &rng);
+      }
+    }
+    SEQHIDE_GAUGE_SET("sanitize.victims", victims.size());
+    selection_done = true;
+
+    victim_support.assign(victims.size() * num_patterns, 0);
+    for (size_t i = 0; i < victims.size(); ++i) {
+      for (size_t p = 0; p < num_patterns; ++p) {
+        if (info[victims[i]].pattern_support[p]) {
+          victim_support[i * num_patterns + p] = 1;
+        }
+      }
+    }
+    marks.assign(victims.size(), 0);
+    positions.assign(victims.size(), {});
+    skipped.assign(victims.size(), 0);
+    stop = budget_stop();
+  }
+
+  const size_t round_size = opts.mark_round_size;
+  const size_t rounds_total =
+      victims.empty() ? 0 : (victims.size() + round_size - 1) / round_size;
+  report.rounds_total = rounds_total;
+  size_t rounds_completed = 0;
+
+  // Stage 3: copy each victim out of the mapping and destroy its
+  // matchings in place. The per-victim generator is keyed on the row
+  // index exactly as in Sanitize(), so the marks are identical.
+  std::vector<Sequence> modified(victims.size());
+  {
+    obs::ScopedTimer stage_timer(&report.stages.mark_seconds);
+    SEQHIDE_TRACE_SPAN("mark");
+    for (size_t round = 0; stop == StatusCode::kOk && round < rounds_total;
+         ++round) {
+      const size_t vbegin = round * round_size;
+      const size_t vend = std::min(victims.size(), vbegin + round_size);
+      ThreadPool::Shared().ParallelFor(
+          vend - vbegin, threads, [&](size_t begin, size_t end) {
+            MatchScratch scratch;
+            scratch.max_table_bytes = budget.max_table_bytes;
+            for (size_t i = begin; i < end; ++i) {
+              const size_t vi = vbegin + i;
+              const size_t t = victims[vi];
+              modified[vi] = db.row(t).Materialize();
+              Rng local_rng(opts.seed ^ (0x9e3779b97f4a7c15ULL * (t + 1)));
+              LocalSanitizeResult local =
+                  SanitizeSequence(&modified[vi], patterns, constraints,
+                                   opts.local, &local_rng, &scratch);
+              SEQHIDE_DCHECK(local.exhausted || local.marks_introduced > 0)
+                  << "selected sequence had no matchings";
+              marks[vi] = local.marks_introduced;
+              positions[vi] = std::move(local.marked_positions);
+              skipped[vi] = local.exhausted ? 1 : 0;
+            }
+          });
+      rounds_completed = round + 1;
+      if (rounds_completed < rounds_total) {
+        stop = budget_stop();
+        if (stop == StatusCode::kOk && budget.max_mark_rounds > 0 &&
+            rounds_completed >= budget.max_mark_rounds) {
+          stop = StatusCode::kResourceExhausted;
+        }
+      }
+    }
+  }
+
+  const size_t processed =
+      std::min(victims.size(), rounds_completed * round_size);
+  for (size_t i = 0; i < processed; ++i) {
+    report.marks_introduced += marks[i];
+    if (marks[i] > 0) ++report.sequences_sanitized;
+    if (skipped[i]) ++report.victims_skipped;
+  }
+  report.rounds_completed = rounds_completed;
+
+  const bool stopped_early = rounds_completed < rounds_total || !selection_done;
+  report.degraded = stopped_early || report.victims_skipped > 0;
+  report.stop_reason = stop != StatusCode::kOk
+                           ? stop
+                           : (report.degraded ? StatusCode::kResourceExhausted
+                                              : StatusCode::kOk);
+  if (report.degraded) {
+    SEQHIDE_COUNTER_INC("sanitize.degraded_runs");
+    SEQHIDE_LOG(Warn) << "mapped sanitization degraded ("
+                      << StatusCodeToString(report.stop_reason) << "): "
+                      << rounds_completed << "/" << rounds_total << " rounds, "
+                      << report.victims_skipped << " victims skipped";
+  }
+
+  // The haystack for victim i: its private copy once the mark stage
+  // processed it, the untouched mapped row otherwise.
+  auto victim_row = [&](size_t i) -> SequenceView {
+    return i < processed ? SequenceView(modified[i]) : db.row(victims[i]);
+  };
+
+  {
+    obs::ScopedTimer stage_timer(&report.stages.verify_seconds);
+    SEQHIDE_TRACE_SPAN("verify");
+    // Incremental supports-after, same identity as sanitizer.cc:
+    //   after[p] = before[p] − (victims supporting p) + (still supporting).
+    std::vector<uint8_t> victim_still_supports(victims.size() * num_patterns,
+                                               0);
+    SEQHIDE_COUNTER_ADD("sanitize.verify_recount_rows", victims.size());
+    report.verify_recount_rows = victims.size();
+    ThreadPool::Shared().ParallelFor(
+        victims.size(), threads, [&](size_t begin, size_t end) {
+          MatchScratch scratch;
+          for (size_t i = begin; i < end; ++i) {
+            for (size_t p = 0; p < num_patterns; ++p) {
+              if (!victim_support[i * num_patterns + p]) continue;
+              if (HasConstrainedMatch(patterns[p], spec_for(p), victim_row(i),
+                                      &scratch)) {
+                victim_still_supports[i * num_patterns + p] = 1;
+              }
+            }
+          }
+        });
+    report.supports_after.assign(num_patterns, 0);
+    for (size_t p = 0; p < num_patterns; ++p) {
+      size_t lost = 0, kept = 0;
+      for (size_t i = 0; i < victims.size(); ++i) {
+        if (victim_support[i * num_patterns + p]) ++lost;
+        if (victim_still_supports[i * num_patterns + p]) ++kept;
+      }
+      report.supports_after[p] = report.supports_before[p] - lost + kept;
+    }
+
+    auto limit_for = [&](size_t p) {
+      return opts.per_pattern_psi.empty() ? opts.psi : opts.per_pattern_psi[p];
+    };
+    if (report.degraded) {
+      for (size_t p = 0; p < num_patterns; ++p) {
+        if (report.supports_after[p] > limit_for(p)) {
+          report.exposed.push_back(
+              ExposedPattern{p, report.supports_after[p], limit_for(p)});
+        }
+      }
+    }
+
+    if (opts.verify) {
+      // Full-rescan cross-check against the overlay: every row is read
+      // either from the mapping or from its private sanitized copy.
+      report.verify_rescan_rows = db.size() * num_patterns;
+      SEQHIDE_COUNTER_ADD("sanitize.scan_dp_rows",
+                          db.size() * num_patterns);
+      for (size_t p = 0; p < num_patterns; ++p) {
+        uint64_t hits = ThreadPool::Shared().ParallelReduceSum(
+            db.size(), threads, [&](size_t begin, size_t end) -> uint64_t {
+              MatchScratch scratch;
+              uint64_t count = 0;
+              for (size_t t = begin; t < end; ++t) {
+                // Victims are sorted ascending, so the overlay lookup is a
+                // binary search over the processed prefix.
+                auto it = std::lower_bound(victims.begin(),
+                                           victims.begin() + processed, t);
+                const SequenceView haystack =
+                    (it != victims.begin() + processed && *it == t)
+                        ? SequenceView(
+                              modified[static_cast<size_t>(
+                                  it - victims.begin())])
+                        : db.row(t);
+                if (HasConstrainedMatch(patterns[p], spec_for(p), haystack,
+                                        &scratch)) {
+                  ++count;
+                }
+              }
+              return count;
+            });
+        const size_t rescan = static_cast<size_t>(hits);
+        if (rescan != report.supports_after[p]) {
+          return Status::Internal(
+              "incremental supports-after mismatch for pattern " +
+              std::to_string(p) + ": incremental " +
+              std::to_string(report.supports_after[p]) + " vs full rescan " +
+              std::to_string(rescan));
+        }
+        if (!report.degraded && rescan > limit_for(p)) {
+          return Status::Internal(
+              "disclosure requirement violated after sanitization: pattern " +
+              std::to_string(p) + " has support " + std::to_string(rescan) +
+              " > " + std::to_string(limit_for(p)));
+        }
+      }
+    }
+  }
+
+  result.modified_rows.reserve(processed);
+  for (size_t i = 0; i < processed; ++i) {
+    result.modified_rows.emplace_back(victims[i], std::move(modified[i]));
+  }
+
+  report.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+Result<MappedSanitizeResult> SanitizeMapped(
+    const MappedDatabase& db, const std::vector<Sequence>& patterns,
+    const SanitizeOptions& opts) {
+  return SanitizeMapped(db, patterns, {}, opts);
+}
+
+Result<SequenceDatabase> ApplySanitizeOverlay(
+    const MappedDatabase& db, const MappedSanitizeResult& result) {
+  auto materialized = db.ToDatabase();
+  SEQHIDE_RETURN_IF_ERROR(materialized.status());
+  SequenceDatabase out = std::move(materialized).value();
+  for (const auto& [t, seq] : result.modified_rows) {
+    if (t >= out.size()) {
+      return Status::InvalidArgument(
+          "overlay row " + std::to_string(t) +
+          " is out of range for this database");
+    }
+    *out.mutable_sequence(t) = seq;
+  }
+  return out;
+}
+
+Status WriteSanitizedDatabase(const MappedDatabase& db,
+                              const MappedSanitizeResult& result,
+                              std::ostream& out) {
+  const Alphabet& alphabet = db.alphabet();
+  out << "# seqhide sequence database; |D|=" << db.size()
+      << " |Sigma|=" << alphabet.size() << "\n";
+  size_t next = 0;  // cursor into the ascending modified_rows overlay
+  for (size_t t = 0; t < db.size(); ++t) {
+    if (next < result.modified_rows.size() &&
+        result.modified_rows[next].first == t) {
+      out << result.modified_rows[next].second.ToString(alphabet) << "\n";
+      ++next;
+    } else {
+      out << db.row(t).Materialize().ToString(alphabet) << "\n";
+    }
+  }
+  if (next != result.modified_rows.size()) {
+    return Status::InvalidArgument(
+        "overlay rows out of range or unsorted (consumed " +
+        std::to_string(next) + " of " +
+        std::to_string(result.modified_rows.size()) + ")");
+  }
+  if (!out) return Status::IOError("stream write failure");
+  return Status::OK();
+}
+
+}  // namespace seqhide

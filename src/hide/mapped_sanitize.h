@@ -1,0 +1,84 @@
+// Sanitization pipeline over a memory-mapped seqhidb database.
+//
+// SanitizeMapped() runs the same four-stage pipeline as Sanitize()
+// (count → select → mark → verify, see sanitizer.cc) without ever
+// materializing the whole database: the count and select stages work on
+// zero-copy SequenceViews straight out of the mapping, and only the
+// victim rows — the ones the mark stage must mutate — are copied into
+// private Sequences. The mapping itself is never written (it is
+// read-only), so the result is returned as an *overlay*: the original
+// mapped database plus the list of replaced rows.
+//
+// Determinism contract: for identical inputs and options, the overlay
+// applied to the mapped database equals — row for row, mark for mark,
+// report field for report field — what Sanitize() produces on the
+// materialized database. This holds because every random choice in the
+// pipeline is keyed the same way in both paths: victim selection draws
+// from Rng(seed) after an identical count stage, and each victim's local
+// marking uses Rng(seed ^ (golden_ratio * (row_index + 1))), a pure
+// function of the seed and the row's position. The property suite pins
+// this equivalence.
+//
+// Checkpoint/resume is not supported here (the checkpoint format
+// fingerprints a mutable SequenceDatabase); options requesting it are
+// rejected with InvalidArgument. Budgets, rounds, multi-threshold ψ and
+// all strategy combinations behave exactly as in Sanitize().
+
+#ifndef SEQHIDE_HIDE_MAPPED_SANITIZE_H_
+#define SEQHIDE_HIDE_MAPPED_SANITIZE_H_
+
+#include <cstddef>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/constraints/constraints.h"
+#include "src/hide/sanitizer.h"
+#include "src/seq/binary_format.h"
+#include "src/seq/database.h"
+#include "src/seq/sequence.h"
+
+namespace seqhide {
+
+// Outcome of SanitizeMapped(): the usual report plus the replaced rows.
+struct MappedSanitizeResult {
+  SanitizeReport report;
+  // (row index, sanitized row) for every victim the mark stage processed,
+  // ascending by row index. Rows not listed here are unchanged — read
+  // them from the mapped database. A budget-stopped run lists only the
+  // victims of completed rounds (the rest were never touched).
+  std::vector<std::pair<size_t, Sequence>> modified_rows;
+};
+
+// Runs the sanitization pipeline against `db` without materializing it.
+// `constraints` is empty (all unconstrained) or parallel to `patterns`.
+// Fails with InvalidArgument when opts requests checkpointing or resume.
+// When opts.use_index is set, the count and verify stages prune rows with
+// the file's posting-list/prefix indexes instead of an InvertedIndex —
+// the resulting report and overlay are unchanged (pruned rows count
+// zero), only report.count_rows reflects the different pruning.
+Result<MappedSanitizeResult> SanitizeMapped(
+    const MappedDatabase& db, const std::vector<Sequence>& patterns,
+    const std::vector<ConstraintSpec>& constraints,
+    const SanitizeOptions& opts);
+Result<MappedSanitizeResult> SanitizeMapped(const MappedDatabase& db,
+                                            const std::vector<Sequence>& patterns,
+                                            const SanitizeOptions& opts);
+
+// Materializes the sanitized database: ToDatabase() with the overlay's
+// rows swapped in. Equals the database Sanitize() leaves behind.
+Result<SequenceDatabase> ApplySanitizeOverlay(
+    const MappedDatabase& db, const MappedSanitizeResult& result);
+
+// Streams the sanitized database in the text format, byte-identical to
+// WriteDatabase() on the materialized equivalent, without ever holding
+// more than one row in memory. `result.modified_rows` must be sorted
+// ascending (SanitizeMapped() returns it that way).
+Status WriteSanitizedDatabase(const MappedDatabase& db,
+                              const MappedSanitizeResult& result,
+                              std::ostream& out);
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_HIDE_MAPPED_SANITIZE_H_

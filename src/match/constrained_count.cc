@@ -15,7 +15,7 @@ namespace {
 // the window).
 uint64_t CountGapMatchingsEndingAt(const Sequence& pattern,
                                    const ConstraintSpec& spec,
-                                   const Sequence& seq, size_t first,
+                                   SequenceView seq, size_t first,
                                    size_t last, MatchScratch* scratch) {
   const size_t m = pattern.size();
   SEQHIDE_DCHECK(last < seq.size());
@@ -56,7 +56,7 @@ uint64_t CountGapMatchingsEndingAt(const Sequence& pattern,
 
 // Total gap-valid (window-free) matchings: Σ_j Q[m][j].
 uint64_t CountGapMatchings(const Sequence& pattern, const ConstraintSpec& spec,
-                           const Sequence& seq, MatchScratch* scratch) {
+                           SequenceView seq, MatchScratch* scratch) {
   BuildGapEndTableInto(pattern, spec, seq, scratch, &scratch->fwd);
   return TotalFromPrefixEndTable(scratch->fwd);
 }
@@ -65,7 +65,7 @@ uint64_t CountGapMatchings(const Sequence& pattern, const ConstraintSpec& spec,
 // embeddings confined to the window [j - Ws + 1, j] that end exactly at j.
 uint64_t CountWindowedMatchings(const Sequence& pattern,
                                 const ConstraintSpec& spec,
-                                const Sequence& seq, MatchScratch* scratch) {
+                                SequenceView seq, MatchScratch* scratch) {
   const size_t ws = *spec.max_window();
   SEQHIDE_COUNTER_INC("match.window.calls");
   SEQHIDE_COUNTER_ADD("match.window.slices", seq.size());
@@ -82,20 +82,20 @@ uint64_t CountWindowedMatchings(const Sequence& pattern,
 
 PrefixEndTable BuildGapEndTable(const Sequence& pattern,
                                 const ConstraintSpec& spec,
-                                const Sequence& seq) {
+                                SequenceView seq) {
   PrefixEndTable table;
   BuildGapEndTableInto(pattern, spec, seq, &table);
   return table;
 }
 
 void BuildGapEndTableInto(const Sequence& pattern, const ConstraintSpec& spec,
-                          const Sequence& seq, PrefixEndTable* out) {
+                          SequenceView seq, PrefixEndTable* out) {
   MatchScratch unlimited;
   BuildGapEndTableInto(pattern, spec, seq, &unlimited, out);
 }
 
 void BuildGapEndTableInto(const Sequence& pattern, const ConstraintSpec& spec,
-                          const Sequence& seq, MatchScratch* scratch,
+                          SequenceView seq, MatchScratch* scratch,
                           PrefixEndTable* out) {
   const size_t m = pattern.size();
   const size_t n = seq.size();
@@ -137,14 +137,14 @@ void BuildGapEndTableInto(const Sequence& pattern, const ConstraintSpec& spec,
 
 uint64_t CountConstrainedMatchings(const Sequence& pattern,
                                    const ConstraintSpec& spec,
-                                   const Sequence& seq) {
+                                   SequenceView seq) {
   MatchScratch scratch;
   return CountConstrainedMatchings(pattern, spec, seq, &scratch);
 }
 
 uint64_t CountConstrainedMatchings(const Sequence& pattern,
                                    const ConstraintSpec& spec,
-                                   const Sequence& seq,
+                                   SequenceView seq,
                                    MatchScratch* scratch) {
   SEQHIDE_DCHECK(spec.Validate(pattern.size()).ok())
       << spec.Validate(pattern.size()).ToString();
@@ -155,7 +155,7 @@ uint64_t CountConstrainedMatchings(const Sequence& pattern,
 
 uint64_t CountConstrainedMatchingsTotal(
     const std::vector<Sequence>& patterns,
-    const std::vector<ConstraintSpec>& constraints, const Sequence& seq) {
+    const std::vector<ConstraintSpec>& constraints, SequenceView seq) {
   SEQHIDE_CHECK(constraints.empty() || constraints.size() == patterns.size())
       << "constraints must be empty or parallel to patterns";
   MatchScratch scratch;
@@ -170,12 +170,12 @@ uint64_t CountConstrainedMatchingsTotal(
 }
 
 bool HasConstrainedMatch(const Sequence& pattern, const ConstraintSpec& spec,
-                         const Sequence& seq) {
+                         SequenceView seq) {
   return CountConstrainedMatchings(pattern, spec, seq) > 0;
 }
 
 bool HasConstrainedMatch(const Sequence& pattern, const ConstraintSpec& spec,
-                         const Sequence& seq, MatchScratch* scratch) {
+                         SequenceView seq, MatchScratch* scratch) {
   return CountConstrainedMatchings(pattern, spec, seq, scratch) > 0;
 }
 

@@ -24,6 +24,7 @@
 #include "src/match/prefix_table.h"
 #include "src/match/scratch.h"
 #include "src/seq/sequence.h"
+#include "src/seq/view.h"
 
 namespace seqhide {
 
@@ -34,19 +35,19 @@ namespace seqhide {
 // degenerates to BuildPrefixEndTable's table entry-wise (tested).
 PrefixEndTable BuildGapEndTable(const Sequence& pattern,
                                 const ConstraintSpec& spec,
-                                const Sequence& seq);
+                                SequenceView seq);
 
 // Allocation-free variant: writes into *out (resized exactly to
 // [m+1][n+1]); `out` may be a scratch-owned table.
 void BuildGapEndTableInto(const Sequence& pattern, const ConstraintSpec& spec,
-                          const Sequence& seq, PrefixEndTable* out);
+                          SequenceView seq, PrefixEndTable* out);
 
 // Budget-checked variant: table sizing goes through scratch's memory
 // ceiling; on refusal *out becomes a 1×1 zero table and
 // scratch->exhausted is raised. The 4-arg overload is this one with an
 // unlimited scratch.
 void BuildGapEndTableInto(const Sequence& pattern, const ConstraintSpec& spec,
-                          const Sequence& seq, MatchScratch* scratch,
+                          SequenceView seq, MatchScratch* scratch,
                           PrefixEndTable* out);
 
 // |{matchings of `pattern` in `seq` satisfying `spec`}|. Dispatches:
@@ -54,29 +55,29 @@ void BuildGapEndTableInto(const Sequence& pattern, const ConstraintSpec& spec,
 // (with or without gaps) -> Lemma 5 windowed evaluation.
 uint64_t CountConstrainedMatchings(const Sequence& pattern,
                                    const ConstraintSpec& spec,
-                                   const Sequence& seq);
+                                   SequenceView seq);
 
 // Allocation-free variant: all DP tables live in *scratch (one scratch
 // per thread; see scratch.h). Bit-identical to the allocating overload.
 uint64_t CountConstrainedMatchings(const Sequence& pattern,
                                    const ConstraintSpec& spec,
-                                   const Sequence& seq, MatchScratch* scratch);
+                                   SequenceView seq, MatchScratch* scratch);
 
 // Σ over patterns (constraints[i] applies to patterns[i]; `constraints`
 // may be empty meaning all-unconstrained).
 uint64_t CountConstrainedMatchingsTotal(
     const std::vector<Sequence>& patterns,
-    const std::vector<ConstraintSpec>& constraints, const Sequence& seq);
+    const std::vector<ConstraintSpec>& constraints, SequenceView seq);
 
 // Constrained support: number of database rows with at least one valid
 // occurrence. (With constraints, "supports" means "has a constrained
 // matching", which the hiding problem uses as the disclosure predicate.)
 bool HasConstrainedMatch(const Sequence& pattern, const ConstraintSpec& spec,
-                         const Sequence& seq);
+                         SequenceView seq);
 
 // Scratch-reusing variant of the support predicate.
 bool HasConstrainedMatch(const Sequence& pattern, const ConstraintSpec& spec,
-                         const Sequence& seq, MatchScratch* scratch);
+                         SequenceView seq, MatchScratch* scratch);
 
 }  // namespace seqhide
 

@@ -5,12 +5,12 @@
 
 namespace seqhide {
 
-uint64_t CountMatchings(const Sequence& pattern, const Sequence& seq) {
+uint64_t CountMatchings(const Sequence& pattern, SequenceView seq) {
   MatchScratch scratch;
   return CountMatchings(pattern, seq, &scratch);
 }
 
-uint64_t CountMatchings(const Sequence& pattern, const Sequence& seq,
+uint64_t CountMatchings(const Sequence& pattern, SequenceView seq,
                         MatchScratch* scratch) {
   const size_t m = pattern.size();
   const size_t n = seq.size();
@@ -39,7 +39,7 @@ uint64_t CountMatchings(const Sequence& pattern, const Sequence& seq,
 }
 
 uint64_t CountMatchingsTotal(const std::vector<Sequence>& patterns,
-                             const Sequence& seq) {
+                             SequenceView seq) {
   uint64_t total = 0;
   for (const auto& p : patterns) total = SatAdd(total, CountMatchings(p, seq));
   return total;

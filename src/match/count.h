@@ -15,6 +15,7 @@
 
 #include "src/match/scratch.h"
 #include "src/seq/sequence.h"
+#include "src/seq/view.h"
 
 namespace seqhide {
 
@@ -40,11 +41,11 @@ inline uint64_t SatMul(uint64_t a, uint64_t b) {
 //   P(i, j) = P(i, j-1) + P(i-1, j-1)   if S[i] == T[j]
 // with P(0, j) = 1 and P(i, 0) = 0 for i > 0. Δ positions in T match
 // nothing. The empty pattern has exactly one (empty) matching.
-uint64_t CountMatchings(const Sequence& pattern, const Sequence& seq);
+uint64_t CountMatchings(const Sequence& pattern, SequenceView seq);
 
 // Allocation-free variant: the DP row lives in *scratch (one scratch per
 // thread; see scratch.h). Bit-identical to the allocating overload.
-uint64_t CountMatchings(const Sequence& pattern, const Sequence& seq,
+uint64_t CountMatchings(const Sequence& pattern, SequenceView seq,
                         MatchScratch* scratch);
 
 // |M_{S_h}^T| = Σ_S |M_S^T|. Exact because matchings of distinct patterns
@@ -52,7 +53,7 @@ uint64_t CountMatchings(const Sequence& pattern, const Sequence& seq,
 // distinct for this to equal the size of the union; the Sanitizer
 // deduplicates S_h on entry.
 uint64_t CountMatchingsTotal(const std::vector<Sequence>& patterns,
-                             const Sequence& seq);
+                             SequenceView seq);
 
 }  // namespace seqhide
 

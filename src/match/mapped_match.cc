@@ -1,0 +1,55 @@
+#include "src/match/mapped_match.h"
+
+#include "src/match/constrained_count.h"
+#include "src/match/count.h"
+#include "src/match/scratch.h"
+#include "src/match/subsequence.h"
+
+namespace seqhide {
+
+size_t SupportMapped(const Sequence& pattern, const MappedDatabase& db) {
+  size_t count = 0;
+  for (size_t t : db.CandidateRows(pattern)) {
+    if (IsSubsequence(pattern, db.row(t))) ++count;
+  }
+  return count;
+}
+
+size_t ConstrainedSupportMapped(const Sequence& pattern,
+                                const ConstraintSpec& spec,
+                                const MappedDatabase& db) {
+  MatchScratch scratch;
+  size_t count = 0;
+  for (size_t t : db.CandidateRows(pattern)) {
+    if (HasConstrainedMatch(pattern, spec, db.row(t), &scratch)) ++count;
+  }
+  return count;
+}
+
+uint64_t CountMatchingsMapped(const Sequence& pattern,
+                              const MappedDatabase& db) {
+  MatchScratch scratch;
+  uint64_t total = 0;
+  for (size_t t : db.CandidateRows(pattern)) {
+    total = SatAdd(total, CountMatchings(pattern, db.row(t), &scratch));
+  }
+  return total;
+}
+
+uint64_t CountConstrainedMatchingsTotalMapped(
+    const std::vector<Sequence>& patterns,
+    const std::vector<ConstraintSpec>& constraints, const MappedDatabase& db) {
+  MatchScratch scratch;
+  uint64_t total = 0;
+  for (size_t p = 0; p < patterns.size(); ++p) {
+    const ConstraintSpec& spec =
+        constraints.empty() ? ConstraintSpec() : constraints[p];
+    for (size_t t : db.CandidateRows(patterns[p])) {
+      total = SatAdd(total, CountConstrainedMatchings(patterns[p], spec,
+                                                      db.row(t), &scratch));
+    }
+  }
+  return total;
+}
+
+}  // namespace seqhide

@@ -19,7 +19,7 @@ namespace {
 // sanitizer only queries j that hold a real symbol.
 void BuildSuffixExtensionTableInto(const Sequence& pattern,
                                    const ConstraintSpec& spec,
-                                   const Sequence& seq, MatchScratch* scratch,
+                                   SequenceView seq, MatchScratch* scratch,
                                    std::vector<std::vector<uint64_t>>* out) {
   const size_t m = pattern.size();
   const size_t n = seq.size();
@@ -53,14 +53,14 @@ void BuildSuffixExtensionTableInto(const Sequence& pattern,
 // capacity covers |seq|).
 void PositionDeltasByMarkingInto(const Sequence& pattern,
                                  const ConstraintSpec& spec,
-                                 const Sequence& seq, MatchScratch* scratch,
+                                 SequenceView seq, MatchScratch* scratch,
                                  std::vector<uint64_t>* out) {
   SEQHIDE_COUNTER_INC("delta.marking_calls");
   const uint64_t base = CountConstrainedMatchings(pattern, spec, seq, scratch);
   out->assign(seq.size(), 0);
   for (size_t i = 0; i < seq.size(); ++i) {
     if (!IsRealSymbol(seq[i])) continue;
-    scratch->marked = seq;
+    scratch->marked = seq.Materialize();
     scratch->marked.Mark(i);
     uint64_t without =
         CountConstrainedMatchings(pattern, spec, scratch->marked, scratch);
@@ -73,7 +73,7 @@ void PositionDeltasByMarkingInto(const Sequence& pattern,
 
 std::vector<uint64_t> PositionDeltas(const Sequence& pattern,
                                      const ConstraintSpec& spec,
-                                     const Sequence& seq) {
+                                     SequenceView seq) {
   MatchScratch scratch;
   std::vector<uint64_t> deltas;
   PositionDeltasInto(pattern, spec, seq, &scratch, &deltas);
@@ -81,7 +81,7 @@ std::vector<uint64_t> PositionDeltas(const Sequence& pattern,
 }
 
 void PositionDeltasInto(const Sequence& pattern, const ConstraintSpec& spec,
-                        const Sequence& seq, MatchScratch* scratch,
+                        SequenceView seq, MatchScratch* scratch,
                         std::vector<uint64_t>* out) {
   SEQHIDE_CHECK(!pattern.empty());
   const size_t m = pattern.size();
@@ -130,7 +130,7 @@ void PositionDeltasInto(const Sequence& pattern, const ConstraintSpec& spec,
 
 std::vector<uint64_t> PositionDeltasTotal(
     const std::vector<Sequence>& patterns,
-    const std::vector<ConstraintSpec>& constraints, const Sequence& seq) {
+    const std::vector<ConstraintSpec>& constraints, SequenceView seq) {
   MatchScratch scratch;
   std::vector<uint64_t> total;
   PositionDeltasTotalInto(patterns, constraints, seq, &scratch, &total);
@@ -139,7 +139,7 @@ std::vector<uint64_t> PositionDeltasTotal(
 
 void PositionDeltasTotalInto(const std::vector<Sequence>& patterns,
                              const std::vector<ConstraintSpec>& constraints,
-                             const Sequence& seq, MatchScratch* scratch,
+                             SequenceView seq, MatchScratch* scratch,
                              std::vector<uint64_t>* out) {
   SEQHIDE_CHECK(constraints.empty() || constraints.size() == patterns.size())
       << "constraints must be empty or parallel to patterns";
@@ -156,7 +156,7 @@ void PositionDeltasTotalInto(const std::vector<Sequence>& patterns,
 }
 
 std::vector<uint64_t> PositionDeltasByDeletion(const Sequence& pattern,
-                                               const Sequence& seq) {
+                                               SequenceView seq) {
   SEQHIDE_COUNTER_INC("delta.deletion_calls");
   const uint64_t base = CountMatchings(pattern, seq);
   std::vector<uint64_t> deltas(seq.size(), 0);
@@ -176,13 +176,13 @@ std::vector<uint64_t> PositionDeltasByDeletion(const Sequence& pattern,
 
 std::vector<uint64_t> PositionDeltasByMarking(const Sequence& pattern,
                                               const ConstraintSpec& spec,
-                                              const Sequence& seq) {
+                                              SequenceView seq) {
   SEQHIDE_COUNTER_INC("delta.marking_calls");
   const uint64_t base = CountConstrainedMatchings(pattern, spec, seq);
   std::vector<uint64_t> deltas(seq.size(), 0);
   for (size_t i = 0; i < seq.size(); ++i) {
     if (!IsRealSymbol(seq[i])) continue;
-    Sequence marked = seq;
+    Sequence marked = seq.Materialize();
     marked.Mark(i);
     uint64_t without = CountConstrainedMatchings(pattern, spec, marked);
     SEQHIDE_DCHECK(without <= base);

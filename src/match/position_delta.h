@@ -33,19 +33,20 @@
 #include "src/constraints/constraints.h"
 #include "src/match/scratch.h"
 #include "src/seq/sequence.h"
+#include "src/seq/view.h"
 
 namespace seqhide {
 
 // δ for every position of `seq` w.r.t. one pattern. Production path.
 std::vector<uint64_t> PositionDeltas(const Sequence& pattern,
                                      const ConstraintSpec& spec,
-                                     const Sequence& seq);
+                                     SequenceView seq);
 
 // Allocation-free variant: DP tables live in *scratch, δ is written into
 // *out (resized to |seq|). `out` must not alias a buffer the counting
 // kernels use (scratch->pattern_deltas exists for exactly this).
 void PositionDeltasInto(const Sequence& pattern, const ConstraintSpec& spec,
-                        const Sequence& seq, MatchScratch* scratch,
+                        SequenceView seq, MatchScratch* scratch,
                         std::vector<uint64_t>* out);
 
 // Aggregate δ over a set of sensitive patterns: δ_{S_h}(T[i]) =
@@ -53,7 +54,7 @@ void PositionDeltasInto(const Sequence& pattern, const ConstraintSpec& spec,
 // parallel to `patterns`.
 std::vector<uint64_t> PositionDeltasTotal(
     const std::vector<Sequence>& patterns,
-    const std::vector<ConstraintSpec>& constraints, const Sequence& seq);
+    const std::vector<ConstraintSpec>& constraints, SequenceView seq);
 
 // Allocation-free aggregate: per-pattern δ goes through
 // scratch->pattern_deltas and accumulates into *out. The local sanitizer
@@ -61,19 +62,19 @@ std::vector<uint64_t> PositionDeltasTotal(
 // what makes the round loop allocation-free.
 void PositionDeltasTotalInto(const std::vector<Sequence>& patterns,
                              const std::vector<ConstraintSpec>& constraints,
-                             const Sequence& seq, MatchScratch* scratch,
+                             SequenceView seq, MatchScratch* scratch,
                              std::vector<uint64_t>* out);
 
 // Paper's Theorem 2 deletion method. Unconstrained only. Test oracle /
 // documentation of the paper's algorithm.
 std::vector<uint64_t> PositionDeltasByDeletion(const Sequence& pattern,
-                                               const Sequence& seq);
+                                               SequenceView seq);
 
 // Mark-and-recount method; correct for any spec. Test oracle and the
 // fallback for window-constrained specs.
 std::vector<uint64_t> PositionDeltasByMarking(const Sequence& pattern,
                                               const ConstraintSpec& spec,
-                                              const Sequence& seq);
+                                              SequenceView seq);
 
 }  // namespace seqhide
 

@@ -6,14 +6,14 @@
 namespace seqhide {
 
 PrefixEndTable BuildPrefixEndTable(const Sequence& pattern,
-                                   const Sequence& seq) {
+                                   SequenceView seq) {
   MatchScratch scratch;
   PrefixEndTable table;
   BuildPrefixEndTableInto(pattern, seq, &scratch, &table);
   return table;
 }
 
-void BuildPrefixEndTableInto(const Sequence& pattern, const Sequence& seq,
+void BuildPrefixEndTableInto(const Sequence& pattern, SequenceView seq,
                              MatchScratch* scratch, PrefixEndTable* out) {
   const size_t m = pattern.size();
   const size_t n = seq.size();
@@ -50,7 +50,7 @@ void BuildPrefixEndTableInto(const Sequence& pattern, const Sequence& seq,
 }
 
 PrefixEndTable BuildPrefixEndTableNaive(const Sequence& pattern,
-                                        const Sequence& seq) {
+                                        SequenceView seq) {
   const size_t m = pattern.size();
   const size_t n = seq.size();
   PrefixEndTable table(m + 1, std::vector<uint64_t>(n + 1, 0));

@@ -23,6 +23,7 @@
 
 #include "src/match/scratch.h"
 #include "src/seq/sequence.h"
+#include "src/seq/view.h"
 
 namespace seqhide {
 
@@ -33,19 +34,19 @@ using PrefixEndTable = std::vector<std::vector<uint64_t>>;
 
 // O(n·m) prefix-sum implementation (production path).
 PrefixEndTable BuildPrefixEndTable(const Sequence& pattern,
-                                   const Sequence& seq);
+                                   SequenceView seq);
 
 // Allocation-free variant: writes into *out (resized exactly to
 // [m+1][n+1]) and borrows the running-sum buffers from *scratch. `out`
 // may be a scratch-owned table; it must not alias scratch->running or
 // scratch->column.
-void BuildPrefixEndTableInto(const Sequence& pattern, const Sequence& seq,
+void BuildPrefixEndTableInto(const Sequence& pattern, SequenceView seq,
                              MatchScratch* scratch, PrefixEndTable* out);
 
 // Literal transcription of the paper's Lemma 3 recurrence
 // (P_k^{j} = Σ_{l<j} P_{k-1}^{l} when S[k] = T[j]); O(n²·m). Test oracle.
 PrefixEndTable BuildPrefixEndTableNaive(const Sequence& pattern,
-                                        const Sequence& seq);
+                                        SequenceView seq);
 
 // Σ_j table[m][j] — total matchings recovered from a prefix table. Used by
 // tests to tie Lemma 3 back to Lemma 2.

@@ -18,7 +18,7 @@ void DCheckPatternHasNoDelta(const Sequence& pattern) {
 
 }  // namespace
 
-bool IsSubsequence(const Sequence& pattern, const Sequence& seq) {
+bool IsSubsequence(const Sequence& pattern, SequenceView seq) {
   DCheckPatternHasNoDelta(pattern);
   size_t k = 0;
   for (size_t j = 0; j < seq.size() && k < pattern.size(); ++j) {
@@ -28,7 +28,7 @@ bool IsSubsequence(const Sequence& pattern, const Sequence& seq) {
 }
 
 std::optional<std::vector<size_t>> FirstEmbedding(const Sequence& pattern,
-                                                  const Sequence& seq) {
+                                                  SequenceView seq) {
   DCheckPatternHasNoDelta(pattern);
   std::vector<size_t> indices;
   indices.reserve(pattern.size());
@@ -43,18 +43,23 @@ std::optional<std::vector<size_t>> FirstEmbedding(const Sequence& pattern,
   return indices;
 }
 
-size_t Support(const Sequence& pattern, const SequenceDatabase& db) {
+size_t Support(const Sequence& pattern, const DatabaseView& db) {
   size_t count = 0;
-  for (const auto& seq : db.sequences()) {
-    if (IsSubsequence(pattern, seq)) ++count;
+  for (size_t t = 0; t < db.size(); ++t) {
+    if (IsSubsequence(pattern, db.row(t))) ++count;
   }
   return count;
 }
 
+size_t Support(const Sequence& pattern, const SequenceDatabase& db) {
+  return Support(pattern, DatabaseView(db));
+}
+
 size_t SupportAny(const std::vector<Sequence>& patterns,
-                  const SequenceDatabase& db) {
+                  const DatabaseView& db) {
   size_t count = 0;
-  for (const auto& seq : db.sequences()) {
+  for (size_t t = 0; t < db.size(); ++t) {
+    const SequenceView seq = db.row(t);
     for (const auto& pattern : patterns) {
       if (IsSubsequence(pattern, seq)) {
         ++count;
@@ -63,6 +68,11 @@ size_t SupportAny(const std::vector<Sequence>& patterns,
     }
   }
   return count;
+}
+
+size_t SupportAny(const std::vector<Sequence>& patterns,
+                  const SequenceDatabase& db) {
+  return SupportAny(patterns, DatabaseView(db));
 }
 
 }  // namespace seqhide

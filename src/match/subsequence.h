@@ -14,25 +14,30 @@
 
 #include "src/seq/database.h"
 #include "src/seq/sequence.h"
+#include "src/seq/view.h"
 
 namespace seqhide {
 
 // True iff `pattern` is a subsequence of `seq`.
-bool IsSubsequence(const Sequence& pattern, const Sequence& seq);
+bool IsSubsequence(const Sequence& pattern, SequenceView seq);
 
 // Leftmost embedding of `pattern` in `seq` as 0-based positions, or nullopt
 // when `pattern` is not a subsequence. Greedy leftmost matching is minimal
 // position-wise, which makes it a convenient canonical witness.
 std::optional<std::vector<size_t>> FirstEmbedding(const Sequence& pattern,
-                                                  const Sequence& seq);
+                                                  SequenceView seq);
 
 // sup_D(S): number of sequences in `db` that are supersequences of
-// `pattern` (paper §3.1).
+// `pattern` (paper §3.1). The DatabaseView overload serves in-memory and
+// memory-mapped databases alike.
+size_t Support(const Sequence& pattern, const DatabaseView& db);
 size_t Support(const Sequence& pattern, const SequenceDatabase& db);
 
 // Number of sequences supporting at least one of `patterns`
 // (sup_D(S_1 ∨ ... ∨ S_n), the paper's "disjunctive" support used in the
 // §6 support table).
+size_t SupportAny(const std::vector<Sequence>& patterns,
+                  const DatabaseView& db);
 size_t SupportAny(const std::vector<Sequence>& patterns,
                   const SequenceDatabase& db);
 

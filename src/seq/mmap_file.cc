@@ -1,0 +1,68 @@
+#include "src/seq/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/fault_injection.h"
+
+namespace seqhide {
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  if (SEQHIDE_FAULT_HIT("io.bindb.open")) {
+    return Status::IOError("injected fault: io.bindb.open for " + path);
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    const int err = errno;
+    if (err == ENOENT) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return Status::IOError("open " + path + ": " + std::strerror(err));
+  }
+
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError("fstat " + path + ": " + std::strerror(err));
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::IOError("not a regular file: " + path);
+  }
+
+  MmapFile file;
+  file.size_ = static_cast<size_t>(st.st_size);
+  if (file.size_ > 0) {
+    void* addr = ::mmap(nullptr, file.size_, PROT_READ, MAP_SHARED, fd, 0);
+    const int err = errno;
+    const bool injected = SEQHIDE_FAULT_HIT("io.bindb.map");
+    if (addr == MAP_FAILED || injected) {
+      if (addr != MAP_FAILED) ::munmap(addr, file.size_);
+      ::close(fd);
+      return Status::IOError(
+          "mmap " + path + ": " +
+          (injected ? "injected fault: io.bindb.map" : std::strerror(err)));
+    }
+    file.data_ = static_cast<const unsigned char*>(addr);
+  }
+  // The mapping keeps its own reference to the file; the descriptor is
+  // no longer needed.
+  ::close(fd);
+  return file;
+}
+
+void MmapFile::Reset() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<unsigned char*>(data_), size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+}
+
+}  // namespace seqhide

@@ -1,0 +1,57 @@
+// MmapFile: RAII read-only memory mapping of a whole file.
+//
+// The mapping is PROT_READ / MAP_SHARED, so every process that opens the
+// same seqhidb file shares one set of physical pages — the kernel's page
+// cache is the only copy of the database in memory no matter how many
+// readers are running. Opening never reads the file's contents eagerly;
+// pages fault in on first access.
+
+#ifndef SEQHIDE_SEQ_MMAP_FILE_H_
+#define SEQHIDE_SEQ_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace seqhide {
+
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile() { Reset(); }
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+  MmapFile& operator=(MmapFile&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      data_ = other.data_;
+      size_ = other.size_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  // Maps `path` read-only. NotFound if the file does not exist, IOError
+  // for other open/map failures. An empty file maps successfully with
+  // size() == 0 and data() == nullptr.
+  static Result<MmapFile> Open(const std::string& path);
+
+  const unsigned char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool mapped() const { return data_ != nullptr; }
+
+ private:
+  void Reset();
+
+  const unsigned char* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_SEQ_MMAP_FILE_H_

@@ -1,0 +1,16 @@
+#include "src/seq/view.h"
+
+#include "src/seq/database.h"
+
+namespace seqhide {
+
+DatabaseView::DatabaseView(const SequenceDatabase& db)
+    : num_rows_(db.size()), alphabet_(&db.alphabet()) {
+  rows_.reserve(db.size());
+  for (size_t t = 0; t < db.size(); ++t) {
+    rows_.push_back(SequenceView(db[t]));
+    num_symbols_ += db[t].size();
+  }
+}
+
+}  // namespace seqhide

@@ -1,0 +1,345 @@
+// Unit tests for the seqhidb v1 binary format (src/seq/binary_format.h):
+// layout pinning against docs/binary-format.md, text↔binary round trips,
+// corruption handling (truncation and bit-flip sweeps — never a crash,
+// always a clean Corruption-class error), index correctness, format
+// sniffing, and the io.bindb.* fault-injection sites.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/fault_injection.h"
+#include "src/common/random.h"
+#include "src/match/subsequence.h"
+#include "src/seq/binary_format.h"
+#include "src/seq/io.h"
+#include "tests/test_util.h"
+
+namespace seqhide {
+namespace {
+
+// The worked example of docs/binary-format.md: three rows over {a, b, c}
+// with one Δ mark. Keep the two in sync — the doc's hex dump is this db.
+SequenceDatabase SpecExampleDb() {
+  SequenceDatabase db;
+  db.AddFromNames({"a", "b", "a", "c"});
+  db.AddFromNames({"b", "c"});
+  db.AddFromNames({"a"});
+  db.mutable_sequence(0)->Mark(2);  // <a, b, Δ, c>
+  return db;
+}
+
+std::string MustWrite(const SequenceDatabase& db,
+                      const BinaryWriteOptions& opts = {}) {
+  auto bytes = WriteBinaryDatabaseToString(db, opts);
+  EXPECT_TRUE(bytes.ok()) << bytes.status();
+  return std::move(bytes).value();
+}
+
+MappedDatabase MustOpen(const std::string& bytes,
+                        const MappedOpenOptions& opts = {}) {
+  auto mapped = MappedDatabase::FromBuffer(bytes, opts);
+  EXPECT_TRUE(mapped.ok()) << mapped.status();
+  return std::move(mapped).value();
+}
+
+void ExpectSameDb(const SequenceDatabase& a, const SequenceDatabase& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.alphabet().size(), b.alphabet().size());
+  for (SymbolId s = 0; s < static_cast<SymbolId>(a.alphabet().size()); ++s) {
+    EXPECT_EQ(a.alphabet().Name(s), b.alphabet().Name(s)) << "symbol " << s;
+  }
+  for (size_t t = 0; t < a.size(); ++t) {
+    EXPECT_EQ(a[t], b[t]) << "row " << t;
+  }
+}
+
+TEST(BinaryFormatTest, SpecExampleLayoutIsPinned) {
+  const std::string bytes = MustWrite(SpecExampleDb());
+  ASSERT_GE(bytes.size(), kBinaryHeaderBytes);
+
+  // Magic + fixed header fields, exactly as docs/binary-format.md states.
+  EXPECT_EQ(0, std::memcmp(bytes.data(), kBinaryMagic, 8));
+  MappedDatabase db = MustOpen(bytes, {.verify_checksums = true});
+  const BinaryHeader& h = db.header();
+  EXPECT_EQ(h.version, kBinaryFormatVersion);
+  EXPECT_EQ(h.file_bytes, bytes.size());
+  EXPECT_EQ(h.num_rows, 3u);
+  EXPECT_EQ(h.num_symbols, 7u);  // 4 + 2 + 1, Δ included
+  EXPECT_EQ(h.alphabet_size, 3u);
+  EXPECT_EQ(h.prefix_k, 2u);
+
+  // Canonical section placement: enum order, 8-aligned, gap-free (modulo
+  // alignment padding), starting right after the header.
+  uint64_t cursor = kBinaryHeaderBytes;
+  for (size_t i = 0; i < kBinaryNumSections; ++i) {
+    const BinarySection& s = h.sections[i];
+    cursor = (cursor + 7) & ~uint64_t{7};
+    EXPECT_EQ(s.offset, cursor) << "section " << i;
+    cursor += s.bytes;
+  }
+  EXPECT_EQ((cursor + 7) & ~uint64_t{7}, bytes.size());
+
+  // Known section sizes for this db.
+  EXPECT_EQ(h.sections[kSecAlphaOffsets].bytes, 4u * 8);  // |Σ|+1
+  EXPECT_EQ(h.sections[kSecAlphaNames].bytes, 3u);        // "abc"
+  EXPECT_EQ(h.sections[kSecRowOffsets].bytes, 4u * 8);    // |D|+1
+  EXPECT_EQ(h.sections[kSecColumns].bytes, 7u * 4);
+  EXPECT_EQ(h.sections[kSecPostOffsets].bytes, 4u * 8);
+}
+
+TEST(BinaryFormatTest, WriterIsDeterministic) {
+  Rng rng(7);
+  SequenceDatabase db = testutil::RandomDb(&rng, 25, 0, 14, 6);
+  EXPECT_EQ(MustWrite(db), MustWrite(db));
+}
+
+TEST(BinaryFormatTest, RoundTripPreservesEverything) {
+  Rng rng(11);
+  SequenceDatabase db = testutil::RandomDb(&rng, 40, 0, 20, 8);
+  db.mutable_sequence(3)->Mark(0);
+  const std::string bytes = MustWrite(db);
+  MappedDatabase mapped = MustOpen(bytes, {.verify_checksums = true});
+  auto back = mapped.ToDatabase();
+  ASSERT_TRUE(back.ok()) << back.status();
+  ExpectSameDb(db, *back);
+
+  // Zero-copy rows agree with the materialized ones.
+  for (size_t t = 0; t < db.size(); ++t) {
+    SequenceView v = mapped.row(t);
+    ASSERT_EQ(v.size(), db[t].size()) << t;
+    for (size_t i = 0; i < v.size(); ++i) EXPECT_EQ(v[i], db[t][i]);
+  }
+
+  // And a re-serialization of the materialized db is byte-identical.
+  EXPECT_EQ(MustWrite(*back), bytes);
+}
+
+TEST(BinaryFormatTest, EmptyDatabaseRoundTrips) {
+  SequenceDatabase db;
+  const std::string bytes = MustWrite(db);
+  MappedDatabase mapped = MustOpen(bytes, {.verify_checksums = true});
+  EXPECT_EQ(mapped.size(), 0u);
+  EXPECT_TRUE(mapped.empty());
+  auto back = mapped.ToDatabase();
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->size(), 0u);
+}
+
+TEST(BinaryFormatTest, TextBinaryTextRoundTrip) {
+  Rng rng(13);
+  SequenceDatabase db = testutil::RandomDb(&rng, 30, 1, 10, 5);
+  const std::string text = WriteDatabaseToString(db);
+  auto reread = ReadDatabaseFromString(text);
+  ASSERT_TRUE(reread.ok());
+  const std::string bytes = MustWrite(*reread);
+  MappedDatabase mapped = MustOpen(bytes);
+  auto back = mapped.ToDatabase();
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(WriteDatabaseToString(*back), text);
+}
+
+TEST(BinaryFormatTest, StatsMatchesInMemory) {
+  Rng rng(17);
+  SequenceDatabase db = testutil::RandomDb(&rng, 22, 0, 9, 4);
+  db.mutable_sequence(1)->Mark(0);
+  MappedDatabase mapped = MustOpen(MustWrite(db));
+  DatabaseStats a = db.Stats();
+  DatabaseStats b = mapped.Stats();
+  EXPECT_EQ(a.num_sequences, b.num_sequences);
+  EXPECT_EQ(a.total_symbols, b.total_symbols);
+  EXPECT_EQ(a.total_marks, b.total_marks);
+  EXPECT_EQ(a.min_length, b.min_length);
+  EXPECT_EQ(a.max_length, b.max_length);
+  EXPECT_DOUBLE_EQ(a.mean_length, b.mean_length);
+  EXPECT_EQ(a.alphabet_size, b.alphabet_size);
+}
+
+TEST(BinaryFormatTest, PostingListsAreExact) {
+  Rng rng(19);
+  SequenceDatabase db = testutil::RandomDb(&rng, 35, 0, 12, 5);
+  MappedDatabase mapped = MustOpen(MustWrite(db));
+  for (SymbolId s = 0; s < static_cast<SymbolId>(db.alphabet().size()); ++s) {
+    std::vector<uint32_t> expected;
+    for (size_t t = 0; t < db.size(); ++t) {
+      for (size_t i = 0; i < db[t].size(); ++i) {
+        if (db[t][i] == s) {
+          expected.push_back(static_cast<uint32_t>(t));
+          break;
+        }
+      }
+    }
+    MappedDatabase::RowIdSpan span = mapped.PostingList(s);
+    ASSERT_EQ(span.size, expected.size()) << "symbol " << s;
+    EXPECT_TRUE(std::equal(span.begin(), span.end(), expected.begin()));
+  }
+  // Δ and out-of-alphabet ids have empty postings.
+  EXPECT_EQ(mapped.PostingList(kDeltaSymbol).size, 0u);
+  EXPECT_EQ(
+      mapped.PostingList(static_cast<SymbolId>(db.alphabet().size())).size,
+      0u);
+}
+
+TEST(BinaryFormatTest, CandidateRowsIsAnExactSuperset) {
+  Rng rng(23);
+  SequenceDatabase db = testutil::RandomDb(&rng, 50, 0, 15, 4);
+  MappedDatabase mapped = MustOpen(MustWrite(db));
+  for (int i = 0; i < 50; ++i) {
+    Sequence pattern = testutil::RandomSeq(&rng, 1 + i % 4, 4);
+    std::vector<size_t> candidates = mapped.CandidateRows(pattern);
+    EXPECT_TRUE(std::is_sorted(candidates.begin(), candidates.end()));
+    std::set<size_t> candidate_set(candidates.begin(), candidates.end());
+    for (size_t t = 0; t < db.size(); ++t) {
+      if (IsSubsequence(pattern, db[t])) {
+        EXPECT_TRUE(candidate_set.count(t))
+            << "supporter row " << t << " pruned for pattern "
+            << pattern.DebugString();
+      }
+    }
+  }
+}
+
+TEST(BinaryFormatTest, PrefixIndexOffRoundTrips) {
+  Rng rng(29);
+  SequenceDatabase db = testutil::RandomDb(&rng, 20, 0, 10, 4);
+  BinaryWriteOptions opts;
+  opts.prefix_k = 0;
+  const std::string bytes = MustWrite(db, opts);
+  MappedDatabase mapped = MustOpen(bytes, {.verify_checksums = true});
+  EXPECT_EQ(mapped.header().prefix_k, 0u);
+  EXPECT_EQ(mapped.header().num_prefix_keys, 0u);
+  auto back = mapped.ToDatabase();
+  ASSERT_TRUE(back.ok());
+  ExpectSameDb(db, *back);
+  // Candidate pruning still works off the posting lists alone.
+  Sequence pattern = testutil::RandomSeq(&rng, 2, 4);
+  std::set<size_t> cands;
+  for (size_t t : mapped.CandidateRows(pattern)) cands.insert(t);
+  for (size_t t = 0; t < db.size(); ++t) {
+    if (IsSubsequence(pattern, db[t])) {
+      EXPECT_TRUE(cands.count(t)) << t;
+    }
+  }
+}
+
+TEST(BinaryFormatTest, WriterRejectsUnsupportedPrefixK) {
+  BinaryWriteOptions opts;
+  opts.prefix_k = 5;
+  auto bytes = WriteBinaryDatabaseToString(SpecExampleDb(), opts);
+  EXPECT_TRUE(bytes.status().IsInvalidArgument()) << bytes.status();
+}
+
+TEST(BinaryFormatTest, SniffingRecognizesTheMagic) {
+  const std::string bytes = MustWrite(SpecExampleDb());
+  EXPECT_TRUE(LooksLikeBinaryDatabase(
+      reinterpret_cast<const unsigned char*>(bytes.data()), bytes.size()));
+  const std::string text = "# seqhide sequence database\na b c\n";
+  EXPECT_FALSE(LooksLikeBinaryDatabase(
+      reinterpret_cast<const unsigned char*>(text.data()), text.size()));
+  EXPECT_FALSE(LooksLikeBinaryDatabase(nullptr, 0));
+}
+
+TEST(BinaryFormatTest, TruncationSweepNeverCrashesAndNeverParses) {
+  const std::string bytes = MustWrite(SpecExampleDb());
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto mapped = MappedDatabase::FromBuffer(bytes.substr(0, len));
+    EXPECT_FALSE(mapped.ok()) << "truncated to " << len << " bytes parsed";
+    EXPECT_TRUE(mapped.status().IsCorruption() ||
+                mapped.status().IsInvalidArgument())
+        << len << ": " << mapped.status();
+  }
+  // Trailing garbage is equally rejected (file_bytes pins the size).
+  auto grown = MappedDatabase::FromBuffer(bytes + std::string(8, '\0'));
+  EXPECT_FALSE(grown.ok());
+}
+
+TEST(BinaryFormatTest, HeaderBitFlipsAreAlwaysDetectedAtOpen) {
+  const std::string bytes = MustWrite(SpecExampleDb());
+  for (size_t pos = 0; pos < kBinaryHeaderBytes; ++pos) {
+    for (unsigned char flip : {0x01, 0x80}) {
+      std::string corrupt = bytes;
+      corrupt[pos] = static_cast<char>(corrupt[pos] ^ flip);
+      auto mapped = MappedDatabase::FromBuffer(corrupt);
+      EXPECT_FALSE(mapped.ok())
+          << "header byte " << pos << " flipped by " << int(flip)
+          << " went unnoticed";
+    }
+  }
+}
+
+TEST(BinaryFormatTest, AnyBitFlipIsDetectedByVerifyChecksums) {
+  const std::string bytes = MustWrite(SpecExampleDb());
+  for (size_t pos = 0; pos < bytes.size(); ++pos) {
+    std::string corrupt = bytes;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x40);
+    auto mapped =
+        MappedDatabase::FromBuffer(corrupt, {.verify_checksums = true});
+    EXPECT_FALSE(mapped.ok())
+        << "byte " << pos << " flipped but full verification passed";
+  }
+}
+
+TEST(BinaryFormatTest, OpenMappedServesFilesAndReportsNotFound) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "/binary_format_test.hidb";
+  SequenceDatabase db = SpecExampleDb();
+  ASSERT_TRUE(WriteBinaryDatabaseToFile(db, path).ok());
+  auto mapped = MappedDatabase::OpenMapped(path, {.verify_checksums = true});
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  auto back = mapped->ToDatabase();
+  ASSERT_TRUE(back.ok());
+  ExpectSameDb(db, *back);
+  std::remove(path.c_str());
+
+  auto missing = MappedDatabase::OpenMapped(dir + "/no_such_file.hidb");
+  EXPECT_TRUE(missing.status().IsNotFound()) << missing.status();
+}
+
+TEST(BinaryFormatTest, AtomicWriteFaultsLeaveDestinationUntouched) {
+#ifdef SEQHIDE_FAULTS_DISABLED
+  GTEST_SKIP() << "fault injection compiled out";
+#endif
+  const std::string path =
+      ::testing::TempDir() + "/binary_format_fault.hidb";
+  SequenceDatabase original = SpecExampleDb();
+  ASSERT_TRUE(WriteBinaryDatabaseToFile(original, path).ok());
+  const std::string before = [&] {
+    auto m = MappedDatabase::OpenMapped(path);
+    EXPECT_TRUE(m.ok());
+    return MustWrite(*m->ToDatabase());
+  }();
+
+  Rng rng(41);
+  SequenceDatabase bigger = testutil::RandomDb(&rng, 12, 1, 6, 3);
+  FaultInjector& fi = FaultInjector::Default();
+  for (const char* site :
+       {"io.bindb.write.open", "io.bindb.write", "io.bindb.write.rename"}) {
+    fi.Reset();
+    ASSERT_TRUE(fi.ArmSite(site, 1).ok());
+    Status s = WriteBinaryDatabaseToFile(bigger, path);
+    EXPECT_TRUE(s.IsIOError()) << site << ": " << s;
+    EXPECT_EQ(fi.FaultsFired(), 1u) << site;
+    // The destination still holds the complete previous database.
+    auto m = MappedDatabase::OpenMapped(path, {.verify_checksums = true});
+    ASSERT_TRUE(m.ok()) << site << ": " << m.status();
+    EXPECT_EQ(MustWrite(*m->ToDatabase()), before) << site;
+  }
+  fi.Reset();
+
+  for (const char* site : {"io.bindb.open", "io.bindb.map"}) {
+    fi.Reset();
+    ASSERT_TRUE(fi.ArmSite(site, 1).ok());
+    auto m = MappedDatabase::OpenMapped(path);
+    EXPECT_TRUE(m.status().IsIOError()) << site << ": " << m.status();
+  }
+  fi.Reset();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace seqhide

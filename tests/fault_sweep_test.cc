@@ -16,6 +16,7 @@
 #include "src/data/workload.h"
 #include "src/hide/sanitizer.h"
 #include "src/obs/metrics.h"
+#include "src/seq/binary_format.h"
 #include "src/seq/io.h"
 #include "tests/test_util.h"
 
@@ -76,6 +77,19 @@ Status RunPipeline(const std::string& dir, bool* out_db_written) {
 
   SEQHIDE_RETURN_IF_ERROR(WriteDatabaseToFile(db, out_path));
   *out_db_written = true;
+
+  // Binary leg: serialize the sanitized result as seqhidb, map it back,
+  // and materialize — reaches every io.bindb.* site. A failure here
+  // surfaces as a clean IOError and leaves no torn destination file (the
+  // writer goes through <path>.tmp + rename).
+  const std::string bin_path = dir + "/sweep_out.hidb";
+  SEQHIDE_RETURN_IF_ERROR(WriteBinaryDatabaseToFile(db, bin_path));
+  SEQHIDE_ASSIGN_OR_RETURN(MappedDatabase mapped,
+                           MappedDatabase::OpenMapped(bin_path));
+  SEQHIDE_ASSIGN_OR_RETURN(SequenceDatabase back, mapped.ToDatabase());
+  if (back.size() != db.size()) {
+    return Status::Internal("binary round-trip changed the row count");
+  }
   return Status::OK();
 }
 

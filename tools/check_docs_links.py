@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Fails on dead relative links in the repo's markdown docs.
+
+Scans README.md and every .md file under docs/ for markdown links and
+inline `path` references that look like repo paths, resolves each target
+relative to the file that contains it (and, as a fallback, to the repo
+root, which is how most docs here write their links), and exits non-zero
+listing every target that does not exist. External links (http/https/
+mailto) and pure-anchor links are skipped; a `#fragment` suffix on a file
+link is stripped before the existence check (anchors themselves are not
+validated).
+
+Usage: tools/check_docs_links.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def candidate_paths(root, md_file, target):
+    target = target.split("#", 1)[0]
+    if not target:
+        return []
+    if target.startswith("/"):
+        return [os.path.join(root, target.lstrip("/"))]
+    return [
+        os.path.normpath(os.path.join(os.path.dirname(md_file), target)),
+        os.path.normpath(os.path.join(root, target)),
+    ]
+
+
+def check_file(root, md_file):
+    dead = []
+    with open(md_file, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            for target in LINK_RE.findall(line):
+                if target.startswith(SKIP_PREFIXES):
+                    continue
+                paths = candidate_paths(root, md_file, target)
+                if paths and not any(os.path.exists(p) for p in paths):
+                    dead.append((lineno, target))
+    return dead
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    md_files = [os.path.join(root, "README.md")]
+    docs = os.path.join(root, "docs")
+    for dirpath, _, names in os.walk(docs):
+        md_files.extend(
+            os.path.join(dirpath, n) for n in sorted(names) if n.endswith(".md")
+        )
+
+    failures = 0
+    checked = 0
+    for md_file in md_files:
+        if not os.path.exists(md_file):
+            continue
+        checked += 1
+        for lineno, target in check_file(root, md_file):
+            rel = os.path.relpath(md_file, root)
+            print(f"{rel}:{lineno}: dead link: {target}")
+            failures += 1
+
+    if failures:
+        print(f"\n{failures} dead link(s) across {checked} file(s)")
+        return 1
+    print(f"all relative links resolve across {checked} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,9 +6,12 @@
 //
 // Usage: gen_fuzz_corpus <corpus_root> [files_per_harness] [seed]
 //
-// Writes <corpus_root>/db_reader/gen_<nn>.txt and
-// <corpus_root>/json/gen_<nn>.json. Deterministic for a fixed seed; the
-// checked-in corpus under tests/fuzz/corpus/ was produced with the
+// Writes <corpus_root>/db_reader/gen_<nn>.txt,
+// <corpus_root>/json/gen_<nn>.json and
+// <corpus_root>/binary_db/gen_<nn>.hidb (seqhidb v1 images for the
+// binary reader harness; even indexes keep the prefix index, odd ones
+// drop it so both layouts are seeded). Deterministic for a fixed seed;
+// the checked-in corpus under tests/fuzz/corpus/ was produced with the
 // defaults (12 files per harness, seed 0xC0B905).
 
 #include <cstdint>
@@ -17,6 +20,7 @@
 #include <string>
 
 #include "src/common/random.h"
+#include "src/seq/binary_format.h"
 #include "src/seq/io.h"
 #include "src/testing/generators.h"
 
@@ -115,6 +119,17 @@ int main(int argc, char** argv) {
     }
     if (!seqhide::WriteFile(root + "/json/" + name + ".json",
                             seqhide::InstanceToJson(inst, &rng))) {
+      return 1;
+    }
+    seqhide::BinaryWriteOptions bin_opts;
+    bin_opts.prefix_k = (i % 2 == 0) ? 2 : 0;
+    auto image = seqhide::WriteBinaryDatabaseToString(inst.db, bin_opts);
+    if (!image.ok()) {
+      std::fprintf(stderr, "binary serialization failed: %s\n",
+                   image.status().ToString().c_str());
+      return 1;
+    }
+    if (!seqhide::WriteFile(root + "/binary_db/" + name + ".hidb", *image)) {
       return 1;
     }
   }

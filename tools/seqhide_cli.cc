@@ -11,6 +11,18 @@
 //                        [--max-rounds N] [--round-size N]
 //                        [--checkpoint FILE] [--checkpoint-every N]
 //                        [--resume]
+//   seqhide_cli convert  --db IN --out OUT --to text|binary [--prefix-k N]
+//   seqhide_cli inspect  --db FILE [--verify]
+//
+// On-disk formats (docs/binary-format.md): every db-loading seq command
+// takes --db-format text|binary|auto (default auto: sniff the magic).
+// Binary databases are served through the mmap reader — `stats` answers
+// from the mapped file without materializing rows, `support` prunes with
+// the file's posting-list and prefix indexes, `mine`/`sanitize`
+// materialize first. `convert` translates between the formats (the
+// binary side round-trips byte-identically); `inspect` prints the header
+// and section table of a binary database and, with --verify, runs the
+// full checksum + structural validation.
 //
 // --threads bounds the worker count for the parallel pipeline stages;
 // 0 means "auto" (all hardware threads). Results are bit-identical for
@@ -60,9 +72,11 @@
 #include "src/itemset/itemset_io.h"
 #include "src/itemset/itemset_match.h"
 #include "src/itemset/itemset_mine.h"
+#include "src/match/mapped_match.h"
 #include "src/match/subsequence.h"
 #include "src/mine/constrained_miner.h"
 #include "src/mine/prefix_span.h"
+#include "src/seq/binary_format.h"
 #include "src/seq/io.h"
 
 namespace seqhide {
@@ -90,7 +104,11 @@ void PrintUsage() {
       "           [--deadline-seconds S] [--max-table-bytes N]\n"
       "           [--max-rounds N] [--round-size N]\n"
       "           [--checkpoint FILE] [--checkpoint-every N] [--resume]\n"
+      "  convert  --db IN --out OUT --to text|binary [--prefix-k 0|2]\n"
+      "  inspect  --db FILE [--verify]\n"
       "common:    [--input-mode strict|lenient] [--inject-fault site:k,...]\n"
+      "           [--db-format text|binary|auto] (seq commands; default "
+      "auto)\n"
       "pattern syntax (seq):     \"a -> b\", \"a ->[0] b ->[2..6] c ; "
       "window<=10\"\n"
       "pattern syntax (itemset): \"(formula) (coupon,snacks)\"\n";
@@ -113,8 +131,8 @@ bool ParseArgs(int argc, char** argv, ParsedArgs* out) {
     std::string flag = argv[i];
     if (flag.size() < 3 || flag[0] != '-' || flag[1] != '-') return false;
     flag = flag.substr(2);
-    if (flag == "resume") {  // the one valueless flag
-      out->flags["resume"] = "true";
+    if (flag == "resume" || flag == "verify") {  // the valueless flags
+      out->flags[flag] = "true";
       continue;
     }
     if (i + 1 >= argc) return false;
@@ -137,18 +155,24 @@ Status ValidateFlags(const ParsedArgs& args) {
     std::vector<const char*> flags;
   };
   static const std::map<std::string, CommandSpec> kCommands = {
-      {"stats", {false, {"db", "format", "input-mode", "inject-fault"}}},
-      {"support", {true, {"db", "input-mode", "inject-fault"}}},
+      {"stats",
+       {false, {"db", "format", "db-format", "input-mode", "inject-fault"}}},
+      {"support", {true, {"db", "db-format", "input-mode", "inject-fault"}}},
       {"mine",
        {false,
-        {"db", "sigma", "max-len", "top", "format", "input-mode",
+        {"db", "sigma", "max-len", "top", "format", "db-format", "input-mode",
          "inject-fault"}}},
       {"sanitize",
        {true,
         {"db", "out", "psi", "algo", "seed", "threads", "stage2", "format",
-         "stats-json", "trace-json", "input-mode", "inject-fault",
+         "db-format", "stats-json", "trace-json", "input-mode", "inject-fault",
          "deadline-seconds", "max-table-bytes", "max-rounds", "round-size",
          "checkpoint", "checkpoint-every", "resume"}}},
+      {"convert",
+       {false,
+        {"db", "out", "to", "prefix-k", "db-format", "input-mode",
+         "inject-fault"}}},
+      {"inspect", {false, {"db", "verify", "inject-fault"}}},
   };
   auto it = kCommands.find(args.command);
   if (it == kCommands.end()) return Status::OK();  // dispatch rejects it
@@ -201,7 +225,29 @@ Result<ReadOptions> ReadOptionsFromFlags(const ParsedArgs& args) {
   return opts;
 }
 
-// Loads --db honoring --input-mode. In lenient mode skipped lines are
+enum class DbFormat { kText, kBinary };
+
+// Resolves --db-format for `path`: an explicit text/binary wins, auto
+// (the default) sniffs the seqhidb magic.
+Result<DbFormat> ResolveDbFormat(const ParsedArgs& args,
+                                 const std::string& path) {
+  std::string value = "auto";
+  if (auto it = args.flags.find("db-format"); it != args.flags.end()) {
+    value = it->second;
+  }
+  if (value == "text") return DbFormat::kText;
+  if (value == "binary") return DbFormat::kBinary;
+  if (value != "auto") {
+    return Status::InvalidArgument(
+        "--db-format must be 'text', 'binary' or 'auto'");
+  }
+  SEQHIDE_ASSIGN_OR_RETURN(bool binary, FileLooksLikeBinaryDatabase(path));
+  return binary ? DbFormat::kBinary : DbFormat::kText;
+}
+
+// Loads --db honoring --db-format and --input-mode. A binary database is
+// materialized through the validating ToDatabase() path (--input-mode
+// applies to text input only). In lenient mode skipped text lines are
 // summarized on stderr (and land in the stats-json robustness block when
 // `report` is threaded through to it).
 Result<SequenceDatabase> LoadDb(const ParsedArgs& args,
@@ -209,6 +255,12 @@ Result<SequenceDatabase> LoadDb(const ParsedArgs& args,
   auto it = args.flags.find("db");
   if (it == args.flags.end()) {
     return Status::InvalidArgument("--db FILE is required");
+  }
+  SEQHIDE_ASSIGN_OR_RETURN(DbFormat format, ResolveDbFormat(args, it->second));
+  if (format == DbFormat::kBinary) {
+    SEQHIDE_ASSIGN_OR_RETURN(MappedDatabase mapped,
+                             MappedDatabase::OpenMapped(it->second));
+    return mapped.ToDatabase();
   }
   SEQHIDE_ASSIGN_OR_RETURN(ReadOptions read_opts, ReadOptionsFromFlags(args));
   ReadReport local;
@@ -487,8 +539,18 @@ Status RunSanitizeItemset(const ParsedArgs& args) {
 }
 
 Status RunStats(const ParsedArgs& args) {
-  SEQHIDE_ASSIGN_OR_RETURN(SequenceDatabase db, LoadDb(args));
-  DatabaseStats stats = db.Stats();
+  SEQHIDE_ASSIGN_OR_RETURN(std::string path, DbPath(args));
+  SEQHIDE_ASSIGN_OR_RETURN(DbFormat format, ResolveDbFormat(args, path));
+  DatabaseStats stats;
+  if (format == DbFormat::kBinary) {
+    // Answered straight off the mapping — no row materialization.
+    SEQHIDE_ASSIGN_OR_RETURN(MappedDatabase mapped,
+                             MappedDatabase::OpenMapped(path));
+    stats = mapped.Stats();
+  } else {
+    SEQHIDE_ASSIGN_OR_RETURN(SequenceDatabase db, LoadDb(args));
+    stats = db.Stats();
+  }
   std::cout << "sequences       " << stats.num_sequences << "\n"
             << "alphabet        " << stats.alphabet_size << "\n"
             << "total symbols   " << stats.total_symbols << "\n"
@@ -499,6 +561,31 @@ Status RunStats(const ParsedArgs& args) {
 }
 
 Status RunSupport(const ParsedArgs& args) {
+  SEQHIDE_ASSIGN_OR_RETURN(std::string path, DbPath(args));
+  SEQHIDE_ASSIGN_OR_RETURN(DbFormat format, ResolveDbFormat(args, path));
+  if (format == DbFormat::kBinary) {
+    // Mapped path: the file's posting-list/prefix indexes prune the rows
+    // that need any DP work; results equal the text path's. Patterns may
+    // intern symbols the file has never seen — those get fresh ids with
+    // empty posting lists, i.e. support 0, which is correct.
+    SEQHIDE_ASSIGN_OR_RETURN(MappedDatabase mapped,
+                             MappedDatabase::OpenMapped(path));
+    Alphabet alphabet = mapped.alphabet();
+    SEQHIDE_ASSIGN_OR_RETURN(std::vector<ConstrainedPattern> patterns,
+                             ParsePatterns(args, &alphabet));
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      size_t constrained = ConstrainedSupportMapped(
+          patterns[i].pattern, patterns[i].constraints, mapped);
+      std::cout << "pattern " << i + 1 << ": \"" << args.patterns[i]
+                << "\"  support=" << constrained;
+      if (!patterns[i].constraints.IsUnconstrained()) {
+        std::cout << "  (unconstrained support="
+                  << SupportMapped(patterns[i].pattern, mapped) << ")";
+      }
+      std::cout << "\n";
+    }
+    return Status::OK();
+  }
   SEQHIDE_ASSIGN_OR_RETURN(SequenceDatabase db, LoadDb(args));
   SEQHIDE_ASSIGN_OR_RETURN(std::vector<ConstrainedPattern> patterns,
                            ParsePatterns(args, &db.alphabet()));
@@ -512,6 +599,65 @@ Status RunSupport(const ParsedArgs& args) {
                 << Support(patterns[i].pattern, db) << ")";
     }
     std::cout << "\n";
+  }
+  return Status::OK();
+}
+
+Status RunConvert(const ParsedArgs& args) {
+  auto out_it = args.flags.find("out");
+  if (out_it == args.flags.end()) {
+    return Status::InvalidArgument("--out FILE is required");
+  }
+  auto to_it = args.flags.find("to");
+  if (to_it == args.flags.end()) {
+    return Status::InvalidArgument("--to text|binary is required");
+  }
+  // The input side goes through LoadDb: --db-format (default auto)
+  // selects the reader, and a binary input is fully validated by the
+  // materializing path, so convert doubles as an integrity check.
+  SEQHIDE_ASSIGN_OR_RETURN(SequenceDatabase db, LoadDb(args));
+  if (to_it->second == "binary") {
+    BinaryWriteOptions opts;
+    SEQHIDE_ASSIGN_OR_RETURN(opts.prefix_k,
+                             FlagAsSize(args, "prefix-k", opts.prefix_k));
+    SEQHIDE_RETURN_IF_ERROR(
+        WriteBinaryDatabaseToFile(db, out_it->second, opts));
+  } else if (to_it->second == "text") {
+    SEQHIDE_RETURN_IF_ERROR(WriteDatabaseToFile(db, out_it->second));
+  } else {
+    return Status::InvalidArgument("--to must be 'text' or 'binary'");
+  }
+  std::cout << "wrote " << out_it->second << " (" << db.size()
+            << " sequences, " << to_it->second << ")\n";
+  return Status::OK();
+}
+
+Status RunInspect(const ParsedArgs& args) {
+  SEQHIDE_ASSIGN_OR_RETURN(std::string path, DbPath(args));
+  SEQHIDE_ASSIGN_OR_RETURN(MappedDatabase db,
+                           MappedDatabase::OpenMapped(path));
+  const BinaryHeader& h = db.header();
+  std::cout << "seqhidb version  " << h.version << "\n"
+            << "file bytes       " << h.file_bytes << "\n"
+            << "sequences        " << h.num_rows << "\n"
+            << "total symbols    " << h.num_symbols << "\n"
+            << "alphabet         " << h.alphabet_size << "\n"
+            << "prefix index     k=" << h.prefix_k << " keys="
+            << h.num_prefix_keys << "\n"
+            << "sections (offset/bytes/fnv):\n";
+  static const char* kSectionNames[kBinaryNumSections] = {
+      "alpha_offsets", "alpha_names",    "row_offsets",
+      "columns",       "post_offsets",   "post_rows",
+      "prefix_keys",   "prefix_offsets", "prefix_rows"};
+  for (size_t i = 0; i < kBinaryNumSections; ++i) {
+    const BinarySection& s = h.sections[i];
+    std::cout << "  " << i << " " << kSectionNames[i] << "  " << s.offset
+              << " / " << s.bytes << " / " << std::hex << s.fnv << std::dec
+              << "\n";
+  }
+  if (args.flags.count("verify") > 0) {
+    SEQHIDE_RETURN_IF_ERROR(db.VerifyChecksums());
+    std::cout << "checksums OK (all sections verified)\n";
   }
   return Status::OK();
 }
@@ -701,6 +847,10 @@ int Main(int argc, char** argv) {
     status = *itemset ? RunMineItemset(args) : RunMine(args);
   } else if (args.command == "sanitize") {
     status = *itemset ? RunSanitizeItemset(args) : RunSanitize(args);
+  } else if (args.command == "convert") {
+    status = RunConvert(args);
+  } else if (args.command == "inspect") {
+    status = RunInspect(args);
   } else {
     PrintUsage();
     return 1;
