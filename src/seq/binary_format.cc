@@ -1,7 +1,11 @@
 #include "src/seq/binary_format.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <bit>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -233,19 +237,34 @@ Status WriteBinaryDatabaseToFile(const SequenceDatabase& db,
                                  const BinaryWriteOptions& opts) {
   SEQHIDE_ASSIGN_OR_RETURN(std::string image,
                            WriteBinaryDatabaseToString(db, opts));
-  // Write-then-rename: the destination is either the complete new image
-  // or untouched, never a torn file.
+  // Write, fsync, then rename: the destination is either the complete
+  // new image or whatever was there before — never a torn file — across
+  // both process crashes and power loss. Without the fsync a journaling
+  // filesystem may persist the rename ahead of the tmp file's data
+  // blocks, leaving an empty or partial destination.
   const std::string tmp = path + ".tmp";
   if (SEQHIDE_FAULT_HIT("io.bindb.write.open")) {
     return Status::IOError("injected fault: io.bindb.write.open for " + tmp);
   }
-  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-  if (!out) {
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
     return Status::IOError("cannot open " + tmp + " for writing");
   }
-  out.write(image.data(), static_cast<std::streamsize>(image.size()));
-  out.close();
-  if (!out || SEQHIDE_FAULT_HIT("io.bindb.write")) {
+  bool write_ok = true;
+  size_t done = 0;
+  while (write_ok && done < image.size()) {
+    const ssize_t n = ::write(fd, image.data() + done, image.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      write_ok = false;
+    } else {
+      done += static_cast<size_t>(n);
+    }
+  }
+  if (write_ok && ::fsync(fd) != 0) write_ok = false;
+  if (::close(fd) != 0) write_ok = false;
+  if (!write_ok || SEQHIDE_FAULT_HIT("io.bindb.write")) {
     std::remove(tmp.c_str());
     return Status::IOError("failed writing " + tmp);
   }
@@ -257,6 +276,17 @@ Status WriteBinaryDatabaseToFile(const SequenceDatabase& db,
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return Status::IOError("rename " + tmp + " -> " + path + " failed");
+  }
+  // Persist the rename itself. Best-effort: the data is already durable,
+  // so the worst case without this is the *old* file reappearing after
+  // power loss, never a torn one.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
   }
   return Status::OK();
 }
@@ -458,9 +488,10 @@ Status MappedDatabase::Init(const MappedOpenOptions& opts) {
       return Status::Corruption("seqhidb posting offsets are not monotone");
     }
   }
-  if (header_.alphabet_size > 0 &&
-      (post_offsets_[0] != 0 ||
-       post_offsets_[header_.alphabet_size] != num_post_rows)) {
+  // Also pins alphabet_size == 0: post_offsets_[0] is then both ends of
+  // the table, so a canonical file must carry an empty post-rows section.
+  if (post_offsets_[0] != 0 ||
+      post_offsets_[header_.alphabet_size] != num_post_rows) {
     return Status::Corruption("seqhidb posting offsets do not cover the "
                               "posting rows section");
   }
@@ -570,6 +601,13 @@ std::vector<size_t> MappedDatabase::CandidateRows(
   for (uint32_t t : acc) {
     if (t < num_rows) result.push_back(t);
   }
+  // Corrupt (unverified) posting lists may be unsorted or carry
+  // duplicate ids, which set_intersection then propagates. Sort + dedupe
+  // so the result keeps the sorted-unique contract, duplicate candidates
+  // are never scored twice, and rows.size() can never exceed num_rows
+  // (which would underflow the pruned counters).
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
   return finish(std::move(result));
 }
 

@@ -96,8 +96,10 @@ inline constexpr size_t kBinaryPrefixAlphabetLimit = 4096;
 Result<std::string> WriteBinaryDatabaseToString(
     const SequenceDatabase& db, const BinaryWriteOptions& opts = {});
 
-// Writes atomically: <path>.tmp then rename. The destination is either
-// the complete new file or whatever was there before, never a torn write.
+// Writes atomically: <path>.tmp, fsync, then rename (plus a best-effort
+// directory fsync). The destination is either the complete new file or
+// whatever was there before — never a torn write — across both process
+// crashes and power loss.
 Status WriteBinaryDatabaseToFile(const SequenceDatabase& db,
                                  const std::string& path,
                                  const BinaryWriteOptions& opts = {});

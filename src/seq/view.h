@@ -85,9 +85,10 @@ class DatabaseView {
   explicit DatabaseView(const SequenceDatabase& db);
 
   // Columnar representation: row t spans columns[row_offsets[t] ..
-  // row_offsets[t+1]). Offsets must be monotonically non-decreasing and
-  // bounded by num_symbols (the mapped reader validates this before
-  // handing the arrays here).
+  // row_offsets[t+1]). The offsets are NOT trusted: the mapped reader
+  // skips per-row validation at open, so row() clamps every access to
+  // [0, num_symbols] — corrupt offsets yield a truncated or empty view,
+  // never an out-of-bounds read.
   DatabaseView(const SymbolId* columns, const uint64_t* row_offsets,
                size_t num_rows, size_t num_symbols, const Alphabet* alphabet)
       : columns_(columns),
@@ -101,8 +102,11 @@ class DatabaseView {
 
   SequenceView row(size_t t) const {
     if (row_offsets_ != nullptr) {
-      const uint64_t begin = row_offsets_[t];
-      const uint64_t end = row_offsets_[t + 1];
+      uint64_t begin = row_offsets_[t];
+      uint64_t end = row_offsets_[t + 1];
+      const uint64_t n = num_symbols_;
+      if (begin > n) begin = n;
+      if (end > n || end < begin) end = begin;
       return SequenceView(columns_ + begin, static_cast<size_t>(end - begin));
     }
     return rows_[t];

@@ -48,6 +48,29 @@ MappedDatabase MustOpen(const std::string& bytes,
   return std::move(mapped).value();
 }
 
+// Little-endian patch helpers for corrupting specific image bytes.
+void OverwriteU32(std::string* bytes, uint64_t pos, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    (*bytes)[pos + i] = static_cast<char>(v >> (8 * i));
+  }
+}
+
+void OverwriteU64(std::string* bytes, uint64_t pos, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    (*bytes)[pos + i] = static_cast<char>(v >> (8 * i));
+  }
+}
+
+// FNV-1a-64, mirroring the writer, for re-stamping patched headers.
+uint64_t TestFnv(const char* p, size_t len) {
+  uint64_t h = 14695981039346656037ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= static_cast<unsigned char>(p[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
 void ExpectSameDb(const SequenceDatabase& a, const SequenceDatabase& b) {
   ASSERT_EQ(a.size(), b.size());
   ASSERT_EQ(a.alphabet().size(), b.alphabet().size());
@@ -282,6 +305,80 @@ TEST(BinaryFormatTest, AnyBitFlipIsDetectedByVerifyChecksums) {
     EXPECT_FALSE(mapped.ok())
         << "byte " << pos << " flipped but full verification passed";
   }
+}
+
+TEST(BinaryFormatTest, DatabaseViewClampsCorruptRowOffsets) {
+  const std::string bytes = MustWrite(SpecExampleDb());
+  MappedDatabase good = MustOpen(bytes);
+  const uint64_t off = good.header().sections[kSecRowOffsets].offset;
+  // row_offsets[1] := far past the column section. The header checksum
+  // does not cover payload sections, so an unverified open still
+  // succeeds — exactly the file a crash-corrupted serving path sees.
+  std::string corrupt = bytes;
+  OverwriteU64(&corrupt, off + 8, (uint64_t{1} << 47) - 1);
+  auto lax = MappedDatabase::FromBuffer(corrupt);
+  ASSERT_TRUE(lax.ok()) << lax.status();
+  EXPECT_FALSE(lax->VerifyChecksums().ok());
+
+  // The kernel-facing DatabaseView must clamp just like
+  // MappedDatabase::row(): every row stays inside the column section and
+  // the two read paths agree byte-for-byte.
+  const DatabaseView view = lax->view();
+  ASSERT_EQ(view.size(), lax->size());
+  for (size_t t = 0; t < view.size(); ++t) {
+    SequenceView row = view.row(t);
+    EXPECT_LE(row.size(), lax->total_symbols()) << t;
+    EXPECT_TRUE(row == lax->row(t)) << t;
+    for (size_t i = 0; i < row.size(); ++i) (void)row[i];
+  }
+}
+
+TEST(BinaryFormatTest, CandidateRowsDedupesCorruptPostingLists) {
+  const std::string bytes = MustWrite(SpecExampleDb());
+  MappedDatabase good = MustOpen(bytes);
+  const uint64_t off = good.header().sections[kSecPostRows].offset;
+  // Symbol a's posting run is {0, 2}; corrupt it to {0, 0}. Unverified
+  // opens accept this, and without dedup CandidateRows would return row
+  // 0 twice (double-counting matchings and underflowing the pruned
+  // counter).
+  std::string corrupt = bytes;
+  OverwriteU32(&corrupt, off + 4, 0);
+  auto lax = MappedDatabase::FromBuffer(corrupt);
+  ASSERT_TRUE(lax.ok()) << lax.status();
+  Sequence pattern;
+  pattern.Append(0);  // "a"
+  EXPECT_EQ(lax->CandidateRows(pattern), std::vector<size_t>({0}));
+}
+
+TEST(BinaryFormatTest, EmptyAlphabetRejectsDanglingPostingRows) {
+  const std::string bytes = MustWrite(SequenceDatabase());
+  MappedDatabase good = MustOpen(bytes);
+  const BinaryHeader& h = good.header();
+  ASSERT_EQ(h.alphabet_size, 0u);
+
+  // Splice two phantom u32 row ids into the (empty) post-rows section
+  // and re-stamp the header so everything but the offsets-coverage rule
+  // is consistent: section size + fnv, later section offsets, file size,
+  // header fnv.
+  const uint64_t ins = h.sections[kSecPostRows].offset;
+  std::string corrupt = bytes.substr(0, static_cast<size_t>(ins)) +
+                        std::string(8, '\0') +
+                        bytes.substr(static_cast<size_t>(ins));
+  OverwriteU32(&corrupt, ins, 1);
+  OverwriteU32(&corrupt, ins + 4, 2);
+  OverwriteU64(&corrupt, 16, h.file_bytes + 8);
+  OverwriteU64(&corrupt, 64 + kSecPostRows * 24 + 8, 8);
+  OverwriteU64(&corrupt, 64 + kSecPostRows * 24 + 16,
+               TestFnv(corrupt.data() + ins, 8));
+  for (size_t i = kSecPrefixKeys; i < kBinaryNumSections; ++i) {
+    OverwriteU64(&corrupt, 64 + i * 24, h.sections[i].offset + 8);
+  }
+  OverwriteU64(&corrupt, kBinaryHeaderBytes - 8,
+               TestFnv(corrupt.data(), kBinaryHeaderBytes - 8));
+
+  auto mapped = MappedDatabase::FromBuffer(corrupt);
+  ASSERT_FALSE(mapped.ok()) << "dangling post rows accepted";
+  EXPECT_TRUE(mapped.status().IsCorruption()) << mapped.status();
 }
 
 TEST(BinaryFormatTest, OpenMappedServesFilesAndReportsNotFound) {

@@ -61,6 +61,13 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
       seqhide::SequenceView row = lax->row(t);
       for (size_t i = 0; i < row.size(); ++i) touched += row[i] >= 0;
     }
+    // The kernel-facing DatabaseView reads the same unvalidated offsets
+    // through its own clamp — exercise it separately from row() above.
+    const seqhide::DatabaseView view = lax->view();
+    for (size_t t = 0; t < view.size(); ++t) {
+      seqhide::SequenceView row = view.row(t);
+      for (size_t i = 0; i < row.size(); ++i) touched += row[i] >= 0;
+    }
     (void)touched;
     for (seqhide::SymbolId s = -1;
          s <= static_cast<seqhide::SymbolId>(lax->alphabet().size()); ++s) {
