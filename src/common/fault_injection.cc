@@ -41,7 +41,19 @@ constexpr std::string_view kCatalog[] = {
     // common/thread_pool.cc — worker spawn failure; the region still
     // completes on the calling thread and the already-spawned workers.
     "threadpool.spawn",
+    // obs/telemetry — run-ledger appends and Prometheus file rewrites.
+    // Every failure is survivable by design: the ledger disables itself
+    // and later appends become no-ops, the prom writer's error is logged
+    // by its caller, and the sanitization run itself never fails.
+    "io.telemetry.ledger.open",
+    "io.telemetry.ledger.write",
+    "io.telemetry.ledger.sync",
+    "io.telemetry.prom.write",
+    "io.telemetry.prom.rename",
 };
+
+// Fire listener (constant-initialized: safe from static registrars).
+std::atomic<FaultInjector::FireListener> g_fire_listener{nullptr};
 
 bool InCatalog(std::string_view site) {
   for (std::string_view s : kCatalog) {
@@ -106,16 +118,27 @@ void FaultInjector::Reset() {
   faults_fired_.store(0, std::memory_order_relaxed);
 }
 
+void FaultInjector::SetFireListener(FireListener listener) {
+  g_fire_listener.store(listener, std::memory_order_release);
+}
+
 bool FaultInjector::ShouldFail(std::string_view site) {
   if (armed_count_.load(std::memory_order_acquire) == 0) return false;
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = armed_.find(site);
-  if (it == armed_.end()) return false;
-  ArmedSite& armed = it->second;
-  if (armed.fired) return false;
-  if (++armed.hits < armed.trigger_hit) return false;
-  armed.fired = true;
-  faults_fired_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = armed_.find(site);
+    if (it == armed_.end()) return false;
+    ArmedSite& armed = it->second;
+    if (armed.fired) return false;
+    if (++armed.hits < armed.trigger_hit) return false;
+    armed.fired = true;
+    faults_fired_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Fire decided; notify outside the lock so the listener can run code
+  // that contains fault sites of its own without deadlocking.
+  if (FireListener listener = g_fire_listener.load(std::memory_order_acquire)) {
+    listener(site);
+  }
   return true;
 }
 

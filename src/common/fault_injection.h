@@ -71,6 +71,14 @@ class FaultInjector {
   // Reset(), so tests can assert "armed but never reached").
   size_t ArmedCount() const;
 
+  // Observability hook: invoked after a site fires, with the site name,
+  // outside the injector's lock (so the listener may itself reach code
+  // containing fault sites — a re-entrant ShouldFail sees the site
+  // already fired and returns false). Installed once by the telemetry
+  // layer (src/obs/telemetry/); nullptr clears it.
+  using FireListener = void (*)(std::string_view site);
+  static void SetFireListener(FireListener listener);
+
  private:
   struct ArmedSite {
     uint64_t trigger_hit = 0;  // fire when hits reaches this value

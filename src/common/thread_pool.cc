@@ -19,13 +19,45 @@ size_t HardwareThreads() {
   return hw == 0 ? 1 : hw;
 }
 
+// Task-context hooks (constant-initialized: safe to set from the obs
+// layer's static registrar before main).
+std::atomic<ThreadPool::TaskContextCaptureFn> g_ctx_capture{nullptr};
+std::atomic<ThreadPool::TaskContextEnterFn> g_ctx_enter{nullptr};
+std::atomic<ThreadPool::TaskContextExitFn> g_ctx_exit{nullptr};
+
 }  // namespace
 
 size_t ResolveThreadCount(size_t requested) {
   return requested == 0 ? HardwareThreads() : requested;
 }
 
-ThreadPool::ThreadPool(size_t max_workers) : max_workers_(max_workers) {}
+ThreadPool::ThreadPool(size_t max_workers)
+    : max_workers_(max_workers), worker_chunks_(max_workers) {}
+
+void ThreadPool::SetTaskContextHooks(TaskContextCaptureFn capture,
+                                     TaskContextEnterFn enter,
+                                     TaskContextExitFn exit) {
+  g_ctx_capture.store(capture, std::memory_order_release);
+  g_ctx_enter.store(enter, std::memory_order_release);
+  g_ctx_exit.store(exit, std::memory_order_release);
+}
+
+ThreadPoolStats ThreadPool::Stats() const {
+  ThreadPoolStats s;
+  s.regions = regions_.load(std::memory_order_relaxed);
+  s.chunks_executed = chunks_executed_.load(std::memory_order_relaxed);
+  s.parks = parks_.load(std::memory_order_relaxed);
+  s.wakes = wakes_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  s.workers_spawned = workers_.size();
+  s.queue_peak = queue_peak_;
+  s.queue_depth = tickets_.size();
+  s.worker_chunks.reserve(workers_.size());
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    s.worker_chunks.push_back(worker_chunks_[i].load(std::memory_order_relaxed));
+  }
+  return s;
+}
 
 ThreadPool::~ThreadPool() {
   {
@@ -54,7 +86,8 @@ void ThreadPool::EnsureWorkersLocked(size_t target) {
       return;
     }
     try {
-      workers_.emplace_back([this] { WorkerLoop(); });
+      const size_t index = workers_.size();
+      workers_.emplace_back([this, index] { WorkerLoop(index); });
     } catch (const std::system_error& e) {
       SEQHIDE_LOG(Warn) << "worker spawn failed (" << e.what()
                         << "); continuing with " << workers_.size()
@@ -64,27 +97,44 @@ void ThreadPool::EnsureWorkersLocked(size_t target) {
   }
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
   for (;;) {
     std::shared_ptr<Region> region;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !tickets_.empty(); });
+      if (!shutdown_ && tickets_.empty()) {
+        parks_.fetch_add(1, std::memory_order_relaxed);
+        work_cv_.wait(lock, [this] { return shutdown_ || !tickets_.empty(); });
+        if (!tickets_.empty()) wakes_.fetch_add(1, std::memory_order_relaxed);
+      }
       if (tickets_.empty()) return;  // shutdown with no work left
       region = std::move(tickets_.front());
       tickets_.pop_front();
     }
-    RunChunks(region.get());
+    // Enter the region's ambient task context (the submitter's span
+    // path) so spans opened by the body nest under their stage. The
+    // submitting thread never enters: its span stack is already live.
+    void* token = nullptr;
+    TaskContextEnterFn enter = g_ctx_enter.load(std::memory_order_acquire);
+    TaskContextExitFn exit = g_ctx_exit.load(std::memory_order_acquire);
+    const bool entered = region->context != nullptr && enter != nullptr;
+    if (entered) token = enter(region->context.get());
+    const size_t ran = RunChunks(region.get());
+    if (entered && exit != nullptr) exit(token);
+    chunks_executed_.fetch_add(ran, std::memory_order_relaxed);
+    worker_chunks_[worker_index].fetch_add(ran, std::memory_order_relaxed);
   }
 }
 
-void ThreadPool::RunChunks(Region* region) {
+size_t ThreadPool::RunChunks(Region* region) {
   const size_t total = region->chunks.size();
+  size_t ran = 0;
   for (;;) {
     const size_t c = region->next.fetch_add(1, std::memory_order_relaxed);
-    if (c >= total) return;
+    if (c >= total) return ran;
     const auto [begin, end] = region->chunks[c];
     (*region->body)(begin, end);
+    ++ran;
     // seq_cst so the submitting thread's completion check observes every
     // chunk's writes; notify under the lock to pair with the wait.
     if (region->completed.fetch_add(1) + 1 == total) {
@@ -97,15 +147,21 @@ void ThreadPool::RunChunks(Region* region) {
 void ThreadPool::ParallelFor(size_t n, size_t max_threads,
                              const std::function<void(size_t, size_t)>& body) {
   if (n == 0) return;
+  regions_.fetch_add(1, std::memory_order_relaxed);
   size_t threads = std::min(ResolveThreadCount(max_threads), n);
   threads = std::min(threads, max_workers_ + 1);
   if (threads <= 1) {
     body(0, n);
+    chunks_executed_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
 
   auto region = std::make_shared<Region>();
   region->body = &body;
+  if (TaskContextCaptureFn capture =
+          g_ctx_capture.load(std::memory_order_acquire)) {
+    region->context = capture();
+  }
   // Chunk boundaries depend only on (n, threads): an even split with the
   // remainder spread over the leading chunks.
   const size_t chunk_count = std::min(n, threads * kChunksPerThread);
@@ -126,10 +182,12 @@ void ThreadPool::ParallelFor(size_t n, size_t max_threads,
     // One ticket per helper; a helper that wakes after the region drained
     // claims zero chunks and goes back to sleep.
     for (size_t w = 0; w + 1 < threads; ++w) tickets_.push_back(region);
+    queue_peak_ = std::max<uint64_t>(queue_peak_, tickets_.size());
   }
   work_cv_.notify_all();
 
-  RunChunks(region.get());
+  chunks_executed_.fetch_add(RunChunks(region.get()),
+                             std::memory_order_relaxed);
   std::unique_lock<std::mutex> lock(region->done_mu);
   region->done_cv.wait(lock, [&] {
     return region->completed.load() == region->chunks.size();

@@ -44,6 +44,23 @@ inline constexpr size_t kMaxThreads = 256;
 // `requested` threads with 0 meaning "auto": all hardware threads.
 size_t ResolveThreadCount(size_t requested);
 
+// Point-in-time view of a pool's activity counters (ThreadPool::Stats).
+// Scheduling-dependent (parks, wakes, which worker ran how many chunks),
+// so these feed the observability layer's `thread_pool` report block and
+// never the deterministic metrics registry.
+struct ThreadPoolStats {
+  uint64_t regions = 0;          // ParallelFor invocations with n > 0
+  uint64_t chunks_executed = 0;  // chunks run, all threads incl. submitters
+  uint64_t parks = 0;            // times a worker went to sleep empty-handed
+  uint64_t wakes = 0;            // times a worker woke to available work
+  uint64_t workers_spawned = 0;  // workers alive (never reaped)
+  uint64_t queue_peak = 0;       // max pending tickets ever observed
+  uint64_t queue_depth = 0;      // pending tickets right now
+  // Chunks executed per worker, indexed by spawn order. Submitting
+  // threads' chunks appear only in chunks_executed.
+  std::vector<uint64_t> worker_chunks;
+};
+
 class ThreadPool {
  public:
   // A pool that may grow up to `max_workers` parked worker threads
@@ -76,6 +93,24 @@ class ThreadPool {
   // workers persist (parked) across Sanitize() and bench iterations.
   static ThreadPool& Shared();
 
+  // Activity counters for the observability layer (--stats-json's
+  // thread_pool block, the telemetry sampler). Cheap; any thread.
+  ThreadPoolStats Stats() const;
+
+  // Task-context propagation hooks: let the observability layer carry
+  // ambient per-task context (the submitting thread's trace-span path)
+  // into workers without common/ depending on obs/. `capture` runs on
+  // the submitting thread when a region is created and may return null
+  // (no context); `enter` runs on a worker before it drains a region's
+  // chunks and returns a token; `exit` runs afterwards with that token.
+  // Process-wide; set all three or none (src/obs/trace.cc installs them).
+  using TaskContextCaptureFn = std::shared_ptr<void> (*)();
+  using TaskContextEnterFn = void* (*)(void* context);
+  using TaskContextExitFn = void (*)(void* token);
+  static void SetTaskContextHooks(TaskContextCaptureFn capture,
+                                  TaskContextEnterFn enter,
+                                  TaskContextExitFn exit);
+
  private:
   // One parallel region: precomputed chunk bounds, an atomic cursor for
   // work stealing, and a completion latch for the submitting thread.
@@ -86,19 +121,33 @@ class ThreadPool {
     std::atomic<size_t> completed{0};
     std::mutex done_mu;
     std::condition_variable done_cv;
+    // Ambient task context captured on the submitting thread (may be
+    // null); workers enter/exit it around their chunk runs.
+    std::shared_ptr<void> context;
   };
 
-  void WorkerLoop();
-  // Claims and runs chunks until the region is drained.
-  static void RunChunks(Region* region);
+  void WorkerLoop(size_t worker_index);
+  // Claims and runs chunks until the region is drained; returns how many
+  // this thread executed.
+  static size_t RunChunks(Region* region);
   // Spawns workers (under mu_) until `target` exist or the cap is hit.
   void EnsureWorkersLocked(size_t target);
 
   const size_t max_workers_;
 
+  // Activity counters (ThreadPoolStats). Relaxed: monotone telemetry.
+  std::atomic<uint64_t> regions_{0};
+  std::atomic<uint64_t> chunks_executed_{0};
+  std::atomic<uint64_t> parks_{0};
+  std::atomic<uint64_t> wakes_{0};
+  // Per-worker chunk counters, indexed by spawn order; sized to the cap
+  // up front so workers never resize concurrently.
+  std::vector<std::atomic<uint64_t>> worker_chunks_;
+
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
   bool shutdown_ = false;
+  uint64_t queue_peak_ = 0;  // under mu_
   // One ticket per helper thread wanted for a region; a worker pops a
   // ticket, drains the region's chunks, and goes back to sleep.
   std::deque<std::shared_ptr<Region>> tickets_;

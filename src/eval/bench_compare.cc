@@ -49,6 +49,9 @@ struct ParsedSection {
 struct ParsedReport {
   std::string name;
   std::vector<ParsedSection> sections;
+  // Pool name -> peak_bytes from the report-level memory block; empty
+  // when the report predates the block (or obs was compiled out).
+  std::map<std::string, double> pool_peaks;
 };
 
 // Extracts what the comparator needs; pushes kSchemaError findings on
@@ -93,6 +96,17 @@ std::optional<ParsedReport> ParseReport(const std::string& text,
     }
     report.sections.push_back(std::move(section));
   }
+  if (const obs::JsonValue* memory = root.Find("memory");
+      memory != nullptr && memory->is_object()) {
+    if (const obs::JsonValue* pools = memory->Find("pools");
+        pools != nullptr && pools->is_object()) {
+      for (const auto& [pool, stats] : pools->AsObject()) {
+        if (stats.is_object()) {
+          report.pool_peaks[pool] = stats.NumberOr("peak_bytes", 0.0);
+        }
+      }
+    }
+  }
   return report;
 }
 
@@ -115,6 +129,7 @@ std::string FormatCounter(double value) {
 const char* FindingKindName(FindingKind kind) {
   switch (kind) {
     case FindingKind::kTimeRegression: return "time-regression";
+    case FindingKind::kMemoryRegression: return "memory-regression";
     case FindingKind::kCounterDrift: return "counter-drift";
     case FindingKind::kSectionMissing: return "section-missing";
     case FindingKind::kFileMissing: return "file-missing";
@@ -215,6 +230,29 @@ CompareResult CompareBenchReports(const std::string& baseline_json,
     if (FindSection(*candidate, section.name) == nullptr) {
       table << "  " << std::left << std::setw(44) << section.name
             << " (not run by candidate; skipped)\n";
+    }
+  }
+
+  // Pool-peak gate: both reports must carry the memory block.
+  if (!options.counters_only && !baseline->pool_peaks.empty() &&
+      !candidate->pool_peaks.empty()) {
+    for (const auto& [pool, base_peak] : baseline->pool_peaks) {
+      auto it = candidate->pool_peaks.find(pool);
+      if (it == candidate->pool_peaks.end() || base_peak <= 0.0) continue;
+      const double cand_peak = it->second;
+      if (cand_peak > base_peak * (1.0 + options.mem_threshold)) {
+        result.findings.push_back(CompareFinding{
+            FindingKind::kMemoryRegression, candidate->name, pool,
+            "pool peak_bytes " + FormatCounter(base_peak) + " -> " +
+                FormatCounter(cand_peak) + " (" +
+                FormatDeltaPercent(base_peak, cand_peak) + ", threshold +" +
+                std::to_string(
+                    static_cast<int>(options.mem_threshold * 100)) +
+                "%)"});
+        table << "  memory pool " << pool << ": "
+              << FormatDeltaPercent(base_peak, cand_peak)
+              << "  MEMORY-REGRESSION\n";
+      }
     }
   }
   result.table = table.str();

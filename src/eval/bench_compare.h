@@ -11,6 +11,12 @@
 //     including a counter or section appearing or disappearing, is a
 //     drift finding. Intentional changes are ratified by refreshing
 //     bench/baselines/ in the same PR.
+//   * Instrumented pool peaks (the report-level memory block's
+//     dp_scratch / posting_list peak_bytes) regress like timings — over
+//     a relative threshold — but only when BOTH reports carry a memory
+//     block and timings are being judged (pool peaks are exact bytes,
+//     but chunking and thread count move them, so shared CI runners in
+//     counters_only mode skip them). RSS is never compared.
 //
 // Sections present in the baseline but not run by the candidate are
 // skipped (CI runs reduced subsets); candidate files drive directory
@@ -33,12 +39,17 @@ struct CompareOptions {
   // the absolute floor slower to count as a timing regression.
   double time_threshold = 0.30;
   uint64_t time_min_delta_ns = 1'000'000;
+  // A pool's candidate peak_bytes must exceed baseline * (1 + threshold)
+  // to count as a memory regression. Only applied when both reports have
+  // a memory block (older baselines lack one) and not counters_only.
+  double mem_threshold = 0.50;
   // Ignore timings entirely; compare only deterministic counters.
   bool counters_only = false;
 };
 
 enum class FindingKind {
   kTimeRegression,
+  kMemoryRegression,
   kCounterDrift,
   kSectionMissing,  // candidate section with no baseline counterpart
   kFileMissing,     // candidate BENCH file with no baseline counterpart

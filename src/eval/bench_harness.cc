@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "src/common/string_util.h"
+#include "src/obs/telemetry/telemetry.h"
 #include "src/obs/stats_json.h"
 
 namespace seqhide {
@@ -190,6 +191,10 @@ std::string BenchReportToJson(const BenchReport& report) {
   }
   json.EndArray();
 
+  json.Key("memory").BeginObject();
+  obs::telemetry::WriteMemoryMembers(report.memory, &json);
+  json.EndObject();
+
   obs::WriteSnapshotMembers(report.registry, &json);
   json.EndObject();
   return json.str();
@@ -298,6 +303,7 @@ int BenchHarness::Finish() {
     report.config = config_;
     report.sections = sections_;
     report.registry = obs::MetricsRegistry::Default().Snapshot();
+    report.memory = obs::telemetry::MemorySnapshot::Capture();
     Status status = WriteBenchReportJson(report, config_.json_path);
     if (!status.ok()) {
       std::cerr << "error: " << status << "\n";

@@ -34,9 +34,15 @@
 //     "sections": [{"name", "repeats", "median_ns", "min_ns", "max_ns",
 //                   "mean_ns", "stddev_ns",
 //                   "counters": {name: per-repeat value}}, ...],
+//     "memory": {"current_rss_bytes", "peak_rss_bytes",
+//                "pools": {"dp_scratch": {...}, "posting_list": {...}}},
 //     "counters": {...}, "gauges": {...}, "spans": {...},
 //     "histograms": {...}        // cumulative registry dump
 //   }
+//
+// The memory block's pool peaks are deterministic for deterministic
+// workloads (exact bytes charged by the instrumented allocators); the
+// RSS numbers are OS-dependent and never compared.
 
 #ifndef SEQHIDE_EVAL_BENCH_HARNESS_H_
 #define SEQHIDE_EVAL_BENCH_HARNESS_H_
@@ -53,6 +59,7 @@
 
 #include "src/common/result.h"
 #include "src/obs/metrics.h"
+#include "src/obs/telemetry/mem_tracker.h"
 #include "src/obs/trace_events.h"
 
 namespace seqhide {
@@ -116,6 +123,9 @@ struct BenchReport {
   BenchConfig config;
   std::vector<BenchSection> sections;
   obs::MetricsSnapshot registry;
+  // Captured by Finish() after the last section: peak RSS plus the
+  // instrumented allocator pools (DP scratch, posting lists).
+  obs::telemetry::MemorySnapshot memory;
 };
 
 std::string BenchReportToJson(const BenchReport& report);

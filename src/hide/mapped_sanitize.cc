@@ -16,6 +16,7 @@
 #include "src/obs/macros.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/obs/telemetry/telemetry.h"
 #include "src/seq/view.h"
 
 namespace seqhide {
@@ -204,6 +205,8 @@ Result<MappedSanitizeResult> SanitizeMapped(
       }
     }
   }
+  SEQHIDE_TELEMETRY(kStage, "count.done", report.count_rows,
+                    report.sequences_supporting_before);
   stop = budget_stop();
 
   if (stop == StatusCode::kOk) {
@@ -221,6 +224,8 @@ Result<MappedSanitizeResult> SanitizeMapped(
       }
     }
     SEQHIDE_GAUGE_SET("sanitize.victims", victims.size());
+    SEQHIDE_TELEMETRY(kVictims, "selected", victims.size(), db.size());
+    SEQHIDE_TELEMETRY(kStage, "select.done", victims.size(), num_patterns);
     selection_done = true;
 
     victim_support.assign(victims.size() * num_patterns, 0);
@@ -274,6 +279,7 @@ Result<MappedSanitizeResult> SanitizeMapped(
             }
           });
       rounds_completed = round + 1;
+      SEQHIDE_TELEMETRY(kRound, "mark.round", rounds_completed, rounds_total);
       if (rounds_completed < rounds_total) {
         stop = budget_stop();
         if (stop == StatusCode::kOk && budget.max_mark_rounds > 0 &&
@@ -283,6 +289,7 @@ Result<MappedSanitizeResult> SanitizeMapped(
       }
     }
   }
+  SEQHIDE_TELEMETRY(kStage, "mark.done", rounds_completed, rounds_total);
 
   const size_t processed =
       std::min(victims.size(), rounds_completed * round_size);
@@ -300,6 +307,8 @@ Result<MappedSanitizeResult> SanitizeMapped(
                            : (report.degraded ? StatusCode::kResourceExhausted
                                               : StatusCode::kOk);
   if (report.degraded) {
+    SEQHIDE_TELEMETRY(kBudget, StatusCodeToString(report.stop_reason),
+                      rounds_completed, report.victims_skipped);
     SEQHIDE_COUNTER_INC("sanitize.degraded_runs");
     SEQHIDE_LOG(Warn) << "mapped sanitization degraded ("
                       << StatusCodeToString(report.stop_reason) << "): "
@@ -403,6 +412,8 @@ Result<MappedSanitizeResult> SanitizeMapped(
       }
     }
   }
+  SEQHIDE_TELEMETRY(kStage, "verify.done", report.verify_recount_rows,
+                    report.verify_rescan_rows);
 
   result.modified_rows.reserve(processed);
   for (size_t i = 0; i < processed; ++i) {

@@ -22,6 +22,7 @@
 #include "src/obs/macros.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/obs/telemetry/telemetry.h"
 
 namespace seqhide {
 namespace {
@@ -308,6 +309,7 @@ Result<SanitizeReport> Sanitize(SequenceDatabase* db,
     start_round = static_cast<size_t>(ck.rounds_completed);
     checkpoints_written = static_cast<size_t>(ck.checkpoints_written);
     selection_done = true;
+    SEQHIDE_TELEMETRY(kCheckpoint, "resume", start_round, victims.size());
 
     marks.assign(victims.size(), 0);
     positions.assign(victims.size(), {});
@@ -358,6 +360,8 @@ Result<SanitizeReport> Sanitize(SequenceDatabase* db,
         }
       }
     }
+    SEQHIDE_TELEMETRY(kStage, "count.done", report.count_rows,
+                      report.sequences_supporting_before);
     if (SEQHIDE_FAULT_HIT("sanitize.after_count")) stop = StatusCode::kCancelled;
     if (stop == StatusCode::kOk) stop = budget_stop();
 
@@ -375,6 +379,8 @@ Result<SanitizeReport> Sanitize(SequenceDatabase* db,
         }
       }
       SEQHIDE_GAUGE_SET("sanitize.victims", victims.size());
+      SEQHIDE_TELEMETRY(kVictims, "selected", victims.size(), db->size());
+      SEQHIDE_TELEMETRY(kStage, "select.done", victims.size(), num_patterns);
       rng_after_select = rng.SaveState();
       selection_done = true;
 
@@ -439,6 +445,8 @@ Result<SanitizeReport> Sanitize(SequenceDatabase* db,
       SEQHIDE_LOG(Warn) << "checkpoint write failed (continuing): "
                         << s.ToString();
     }
+    SEQHIDE_TELEMETRY(kCheckpoint, counted ? "write" : "write.final",
+                      completed_rounds, checkpoints_written);
   };
 
   // First checkpoint right after selection: the expensive count stage is
@@ -484,6 +492,7 @@ Result<SanitizeReport> Sanitize(SequenceDatabase* db,
             }
           });
       rounds_completed = round + 1;
+      SEQHIDE_TELEMETRY(kRound, "mark.round", rounds_completed, rounds_total);
       if (rounds_completed < rounds_total) {
         // Between-round boundary: the periodic checkpoint first, then the
         // injected fault, then the real budgets. The periodic write must
@@ -515,6 +524,7 @@ Result<SanitizeReport> Sanitize(SequenceDatabase* db,
       write_checkpoint(rounds_completed, /*counted=*/false);
     }
   }
+  SEQHIDE_TELEMETRY(kStage, "mark.done", rounds_completed, rounds_total);
 
   // Aggregate the processed prefix of the victim list.
   const size_t processed =
@@ -534,6 +544,8 @@ Result<SanitizeReport> Sanitize(SequenceDatabase* db,
                            : (report.degraded ? StatusCode::kResourceExhausted
                                               : StatusCode::kOk);
   if (report.degraded) {
+    SEQHIDE_TELEMETRY(kBudget, StatusCodeToString(report.stop_reason),
+                      rounds_completed, report.victims_skipped);
     SEQHIDE_COUNTER_INC("sanitize.degraded_runs");
     SEQHIDE_LOG(Warn) << "sanitization degraded ("
                       << StatusCodeToString(report.stop_reason) << "): "
@@ -623,6 +635,9 @@ Result<SanitizeReport> Sanitize(SequenceDatabase* db,
       }
     }
   }
+
+  SEQHIDE_TELEMETRY(kStage, "verify.done", report.verify_recount_rows,
+                    report.verify_rescan_rows);
 
   // A completed run owes nobody a resume; drop the checkpoint so a stale
   // file can never hijack a future run of different inputs. Degraded

@@ -25,7 +25,7 @@ uint64_t CountGapMatchingsEndingAt(const Sequence& pattern,
   // ends[k-1][j] = gap-valid embeddings of S[1..k] within the slice,
   // ending exactly at absolute position j. Only positions in
   // [first, last] participate.
-  std::vector<std::vector<uint64_t>>& ends = scratch->window;
+  DpTable& ends = scratch->window;
   if (!TryResizeAndZeroTable(scratch, &ends, m, seq.size())) return 0;
   for (size_t j = first; j <= last; ++j) {
     if (seq[j] == pattern[0]) ends[0][j] = 1;

@@ -25,7 +25,7 @@ uint64_t CountMatchings(const Sequence& pattern, SequenceView seq,
   // row[i] = number of embeddings of S[0..i-1] in the prefix of T seen so
   // far. Iterating i downward lets us update in place (row[i] depends on
   // the previous column's row[i] and row[i-1]).
-  std::vector<uint64_t>& row = scratch->count_row;
+  DpRow& row = scratch->count_row;
   row.assign(m + 1, 0);
   row[0] = 1;
   for (size_t j = 0; j < n; ++j) {

@@ -20,10 +20,10 @@ namespace {
 void BuildSuffixExtensionTableInto(const Sequence& pattern,
                                    const ConstraintSpec& spec,
                                    SequenceView seq, MatchScratch* scratch,
-                                   std::vector<std::vector<uint64_t>>* out) {
+                                   DpTable* out) {
   const size_t m = pattern.size();
   const size_t n = seq.size();
-  std::vector<std::vector<uint64_t>>& bwd = *out;
+  DpTable& bwd = *out;
   if (!TryResizeAndZeroTable(scratch, &bwd, m + 1, n)) return;
   for (size_t j = 0; j < n; ++j) bwd[m][j] = 1;
   // Rows k = m-1 down to 1. In this loop `k` counts consumed prefix
@@ -106,7 +106,7 @@ void PositionDeltasInto(const Sequence& pattern, const ConstraintSpec& spec,
   } else {
     BuildPrefixEndTableInto(pattern, seq, scratch, &fwd);
   }
-  std::vector<std::vector<uint64_t>>& bwd = scratch->bwd;
+  DpTable& bwd = scratch->bwd;
   BuildSuffixExtensionTableInto(pattern, spec, seq, scratch, &bwd);
   if (scratch->exhausted) {
     // One of the tables was refused by the memory budget; either table may

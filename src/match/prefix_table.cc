@@ -23,13 +23,13 @@ void BuildPrefixEndTableInto(const Sequence& pattern, SequenceView seq,
 
   // running[k] = Σ_{l<=j_processed} table[k][l]; lets each entry be filled
   // in O(1). Row k consumes running sums of row k-1.
-  std::vector<uint64_t>& running = scratch->running;
+  DpRow& running = scratch->running;
   running.assign(m + 1, 0);
   running[0] = 1;  // table[0][0]
 
   // Process columns left to right; for column j, table[k][j] depends on
   // the running sum of row k-1 over columns < j.
-  std::vector<uint64_t>& column = scratch->column;
+  DpRow& column = scratch->column;
   for (size_t j = 1; j <= n; ++j) {
     const SymbolId t = seq[j - 1];
     // Fill the column top-down using the running sums *before* including
@@ -53,7 +53,7 @@ PrefixEndTable BuildPrefixEndTableNaive(const Sequence& pattern,
                                         SequenceView seq) {
   const size_t m = pattern.size();
   const size_t n = seq.size();
-  PrefixEndTable table(m + 1, std::vector<uint64_t>(n + 1, 0));
+  PrefixEndTable table(m + 1, DpRow(n + 1, 0));
   table[0][0] = 1;
   for (size_t k = 1; k <= m; ++k) {
     for (size_t j = 1; j <= n; ++j) {

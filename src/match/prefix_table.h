@@ -29,8 +29,8 @@ namespace seqhide {
 
 // Table indexed [k][j] with k in [0, m], j in [0, n]. P[0][0] = 1,
 // P[0][j>0] = 0 (the empty prefix "ends" only at the virtual position 0),
-// P[k>0][0] = 0.
-using PrefixEndTable = std::vector<std::vector<uint64_t>>;
+// P[k>0][0] = 0. Rows use the dp_scratch-accounted allocator (scratch.h).
+using PrefixEndTable = DpTable;
 
 // O(n·m) prefix-sum implementation (production path).
 PrefixEndTable BuildPrefixEndTable(const Sequence& pattern,

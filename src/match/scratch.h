@@ -24,23 +24,38 @@
 #include <vector>
 
 #include "src/common/checked_math.h"
+#include "src/obs/telemetry/mem_tracker.h"
 #include "src/seq/sequence.h"
 
 namespace seqhide {
 
+// DP rows/tables used by the matching kernels. The allocator charges
+// every byte to the dp_scratch memory pool (obs/telemetry/mem_tracker.h),
+// which is how the `memory` block in --stats-json and BENCH JSON knows
+// how big the DP working set got; under SEQHIDE_OBS_DISABLED it is
+// exactly std::allocator. Element access and layout are unchanged —
+// kernels keep writing std::vector code.
+using DpRow =
+    std::vector<uint64_t,
+                obs::telemetry::PoolAllocator<
+                    uint64_t, obs::telemetry::MemPool::kDpScratch>>;
+using DpTable = std::vector<DpRow>;
+
 struct MatchScratch {
   // CountMatchings' rolled DP row.
-  std::vector<uint64_t> count_row;
+  DpRow count_row;
   // Prefix/gap end table (PrefixEndTable layout: [m+1][n+1]).
-  std::vector<std::vector<uint64_t>> fwd;
+  DpTable fwd;
   // PositionDeltas' suffix-extension table ([m+1][n]).
-  std::vector<std::vector<uint64_t>> bwd;
+  DpTable bwd;
   // Windowed counting's per-ending-position table ([m][n]).
-  std::vector<std::vector<uint64_t>> window;
+  DpTable window;
   // BuildPrefixEndTable's running sums and column buffer.
-  std::vector<uint64_t> running;
-  std::vector<uint64_t> column;
+  DpRow running;
+  DpRow column;
   // Per-pattern δ buffer used by PositionDeltasTotal's accumulation.
+  // Plain vector: it is handed to the public PositionDeltasInto out-param
+  // (an O(n) result buffer, not a DP table).
   std::vector<uint64_t> pattern_deltas;
   // Mark-and-recount fallback's working copy of the sequence.
   Sequence marked;
@@ -83,8 +98,7 @@ struct MatchScratch {
 // Resizes *table to exactly rows × cols and zero-fills it, reusing the
 // existing row capacity. Exact row count matters: PrefixEndTable readers
 // use table.back().
-inline void ResizeAndZeroTable(std::vector<std::vector<uint64_t>>* table,
-                               size_t rows, size_t cols) {
+inline void ResizeAndZeroTable(DpTable* table, size_t rows, size_t cols) {
   if (table->size() != rows) table->resize(rows);
   for (auto& row : *table) row.assign(cols, 0);
 }
@@ -94,8 +108,7 @@ inline void ResizeAndZeroTable(std::vector<std::vector<uint64_t>>* table,
 // refusal *table is shrunk to a 1×1 zero table so readers that ignore the
 // flag (TotalFromPrefixEndTable, table.back()) still see a valid, empty
 // result instead of stale data.
-inline bool TryResizeAndZeroTable(MatchScratch* scratch,
-                                  std::vector<std::vector<uint64_t>>* table,
+inline bool TryResizeAndZeroTable(MatchScratch* scratch, DpTable* table,
                                   size_t rows, size_t cols) {
   if (!scratch->BudgetAllowsTable(rows, cols)) {
     ResizeAndZeroTable(table, 1, 1);

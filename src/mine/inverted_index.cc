@@ -62,7 +62,7 @@ std::vector<size_t> InvertedIndex::CandidateSupporters(
   if (required.empty()) return {};
 
   // Start from the rarest symbol's postings and intersect.
-  const std::vector<Posting>* seed = nullptr;
+  const PostingList* seed = nullptr;
   for (const auto& [symbol, multiplicity] : required) {
     (void)multiplicity;
     if (static_cast<size_t>(symbol) >= postings_.size()) return {};

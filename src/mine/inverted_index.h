@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/obs/telemetry/mem_tracker.h"
 #include "src/seq/database.h"
 #include "src/seq/sequence.h"
 
@@ -52,8 +53,17 @@ class InvertedIndex {
     uint32_t count;  // occurrences of the symbol in that sequence
   };
 
+  // Posting storage is charged to the posting_list memory pool
+  // (obs/telemetry/mem_tracker.h) so --stats-json and BENCH JSON can
+  // report the index's working set; plain std::allocator when
+  // observability is compiled out.
+  using PostingList =
+      std::vector<Posting,
+                  obs::telemetry::PoolAllocator<
+                      Posting, obs::telemetry::MemPool::kPostingList>>;
+
   // postings_[symbol] sorted by sequence_id.
-  std::vector<std::vector<Posting>> postings_;
+  std::vector<PostingList> postings_;
   size_t total_postings_ = 0;
 };
 

@@ -1,0 +1,55 @@
+// Prometheus text exposition (version 0.0.4) for the metrics registry.
+//
+// Maps a MetricsSnapshot onto the exposition format so a file written
+// with `--metrics-prom FILE` (rewritten atomically on the sampler
+// interval) can be served verbatim by a scrape endpoint — the
+// seqhide_server of ROADMAP item 2 only has to cat it:
+//
+//   counters          seqhide_<name>_total            TYPE counter
+//   gauges            seqhide_<name>                  TYPE gauge
+//   histograms        seqhide_<name>  _bucket{le=}/_sum/_count
+//                                                     TYPE histogram
+//   span aggregates   seqhide_span_count_total{path="..."} and
+//                     seqhide_span_ns_total{path="..."}
+//                                                     TYPE counter
+//
+// Metric names are sanitized ([^a-zA-Z0-9_] -> '_') and prefixed
+// "seqhide_". Histogram `le` bounds are the *inclusive upper* bound of
+// each log2 bucket (2^b - 1; bucket 0 is the value 0), cumulative, with
+// a final `+Inf` equal to the total count — exactly what
+// tools/check_prom_format.py lints in CI.
+//
+// WritePrometheusFile uses the tmp + fsync + rename discipline (PR 6):
+// a scraper never observes a half-written file. Fault sites:
+// io.telemetry.prom.write, io.telemetry.prom.rename.
+
+#ifndef SEQHIDE_OBS_TELEMETRY_PROMETHEUS_H_
+#define SEQHIDE_OBS_TELEMETRY_PROMETHEUS_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/obs/metrics.h"
+
+namespace seqhide {
+namespace obs {
+namespace telemetry {
+
+// "seqhide_" + `name` with every character outside [a-zA-Z0-9_]
+// replaced by '_'. Exposed for the golden-schema tests.
+std::string PromMetricName(std::string_view name);
+
+// Renders the whole snapshot as exposition text (ends with a newline;
+// empty snapshot renders to an empty string).
+std::string WritePrometheusText(const MetricsSnapshot& snapshot);
+
+// Atomically replaces `path` with the rendered snapshot.
+Status WritePrometheusFile(const std::string& path,
+                           const MetricsSnapshot& snapshot);
+
+}  // namespace telemetry
+}  // namespace obs
+}  // namespace seqhide
+
+#endif  // SEQHIDE_OBS_TELEMETRY_PROMETHEUS_H_

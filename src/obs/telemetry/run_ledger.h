@@ -1,0 +1,118 @@
+// Crash-safe structured run ledger: append-only JSONL telemetry.
+//
+// `--ledger FILE` makes a run narrate itself into a file that survives
+// the run dying at any instant: every record is one JSON object on one
+// line, appended with a single write() followed by fsync(), so after
+// SIGKILL or power loss the file is a valid JSONL prefix plus at most
+// one torn final line. `tail -f` on the ledger is the live view of a
+// run; the tail after a crash identifies the last completed stage.
+//
+// Record types (all carry "type" and a wall-clock "ts_ms"):
+//   run_start  command, database path, thread count, pid.
+//   event      one deterministic pipeline event (stage transition,
+//              victim selection, marking round, checkpoint action,
+//              budget stop, fault hit): "event_seq" (1-based, counts
+//              event records only), "kind", "label", "a", "b". Emitted
+//              via SEQHIDE_TELEMETRY (telemetry.h); content other than
+//              ts_ms is thread-count-invariant.
+//   sample     periodic sampler tick (sampler.h): memory snapshot,
+//              thread-pool queue depth, flight-recorder total/dropped.
+//   signal     best-effort record flushed by the SIGINT/SIGTERM hook:
+//              the last-N flight-recorder events.
+//   run_end    final record: status, full MetricsSnapshot (same four
+//              members as --stats-json), memory block, flight tail.
+//
+// Failure policy: telemetry must never fail the sanitization run. Any
+// ledger I/O error (including the injected io.telemetry.ledger.* fault
+// sites) logs one warning, disables the ledger, and every later append
+// becomes a no-op. Open() returns the error to the caller, who is
+// expected to warn and continue without a ledger.
+//
+// Install() makes the ledger the process-wide sink that SEQHIDE_TELEMETRY
+// mirrors events into (mirroring TraceEventRecorder's install pattern);
+// at most one ledger is installed at a time.
+
+#ifndef SEQHIDE_OBS_TELEMETRY_RUN_LEDGER_H_
+#define SEQHIDE_OBS_TELEMETRY_RUN_LEDGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/obs/metrics.h"
+#include "src/obs/telemetry/flight_recorder.h"
+#include "src/obs/telemetry/mem_tracker.h"
+
+namespace seqhide {
+namespace obs {
+namespace telemetry {
+
+class RunLedger {
+ public:
+  // Flight-recorder events included in run_end/signal records.
+  static constexpr size_t kTailEvents = 32;
+
+  // Creates/truncates `path` and returns an open ledger. Fault site:
+  // io.telemetry.ledger.open.
+  static Result<std::unique_ptr<RunLedger>> Open(const std::string& path);
+  ~RunLedger();  // uninstalls itself if still installed, closes the file
+
+  RunLedger(const RunLedger&) = delete;
+  RunLedger& operator=(const RunLedger&) = delete;
+
+  void Install();
+  void Uninstall();
+  static RunLedger* Current();
+
+  const std::string& path() const { return path_; }
+  // True once an I/O failure turned appends into no-ops.
+  bool disabled() const { return disabled_.load(std::memory_order_relaxed); }
+  uint64_t records_written() const;
+  uint64_t events_written() const;
+
+  void AppendRunStart(std::string_view command, std::string_view db_path,
+                      size_t threads);
+  // One pipeline event; normally reached through SEQHIDE_TELEMETRY.
+  void AppendEvent(EventKind kind, std::string_view label, uint64_t a,
+                   uint64_t b);
+  void AppendSample(const MemorySnapshot& mem, uint64_t pool_queue_depth,
+                    uint64_t pool_chunks_executed);
+  void AppendRunEnd(std::string_view status, const MetricsSnapshot& metrics,
+                    const MemorySnapshot& mem);
+  // Called from the signal hook. Best-effort and documented as
+  // async-signal-unsafe (it allocates); the alternative — losing the
+  // flight tail — is strictly worse for a diagnostic facility whose
+  // durable records are already on disk.
+  void AppendSignal(int signum);
+
+  // Installs a SIGINT/SIGTERM handler that flushes a "signal" record to
+  // the currently installed ledger, restores the default disposition and
+  // re-raises. Idempotent.
+  static void InstallSignalFlushHook();
+
+ private:
+  RunLedger(std::string path, int fd);
+
+  // Serializes + writes one line under mu_. Returns false (and disables
+  // the ledger) on failure. Fault sites: io.telemetry.ledger.write,
+  // io.telemetry.ledger.sync.
+  bool WriteLineLocked(std::string line);
+  void DisableLocked(const std::string& reason);
+
+  const std::string path_;
+  int fd_ = -1;
+  std::atomic<bool> disabled_{false};
+  mutable std::mutex mu_;
+  uint64_t records_ = 0;  // lines durably written
+  uint64_t events_ = 0;   // event records written (event_seq source)
+};
+
+}  // namespace telemetry
+}  // namespace obs
+}  // namespace seqhide
+
+#endif  // SEQHIDE_OBS_TELEMETRY_RUN_LEDGER_H_

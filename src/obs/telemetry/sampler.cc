@@ -1,0 +1,77 @@
+#include "src/obs/telemetry/sampler.h"
+
+#include <chrono>
+
+#include "src/common/logging.h"
+#include "src/common/thread_pool.h"
+#include "src/obs/metrics.h"
+#include "src/obs/telemetry/prometheus.h"
+#include "src/obs/telemetry/run_ledger.h"
+#include "src/obs/telemetry/telemetry.h"
+
+namespace seqhide {
+namespace obs {
+namespace telemetry {
+
+TelemetrySampler::TelemetrySampler(Options options)
+    : options_(std::move(options)) {}
+
+TelemetrySampler::~TelemetrySampler() { Stop(); }
+
+void TelemetrySampler::Start() {
+  if (thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = false;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void TelemetrySampler::Stop() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  // Final tick so short runs still leave a current prom file and at
+  // least one sample in the ledger.
+  Tick();
+}
+
+void TelemetrySampler::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                 [this] { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    Tick();
+    lock.lock();
+  }
+}
+
+void TelemetrySampler::Tick() {
+  const MemorySnapshot mem = MemorySnapshot::Capture();
+  const ThreadPoolStats pool = ThreadPool::Shared().Stats();
+  SEQHIDE_TELEMETRY(kPool, "sample", pool.queue_depth, pool.chunks_executed);
+  if (options_.ledger_samples) {
+    if (RunLedger* ledger = RunLedger::Current()) {
+      ledger->AppendSample(mem, pool.queue_depth, pool.chunks_executed);
+    }
+  }
+  if (!options_.prom_path.empty() && !prom_failed_) {
+    const Status status = WritePrometheusFile(
+        options_.prom_path, MetricsRegistry::Default().Snapshot());
+    if (!status.ok()) {
+      prom_failed_ = true;
+      SEQHIDE_LOG(Warn) << "metrics-prom rewrite failed: " << status
+                        << "; further rewrites disabled";
+    }
+  }
+}
+
+}  // namespace telemetry
+}  // namespace obs
+}  // namespace seqhide

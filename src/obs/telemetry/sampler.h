@@ -1,0 +1,72 @@
+// Background telemetry sampler.
+//
+// One thread, woken every `interval_ms`, does the periodic half of the
+// telemetry subsystem while the pipeline runs undisturbed:
+//   * captures a MemorySnapshot (RSS + instrumented pools),
+//   * reads the shared thread pool's activity counters,
+//   * records a kPool flight-recorder event (queue depth, chunks),
+//   * appends a "sample" record to the installed RunLedger, and
+//   * atomically rewrites the Prometheus exposition file
+//     (--metrics-prom) from a fresh MetricsSnapshot.
+//
+// Everything the sampler produces is timing-dependent by nature and so
+// exempt from the determinism contract: samples go to the ledger as
+// type "sample" (never "event"), pool events never mirror into the
+// ledger, and the prom file is a scrape surface, not a compared
+// artifact. A prom write failure is logged once and disables further
+// rewrites; it never affects the run.
+//
+// Start() spawns the thread; Stop() (and the destructor) wakes it,
+// joins it, and runs one final tick so the prom file reflects the end
+// state even for runs shorter than one interval.
+
+#ifndef SEQHIDE_OBS_TELEMETRY_SAMPLER_H_
+#define SEQHIDE_OBS_TELEMETRY_SAMPLER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace seqhide {
+namespace obs {
+namespace telemetry {
+
+class TelemetrySampler {
+ public:
+  struct Options {
+    uint64_t interval_ms = 500;
+    // Prometheus exposition file to rewrite each tick ("" = none).
+    std::string prom_path;
+    // Append "sample" records to the installed RunLedger each tick.
+    bool ledger_samples = true;
+  };
+
+  explicit TelemetrySampler(Options options);
+  ~TelemetrySampler();
+
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  void Start();
+  // Idempotent; joins the thread and runs one final tick.
+  void Stop();
+
+ private:
+  void Loop();
+  void Tick();
+
+  const Options options_;
+  bool prom_failed_ = false;  // only touched by the sampler thread + Stop
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace telemetry
+}  // namespace obs
+}  // namespace seqhide
+
+#endif  // SEQHIDE_OBS_TELEMETRY_SAMPLER_H_

@@ -1,0 +1,67 @@
+#include "src/obs/telemetry/telemetry.h"
+
+#include "src/common/fault_injection.h"
+#include "src/obs/stats_json.h"
+#include "src/obs/telemetry/run_ledger.h"
+
+namespace seqhide {
+namespace obs {
+namespace telemetry {
+namespace {
+
+void OnFaultFired(std::string_view site) {
+  FlightRecorder::Default().Record(EventKind::kFault, site);
+  if (RunLedger* ledger = RunLedger::Current()) {
+    // Re-entrant fires (a ledger append's own fault site) are dropped by
+    // the ledger's per-thread guard; the flight recorder keeps them.
+    ledger->AppendEvent(EventKind::kFault, site, 0, 0);
+  }
+}
+
+void EnsureFaultListener() {
+  static const bool installed = [] {
+    FaultInjector::SetFireListener(&OnFaultFired);
+    return true;
+  }();
+  (void)installed;
+}
+
+}  // namespace
+
+void Emit(EventKind kind, std::string_view label, uint64_t a, uint64_t b) {
+  EnsureFaultListener();
+  FlightRecorder::Default().Record(kind, label, a, b);
+  if (kind == EventKind::kPool) return;
+  if (RunLedger* ledger = RunLedger::Current()) {
+    ledger->AppendEvent(kind, label, a, b);
+  }
+}
+
+void WriteMemoryMembers(const MemorySnapshot& mem, JsonWriter* out) {
+  out->KeyUint("current_rss_bytes", mem.current_rss_bytes);
+  out->KeyUint("peak_rss_bytes", mem.peak_rss_bytes);
+  out->Key("pools");
+  out->BeginObject();
+  for (size_t i = 0; i < kNumMemPools; ++i) {
+    out->Key(MemPoolName(static_cast<MemPool>(i)));
+    out->BeginObject();
+    out->KeyUint("current_bytes", mem.pools[i].current_bytes);
+    out->KeyUint("peak_bytes", mem.pools[i].peak_bytes);
+    out->KeyUint("allocs", mem.pools[i].allocs);
+    out->EndObject();
+  }
+  out->EndObject();
+}
+
+void WriteFlightEventMembers(const FlightEvent& event, JsonWriter* out) {
+  out->KeyUint("seq", event.seq);
+  out->KeyUint("ts_ns", event.ts_ns);
+  out->KeyString("kind", EventKindName(event.kind));
+  out->KeyString("label", event.label);
+  out->KeyUint("a", event.a);
+  out->KeyUint("b", event.b);
+}
+
+}  // namespace telemetry
+}  // namespace obs
+}  // namespace seqhide

@@ -1,0 +1,69 @@
+// Telemetry front door: the SEQHIDE_TELEMETRY macro and shared JSON
+// helpers.
+//
+// Pipeline code emits structured events through one macro:
+//
+//   SEQHIDE_TELEMETRY(kStage, "count.done", rows, patterns);
+//
+// Each emit records into the in-memory FlightRecorder (always, wait-free)
+// and mirrors every kind except kPool into the installed RunLedger, when
+// one is installed. kPool events are high-frequency sampler chatter whose
+// counts are not thread-count-invariant, so they stay in the ring and out
+// of the crash-durable ledger (whose event records are deterministic in
+// content apart from timestamps).
+//
+// The first Emit also hooks FaultInjector's fire listener, so every fault
+// site that fires anywhere in the process lands in the flight recorder
+// (and ledger) as a kFault event without the fault call sites knowing
+// about telemetry.
+//
+// Under SEQHIDE_OBS_DISABLED the macro compiles to nothing and its
+// arguments are not evaluated, matching src/obs/macros.h.
+
+#ifndef SEQHIDE_OBS_TELEMETRY_TELEMETRY_H_
+#define SEQHIDE_OBS_TELEMETRY_TELEMETRY_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/obs/telemetry/flight_recorder.h"
+#include "src/obs/telemetry/mem_tracker.h"
+
+namespace seqhide {
+namespace obs {
+
+class JsonWriter;
+
+namespace telemetry {
+
+// Records one event into the flight recorder and mirrors it into the
+// installed RunLedger (kPool excepted). Prefer the macro.
+void Emit(EventKind kind, std::string_view label, uint64_t a = 0,
+          uint64_t b = 0);
+
+// Appends a MemorySnapshot as members ("current_rss_bytes",
+// "peak_rss_bytes", "pools": {name: {current_bytes, peak_bytes, allocs}})
+// into an open JSON object. Shared by the ledger, --stats-json and the
+// bench harness so the memory block has one schema everywhere.
+void WriteMemoryMembers(const MemorySnapshot& mem, JsonWriter* out);
+
+// Appends one flight event as members ("seq", "ts_ns", "kind", "label",
+// "a", "b") into an open JSON object.
+void WriteFlightEventMembers(const FlightEvent& event, JsonWriter* out);
+
+}  // namespace telemetry
+}  // namespace obs
+}  // namespace seqhide
+
+#if !defined(SEQHIDE_OBS_DISABLED)
+#define SEQHIDE_TELEMETRY(kind, label, a, b)                          \
+  ::seqhide::obs::telemetry::Emit(                                    \
+      ::seqhide::obs::telemetry::EventKind::kind, (label),            \
+      static_cast<uint64_t>(a), static_cast<uint64_t>(b))
+#else
+#define SEQHIDE_TELEMETRY(kind, label, a, b) \
+  do {                                       \
+  } while (0)
+#endif
+
+#endif  // SEQHIDE_OBS_TELEMETRY_TELEMETRY_H_

@@ -1,5 +1,9 @@
 #include "src/obs/trace.h"
 
+#include <memory>
+#include <utility>
+
+#include "src/common/thread_pool.h"
 #include "src/obs/trace_events.h"
 
 namespace seqhide {
@@ -8,6 +12,41 @@ namespace {
 
 thread_local Span* g_current_span = nullptr;
 
+// Parent span path inherited from a submitting thread across a
+// ParallelFor boundary ("" = none). A worker thread's root spans chain
+// under this path, so kernel spans nest under their stage instead of
+// starting orphaned roots.
+thread_local std::string g_ambient_parent;
+
+// ThreadPool task-context hooks (thread_pool.h): capture the submitting
+// thread's span path at region creation, make it the ambient parent for
+// the duration of a worker's chunk run.
+std::shared_ptr<void> CaptureTaskContext() {
+  std::string path = Span::CurrentPath();
+  if (path.empty()) return nullptr;
+  return std::make_shared<std::string>(std::move(path));
+}
+
+void* EnterTaskContext(void* context) {
+  auto* saved = new std::string(std::move(g_ambient_parent));
+  g_ambient_parent = *static_cast<std::string*>(context);
+  return saved;
+}
+
+void ExitTaskContext(void* token) {
+  auto* saved = static_cast<std::string*>(token);
+  g_ambient_parent = std::move(*saved);
+  delete saved;
+}
+
+struct TaskContextRegistrar {
+  TaskContextRegistrar() {
+    ThreadPool::SetTaskContextHooks(&CaptureTaskContext, &EnterTaskContext,
+                                    &ExitTaskContext);
+  }
+};
+TaskContextRegistrar g_task_context_registrar;
+
 }  // namespace
 
 Span::Span(std::string_view name, MetricsRegistry* registry)
@@ -15,6 +54,9 @@ Span::Span(std::string_view name, MetricsRegistry* registry)
   if (parent_ != nullptr) {
     path_.reserve(parent_->path_.size() + 1 + name.size());
     path_.append(parent_->path_).append("/").append(name);
+  } else if (!g_ambient_parent.empty()) {
+    path_.reserve(g_ambient_parent.size() + 1 + name.size());
+    path_.append(g_ambient_parent).append("/").append(name);
   } else {
     path_.assign(name);
   }
@@ -34,7 +76,8 @@ Span::~Span() {
 }
 
 std::string Span::CurrentPath() {
-  return g_current_span == nullptr ? std::string() : g_current_span->path_;
+  if (g_current_span != nullptr) return g_current_span->path_;
+  return g_ambient_parent;
 }
 
 }  // namespace obs

@@ -5,9 +5,11 @@
 // the same thread become its children, and their path is
 // "parent/child" (e.g. "sanitize/mark"). The parent chain is a
 // thread-local stack, so spans must be destroyed in LIFO order per
-// thread — which RAII scoping guarantees. Spans opened on a worker
-// thread do not inherit a parent from the spawning thread; they start a
-// new root on that thread.
+// thread — which RAII scoping guarantees. Spans opened inside a
+// ParallelFor/ParallelReduceSum body inherit the submitting thread's
+// span path as an ambient parent (propagated through the thread pool's
+// task-context hooks, installed by trace.cc), so kernel work on worker
+// threads nests under its stage instead of starting orphaned roots.
 //
 // Prefer the SEQHIDE_TRACE_SPAN macro (src/obs/macros.h): it compiles
 // out entirely in SEQHIDE_OBS_DISABLED builds.

@@ -70,7 +70,7 @@ PrefixEndTable OraclePrefixEndTable(const Sequence& pattern,
                                     const Sequence& seq) {
   const size_t m = pattern.size();
   const size_t n = seq.size();
-  PrefixEndTable table(m + 1, std::vector<uint64_t>(n + 1, 0));
+  PrefixEndTable table(m + 1, DpRow(n + 1, 0));
   table[0][0] = 1;
   for (size_t k = 1; k <= m; ++k) {
     Sequence prefix;

@@ -76,6 +76,9 @@ def scrub(doc):
     doc["report"].pop("elapsed_seconds", None)
     doc["report"].pop("stages", None)
     doc["report"].get("robustness", {}).pop("resumed", None)
+    # RSS and pool scheduling are timing/OS-dependent, like the timings.
+    doc.pop("memory", None)
+    doc.pop("thread_pool", None)
     for span in doc.get("spans", {}).values():
         for key in ("total_ns", "min_ns", "max_ns"):
             span.pop(key, None)

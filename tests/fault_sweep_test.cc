@@ -1,6 +1,7 @@
 // Fault-injection sweep: arm every site in FaultInjector::Catalog() and
 // drive the full pipeline (write db → read db → interrupted sanitize →
-// resume → write result) through it. The contract: no crash, no
+// resume → write result, with a run ledger and Prometheus exposition
+// riding along) through it. The contract: no crash, no
 // Status::Internal, no torn on-disk state — every injected failure either
 // recovers transparently (checkpoint writes, worker spawn) or surfaces as
 // the clean, documented error class for that site.
@@ -16,6 +17,9 @@
 #include "src/data/workload.h"
 #include "src/hide/sanitizer.h"
 #include "src/obs/metrics.h"
+#include "src/obs/telemetry/mem_tracker.h"
+#include "src/obs/telemetry/prometheus.h"
+#include "src/obs/telemetry/run_ledger.h"
 #include "src/seq/binary_format.h"
 #include "src/seq/io.h"
 #include "tests/test_util.h"
@@ -45,6 +49,20 @@ Status RunPipeline(const std::string& dir, bool* out_db_written) {
 
   SequenceDatabase original = SweepDb();
   SEQHIDE_RETURN_IF_ERROR(WriteDatabaseToFile(original, db_path));
+
+  // Telemetry leg, part 1: a run ledger rides along on the whole
+  // pipeline. Its failure policy is the CLI's — an open failure (the
+  // io.telemetry.ledger.open site) warns and runs without a ledger, and
+  // a later write/sync failure disables it in place; neither may fail
+  // sanitization.
+  const std::string ledger_path = dir + "/sweep_ledger.jsonl";
+  std::unique_ptr<obs::telemetry::RunLedger> ledger;
+  if (auto opened = obs::telemetry::RunLedger::Open(ledger_path);
+      opened.ok()) {
+    ledger = std::move(opened).value();
+    ledger->Install();
+    ledger->AppendRunStart("sweep", db_path, 2);
+  }
 
   SEQHIDE_ASSIGN_OR_RETURN(SequenceDatabase db,
                            ReadDatabaseFromFile(db_path));
@@ -77,6 +95,17 @@ Status RunPipeline(const std::string& dir, bool* out_db_written) {
 
   SEQHIDE_RETURN_IF_ERROR(WriteDatabaseToFile(db, out_path));
   *out_db_written = true;
+
+  // Telemetry leg, part 2: the Prometheus exposition rewrite (the
+  // io.telemetry.prom.* sites) and the ledger's run_end. Failures are
+  // the sampler's/CLI's problem to log, never the pipeline's.
+  (void)obs::telemetry::WritePrometheusFile(
+      dir + "/sweep.prom", obs::MetricsRegistry::Default().Snapshot());
+  if (ledger != nullptr) {
+    ledger->AppendRunEnd("ok", obs::MetricsRegistry::Default().Snapshot(),
+                         obs::telemetry::MemorySnapshot::Capture());
+    ledger->Uninstall();
+  }
 
   // Binary leg: serialize the sanitized result as seqhidb, map it back,
   // and materialize — reaches every io.bindb.* site. A failure here
@@ -140,7 +169,8 @@ TEST(FaultSweepTest, EverySiteFailsCleanOrRecovers) {
                               site == "checkpoint.write.rename" ||
                               site == "sanitize.after_count" ||
                               site == "sanitize.after_select" ||
-                              site == "sanitize.mark_round";
+                              site == "sanitize.mark_round" ||
+                              site.rfind("io.telemetry.", 0) == 0;
     if (must_recover) {
       EXPECT_TRUE(status.ok()) << what << ": " << status;
       EXPECT_TRUE(db_written) << what;

@@ -1,0 +1,101 @@
+#!/bin/sh
+# Kill-and-inspect: SIGKILL a sanitize run mid-mark-stage and verify the
+# run ledger survives as a valid JSONL prefix (at most one torn final
+# line) whose tail identifies the last completed stage/round. This is
+# the crash-safety contract of the per-record write+fsync discipline.
+#
+# Usage: ledger_kill_test.sh CLI
+set -eu
+
+CLI="$1"
+
+WORK="${TMPDIR:-/tmp}/seqhide_ledger_kill_$$"
+mkdir -p "$WORK"
+trap 'rm -rf "$WORK"' EXIT
+
+if ! command -v python3 > /dev/null 2>&1; then
+  echo "ledger kill test skipped (needs python3)"
+  exit 0
+fi
+
+# A workload with many victims and --round-size 1, so the mark stage
+# emits one durable round event per victim and runs long enough to kill.
+python3 - > "$WORK/db.txt" <<'PYEOF'
+import random
+random.seed(8181)
+for _ in range(500):
+    body = ["a", "b", "c"] * 14
+    random.shuffle(body)
+    print(" ".join(body))
+PYEOF
+
+"$CLI" sanitize --db "$WORK/db.txt" --out "$WORK/out.txt" \
+    --pattern "a -> b -> c" --psi 0 --seed 7 --round-size 1 \
+    --ledger "$WORK/ledger.jsonl" > /dev/null 2>&1 &
+PID=$!
+
+# Poll until at least 3 marking rounds are durably in the ledger, then
+# SIGKILL — no handler runs, so only fsync'd records can survive.
+TRIES=0
+while :; do
+  ROUNDS=$(grep -c "mark.round" "$WORK/ledger.jsonl" 2>/dev/null || true)
+  [ "${ROUNDS:-0}" -ge 3 ] && break
+  if ! kill -0 "$PID" 2>/dev/null; then
+    # The run finished before we saw 3 rounds: too fast to kill on this
+    # machine. The surviving-prefix property is still checked below
+    # against the complete ledger.
+    break
+  fi
+  TRIES=$((TRIES + 1))
+  [ "$TRIES" -gt 2000 ] && { echo "FAIL: never reached 3 rounds"; exit 1; }
+done
+kill -9 "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+
+[ -s "$WORK/ledger.jsonl" ] || { echo "FAIL: ledger missing"; exit 1; }
+
+python3 - "$WORK/ledger.jsonl" <<'PYEOF'
+import json
+import sys
+
+lines = open(sys.argv[1]).read().splitlines()
+records = []
+for i, line in enumerate(lines):
+    if not line:
+        raise SystemExit(f"FAIL: blank ledger line {i + 1}")
+    try:
+        records.append(json.loads(line))
+    except ValueError:
+        # A torn line is only legal as the very last one.
+        if i != len(lines) - 1:
+            raise SystemExit(f"FAIL: corrupt non-final line {i + 1}")
+
+if not records:
+    raise SystemExit("FAIL: no parseable records survived")
+if records[0]["type"] != "run_start":
+    raise SystemExit("FAIL: first surviving record is not run_start")
+
+events = [r for r in records if r["type"] == "event"]
+seqs = [e["event_seq"] for e in events]
+if seqs != list(range(1, len(seqs) + 1)):
+    raise SystemExit("FAIL: surviving event_seq not a dense prefix")
+
+killed = records[-1]["type"] != "run_end"
+if killed:
+    # The tail identifies where the run died: the last completed stage
+    # transition / marking round is the last event record.
+    if not events:
+        raise SystemExit("FAIL: killed run left no events")
+    last = events[-1]
+    print("last completed: kind=%s label=%s a=%s"
+          % (last["kind"], last["label"], last["a"]))
+    if last["label"] == "mark.round":
+        rounds = [e["a"] for e in events if e["label"] == "mark.round"]
+        if rounds != list(range(1, len(rounds) + 1)):
+            raise SystemExit("FAIL: surviving rounds not a dense prefix")
+else:
+    print("run finished before the kill; prefix property verified")
+print("ledger kill test passed")
+PYEOF
+
+echo "ledger kill test passed"

@@ -6,9 +6,13 @@
 
 #include <algorithm>
 #include <limits>
+#include <mutex>
+#include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/obs/macros.h"
 #include "src/obs/metrics.h"
 #include "src/obs/stats_json.h"
@@ -164,12 +168,52 @@ TEST(SpanTest, WorkerThreadStartsNewRoot) {
   MetricsRegistry registry;
   Span outer("outer", &registry);
   std::thread worker([&registry] {
-    // The parent stack is thread-local: no inherited "outer/" prefix.
+    // The parent stack is thread-local: a raw std::thread (outside the
+    // pool's task-context plumbing) inherits no "outer/" prefix.
     Span s("worker", &registry);
     EXPECT_EQ(s.path(), "worker");
   });
   worker.join();
   EXPECT_EQ(registry.Snapshot().spans.count("worker"), 1u);
+}
+
+TEST(SpanTest, PoolWorkersInheritSubmitterSpanPath) {
+  // Spans opened inside ParallelFor/ParallelReduceSum bodies nest under
+  // the submitting thread's live span, whichever thread runs the chunk:
+  // the pool captures the submitter's span path and installs it as the
+  // workers' ambient parent (trace.cc task-context hooks).
+  MetricsRegistry registry;
+  std::mutex mu;
+  std::set<std::string> paths;
+  {
+    Span outer("outer", &registry);
+    ThreadPool::Shared().ParallelFor(64, 4, [&](size_t /*begin*/,
+                                                size_t /*end*/) {
+      Span s("chunk", &registry);
+      std::lock_guard<std::mutex> lock(mu);
+      paths.insert(s.path());
+    });
+    // The ambient parent is scoped to the chunk: back on the submitting
+    // thread, the live span is unchanged.
+    EXPECT_EQ(Span::CurrentPath(), "outer");
+  }
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(*paths.begin(), "outer/chunk");
+
+  uint64_t sum = ThreadPool::Shared().ParallelReduceSum(
+      32, 4, [&](size_t begin, size_t end) -> uint64_t {
+        Span s("reduce", &registry);
+        std::lock_guard<std::mutex> lock(mu);
+        paths.insert(s.path());
+        return end - begin;
+      });
+  EXPECT_EQ(sum, 32u);
+  // No live span on the submitter now, so reduce chunks are roots.
+  EXPECT_EQ(paths.count("reduce"), 1u);
+
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.spans.count("outer/chunk"), 1u);
+  EXPECT_EQ(snap.spans.count("chunk"), 0u);
 }
 
 TEST(ScopedTimerTest, AccumulatesSeconds) {

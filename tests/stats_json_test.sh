@@ -59,8 +59,18 @@ for key in ("count_seconds", "select_seconds", "mark_seconds",
 
 # DP-row counters from the matching kernels — only populated when the
 # build has observability compiled in (argv[2] == "on").
+memory = stats["memory"]
+require(memory["current_rss_bytes"] >= 0, "memory.current_rss_bytes")
+require("pools" in memory and "dp_scratch" in memory["pools"],
+        "memory.pools.dp_scratch")
+pool = stats["thread_pool"]
+require("chunks_executed" in pool and "parks" in pool, "thread_pool keys")
+
 if sys.argv[2] == "on":
     counters = stats["counters"]
+    require(memory["current_rss_bytes"] > 0, "nonzero RSS")
+    require(memory["pools"]["dp_scratch"]["peak_bytes"] > 0,
+            "dp_scratch peak_bytes")
     require(counters.get("match.count.dp_rows", 0) > 0, "dp_rows counter")
     require(counters.get("local.delta_recomputations", 0) > 0,
             "delta_recomputations counter")
@@ -75,7 +85,8 @@ else
   for key in '"schema_version":1' '"command":"sanitize"' \
       '"m1_marks_introduced"' '"supports_before"' '"supports_after"' \
       '"count_seconds"' '"select_seconds"' '"mark_seconds"' \
-      '"verify_seconds"' '"counters"' '"spans"'; do
+      '"verify_seconds"' '"counters"' '"spans"' '"memory"' \
+      '"thread_pool"'; do
     grep -q "$key" "$WORK/stats.json" \
         || { echo "FAIL: missing $key"; exit 1; }
   done

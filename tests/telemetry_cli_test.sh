@@ -1,0 +1,165 @@
+#!/bin/sh
+# Telemetry acceptance test: `seqhide_cli sanitize --ledger --metrics-prom`
+# produces (a) a parseable JSONL ledger whose run_end snapshot matches the
+# --stats-json counters exactly, (b) a Prometheus file that passes the CI
+# format check, and (c) a memory block with nonzero peak RSS and DP
+# scratch accounting (observability builds).
+#
+# Usage: telemetry_cli_test.sh CLI OBS(on|off) CHECKER
+set -eu
+
+CLI="$1"
+OBS="$2"
+CHECKER="$3"
+
+WORK="${TMPDIR:-/tmp}/seqhide_telemetry_cli_$$"
+mkdir -p "$WORK"
+trap 'rm -rf "$WORK"' EXIT
+
+if ! command -v python3 > /dev/null 2>&1; then
+  echo "telemetry cli test skipped (needs python3)"
+  exit 0
+fi
+
+# A database big enough that every pipeline stage does real DP work.
+python3 - > "$WORK/db.txt" <<'PYEOF'
+import random
+random.seed(20070401)
+symbols = list("abcdefg")
+for _ in range(150):
+    n = random.randint(6, 20)
+    print(" ".join(random.choice(symbols) for _ in range(n)))
+PYEOF
+
+"$CLI" sanitize --db "$WORK/db.txt" --out "$WORK/out.txt" \
+    --pattern "a -> b -> c" --pattern "b -> a" \
+    --psi 1 --algo HH --seed 42 \
+    --stats-json "$WORK/stats.json" \
+    --ledger "$WORK/ledger.jsonl" \
+    --metrics-prom "$WORK/out.prom" \
+    --telemetry-interval-ms 50 > "$WORK/stdout.txt"
+
+grep -q "wrote ledger" "$WORK/stdout.txt" \
+    || { echo "FAIL: no 'wrote ledger' line"; exit 1; }
+[ -s "$WORK/ledger.jsonl" ] || { echo "FAIL: ledger empty"; exit 1; }
+[ -f "$WORK/out.prom" ] || { echo "FAIL: prom file missing"; exit 1; }
+if [ "$OBS" = "on" ]; then
+  # With observability compiled out the registry snapshot is empty, so
+  # an empty exposition file is the correct output.
+  [ -s "$WORK/out.prom" ] || { echo "FAIL: prom file empty"; exit 1; }
+fi
+
+# (b) The prom file passes the checked-in format lint.
+python3 "$CHECKER" "$WORK/out.prom" \
+    || { echo "FAIL: prom format check"; exit 1; }
+
+python3 - "$WORK/ledger.jsonl" "$WORK/stats.json" "$OBS" <<'PYEOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    records = [json.loads(line) for line in f if line.strip()]
+with open(sys.argv[2]) as f:
+    stats = json.load(f)
+obs_on = sys.argv[3] == "on"
+
+
+def require(cond, what):
+    if not cond:
+        raise SystemExit(f"FAIL: {what}")
+
+
+# (a) Ledger structure: run_start first, run_end last, event_seq dense.
+require(records[0]["type"] == "run_start", "first record is run_start")
+require(records[0]["command"] == "sanitize", "run_start.command")
+require(records[-1]["type"] == "run_end", "last record is run_end")
+require(records[-1]["status"] == "ok", "run_end.status ok")
+events = [r for r in records if r["type"] == "event"]
+require([e["event_seq"] for e in events] ==
+        list(range(1, len(events) + 1)), "event_seq dense and ordered")
+for r in records:
+    require("ts_ms" in r and r["ts_ms"] > 0, f"ts_ms in {r['type']}")
+
+end = records[-1]
+require(end["event_seq_total"] == len(events), "event_seq_total")
+
+if obs_on:
+    # The deterministic stage walk must be in the ledger.
+    labels = [e["label"] for e in events]
+    for expected in ("count.done", "selected", "select.done", "mark.done",
+                     "verify.done"):
+        require(expected in labels, f"event {expected} present")
+    # mark rounds are 1..rounds_total in order.
+    rounds = [e["a"] for e in events if e["label"] == "mark.round"]
+    require(rounds == list(range(1, len(rounds) + 1)), "round numbering")
+
+    # The acceptance contract: run_end's snapshot equals --stats-json's,
+    # counter for counter (and gauge, histogram, span-count).
+    require(end["counters"] == stats["counters"],
+            "run_end counters == stats counters")
+    require(end["gauges"] == stats["gauges"],
+            "run_end gauges == stats gauges")
+    require(end["histograms"] == stats["histograms"],
+            "run_end histograms == stats histograms")
+    require(set(end["spans"]) == set(stats["spans"]), "span paths agree")
+    for path, span in end["spans"].items():
+        require(span["count"] == stats["spans"][path]["count"],
+                f"span count for {path}")
+
+    # (c) Memory accounting: nonzero peak RSS everywhere the block
+    # appears, and the DP scratch pool saw real allocations.
+    for block in (end["memory"], stats["memory"]):
+        require(block["peak_rss_bytes"] > 0, "peak_rss_bytes > 0")
+        require(block["pools"]["dp_scratch"]["peak_bytes"] > 0,
+                "dp_scratch peak_bytes > 0")
+        require(block["pools"]["dp_scratch"]["allocs"] > 0,
+                "dp_scratch allocs > 0")
+
+    # Samples carry the same memory schema plus pool/flight gauges.
+    samples = [r for r in records if r["type"] == "sample"]
+    require(len(samples) >= 1, "at least one sample record")
+    for s in samples:
+        require("memory" in s and "pool" in s and "flight" in s,
+                "sample schema")
+
+    # Flight-recorder tail: present, capped, in seq order.
+    tail = end["flight"]["tail"]
+    require(1 <= len(tail) <= 32, "flight tail size")
+    seqs = [e["seq"] for e in tail]
+    require(seqs == sorted(seqs), "flight tail ordered")
+    require(end["flight"]["total"] >= len(events), "flight total")
+
+print("telemetry cli test passed")
+PYEOF
+
+# Determinism: a second identical run must produce the identical event
+# stream (timestamps and samples aside — the contract covers "event"
+# records only).
+"$CLI" sanitize --db "$WORK/db.txt" --out "$WORK/out2.txt" \
+    --pattern "a -> b -> c" --pattern "b -> a" \
+    --psi 1 --algo HH --seed 42 \
+    --ledger "$WORK/ledger2.jsonl" > /dev/null
+python3 - "$WORK/ledger.jsonl" "$WORK/ledger2.jsonl" "$OBS" <<'PYEOF'
+import json
+import sys
+
+
+def events(path):
+    out = []
+    with open(path) as f:
+        for line in f:
+            if not line.strip():
+                continue
+            r = json.loads(line)
+            if r["type"] == "event":
+                out.append((r["event_seq"], r["kind"], r["label"],
+                            r["a"], r["b"]))
+    return out
+
+a, b = events(sys.argv[1]), events(sys.argv[2])
+if sys.argv[3] == "on" and a != b:
+    raise SystemExit("FAIL: event stream differs between identical runs")
+print("telemetry determinism check passed")
+PYEOF
+
+echo "telemetry cli test passed"

@@ -2,6 +2,7 @@
 //
 //   bench_compare CANDIDATE BASELINE [--counters-only]
 //                 [--time-threshold FRACTION] [--time-min-delta-ns N]
+//                 [--mem-threshold FRACTION]
 //
 // CANDIDATE and BASELINE are either two BENCH_*.json files or two
 // directories of them (candidate files drive directory comparison, so a
@@ -29,6 +30,9 @@ void PrintUsage() {
       "  --time-threshold F        relative median slowdown to flag\n"
       "                            (default 0.30)\n"
       "  --time-min-delta-ns N     absolute slowdown floor (default 1e6)\n"
+      "  --mem-threshold F         relative pool peak_bytes growth to flag\n"
+      "                            (default 0.50; needs memory blocks in\n"
+      "                            both reports, skipped by counters-only)\n"
       "exit: 0 no regression, 1 regression/drift, 2 usage or I/O error\n";
 }
 
@@ -39,21 +43,23 @@ int Main(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg == "--counters-only") {
       options.counters_only = true;
-    } else if (arg == "--time-threshold" || arg == "--time-min-delta-ns") {
+    } else if (arg == "--time-threshold" || arg == "--time-min-delta-ns" ||
+               arg == "--mem-threshold") {
       if (i + 1 >= argc) {
         std::cerr << "error: " << arg << " needs a value\n";
         PrintUsage();
         return 2;
       }
       std::string value = argv[++i];
-      if (arg == "--time-threshold") {
+      if (arg == "--time-threshold" || arg == "--mem-threshold") {
         auto parsed = ParseDouble(value);
         if (!parsed.has_value() || *parsed < 0.0) {
-          std::cerr << "error: --time-threshold needs a non-negative "
+          std::cerr << "error: " << arg << " needs a non-negative "
                        "fraction\n";
           return 2;
         }
-        options.time_threshold = *parsed;
+        (arg == "--time-threshold" ? options.time_threshold
+                                   : options.mem_threshold) = *parsed;
       } else {
         auto parsed = ParseInt64(value);
         if (!parsed.has_value() || *parsed < 0) {

@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Prometheus text-exposition format checker for --metrics-prom files.
+
+Validates the subset of the exposition format that seqhide emits
+(src/obs/telemetry/prometheus.cc) strictly enough to catch real writer
+bugs:
+
+  * every non-comment line is `name{labels} value` with a valid metric
+    name and a parseable value;
+  * every sample's base name was announced by a preceding # TYPE line;
+  * a # TYPE line names a valid metric and one of counter/gauge/histogram;
+  * counter sample names end in _total; gauge names do not;
+  * histogram series are coherent: _bucket samples have an `le` label,
+    cumulative bucket counts are non-decreasing, the +Inf bucket exists
+    and equals _count, and _sum/_count are present.
+
+Usage: check_prom_format.py FILE [FILE...]
+Exit codes: 0 all files pass, 1 violation found, 2 usage/IO error.
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)$"
+)
+LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_value(text):
+    if text == "+Inf":
+        return float("inf")
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def base_name(name, kind):
+    """Strip the histogram series suffix to recover the announced name."""
+    if kind == "histogram":
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix):
+                return name[: -len(suffix)]
+    return name
+
+
+def check_file(path):
+    errors = []
+
+    def err(lineno, msg):
+        errors.append(f"{path}:{lineno}: {msg}")
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        return None
+
+    types = {}  # metric name -> declared type
+    # histogram name -> {"buckets": [(le, value, lineno)], "sum": v,
+    #                    "count": v}
+    histograms = {}
+
+    for lineno, line in enumerate(lines, 1):
+        if not line:
+            err(lineno, "blank line (writer never emits one)")
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if parts[0] != "#" or len(parts) < 4 or parts[1] != "TYPE":
+                err(lineno, f"unrecognized comment line: {line!r}")
+                continue
+            name, kind = parts[2], parts[3]
+            if not METRIC_NAME.match(name):
+                err(lineno, f"invalid metric name in TYPE line: {name!r}")
+            if kind not in ("counter", "gauge", "histogram"):
+                err(lineno, f"invalid type {kind!r} for {name}")
+            if name in types:
+                err(lineno, f"duplicate TYPE line for {name}")
+            types[name] = kind
+            if kind == "histogram":
+                histograms[name] = {"buckets": [], "sum": None,
+                                    "count": None}
+            continue
+
+        m = SAMPLE.match(line)
+        if not m:
+            err(lineno, f"unparseable sample line: {line!r}")
+            continue
+        name = m.group("name")
+        value = parse_value(m.group("value"))
+        if value is None:
+            err(lineno, f"unparseable value {m.group('value')!r} for {name}")
+            continue
+
+        labels = {}
+        if m.group("labels") is not None:
+            raw = m.group("labels")
+            consumed = 0
+            for lm in LABEL.finditer(raw):
+                labels[lm.group(1)] = lm.group(2)
+                consumed = lm.end()
+                if consumed < len(raw) and raw[consumed] == ",":
+                    consumed += 1
+            if consumed != len(raw):
+                err(lineno, f"malformed label set {{{raw}}} on {name}")
+            for label in labels:
+                if not LABEL_NAME.match(label):
+                    err(lineno, f"invalid label name {label!r} on {name}")
+
+        # Find the TYPE announcement this sample belongs to.
+        announced = None
+        for candidate_kind in ("histogram",):
+            base = base_name(name, candidate_kind)
+            if types.get(base) == "histogram":
+                announced = (base, "histogram")
+                break
+        if announced is None and name in types:
+            announced = (name, types[name])
+        if announced is None:
+            err(lineno, f"sample {name} has no preceding # TYPE line")
+            continue
+        base, kind = announced
+
+        if kind == "counter" and not name.endswith("_total"):
+            err(lineno, f"counter sample {name} does not end in _total")
+        if kind == "gauge" and name.endswith("_total"):
+            err(lineno, f"gauge sample {name} ends in _total")
+        if kind == "histogram":
+            h = histograms[base]
+            if name == base + "_bucket":
+                if "le" not in labels:
+                    err(lineno, f"histogram bucket {name} missing le label")
+                else:
+                    le = parse_value(labels["le"])
+                    if le is None:
+                        err(lineno,
+                            f"unparseable le={labels['le']!r} on {name}")
+                    else:
+                        h["buckets"].append((le, value, lineno))
+            elif name == base + "_sum":
+                h["sum"] = value
+            elif name == base + "_count":
+                h["count"] = value
+            elif name == base:
+                err(lineno, f"bare sample {name} for a histogram")
+
+    for name, h in histograms.items():
+        buckets = h["buckets"]
+        if not buckets:
+            errors.append(f"{path}: histogram {name} has no buckets")
+            continue
+        les = [le for le, _, _ in buckets]
+        if sorted(les) != les:
+            errors.append(f"{path}: histogram {name} buckets not in "
+                          f"increasing le order")
+        counts = [v for _, v, _ in buckets]
+        if any(b > a for a, b in zip(counts[1:], counts)):
+            errors.append(f"{path}: histogram {name} bucket counts are "
+                          f"not cumulative")
+        if les[-1] != float("inf"):
+            errors.append(f"{path}: histogram {name} missing +Inf bucket")
+        if h["count"] is None:
+            errors.append(f"{path}: histogram {name} missing _count")
+        elif les[-1] == float("inf") and counts[-1] != h["count"]:
+            errors.append(f"{path}: histogram {name} +Inf bucket "
+                          f"{counts[-1]} != _count {h['count']}")
+        if h["sum"] is None:
+            errors.append(f"{path}: histogram {name} missing _sum")
+
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2 or argv[1] in ("-h", "--help"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        errors = check_file(path)
+        if errors is None:
+            return 2
+        if errors:
+            failed = True
+            for e in errors:
+                print(e, file=sys.stderr)
+        else:
+            print(f"{path}: OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

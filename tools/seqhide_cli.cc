@@ -38,6 +38,11 @@
 // handled. --inject-fault site:k[,site:k...] arms deterministic faults
 // for testing recovery paths.
 //
+// --ledger appends a crash-safe JSONL telemetry stream (run_start, one
+// line per pipeline event, periodic samples, run_end with the final
+// metrics snapshot); --metrics-prom atomically rewrites a Prometheus
+// text-exposition file every --telemetry-interval-ms while the run is
+// live. Neither can fail the run: telemetry I/O errors warn and disable.
 // --stats-json writes a machine-readable run report (options, per-pattern
 // supports before/after, M1, per-stage wall times, obs counter dump) —
 // format documented in docs/observability.md. --trace-json writes the
@@ -60,9 +65,14 @@
 
 #include "src/common/fault_injection.h"
 #include "src/common/status.h"
+#include "src/common/thread_pool.h"
 #include "src/common/string_util.h"
 #include "src/obs/metrics.h"
 #include "src/obs/stats_json.h"
+#include "src/obs/telemetry/prometheus.h"
+#include "src/obs/telemetry/run_ledger.h"
+#include "src/obs/telemetry/sampler.h"
+#include "src/obs/telemetry/telemetry.h"
 #include "src/obs/trace_events.h"
 #include "src/constraints/constraints.h"
 #include "src/eval/metrics.h"
@@ -101,6 +111,8 @@ void PrintUsage() {
       "           [--threads N (0=auto)]\n"
       "           [--stage2 keep|delete|replace] [--format seq|itemset]\n"
       "           [--stats-json FILE] [--trace-json FILE]\n"
+      "           [--ledger FILE] [--metrics-prom FILE]\n"
+      "           [--telemetry-interval-ms N (default 500)]\n"
       "           [--deadline-seconds S] [--max-table-bytes N]\n"
       "           [--max-rounds N] [--round-size N]\n"
       "           [--checkpoint FILE] [--checkpoint-every N] [--resume]\n"
@@ -166,6 +178,7 @@ Status ValidateFlags(const ParsedArgs& args) {
        {true,
         {"db", "out", "psi", "algo", "seed", "threads", "stage2", "format",
          "db-format", "stats-json", "trace-json", "input-mode", "inject-fault",
+         "ledger", "metrics-prom", "telemetry-interval-ms",
          "deadline-seconds", "max-table-bytes", "max-rounds", "round-size",
          "checkpoint", "checkpoint-every", "resume"}}},
       {"convert",
@@ -344,7 +357,8 @@ struct StatsJsonInput {
 // Schema: docs/observability.md. Key stability matters — tests and any
 // downstream tooling parse this.
 Status WriteStatsJson(const std::string& path, const ParsedArgs& args,
-                      const StatsJsonInput& input) {
+                      const StatsJsonInput& input,
+                      const obs::MetricsSnapshot& snapshot) {
   obs::JsonWriter json;
   json.BeginObject();
   json.KeyInt("schema_version", 1);
@@ -355,9 +369,11 @@ Status WriteStatsJson(const std::string& path, const ParsedArgs& args,
   for (const auto& [flag, value] : args.flags) {
     // checkpoint/resume/inject-fault are excluded so a resumed run's
     // stats-json is byte-comparable (timings aside) with the
-    // uninterrupted run's.
+    // uninterrupted run's; the telemetry sinks are side channels, not
+    // inputs, and are excluded for the same reason.
     if (flag == "format" || flag == "stats-json" || flag == "checkpoint" ||
-        flag == "resume" || flag == "inject-fault") {
+        flag == "resume" || flag == "inject-fault" || flag == "ledger" ||
+        flag == "metrics-prom" || flag == "telemetry-interval-ms") {
       continue;
     }
     json.KeyString(flag, value);
@@ -425,8 +441,29 @@ Status WriteStatsJson(const std::string& path, const ParsedArgs& args,
   }
   json.EndObject();
 
-  obs::WriteSnapshotMembers(obs::MetricsRegistry::Default().Snapshot(),
-                            &json);
+  // Memory + thread-pool accounting. Timing/placement-dependent by
+  // nature (RSS, parks, per-worker chunk splits), so like the timings
+  // these live outside the determinism contract: tests scrub them.
+  json.Key("memory").BeginObject();
+  obs::telemetry::WriteMemoryMembers(obs::telemetry::MemorySnapshot::Capture(),
+                                     &json);
+  json.EndObject();
+  {
+    const ThreadPoolStats pool = ThreadPool::Shared().Stats();
+    json.Key("thread_pool").BeginObject();
+    json.KeyUint("regions", pool.regions);
+    json.KeyUint("chunks_executed", pool.chunks_executed);
+    json.KeyUint("parks", pool.parks);
+    json.KeyUint("wakes", pool.wakes);
+    json.KeyUint("workers_spawned", pool.workers_spawned);
+    json.KeyUint("queue_peak", pool.queue_peak);
+    json.Key("worker_chunks").BeginArray();
+    for (uint64_t c : pool.worker_chunks) json.Uint(c);
+    json.EndArray();
+    json.EndObject();
+  }
+
+  obs::WriteSnapshotMembers(snapshot, &json);
   json.EndObject();
 
   std::ofstream out(path);
@@ -532,7 +569,8 @@ Status RunSanitizeItemset(const ParsedArgs& args) {
     stats.sequences_sanitized = report.sequences_sanitized;
     stats.supports_before = report.supports_before;
     stats.supports_after = report.supports_after;
-    SEQHIDE_RETURN_IF_ERROR(WriteStatsJson(it->second, args, stats));
+    SEQHIDE_RETURN_IF_ERROR(WriteStatsJson(
+        it->second, args, stats, obs::MetricsRegistry::Default().Snapshot()));
     std::cout << "wrote stats " << it->second << "\n";
   }
   return Status::OK();
@@ -747,8 +785,50 @@ Status RunSanitize(const ParsedArgs& args) {
     return Status::InvalidArgument("--algo must be HH, HR, RH or RR");
   }
 
-  SEQHIDE_ASSIGN_OR_RETURN(SanitizeReport report,
-                           Sanitize(&db, patterns, constraints, opts));
+  // Telemetry sinks. Opening the ledger can fail (bad path, injected
+  // io.telemetry.ledger.open); per the failure policy that warns and
+  // runs without a ledger rather than failing sanitization.
+  std::unique_ptr<obs::telemetry::RunLedger> ledger;
+  if (auto it = args.flags.find("ledger"); it != args.flags.end()) {
+    auto opened = obs::telemetry::RunLedger::Open(it->second);
+    if (!opened.ok()) {
+      SEQHIDE_LOG(Warn) << "--ledger disabled: " << opened.status();
+    } else {
+      ledger = std::move(opened).value();
+      ledger->Install();
+      ledger->AppendRunStart("sanitize", DbPath(args).value_or(""),
+                             opts.num_threads);
+      obs::telemetry::RunLedger::InstallSignalFlushHook();
+    }
+  }
+  std::string prom_path;
+  if (auto it = args.flags.find("metrics-prom"); it != args.flags.end()) {
+    prom_path = it->second;
+  }
+  std::unique_ptr<obs::telemetry::TelemetrySampler> sampler;
+  if (ledger != nullptr || !prom_path.empty()) {
+    obs::telemetry::TelemetrySampler::Options sampler_opts;
+    SEQHIDE_ASSIGN_OR_RETURN(
+        sampler_opts.interval_ms,
+        FlagAsSize(args, "telemetry-interval-ms", sampler_opts.interval_ms));
+    sampler_opts.prom_path = prom_path;
+    sampler =
+        std::make_unique<obs::telemetry::TelemetrySampler>(sampler_opts);
+    sampler->Start();
+  }
+
+  Result<SanitizeReport> run = Sanitize(&db, patterns, constraints, opts);
+  if (sampler != nullptr) sampler->Stop();
+  if (!run.ok()) {
+    if (ledger != nullptr) {
+      ledger->AppendRunEnd(StatusCodeToString(run.status().code()),
+                           obs::MetricsRegistry::Default().Snapshot(),
+                           obs::telemetry::MemorySnapshot::Capture());
+      ledger->Uninstall();
+    }
+    return run.status();
+  }
+  SanitizeReport report = std::move(run).value();
   std::cout << report.ToString() << "\n";
 
   std::string stage2 = "keep";
@@ -771,6 +851,12 @@ Status RunSanitize(const ParsedArgs& args) {
 
   SEQHIDE_RETURN_IF_ERROR(WriteDatabaseToFile(db, out_it->second));
   std::cout << "wrote " << out_it->second << "\n";
+
+  // One snapshot feeds --stats-json, the final --metrics-prom rewrite and
+  // the ledger's run_end record, so the three artifacts agree counter for
+  // counter (the acceptance contract for the telemetry subsystem).
+  const obs::MetricsSnapshot final_snapshot =
+      obs::MetricsRegistry::Default().Snapshot();
   if (auto it = args.flags.find("stats-json"); it != args.flags.end()) {
     StatsJsonInput stats;
     stats.format = "seq";
@@ -798,8 +884,23 @@ Status RunSanitize(const ParsedArgs& args) {
     stats.read_report = read_report;
     stats.faults_armed = FaultInjector::Default().ArmedCount();
     stats.faults_fired = FaultInjector::Default().FaultsFired();
-    SEQHIDE_RETURN_IF_ERROR(WriteStatsJson(it->second, args, stats));
+    SEQHIDE_RETURN_IF_ERROR(
+        WriteStatsJson(it->second, args, stats, final_snapshot));
     std::cout << "wrote stats " << it->second << "\n";
+  }
+  if (!prom_path.empty()) {
+    const Status prom_status =
+        obs::telemetry::WritePrometheusFile(prom_path, final_snapshot);
+    if (!prom_status.ok()) {
+      SEQHIDE_LOG(Warn) << "--metrics-prom final write failed: "
+                        << prom_status;
+    }
+  }
+  if (ledger != nullptr) {
+    ledger->AppendRunEnd("ok", final_snapshot,
+                         obs::telemetry::MemorySnapshot::Capture());
+    ledger->Uninstall();
+    std::cout << "wrote ledger " << ledger->path() << "\n";
   }
   return Status::OK();
 }
