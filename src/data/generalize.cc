@@ -40,6 +40,9 @@ Result<GeneralizeReport> GeneralizeMarks(
   }
 
   GeneralizeReport report;
+  // One scratch across every trial substitution; the trial loop is
+  // allocation-free once the buffers have warmed up.
+  MatchScratch scratch;
   for (size_t t = 0; t < sanitized->size(); ++t) {
     const Sequence& before = original[t];
     Sequence* after = sanitized->mutable_sequence(t);
@@ -71,7 +74,8 @@ Result<GeneralizeReport> GeneralizeMarks(
       std::vector<SymbolId> symbols = trial.symbols();
       symbols[pos] = region;
       trial = Sequence(std::move(symbols));
-      if (CountConstrainedMatchingsTotal(patterns, constraints, trial) == 0) {
+      if (CountConstrainedMatchingsTotal(patterns, constraints, trial,
+                                         &scratch) == 0) {
         *after = std::move(trial);
         ++report.generalized;
       } else {

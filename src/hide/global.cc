@@ -48,6 +48,14 @@ std::vector<SequenceMatchInfo> ComputeMatchInfo(
 std::vector<SequenceMatchInfo> ComputeMatchInfo(
     const DatabaseView& db, const std::vector<Sequence>& patterns,
     const std::vector<ConstraintSpec>& constraints, size_t num_threads) {
+  const MatchKernel kernel(patterns, constraints, KernelEngine::kAuto);
+  return ComputeMatchInfo(db, patterns, constraints, num_threads, kernel);
+}
+
+std::vector<SequenceMatchInfo> ComputeMatchInfo(
+    const DatabaseView& db, const std::vector<Sequence>& patterns,
+    const std::vector<ConstraintSpec>& constraints, size_t num_threads,
+    const MatchKernel& kernel) {
   SEQHIDE_CHECK(constraints.empty() || constraints.size() == patterns.size())
       << "constraints must be empty or parallel to patterns";
   SEQHIDE_TRACE_SPAN("compute_match_info");
@@ -56,21 +64,17 @@ std::vector<SequenceMatchInfo> ComputeMatchInfo(
   ThreadPool::Shared().ParallelFor(
       db.size(), num_threads, [&](size_t begin, size_t end) {
         // One scratch per chunk: warm across the chunk's rows, and never
-        // shared between workers.
+        // shared between workers. The kernel itself is immutable shared
+        // state (masks/trie built once, read concurrently).
         MatchScratch scratch;
         for (size_t t = begin; t < end; ++t) {
           info[t].index = t;
           info[t].pattern_support.resize(patterns.size(), false);
-          uint64_t total = 0;
+          std::vector<uint64_t>& counts = scratch.pattern_counts;
+          info[t].matching_count = kernel.CountRow(db[t], &scratch, &counts);
           for (size_t p = 0; p < patterns.size(); ++p) {
-            const ConstraintSpec& spec =
-                constraints.empty() ? ConstraintSpec() : constraints[p];
-            uint64_t c =
-                CountConstrainedMatchings(patterns[p], spec, db[t], &scratch);
-            info[t].pattern_support[p] = (c > 0);
-            total = SatAdd(total, c);
+            info[t].pattern_support[p] = (counts[p] > 0);
           }
-          info[t].matching_count = total;
         }
       });
   return info;

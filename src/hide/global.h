@@ -15,6 +15,7 @@
 #include "src/common/random.h"
 #include "src/constraints/constraints.h"
 #include "src/hide/options.h"
+#include "src/match/kernel.h"
 #include "src/seq/database.h"
 #include "src/seq/view.h"
 
@@ -49,6 +50,15 @@ std::vector<SequenceMatchInfo> ComputeMatchInfo(
 std::vector<SequenceMatchInfo> ComputeMatchInfo(
     const SequenceDatabase& db, const std::vector<Sequence>& patterns,
     const std::vector<ConstraintSpec>& constraints, size_t num_threads);
+
+// Kernel-explicit variant: the counting engine is chosen by the caller
+// (Sanitize builds one MatchKernel per run from SanitizeOptions::kernel).
+// The overloads above delegate here with an auto-dispatched kernel. The
+// result is bit-identical for every engine and thread count.
+std::vector<SequenceMatchInfo> ComputeMatchInfo(
+    const DatabaseView& db, const std::vector<Sequence>& patterns,
+    const std::vector<ConstraintSpec>& constraints, size_t num_threads,
+    const MatchKernel& kernel);
 
 // Returns the indices of the sequences to sanitize so that at most `psi`
 // sequences keep a matching. Only supporters (matching_count > 0) are ever

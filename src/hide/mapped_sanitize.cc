@@ -12,6 +12,7 @@
 #include "src/hide/local.h"
 #include "src/match/constrained_count.h"
 #include "src/match/count.h"
+#include "src/match/kernel.h"
 #include "src/match/scratch.h"
 #include "src/obs/macros.h"
 #include "src/obs/metrics.h"
@@ -105,32 +106,71 @@ Status ValidateInputs(const MappedDatabase& db,
 // sanitizer.cc's ComputeMatchInfoIndexed with CandidateRows() standing in
 // for InvertedIndex::CandidateSupporters(). Both candidate sets are exact
 // supersets of the true supporters, so the resulting info is identical —
-// a row missing from one set would have contributed zero anyway.
+// a row missing from one set would have contributed zero anyway. Like the
+// in-memory variant, trie-covered patterns are answered by one pass over
+// the union of their candidate rows.
 std::vector<SequenceMatchInfo> ComputeMatchInfoMapped(
     const MappedDatabase& db, const std::vector<Sequence>& patterns,
-    const std::vector<ConstraintSpec>& constraints, size_t num_threads,
-    size_t* dp_rows) {
+    const std::vector<ConstraintSpec>& constraints,
+    const MatchKernel& kernel, size_t num_threads, size_t* dp_rows) {
+  (void)constraints;
   std::vector<SequenceMatchInfo> info(db.size());
   for (size_t t = 0; t < db.size(); ++t) {
     info[t].index = t;
     info[t].pattern_support.resize(patterns.size(), false);
   }
   *dp_rows = 0;
+  std::vector<std::vector<size_t>> candidates(patterns.size());
+  bool any_covered = false;
   for (size_t p = 0; p < patterns.size(); ++p) {
-    const ConstraintSpec& spec =
-        constraints.empty() ? ConstraintSpec() : constraints[p];
-    const std::vector<size_t> candidates = db.CandidateRows(patterns[p]);
-    SEQHIDE_COUNTER_ADD("sanitize.index_dp_rows", candidates.size());
+    candidates[p] = db.CandidateRows(patterns[p]);
+    SEQHIDE_COUNTER_ADD("sanitize.index_dp_rows", candidates[p].size());
     SEQHIDE_COUNTER_ADD("sanitize.index_pruned_rows",
-                        db.size() - candidates.size());
-    *dp_rows += candidates.size();
+                        db.size() - candidates[p].size());
+    *dp_rows += candidates[p].size();
+    if (kernel.TrieCovers(p)) any_covered = true;
+  }
+
+  if (any_covered) {
+    std::vector<uint8_t> seen(db.size(), 0);
+    std::vector<size_t> union_rows;
+    for (size_t p = 0; p < patterns.size(); ++p) {
+      if (!kernel.TrieCovers(p)) continue;
+      for (size_t t : candidates[p]) {
+        if (!seen[t]) {
+          seen[t] = 1;
+          union_rows.push_back(t);
+        }
+      }
+    }
+    std::sort(union_rows.begin(), union_rows.end());
     ThreadPool::Shared().ParallelFor(
-        candidates.size(), num_threads, [&](size_t begin, size_t end) {
+        union_rows.size(), num_threads, [&](size_t begin, size_t end) {
           MatchScratch scratch;
           for (size_t i = begin; i < end; ++i) {
-            const size_t t = candidates[i];
-            uint64_t c = CountConstrainedMatchings(patterns[p], spec, db.row(t),
-                                                   &scratch);
+            const size_t t = union_rows[i];
+            std::vector<uint64_t>& counts = scratch.pattern_counts;
+            const uint64_t subtotal =
+                kernel.CountTriePatterns(db.row(t), &scratch, &counts);
+            for (size_t p = 0; p < patterns.size(); ++p) {
+              if (kernel.TrieCovers(p) && counts[p] > 0) {
+                info[t].pattern_support[p] = true;
+              }
+            }
+            info[t].matching_count =
+                SatAdd(info[t].matching_count, subtotal);
+          }
+        });
+  }
+
+  for (size_t p = 0; p < patterns.size(); ++p) {
+    if (kernel.TrieCovers(p)) continue;
+    ThreadPool::Shared().ParallelFor(
+        candidates[p].size(), num_threads, [&](size_t begin, size_t end) {
+          MatchScratch scratch;
+          for (size_t i = begin; i < end; ++i) {
+            const size_t t = candidates[p][i];
+            uint64_t c = kernel.CountPattern(p, db.row(t), &scratch);
             info[t].pattern_support[p] = (c > 0);
             info[t].matching_count = SatAdd(info[t].matching_count, c);
           }
@@ -160,6 +200,12 @@ Result<MappedSanitizeResult> SanitizeMapped(
   const RunBudget& budget = opts.budget;
   const DatabaseView view = db.view();
 
+  const MatchKernel match_kernel(patterns, constraints, opts.kernel);
+  report.kernel_engine = ToString(match_kernel.engine());
+  SEQHIDE_TELEMETRY(kStage, "kernel.resolved",
+                    static_cast<uint64_t>(match_kernel.engine()),
+                    num_patterns);
+
   auto budget_stop = [&]() -> StatusCode {
     if (budget.cancel != nullptr &&
         budget.cancel->load(std::memory_order_relaxed)) {
@@ -170,11 +216,6 @@ Result<MappedSanitizeResult> SanitizeMapped(
       return StatusCode::kDeadlineExceeded;
     }
     return StatusCode::kOk;
-  };
-
-  auto spec_for = [&](size_t p) -> const ConstraintSpec& {
-    static const ConstraintSpec kUnconstrained;
-    return constraints.empty() ? kUnconstrained : constraints[p];
   };
 
   StatusCode stop = StatusCode::kOk;
@@ -191,10 +232,11 @@ Result<MappedSanitizeResult> SanitizeMapped(
     obs::ScopedTimer stage_timer(&report.stages.count_seconds);
     SEQHIDE_TRACE_SPAN("count");
     if (opts.use_index) {
-      info = ComputeMatchInfoMapped(db, patterns, constraints, threads,
-                                    &report.count_rows);
+      info = ComputeMatchInfoMapped(db, patterns, constraints, match_kernel,
+                                    threads, &report.count_rows);
     } else {
-      info = ComputeMatchInfo(view, patterns, constraints, threads);
+      info = ComputeMatchInfo(view, patterns, constraints, threads,
+                              match_kernel);
       report.count_rows = db.size() * num_patterns;
     }
     report.supports_before.assign(num_patterns, 0);
@@ -337,8 +379,7 @@ Result<MappedSanitizeResult> SanitizeMapped(
           for (size_t i = begin; i < end; ++i) {
             for (size_t p = 0; p < num_patterns; ++p) {
               if (!victim_support[i * num_patterns + p]) continue;
-              if (HasConstrainedMatch(patterns[p], spec_for(p), victim_row(i),
-                                      &scratch)) {
+              if (match_kernel.HasMatch(p, victim_row(i), &scratch)) {
                 victim_still_supports[i * num_patterns + p] = 1;
               }
             }
@@ -388,8 +429,7 @@ Result<MappedSanitizeResult> SanitizeMapped(
                               modified[static_cast<size_t>(
                                   it - victims.begin())])
                         : db.row(t);
-                if (HasConstrainedMatch(patterns[p], spec_for(p), haystack,
-                                        &scratch)) {
+                if (match_kernel.HasMatch(p, haystack, &scratch)) {
                   ++count;
                 }
               }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/match/kernel.h"
 
 namespace seqhide {
 
@@ -118,6 +119,13 @@ struct SanitizeOptions {
   // long. bench_kernels (BM_SanitizeIndexedVsScan) measures the
   // trade-off; results are identical either way.
   bool use_index = false;
+  // Matching-kernel engine for the counting/support hot paths (see
+  // match/kernel.h): kAuto picks by pattern-set shape (overridable via
+  // the SEQHIDE_KERNEL environment variable); scalar/bitset/trie pin one
+  // engine. Results are bit-identical for every setting — this is purely
+  // a speed knob. The resolved engine is recorded in
+  // SanitizeReport::kernel_engine.
+  KernelEngine kernel = KernelEngine::kAuto;
   // Upper bound on worker threads for the parallel pipeline stages
   // (count, mark, verify — sequences are row-partitioned and
   // independent). 0 = auto: use every hardware thread. Values above

@@ -17,6 +17,7 @@
 #include "src/hide/local.h"
 #include "src/match/constrained_count.h"
 #include "src/match/count.h"
+#include "src/match/kernel.h"
 #include "src/match/scratch.h"
 #include "src/mine/inverted_index.h"
 #include "src/obs/macros.h"
@@ -103,18 +104,18 @@ Status ValidateInputs(const SequenceDatabase& db,
   return Status::OK();
 }
 
-// Constrained support of `pattern` in db: rows with >= 1 valid occurrence.
+// Constrained support of pattern p in db: rows with >= 1 valid occurrence.
 // Row-partitioned across the shared pool; the per-chunk hit counts are
 // reduced in chunk order, so the total is thread-count-independent.
-size_t ConstrainedSupport(const SequenceDatabase& db, const Sequence& pattern,
-                          const ConstraintSpec& spec, size_t num_threads) {
+size_t ConstrainedSupport(const SequenceDatabase& db, const MatchKernel& kernel,
+                          size_t p, size_t num_threads) {
   SEQHIDE_COUNTER_ADD("sanitize.scan_dp_rows", db.size());
   uint64_t hits = ThreadPool::Shared().ParallelReduceSum(
       db.size(), num_threads, [&](size_t begin, size_t end) -> uint64_t {
         MatchScratch scratch;
         uint64_t count = 0;
         for (size_t t = begin; t < end; ++t) {
-          if (HasConstrainedMatch(pattern, spec, db[t], &scratch)) ++count;
+          if (kernel.HasMatch(p, db[t], &scratch)) ++count;
         }
         return count;
       });
@@ -124,34 +125,76 @@ size_t ConstrainedSupport(const SequenceDatabase& db, const Sequence& pattern,
 // Index-pruned version of ComputeMatchInfo: non-candidate sequences get a
 // zero matching count without running any DP. The candidate rows of one
 // pattern are distinct, so partitioning them across workers writes
-// disjoint info slots. *dp_rows returns the DP evaluations actually run.
+// disjoint info slots. *dp_rows returns the index-admitted (sequence,
+// pattern) pairs — an engine-invariant figure: with the trie engine the
+// covered patterns are answered by ONE pass over the union of their
+// candidate rows instead of one pass per pattern, but a union row not in
+// pattern p's candidate list contributes zero for p (candidate lists are
+// exact supersets of the supporters), so the info is bit-identical.
 std::vector<SequenceMatchInfo> ComputeMatchInfoIndexed(
     const SequenceDatabase& db, const std::vector<Sequence>& patterns,
     const std::vector<ConstraintSpec>& constraints, const InvertedIndex& index,
-    size_t num_threads, size_t* dp_rows) {
+    const MatchKernel& kernel, size_t num_threads, size_t* dp_rows) {
+  (void)constraints;
   std::vector<SequenceMatchInfo> info(db.size());
   for (size_t t = 0; t < db.size(); ++t) {
     info[t].index = t;
     info[t].pattern_support.resize(patterns.size(), false);
   }
   *dp_rows = 0;
+  std::vector<std::vector<size_t>> candidates(patterns.size());
+  bool any_covered = false;
   for (size_t p = 0; p < patterns.size(); ++p) {
-    const ConstraintSpec& spec =
-        constraints.empty() ? ConstraintSpec() : constraints[p];
-    const std::vector<size_t> candidates =
-        index.CandidateSupporters(patterns[p]);
+    candidates[p] = index.CandidateSupporters(patterns[p]);
     // Rows the index let us skip: they get a zero count with no DP.
-    SEQHIDE_COUNTER_ADD("sanitize.index_dp_rows", candidates.size());
+    SEQHIDE_COUNTER_ADD("sanitize.index_dp_rows", candidates[p].size());
     SEQHIDE_COUNTER_ADD("sanitize.index_pruned_rows",
-                        db.size() - candidates.size());
-    *dp_rows += candidates.size();
+                        db.size() - candidates[p].size());
+    *dp_rows += candidates[p].size();
+    if (kernel.TrieCovers(p)) any_covered = true;
+  }
+
+  if (any_covered) {
+    // One trie pass per row of the union of the covered patterns' lists.
+    std::vector<uint8_t> seen(db.size(), 0);
+    std::vector<size_t> union_rows;
+    for (size_t p = 0; p < patterns.size(); ++p) {
+      if (!kernel.TrieCovers(p)) continue;
+      for (size_t t : candidates[p]) {
+        if (!seen[t]) {
+          seen[t] = 1;
+          union_rows.push_back(t);
+        }
+      }
+    }
+    std::sort(union_rows.begin(), union_rows.end());
     ThreadPool::Shared().ParallelFor(
-        candidates.size(), num_threads, [&](size_t begin, size_t end) {
+        union_rows.size(), num_threads, [&](size_t begin, size_t end) {
           MatchScratch scratch;
           for (size_t i = begin; i < end; ++i) {
-            const size_t t = candidates[i];
-            uint64_t c = CountConstrainedMatchings(patterns[p], spec, db[t],
-                                                   &scratch);
+            const size_t t = union_rows[i];
+            std::vector<uint64_t>& counts = scratch.pattern_counts;
+            const uint64_t subtotal =
+                kernel.CountTriePatterns(db[t], &scratch, &counts);
+            for (size_t p = 0; p < patterns.size(); ++p) {
+              if (kernel.TrieCovers(p) && counts[p] > 0) {
+                info[t].pattern_support[p] = true;
+              }
+            }
+            info[t].matching_count =
+                SatAdd(info[t].matching_count, subtotal);
+          }
+        });
+  }
+
+  for (size_t p = 0; p < patterns.size(); ++p) {
+    if (kernel.TrieCovers(p)) continue;  // answered by the union pass
+    ThreadPool::Shared().ParallelFor(
+        candidates[p].size(), num_threads, [&](size_t begin, size_t end) {
+          MatchScratch scratch;
+          for (size_t i = begin; i < end; ++i) {
+            const size_t t = candidates[p][i];
+            uint64_t c = kernel.CountPattern(p, db[t], &scratch);
             info[t].pattern_support[p] = (c > 0);
             info[t].matching_count = SatAdd(info[t].matching_count, c);
           }
@@ -177,7 +220,8 @@ std::string SanitizeReport::ToString() const {
     if (i > 0) out << ",";
     out << supports_after[i];
   }
-  out << "] threads=" << threads_used << " rows{count=" << count_rows
+  out << "] kernel=" << kernel_engine << " threads=" << threads_used
+      << " rows{count=" << count_rows
       << " verify_recount=" << verify_recount_rows
       << " verify_rescan=" << verify_rescan_rows << "}"
       << " rounds=" << rounds_completed << "/" << rounds_total;
@@ -218,6 +262,16 @@ Result<SanitizeReport> Sanitize(SequenceDatabase* db,
   const RunBudget& budget = opts.budget;
   const bool checkpointing = !opts.checkpoint_path.empty();
 
+  // One kernel per run: masks/trie built once from the pattern set, then
+  // shared read-only by the count and verify stages' workers. Engine
+  // choice never changes the output, so it is excluded from the
+  // checkpoint fingerprint — a run may resume under a different kernel.
+  const MatchKernel match_kernel(patterns, constraints, opts.kernel);
+  report.kernel_engine = ToString(match_kernel.engine());
+  SEQHIDE_TELEMETRY(kStage, "kernel.resolved",
+                    static_cast<uint64_t>(match_kernel.engine()),
+                    num_patterns);
+
   // The fingerprint must be taken before the database mutates (a resumed
   // run fingerprints its freshly loaded database the same way).
   uint64_t fingerprint = 0;
@@ -238,11 +292,6 @@ Result<SanitizeReport> Sanitize(SequenceDatabase* db,
       return StatusCode::kDeadlineExceeded;
     }
     return StatusCode::kOk;
-  };
-
-  auto spec_for = [&](size_t p) -> const ConstraintSpec& {
-    static const ConstraintSpec kUnconstrained;
-    return constraints.empty() ? kUnconstrained : constraints[p];
   };
 
   // ---- Resume: load prior progress instead of re-running count+select.
@@ -347,9 +396,11 @@ Result<SanitizeReport> Sanitize(SequenceDatabase* db,
       SEQHIDE_TRACE_SPAN("count");
       if (index) {
         info = ComputeMatchInfoIndexed(*db, patterns, constraints, *index,
-                                       threads, &report.count_rows);
+                                       match_kernel, threads,
+                                       &report.count_rows);
       } else {
-        info = ComputeMatchInfo(*db, patterns, constraints, threads);
+        info = ComputeMatchInfo(DatabaseView(*db), patterns, constraints,
+                                threads, match_kernel);
         report.count_rows = db->size() * num_patterns;
       }
       report.supports_before.assign(num_patterns, 0);
@@ -580,8 +631,7 @@ Result<SanitizeReport> Sanitize(SequenceDatabase* db,
             const size_t t = victims[i];
             for (size_t p = 0; p < num_patterns; ++p) {
               if (!victim_support[i * num_patterns + p]) continue;
-              if (HasConstrainedMatch(patterns[p], spec_for(p), (*db)[t],
-                                      &scratch)) {
+              if (match_kernel.HasMatch(p, (*db)[t], &scratch)) {
                 victim_still_supports[i * num_patterns + p] = 1;
               }
             }
@@ -618,7 +668,7 @@ Result<SanitizeReport> Sanitize(SequenceDatabase* db,
       report.verify_rescan_rows = db->size() * num_patterns;
       for (size_t p = 0; p < num_patterns; ++p) {
         const size_t rescan =
-            ConstrainedSupport(*db, patterns[p], spec_for(p), threads);
+            ConstrainedSupport(*db, match_kernel, p, threads);
         if (rescan != report.supports_after[p]) {
           return Status::Internal(
               "incremental supports-after mismatch for pattern " +

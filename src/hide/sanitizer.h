@@ -90,6 +90,11 @@ struct SanitizeReport {
   size_t verify_recount_rows = 0;
   size_t verify_rescan_rows = 0;
 
+  // Resolved matching-kernel engine ("scalar"/"bitset"/"trie"; never
+  // "auto") — what SanitizeOptions::kernel dispatched to. Purely
+  // informational: every engine produces this identical report.
+  std::string kernel_engine;
+
   // --- Robustness (RunBudget / checkpointing; see options.h) ---
 
   // True when a resource budget (or injected fault at a stage boundary)

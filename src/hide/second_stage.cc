@@ -72,6 +72,9 @@ Result<ReplaceReport> ReplaceMarks(
   SEQHIDE_TRACE_SPAN("replace_marks");
   Rng rng(options.seed);
   ReplaceReport report;
+  // One scratch across every candidate trial and the final post-condition
+  // scan; the per-candidate count is allocation-free once warmed up.
+  MatchScratch scratch;
   const size_t alphabet_size = db->alphabet().size();
   const std::vector<bool> in_pattern =
       PatternSymbolMask(patterns, alphabet_size);
@@ -132,8 +135,8 @@ Result<ReplaceReport> ReplaceMarks(
         std::vector<SymbolId> symbols = trial.symbols();
         symbols[pos] = candidate;
         trial = Sequence(std::move(symbols));
-        if (CountConstrainedMatchingsTotal(patterns, constraints, trial) ==
-            0) {
+        if (CountConstrainedMatchingsTotal(patterns, constraints, trial,
+                                           &scratch) == 0) {
           *seq = std::move(trial);
           replaced = true;
           break;
@@ -163,7 +166,8 @@ Result<ReplaceReport> ReplaceMarks(
 
   // Post-condition: nothing was re-generated.
   for (const auto& seq : db->sequences()) {
-    if (CountConstrainedMatchingsTotal(patterns, constraints, seq) != 0) {
+    if (CountConstrainedMatchingsTotal(patterns, constraints, seq, &scratch) !=
+        0) {
       return Status::Internal(
           "replacement re-generated a sensitive occurrence");
     }

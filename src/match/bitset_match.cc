@@ -1,0 +1,93 @@
+#include "src/match/bitset_match.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/match/count.h"
+#include "src/obs/macros.h"
+
+namespace seqhide {
+namespace {
+
+// Sequence positions per cache block of the blocked DP. 256 symbols plus
+// the m+1 DP row fit comfortably in L1; the value only affects speed, not
+// results (any block size fires the same SatAdd sequence).
+constexpr size_t kDpBlockSymbols = 256;
+
+}  // namespace
+
+SymbolMasks::SymbolMasks(const Sequence& pattern) {
+  const size_t m = pattern.size();
+  if (m == 0 || m > kBitsetMaxPatternLength) return;
+  SymbolId max_sym = -1;
+  for (size_t i = 0; i < m; ++i) {
+    SEQHIDE_DCHECK(IsRealSymbol(pattern[i]))
+        << "patterns must not contain the marking symbol";
+    max_sym = std::max(max_sym, pattern[i]);
+  }
+  if (max_sym < 0) return;
+  masks_.assign(static_cast<size_t>(max_sym) + 1, 0);
+  for (size_t i = 0; i < m; ++i) {
+    masks_[static_cast<size_t>(pattern[i])] |= uint64_t{1} << i;
+  }
+  length_ = m;
+}
+
+bool HasSubsequenceBitParallel(const SymbolMasks& masks, SequenceView seq) {
+  SEQHIDE_DCHECK(masks.usable());
+  SEQHIDE_COUNTER_INC("match.bitset.scan_calls");
+  const uint64_t accept = uint64_t{1} << (masks.length() - 1);
+  uint64_t state = 0;
+  const size_t n = seq.size();
+  for (size_t j = 0; j < n; ++j) {
+    // Subsequence Shift-And: bit i survives forever once set (no reset on
+    // mismatch), and advances to i+1 whenever T[j] carries pattern[i+1].
+    state |= ((state << 1) | 1) & masks.mask(seq[j]);
+    if (state & accept) return true;
+  }
+  return false;
+}
+
+uint64_t CountMatchingsBlocked(const Sequence& pattern,
+                               const SymbolMasks& masks, SequenceView seq,
+                               MatchScratch* scratch) {
+  const size_t m = pattern.size();
+  const size_t n = seq.size();
+  SEQHIDE_DCHECK(masks.usable() && masks.length() == m);
+  if (m > n) return 0;
+  if (!scratch->BudgetAllowsCells(m + 1)) return 0;
+  SEQHIDE_COUNTER_INC("match.bitset.count_calls");
+  SEQHIDE_COUNTER_ADD("match.bitset.dp_rows", m);
+
+  DpRow& row = scratch->count_row;
+  row.assign(m + 1, 0);
+  row[0] = 1;
+  size_t blocks_skipped = 0;
+  for (size_t b = 0; b < n; b += kDpBlockSymbols) {
+    const size_t e = std::min(n, b + kDpBlockSymbols);
+    // Rows any of this block's symbols can update. Zero means the block
+    // holds no pattern symbol at all — skip it without touching the row.
+    uint64_t block_rows = 0;
+    for (size_t j = b; j < e; ++j) block_rows |= masks.mask(seq[j]);
+    if (block_rows == 0) {
+      ++blocks_skipped;
+      continue;
+    }
+    for (size_t j = b; j < e; ++j) {
+      // Bit i set ⇔ pattern[i] == T[j] ⇔ scalar row i+1 updates at this
+      // column. Walking bits high→low reproduces the scalar kernel's
+      // descending-i in-place update order exactly.
+      uint64_t bits = masks.mask(seq[j]);
+      while (bits != 0) {
+        const int hi = 63 - __builtin_clzll(bits);
+        bits &= ~(uint64_t{1} << hi);
+        const size_t i = static_cast<size_t>(hi) + 1;
+        row[i] = SatAdd(row[i], row[i - 1]);
+      }
+    }
+  }
+  SEQHIDE_COUNTER_ADD("match.bitset.blocks_skipped", blocks_skipped);
+  return row[m];
+}
+
+}  // namespace seqhide

@@ -1,0 +1,93 @@
+// Bit-parallel subsequence kernels for patterns with m <= 64 symbols.
+//
+// Two pieces, both driven by per-symbol occurrence masks of one pattern
+// (SymbolMasks):
+//
+//  1. HasSubsequenceBitParallel — a Shift-And NFA simulation specialised
+//     to subsequence (not substring) matching. The whole NFA state is one
+//     uint64_t; because a subsequence match never "resets" on a mismatch,
+//     the state is monotone and the scan can exit the moment the accept
+//     bit (m-1) sets. Existence of an *unconstrained* embedding is also a
+//     sound screen for constrained counting: every gap/window-constrained
+//     matching is in particular an embedding, so "no embedding" implies
+//     "constrained count = 0".
+//
+//  2. CountMatchingsBlocked — the Lemma 2 counting DP reorganised into
+//     cache blocks of the sequence dimension. Per block it ORs the masks
+//     of the block's symbols into one row bitmap; a block none of whose
+//     symbols occur in the pattern is skipped outright, and inside a
+//     block each column updates only the rows selected by mask(T[j]) —
+//     walked from the highest set bit down, which is exactly the scalar
+//     kernel's descending-i order, so the SatAdd sequence (and therefore
+//     the result) is bit-identical to CountMatchings.
+//
+// Both kernels treat Δ naturally: mask(Δ) = 0, so a marked position
+// matches no pattern row, same as the scalar kernels.
+
+#ifndef SEQHIDE_MATCH_BITSET_MATCH_H_
+#define SEQHIDE_MATCH_BITSET_MATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/match/scratch.h"
+#include "src/obs/telemetry/mem_tracker.h"
+#include "src/seq/sequence.h"
+#include "src/seq/view.h"
+
+namespace seqhide {
+
+// One uint64_t of NFA state ⇒ at most 64 pattern positions.
+inline constexpr size_t kBitsetMaxPatternLength = 64;
+
+// Vector charged to the kernel_tables memory pool: mask/trie structures
+// built once per run (not per row), accounted separately from the per-row
+// DP scratch so --stats-json shows what the kernel tables themselves cost.
+template <typename T>
+using KernelVec =
+    std::vector<T, obs::telemetry::PoolAllocator<
+                       T, obs::telemetry::MemPool::kKernelTables>>;
+
+// Per-symbol occurrence masks of one pattern: bit i of mask(t) is set iff
+// pattern[i] == t. Empty (length() == 0) when the pattern is longer than
+// kBitsetMaxPatternLength or itself empty — callers must fall back to the
+// scalar kernels then.
+class SymbolMasks {
+ public:
+  SymbolMasks() = default;
+  explicit SymbolMasks(const Sequence& pattern);
+
+  // 0 for symbols absent from the pattern, for Δ, and for ids past the
+  // stored range — exactly "this column updates no row".
+  uint64_t mask(SymbolId t) const {
+    return (t >= 0 && static_cast<size_t>(t) < masks_.size())
+               ? masks_[static_cast<size_t>(t)]
+               : 0;
+  }
+
+  // Pattern length when the masks are usable; 0 when the pattern did not
+  // fit the 64-bit state (or was empty).
+  size_t length() const { return length_; }
+  bool usable() const { return length_ > 0; }
+
+ private:
+  KernelVec<uint64_t> masks_;  // indexed by SymbolId
+  size_t length_ = 0;
+};
+
+// True iff the masks' pattern embeds in `seq` (unconstrained). Early-exits
+// on the first completed embedding. REQUIRES masks.usable().
+bool HasSubsequenceBitParallel(const SymbolMasks& masks, SequenceView seq);
+
+// |M_S^T| via the cache-blocked Lemma 2 DP described above. Bit-identical
+// to CountMatchings(pattern, seq, scratch), including the budget behavior
+// (refuses the m+1 row and returns 0 with scratch->exhausted set).
+// REQUIRES masks.usable() and masks built from `pattern`.
+uint64_t CountMatchingsBlocked(const Sequence& pattern,
+                               const SymbolMasks& masks, SequenceView seq,
+                               MatchScratch* scratch);
+
+}  // namespace seqhide
+
+#endif  // SEQHIDE_MATCH_BITSET_MATCH_H_

@@ -156,15 +156,22 @@ uint64_t CountConstrainedMatchings(const Sequence& pattern,
 uint64_t CountConstrainedMatchingsTotal(
     const std::vector<Sequence>& patterns,
     const std::vector<ConstraintSpec>& constraints, SequenceView seq) {
+  MatchScratch scratch;
+  return CountConstrainedMatchingsTotal(patterns, constraints, seq, &scratch);
+}
+
+uint64_t CountConstrainedMatchingsTotal(
+    const std::vector<Sequence>& patterns,
+    const std::vector<ConstraintSpec>& constraints, SequenceView seq,
+    MatchScratch* scratch) {
   SEQHIDE_CHECK(constraints.empty() || constraints.size() == patterns.size())
       << "constraints must be empty or parallel to patterns";
-  MatchScratch scratch;
   uint64_t total = 0;
   for (size_t p = 0; p < patterns.size(); ++p) {
     const ConstraintSpec& spec =
         constraints.empty() ? ConstraintSpec() : constraints[p];
     total = SatAdd(total,
-                   CountConstrainedMatchings(patterns[p], spec, seq, &scratch));
+                   CountConstrainedMatchings(patterns[p], spec, seq, scratch));
   }
   return total;
 }

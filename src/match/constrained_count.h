@@ -69,6 +69,14 @@ uint64_t CountConstrainedMatchingsTotal(
     const std::vector<Sequence>& patterns,
     const std::vector<ConstraintSpec>& constraints, SequenceView seq);
 
+// Scratch-threaded variant for callers that evaluate many trial sequences
+// in a loop (second-stage replacement search, generalization): the
+// allocating overload routes through this with a local scratch.
+uint64_t CountConstrainedMatchingsTotal(
+    const std::vector<Sequence>& patterns,
+    const std::vector<ConstraintSpec>& constraints, SequenceView seq,
+    MatchScratch* scratch);
+
 // Constrained support: number of database rows with at least one valid
 // occurrence. (With constraints, "supports" means "has a constrained
 // matching", which the hiding problem uses as the disclosure predicate.)

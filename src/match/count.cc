@@ -40,8 +40,16 @@ uint64_t CountMatchings(const Sequence& pattern, SequenceView seq,
 
 uint64_t CountMatchingsTotal(const std::vector<Sequence>& patterns,
                              SequenceView seq) {
+  MatchScratch scratch;
+  return CountMatchingsTotal(patterns, seq, &scratch);
+}
+
+uint64_t CountMatchingsTotal(const std::vector<Sequence>& patterns,
+                             SequenceView seq, MatchScratch* scratch) {
   uint64_t total = 0;
-  for (const auto& p : patterns) total = SatAdd(total, CountMatchings(p, seq));
+  for (const auto& p : patterns) {
+    total = SatAdd(total, CountMatchings(p, seq, scratch));
+  }
   return total;
 }
 

@@ -55,6 +55,13 @@ uint64_t CountMatchings(const Sequence& pattern, SequenceView seq,
 uint64_t CountMatchingsTotal(const std::vector<Sequence>& patterns,
                              SequenceView seq);
 
+// Scratch-threaded variant: every pattern's DP reuses the same scratch.
+// The allocating overload routes through this with a local scratch — it
+// used to construct a fresh MatchScratch per pattern, which dominated
+// short-pattern loops.
+uint64_t CountMatchingsTotal(const std::vector<Sequence>& patterns,
+                             SequenceView seq, MatchScratch* scratch);
+
 }  // namespace seqhide
 
 #endif  // SEQHIDE_MATCH_COUNT_H_

@@ -158,7 +158,8 @@ void PositionDeltasTotalInto(const std::vector<Sequence>& patterns,
 std::vector<uint64_t> PositionDeltasByDeletion(const Sequence& pattern,
                                                SequenceView seq) {
   SEQHIDE_COUNTER_INC("delta.deletion_calls");
-  const uint64_t base = CountMatchings(pattern, seq);
+  MatchScratch scratch;
+  const uint64_t base = CountMatchings(pattern, seq, &scratch);
   std::vector<uint64_t> deltas(seq.size(), 0);
   for (size_t i = 0; i < seq.size(); ++i) {
     if (!IsRealSymbol(seq[i])) continue;
@@ -167,7 +168,8 @@ std::vector<uint64_t> PositionDeltasByDeletion(const Sequence& pattern,
     for (size_t j = 0; j < seq.size(); ++j) {
       if (j != i) reduced.push_back(seq[j]);
     }
-    uint64_t without = CountMatchings(pattern, Sequence(std::move(reduced)));
+    uint64_t without =
+        CountMatchings(pattern, Sequence(std::move(reduced)), &scratch);
     SEQHIDE_DCHECK(without <= base);
     deltas[i] = base - without;
   }
@@ -177,17 +179,9 @@ std::vector<uint64_t> PositionDeltasByDeletion(const Sequence& pattern,
 std::vector<uint64_t> PositionDeltasByMarking(const Sequence& pattern,
                                               const ConstraintSpec& spec,
                                               SequenceView seq) {
-  SEQHIDE_COUNTER_INC("delta.marking_calls");
-  const uint64_t base = CountConstrainedMatchings(pattern, spec, seq);
-  std::vector<uint64_t> deltas(seq.size(), 0);
-  for (size_t i = 0; i < seq.size(); ++i) {
-    if (!IsRealSymbol(seq[i])) continue;
-    Sequence marked = seq.Materialize();
-    marked.Mark(i);
-    uint64_t without = CountConstrainedMatchings(pattern, spec, marked);
-    SEQHIDE_DCHECK(without <= base);
-    deltas[i] = base - without;
-  }
+  MatchScratch scratch;
+  std::vector<uint64_t> deltas;
+  PositionDeltasByMarkingInto(pattern, spec, seq, &scratch, &deltas);
   return deltas;
 }
 

@@ -40,6 +40,7 @@ const char* MemPoolName(MemPool pool) {
   switch (pool) {
     case MemPool::kDpScratch: return "dp_scratch";
     case MemPool::kPostingList: return "posting_list";
+    case MemPool::kKernelTables: return "kernel_tables";
   }
   return "unknown";
 }

@@ -40,10 +40,11 @@ namespace telemetry {
 // Instrumented allocation pools. Keep kNumMemPools and MemPoolName() in
 // sync when adding one.
 enum class MemPool : size_t {
-  kDpScratch = 0,    // DP rows/tables sized (n, m) — src/match/scratch.h
-  kPostingList = 1,  // inverted-index posting lists — src/mine/
+  kDpScratch = 0,     // DP rows/tables sized (n, m) — src/match/scratch.h
+  kPostingList = 1,   // inverted-index posting lists — src/mine/
+  kKernelTables = 2,  // per-symbol masks / pattern-trie arrays — src/match/
 };
-inline constexpr size_t kNumMemPools = 2;
+inline constexpr size_t kNumMemPools = 3;
 
 const char* MemPoolName(MemPool pool);
 

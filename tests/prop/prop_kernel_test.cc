@@ -1,0 +1,165 @@
+// Differential properties for the bit-parallel and multi-pattern kernels
+// (match/bitset_match.h, match/pattern_trie.h, match/kernel.h): every
+// engine must agree, bit for bit, with the definitional enumeration
+// oracles and with the scalar Lemma 2 / Lemma 4 DPs on seeded random
+// instances. A disagreement *is* the bug report.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/match/bitset_match.h"
+#include "src/match/count.h"
+#include "src/match/kernel.h"
+#include "src/match/pattern_trie.h"
+#include "src/match/scratch.h"
+#include "src/match/subsequence.h"
+#include "src/testing/oracles.h"
+#include "tests/prop/prop_gtest.h"
+
+namespace seqhide {
+namespace proptest {
+namespace {
+
+std::string Where(size_t row, size_t pattern) {
+  return " (row T" + std::to_string(row) + ", pattern S" +
+         std::to_string(pattern) + ")";
+}
+
+// Shift-And existence == early-exit embedding enumeration.
+TEST(KernelProps, ShiftAndEqualsOracleExistence) {
+  PropConfig config;
+  config.name = "kernel/shift-and-equals-oracle";
+  config.seed = 0x5eed0801;
+  EXPECT_PROP_OK(CheckProperty(config, [](const PropInstance& inst) {
+    const ConstraintSpec unconstrained;
+    for (size_t p = 0; p < inst.patterns.size(); ++p) {
+      const SymbolMasks masks(inst.patterns[p]);
+      if (!masks.usable()) continue;  // m > 64: not this kernel's job
+      for (size_t t = 0; t < inst.db.size(); ++t) {
+        const bool fast = HasSubsequenceBitParallel(masks, inst.db[t]);
+        const bool oracle =
+            OracleHasMatch(inst.patterns[p], unconstrained, inst.db[t]);
+        if (fast != oracle) {
+          return std::string("Shift-And says ") + (fast ? "yes" : "no") +
+                 " but enumeration says " + (oracle ? "yes" : "no") +
+                 Where(t, p);
+        }
+      }
+    }
+    return std::string();
+  }));
+}
+
+// Blocked counting DP == embedding enumeration (and so == the scalar
+// Lemma 2 DP, which prop_count_test pins to the same oracle).
+TEST(KernelProps, BlockedCountEqualsOracle) {
+  PropConfig config;
+  config.name = "kernel/blocked-count-equals-oracle";
+  config.seed = 0x5eed0802;
+  EXPECT_PROP_OK(CheckProperty(config, [](const PropInstance& inst) {
+    MatchScratch scratch;
+    for (size_t p = 0; p < inst.patterns.size(); ++p) {
+      const SymbolMasks masks(inst.patterns[p]);
+      if (!masks.usable()) continue;
+      for (size_t t = 0; t < inst.db.size(); ++t) {
+        const uint64_t fast =
+            CountMatchingsBlocked(inst.patterns[p], masks, inst.db[t],
+                                  &scratch);
+        const uint64_t oracle =
+            OracleCountMatchings(inst.patterns[p], inst.db[t]);
+        if (fast != oracle) {
+          return "CountMatchingsBlocked=" + std::to_string(fast) +
+                 " but enumeration=" + std::to_string(oracle) + Where(t, p);
+        }
+      }
+    }
+    return std::string();
+  }));
+}
+
+// One trie pass over a row == one scalar DP per covered pattern.
+TEST(KernelProps, TrieCountsEqualOracle) {
+  PropConfig config;
+  config.name = "kernel/trie-counts-equal-oracle";
+  config.seed = 0x5eed0803;
+  EXPECT_PROP_OK(CheckProperty(config, [](const PropInstance& inst) {
+    const PatternTrie trie(inst.patterns, inst.constraints);
+    MatchScratch scratch;
+    std::vector<uint64_t> counts(inst.patterns.size(), 0);
+    for (size_t t = 0; t < inst.db.size(); ++t) {
+      if (!trie.CountAll(inst.db[t], &scratch, counts.data())) {
+        return std::string("CountAll refused an unbudgeted scratch");
+      }
+      for (size_t p = 0; p < inst.patterns.size(); ++p) {
+        if (!trie.Covers(p)) continue;
+        const uint64_t oracle =
+            OracleCountMatchings(inst.patterns[p], inst.db[t]);
+        if (counts[p] != oracle) {
+          return "trie count=" + std::to_string(counts[p]) +
+                 " but enumeration=" + std::to_string(oracle) + Where(t, p);
+        }
+      }
+    }
+    return std::string();
+  }));
+}
+
+// The dispatch facade: every pinnable engine returns the oracle's
+// constrained count for every (row, pattern) pair, and CountRow's
+// per-pattern vector matches its own CountPattern.
+TEST(KernelProps, AllEnginesMatchConstrainedOracle) {
+  PropConfig config;
+  config.name = "kernel/all-engines-match-oracle";
+  config.seed = 0x5eed0804;
+  EXPECT_PROP_OK(CheckProperty(config, [](const PropInstance& inst) {
+    const ConstraintSpec unconstrained;
+    for (KernelEngine engine : {KernelEngine::kScalar, KernelEngine::kBitset,
+                                KernelEngine::kTrie}) {
+      const MatchKernel kernel(inst.patterns, inst.constraints, engine);
+      MatchScratch scratch;
+      std::vector<uint64_t> counts;
+      for (size_t t = 0; t < inst.db.size(); ++t) {
+        const uint64_t total = kernel.CountRow(inst.db[t], &scratch, &counts);
+        uint64_t sum = 0;
+        for (size_t p = 0; p < inst.patterns.size(); ++p) {
+          const ConstraintSpec& spec =
+              inst.constraints.empty() ? unconstrained : inst.constraints[p];
+          const uint64_t oracle =
+              OracleConstrainedCount(inst.patterns[p], spec, inst.db[t]);
+          sum = SatAdd(sum, oracle);
+          if (counts[p] != oracle) {
+            return ToString(engine) + " CountRow[" + std::to_string(p) +
+                   "]=" + std::to_string(counts[p]) +
+                   " but enumeration=" + std::to_string(oracle) + Where(t, p);
+          }
+          const uint64_t single =
+              kernel.CountPattern(p, inst.db[t], &scratch);
+          if (single != oracle) {
+            return ToString(engine) +
+                   " CountPattern=" + std::to_string(single) +
+                   " but enumeration=" + std::to_string(oracle) + Where(t, p);
+          }
+          const bool has = kernel.HasMatch(p, inst.db[t], &scratch);
+          if (has != (oracle > 0)) {
+            return ToString(engine) + " HasMatch=" + (has ? "yes" : "no") +
+                   " but enumeration count=" + std::to_string(oracle) +
+                   Where(t, p);
+          }
+        }
+        if (total != sum) {
+          return ToString(engine) + " CountRow total=" +
+                 std::to_string(total) + " but oracle sum=" +
+                 std::to_string(sum) + " (row T" + std::to_string(t) + ")";
+        }
+      }
+    }
+    return std::string();
+  }));
+}
+
+}  // namespace
+}  // namespace proptest
+}  // namespace seqhide

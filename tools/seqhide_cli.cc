@@ -109,6 +109,7 @@ void PrintUsage() {
       "  sanitize --db FILE --out FILE --pattern P [--pattern P ...]\n"
       "           [--psi N] [--algo HH|HR|RH|RR] [--seed N]\n"
       "           [--threads N (0=auto)]\n"
+      "           [--kernel auto|scalar|bitset|trie]\n"
       "           [--stage2 keep|delete|replace] [--format seq|itemset]\n"
       "           [--stats-json FILE] [--trace-json FILE]\n"
       "           [--ledger FILE] [--metrics-prom FILE]\n"
@@ -176,7 +177,8 @@ Status ValidateFlags(const ParsedArgs& args) {
          "inject-fault"}}},
       {"sanitize",
        {true,
-        {"db", "out", "psi", "algo", "seed", "threads", "stage2", "format",
+        {"db", "out", "psi", "algo", "seed", "threads", "kernel", "stage2",
+         "format",
          "db-format", "stats-json", "trace-json", "input-mode", "inject-fault",
          "ledger", "metrics-prom", "telemetry-interval-ms",
          "deadline-seconds", "max-table-bytes", "max-rounds", "round-size",
@@ -327,6 +329,9 @@ struct StatsJsonInput {
   std::vector<size_t> supports_before;
   std::vector<size_t> supports_after;
   double elapsed_seconds = 0.0;
+  // Resolved matching-kernel engine (seq pipeline only; empty for the
+  // itemset path, which has no kernel dispatch).
+  std::string kernel_engine;
   bool has_stages = false;
   StageTimings stages;
   // Parallel configuration (seq pipeline only, has_parallel): resolved
@@ -394,6 +399,9 @@ Status WriteStatsJson(const std::string& path, const ParsedArgs& args,
   for (size_t s : input.supports_after) json.Uint(s);
   json.EndArray();
   json.KeyDouble("elapsed_seconds", input.elapsed_seconds);
+  if (!input.kernel_engine.empty()) {
+    json.KeyString("kernel_engine", input.kernel_engine);
+  }
   if (input.has_stages) {
     json.Key("stages").BeginObject();
     json.KeyDouble("count_seconds", input.stages.count_seconds);
@@ -750,6 +758,12 @@ Status RunSanitize(const ParsedArgs& args) {
   SEQHIDE_ASSIGN_OR_RETURN(opts.psi, FlagAsSize(args, "psi", 0));
   SEQHIDE_ASSIGN_OR_RETURN(opts.seed, FlagAsSize(args, "seed", 1));
   SEQHIDE_ASSIGN_OR_RETURN(opts.num_threads, FlagAsSize(args, "threads", 1));
+  if (auto it = args.flags.find("kernel"); it != args.flags.end()) {
+    if (!ParseKernelEngine(it->second, &opts.kernel)) {
+      return Status::InvalidArgument(
+          "--kernel must be auto, scalar, bitset or trie");
+    }
+  }
   SEQHIDE_ASSIGN_OR_RETURN(opts.budget.deadline_seconds,
                            FlagAsDouble(args, "deadline-seconds", 0.0));
   SEQHIDE_ASSIGN_OR_RETURN(opts.budget.max_table_bytes,
@@ -865,6 +879,7 @@ Status RunSanitize(const ParsedArgs& args) {
     stats.supports_before = report.supports_before;
     stats.supports_after = report.supports_after;
     stats.elapsed_seconds = report.elapsed_seconds;
+    stats.kernel_engine = report.kernel_engine;
     stats.has_stages = true;
     stats.stages = report.stages;
     stats.has_parallel = true;
