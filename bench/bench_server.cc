@@ -1,0 +1,272 @@
+// Benchmarks for the serving layer (src/serve/): request round-trip
+// latency over a real Unix socket, the match-info cache's hit/miss
+// spread, sanitize-request service time, and the admission controller's
+// shed arithmetic. BM_PingRoundTrip is the wire+framing floor every
+// other number sits on; BM_SupportHitCache vs BM_SupportMissCache is the
+// price the cache saves per repeated query. The deterministic counters
+// (shed counts, cache hit/miss totals per iteration) let
+// tools/bench_compare --counters-only catch behavioural regressions —
+// an admission change that sheds more or fewer requests for the same
+// offered load fails the baseline gate even if timings drift.
+//
+// The in-process server is started once per benchmark over a scratch
+// database in the temp directory; clients use no retries so a shed or
+// error would surface as SkipWithError rather than being silently
+// absorbed.
+
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "bench/gbench_json.h"
+#include "src/common/random.h"
+#include "src/seq/database.h"
+#include "src/seq/io.h"
+#include "src/serve/admission.h"
+#include "src/serve/client.h"
+#include "src/serve/match_cache.h"
+#include "src/serve/protocol.h"
+#include "src/serve/server.h"
+
+namespace seqhide {
+namespace {
+
+using serve::AdmissionController;
+using serve::AdmissionLimits;
+using serve::Method;
+using serve::Request;
+using serve::Response;
+using serve::Server;
+using serve::ServeClient;
+using serve::ServerOptions;
+
+// A small synthetic database: big enough that support queries do real
+// matching work, small enough that server startup stays out of the
+// timed region's noise floor.
+constexpr size_t kRows = 2048;
+
+std::string TextDbPath() {
+  static std::filesystem::path dir = std::filesystem::temp_directory_path();
+  std::string path = (dir / "seqhide_bench_serve_db.txt").string();
+  if (!std::filesystem::exists(path)) {
+    Rng rng(kRows);
+    SequenceDatabase db;
+    const size_t alphabet = 32;
+    for (size_t s = 0; s < alphabet; ++s) {
+      db.alphabet().Intern("s" + std::to_string(s));
+    }
+    for (size_t t = 0; t < kRows; ++t) {
+      Sequence seq;
+      const size_t len = 8 + rng.NextBounded(16);
+      for (size_t i = 0; i < len; ++i) {
+        seq.Append(static_cast<SymbolId>(rng.NextBounded(alphabet)));
+      }
+      db.Add(std::move(seq));
+    }
+    Status s = WriteDatabaseToFile(db, path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "bench setup failed: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return path;
+}
+
+// One live server + connected client per benchmark run. The socket path
+// embeds the pid so parallel bench invocations never collide.
+struct LiveServer {
+  std::unique_ptr<Server> server;
+  std::unique_ptr<ServeClient> client;
+  std::string socket_path;
+
+  ~LiveServer() {
+    if (server != nullptr) {
+      server->RequestDrain();
+      server->Join();
+    }
+    if (!socket_path.empty()) std::remove(socket_path.c_str());
+  }
+};
+
+std::unique_ptr<LiveServer> StartServer(benchmark::State& state,
+                                        size_t cache_entries) {
+  auto live = std::make_unique<LiveServer>();
+  live->socket_path =
+      (std::filesystem::temp_directory_path() /
+       ("seqhide_bench_serve_" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  std::remove(live->socket_path.c_str());
+
+  ServerOptions opts;
+  opts.db_path = TextDbPath();
+  opts.socket_path = live->socket_path;
+  opts.num_workers = 2;
+  opts.cache_entries = cache_entries;
+  auto server = Server::Create(opts);
+  if (!server.ok()) {
+    state.SkipWithError("Server::Create failed");
+    return nullptr;
+  }
+  live->server = std::move(*server);
+  Status started = live->server->Start();
+  if (!started.ok()) {
+    state.SkipWithError("Server::Start failed");
+    return nullptr;
+  }
+  auto client = ServeClient::ConnectUnix(live->socket_path);
+  if (!client.ok()) {
+    state.SkipWithError("ConnectUnix failed");
+    return nullptr;
+  }
+  live->client = std::move(*client);
+  return live;
+}
+
+// The floor: parse + dispatch + serialize over the socket, no matching.
+void BM_PingRoundTrip(benchmark::State& state) {
+  auto live = StartServer(state, /*cache_entries=*/8);
+  if (live == nullptr) return;
+  Request req;
+  req.method = Method::kPing;
+  uint64_t ok = 0;
+  for (auto _ : state) {
+    req.id = ok + 1;
+    auto resp = live->client->Call(req);
+    if (!resp.ok() || resp->status != "ok") {
+      state.SkipWithError("ping failed");
+      break;
+    }
+    ++ok;
+  }
+  state.counters["db_rows"] =
+      benchmark::Counter(static_cast<double>(live->server->db_rows()));
+}
+BENCHMARK(BM_PingRoundTrip);
+
+// Repeated identical support query: after the first iteration every
+// request is served from the match-info cache.
+void BM_SupportHitCache(benchmark::State& state) {
+  auto live = StartServer(state, /*cache_entries=*/8);
+  if (live == nullptr) return;
+  Request req;
+  req.method = Method::kSupport;
+  req.patterns = {"s3 -> s17 -> s29"};
+  uint64_t ok = 0;
+  for (auto _ : state) {
+    req.id = ok + 1;
+    auto resp = live->client->Call(req);
+    if (!resp.ok() || resp->status != "ok") {
+      state.SkipWithError("support failed");
+      break;
+    }
+    ++ok;
+  }
+  // Deterministic up to iteration count: everything but the first
+  // request hits, so the hit fraction must stay ~1.
+  const uint64_t hits = live->server->cache().hits();
+  state.counters["cache_hit"] =
+      benchmark::Counter(ok > 0 && hits + 1 == ok ? 1.0 : 0.0);
+}
+BENCHMARK(BM_SupportHitCache);
+
+// Same query with the cache cleared before every request: the full
+// parse + match path, the cost a hit avoids.
+void BM_SupportMissCache(benchmark::State& state) {
+  auto live = StartServer(state, /*cache_entries=*/8);
+  if (live == nullptr) return;
+  Request req;
+  req.method = Method::kSupport;
+  req.patterns = {"s3 -> s17 -> s29"};
+  uint64_t ok = 0;
+  for (auto _ : state) {
+    live->server->cache().Clear();
+    req.id = ok + 1;
+    auto resp = live->client->Call(req);
+    if (!resp.ok() || resp->status != "ok") {
+      state.SkipWithError("support failed");
+      break;
+    }
+    ++ok;
+  }
+  const uint64_t hits = live->server->cache().hits();
+  state.counters["cache_all_miss"] =
+      benchmark::Counter(hits == 0 ? 1.0 : 0.0);
+}
+BENCHMARK(BM_SupportMissCache);
+
+// End-to-end sanitize request: private database copy, full HH run,
+// output written to a scratch file. The dominant serving cost.
+void BM_SanitizeRequest(benchmark::State& state) {
+  auto live = StartServer(state, /*cache_entries=*/8);
+  if (live == nullptr) return;
+  const std::string out =
+      (std::filesystem::temp_directory_path() /
+       ("seqhide_bench_serve_out_" + std::to_string(::getpid()) + ".txt"))
+          .string();
+  Request req;
+  req.method = Method::kSanitize;
+  req.patterns = {"s3 -> s17 -> s29"};
+  req.psi = 1;
+  req.seed = 1;
+  req.out = out;
+  uint64_t marks = 0;
+  uint64_t ok = 0;
+  for (auto _ : state) {
+    req.id = ok + 1;
+    auto resp = live->client->Call(req);
+    if (!resp.ok() || resp->status != "ok" || !resp->has_sanitize) {
+      state.SkipWithError("sanitize failed");
+      break;
+    }
+    marks = resp->sanitize.marks_introduced;
+    ++ok;
+  }
+  std::remove(out.c_str());
+  // Same database, same seed, same psi: the mark count is a behavioural
+  // fingerprint of the whole sanitize path.
+  state.counters["marks_introduced"] =
+      benchmark::Counter(static_cast<double>(marks));
+}
+BENCHMARK(BM_SanitizeRequest);
+
+// The admission controller alone, no sockets: offer a fixed burst
+// against a fixed queue limit and count sheds. Pure arithmetic — the
+// counters are exact and the time is the controller's lock + bookkeeping
+// overhead per decision.
+void BM_AdmissionShedDeterministic(benchmark::State& state) {
+  constexpr size_t kQueueLimit = 8;
+  constexpr size_t kBurst = 32;
+  uint64_t sheds = 0;
+  for (auto _ : state) {
+    AdmissionLimits limits;
+    limits.queue_limit = kQueueLimit;
+    AdmissionController ctl(limits);
+    size_t admitted = 0;
+    for (size_t i = 0; i < kBurst; ++i) {
+      if (ctl.Offer(/*est_bytes=*/1024).admitted) ++admitted;
+    }
+    sheds = ctl.sheds();
+    benchmark::DoNotOptimize(admitted);
+    // Release what was admitted so WaitIdle-style invariants hold.
+    for (size_t i = 0; i < admitted; ++i) {
+      ctl.OnDispatched();
+      ctl.OnFinished(1024);
+    }
+  }
+  // 32 offered against queue_limit 8 must shed exactly 24, always.
+  state.counters["sheds_per_burst"] =
+      benchmark::Counter(static_cast<double>(sheds));
+}
+BENCHMARK(BM_AdmissionShedDeterministic);
+
+}  // namespace
+}  // namespace seqhide
+
+int main(int argc, char** argv) {
+  return seqhide::bench::RunGoogleBenchmark("bench_server", argc, argv);
+}

@@ -50,6 +50,19 @@ constexpr std::string_view kCatalog[] = {
     "io.telemetry.ledger.sync",
     "io.telemetry.prom.write",
     "io.telemetry.prom.rename",
+    // serve/net.cc + serve/server.cc + serve/match_cache.cc +
+    // serve/admission.cc — the serving front end. Network faults surface
+    // as IOError on one connection (the server drops that connection and
+    // keeps serving; clients reconnect and retry); serve.queue.full sheds
+    // one request with ResourceExhausted + retry-after; serve.cache.corrupt
+    // makes one cache entry fail its checksum, which is treated as a miss
+    // (entry evicted, result recomputed).
+    "net.accept",
+    "net.read.short",
+    "net.write.short",
+    "net.disconnect",
+    "serve.queue.full",
+    "serve.cache.corrupt",
 };
 
 // Fire listener (constant-initialized: safe from static registrars).

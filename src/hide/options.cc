@@ -1,5 +1,7 @@
 #include "src/hide/options.h"
 
+#include <cmath>
+
 #include "src/common/thread_pool.h"
 
 namespace seqhide {
@@ -20,7 +22,8 @@ Status SanitizeOptions::Validate() const {
   if (resume && checkpoint_path.empty()) {
     return Status::InvalidArgument("resume requires a checkpoint path");
   }
-  if (budget.deadline_seconds < 0.0) {
+  if (std::isnan(budget.deadline_seconds) ||
+      budget.deadline_seconds < 0.0) {
     return Status::InvalidArgument("deadline_seconds must be >= 0");
   }
   return Status::OK();

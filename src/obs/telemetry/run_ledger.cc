@@ -53,17 +53,41 @@ void OnTerminateSignal(int sig) {
 
 }  // namespace
 
-Result<std::unique_ptr<RunLedger>> RunLedger::Open(const std::string& path) {
+namespace {
+
+// Makes the new ledger file's directory entry durable: without this, a
+// power loss right after Open() can lose the whole file even though every
+// record in it was fsynced. Best-effort (matches the binary writer's
+// rename discipline): some filesystems refuse to fsync a directory, and
+// a ledger that might vanish with its directory is still better than no
+// ledger.
+void FsyncParentDirectory(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd < 0) return;
+  (void)::fsync(dir_fd);
+  ::close(dir_fd);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<RunLedger>> RunLedger::Open(const std::string& path,
+                                                   bool append) {
   if (SEQHIDE_FAULT_HIT("io.telemetry.ledger.open")) {
     return Status::IOError("injected fault: io.telemetry.ledger.open (" + path +
                            ")");
   }
+  const int mode_flag = append ? O_APPEND : O_TRUNC;
   const int fd =
-      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+      ::open(path.c_str(), O_WRONLY | O_CREAT | mode_flag | O_CLOEXEC, 0644);
   if (fd < 0) {
     return Status::IOError("cannot open ledger: " + path + ": " +
                            std::strerror(errno));
   }
+  FsyncParentDirectory(path);
   return std::unique_ptr<RunLedger>(new RunLedger(path, fd));
 }
 
@@ -196,6 +220,25 @@ void RunLedger::AppendSample(const MemorySnapshot& mem,
   w.KeyUint("total", flight.total());
   w.KeyUint("dropped", flight.dropped());
   w.EndObject();
+  w.EndObject();
+  std::lock_guard<std::mutex> lock(mu_);
+  WriteLineLocked(w.str());
+}
+
+void RunLedger::AppendServerRequest(const ServerRequestRecord& record) {
+  if (disabled() || t_in_append) return;
+  ScopedAppendFlag in_append;
+  JsonWriter w;
+  w.BeginObject();
+  w.KeyString("type", "request");
+  w.KeyUint("ts_ms", NowMs());
+  w.KeyUint("request_id", record.request_id);
+  w.KeyString("method", record.method);
+  w.KeyString("status", record.status);
+  w.KeyUint("queue_us", record.queue_us);
+  w.KeyUint("work_us", record.work_us);
+  w.KeyBool("shed", record.shed);
+  w.KeyBool("recovered", record.recovered);
   w.EndObject();
   std::lock_guard<std::mutex> lock(mu_);
   WriteLineLocked(w.str());

@@ -51,14 +51,32 @@ namespace seqhide {
 namespace obs {
 namespace telemetry {
 
+// One served request, as recorded in a server ledger ("request" records;
+// see serve/server.h). Plain data so the telemetry layer stays ignorant
+// of the serving protocol.
+struct ServerRequestRecord {
+  uint64_t request_id = 0;
+  std::string method;        // "ping" / "support" / "match-count" / "sanitize"
+  std::string status;        // wire status ("ok", "resource_exhausted", ...)
+  uint64_t queue_us = 0;     // admission-to-dispatch wait
+  uint64_t work_us = 0;      // dispatch-to-response work time
+  bool shed = false;         // refused by admission control (never ran)
+  bool recovered = false;    // re-run from a crash-recovered job spec
+};
+
 class RunLedger {
  public:
   // Flight-recorder events included in run_end/signal records.
   static constexpr size_t kTailEvents = 32;
 
-  // Creates/truncates `path` and returns an open ledger. Fault site:
+  // Creates `path` (truncating, or appending when `append` is true — the
+  // server reopens its ledger across restarts so aborted-run records
+  // survive) and returns an open ledger. The parent directory is fsynced
+  // once so the new file's directory entry is durable, mirroring
+  // WriteBinaryDatabaseToFile's rename discipline. Fault site:
   // io.telemetry.ledger.open.
-  static Result<std::unique_ptr<RunLedger>> Open(const std::string& path);
+  static Result<std::unique_ptr<RunLedger>> Open(const std::string& path,
+                                                 bool append = false);
   ~RunLedger();  // uninstalls itself if still installed, closes the file
 
   RunLedger(const RunLedger&) = delete;
@@ -81,6 +99,9 @@ class RunLedger {
                    uint64_t b);
   void AppendSample(const MemorySnapshot& mem, uint64_t pool_queue_depth,
                     uint64_t pool_chunks_executed);
+  // One served request (seqhide_server); carries the wire status so the
+  // ledger is an audit trail of the shed/deadline contract.
+  void AppendServerRequest(const ServerRequestRecord& record);
   void AppendRunEnd(std::string_view status, const MetricsSnapshot& metrics,
                     const MemorySnapshot& mem);
   // Called from the signal hook. Best-effort and documented as

@@ -1,0 +1,151 @@
+#include "src/serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace seqhide {
+namespace serve {
+namespace {
+
+Result<int> DialUnix(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status s = Status::IOError("connect " + socket_path + ": " +
+                                     std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  return fd;
+}
+
+Result<int> DialTcp(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status s = Status::IOError("connect 127.0.0.1:" +
+                                     std::to_string(port) + ": " +
+                                     std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  return fd;
+}
+
+// splitmix64: cheap, seedable, and good enough to decorrelate backoff.
+uint64_t NextRand(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+ServeClient::ServeClient(std::string socket_path, uint16_t port, int fd)
+    : socket_path_(std::move(socket_path)),
+      port_(port),
+      chan_(std::make_unique<LineChannel>(fd)) {}
+
+Result<std::unique_ptr<ServeClient>> ServeClient::ConnectUnix(
+    const std::string& socket_path) {
+  SEQHIDE_ASSIGN_OR_RETURN(const int fd, DialUnix(socket_path));
+  return std::unique_ptr<ServeClient>(new ServeClient(socket_path, 0, fd));
+}
+
+Result<std::unique_ptr<ServeClient>> ServeClient::ConnectTcp(uint16_t port) {
+  SEQHIDE_ASSIGN_OR_RETURN(const int fd, DialTcp(port));
+  return std::unique_ptr<ServeClient>(new ServeClient("", port, fd));
+}
+
+Status ServeClient::Reconnect() {
+  Result<int> fd = socket_path_.empty() ? DialTcp(port_)
+                                        : DialUnix(socket_path_);
+  SEQHIDE_RETURN_IF_ERROR(fd.status());
+  chan_ = std::make_unique<LineChannel>(*fd);
+  return Status::OK();
+}
+
+Result<std::string> ServeClient::CallRaw(const std::string& line) {
+  SEQHIDE_RETURN_IF_ERROR(chan_->WriteLine(line));
+  std::string response;
+  SEQHIDE_ASSIGN_OR_RETURN(const bool got, chan_->ReadLine(&response));
+  if (!got) {
+    return Status::IOError("server closed the connection before responding");
+  }
+  return response;
+}
+
+Result<Response> ServeClient::Call(const Request& req) {
+  SEQHIDE_RETURN_IF_ERROR(chan_->WriteLine(SerializeRequest(req)));
+  std::string line;
+  SEQHIDE_ASSIGN_OR_RETURN(const bool got, chan_->ReadLine(&line));
+  if (!got) {
+    return Status::IOError("server closed the connection before responding");
+  }
+  return ParseResponse(line);
+}
+
+Result<Response> ServeClient::CallWithRetry(const Request& req,
+                                            const RetryPolicy& policy) {
+  if (rng_state_ == 0) rng_state_ = policy.seed * 0x2545f4914f6cdd1dULL + 1;
+  const uint32_t attempts = std::max<uint32_t>(policy.max_attempts, 1);
+  Result<Response> last = Status::Internal("unreachable");
+  for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) ++retries_;
+    last = Call(req);
+    uint64_t hint_ms = 0;
+    if (last.ok()) {
+      if (!IsRetryableWireStatus(last->status)) return last;
+      hint_ms = last->retry_after_ms;
+    } else {
+      // Connection-level failure (server restarting or mid-drain): try a
+      // fresh socket. A dead endpoint keeps failing here until the
+      // attempts run out, which is the caller's answer.
+      const Status reconnected = Reconnect();
+      if (!reconnected.ok()) last = reconnected;
+    }
+    if (attempt + 1 == attempts) break;
+    uint64_t backoff =
+        policy.base_backoff_ms > 0 ? policy.base_backoff_ms << attempt : 0;
+    backoff = std::min(std::max(backoff, hint_ms), policy.max_backoff_ms);
+    if (backoff > 0) {
+      const double jitter = std::min(std::max(policy.jitter, 0.0), 1.0);
+      const double unit =
+          static_cast<double>(NextRand(&rng_state_) >> 11) / 9007199254740992.0;
+      const double scale = 1.0 - jitter + 2.0 * jitter * unit;
+      const auto sleep_ms = static_cast<uint64_t>(
+          static_cast<double>(backoff) * scale);
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    }
+  }
+  return last;
+}
+
+}  // namespace serve
+}  // namespace seqhide

@@ -1,0 +1,80 @@
+// Client side of the seqhide_server wire protocol: connect, send one
+// request line, read one response line — plus the retry loop that makes
+// overload shed responses transparent to callers.
+//
+// CallWithRetry honors the server's shed contract: a response whose
+// status is retryable (resource_exhausted / unavailable) is retried
+// after max(retry_after_ms hint, exponential backoff) with jitter, up to
+// max_attempts; connection-level failures (server restarting, listener
+// draining) reconnect and retry the same way. Everything else — ok,
+// invalid_argument, deadline_exceeded, ... — is a terminal answer and is
+// returned as-is.
+
+#ifndef SEQHIDE_SERVE_CLIENT_H_
+#define SEQHIDE_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/serve/net.h"
+#include "src/serve/protocol.h"
+
+namespace seqhide {
+namespace serve {
+
+struct RetryPolicy {
+  // Total attempts including the first; 1 disables retries.
+  uint32_t max_attempts = 4;
+  uint64_t base_backoff_ms = 10;
+  uint64_t max_backoff_ms = 2000;
+  // Each sleep is scaled by a uniform factor in [1-jitter, 1+jitter] so a
+  // shed client herd does not reconverge on the same instant.
+  double jitter = 0.5;
+  uint64_t seed = 1;
+};
+
+class ServeClient {
+ public:
+  static Result<std::unique_ptr<ServeClient>> ConnectUnix(
+      const std::string& socket_path);
+  static Result<std::unique_ptr<ServeClient>> ConnectTcp(uint16_t port);
+
+  ~ServeClient() = default;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  // One request/response exchange, no retries. IOError if the connection
+  // drops (after which the channel is dead; reconnect to continue).
+  Result<Response> Call(const Request& req);
+
+  // Sends `line` verbatim and returns the raw response line — protocol
+  // testing's escape hatch (the line may be deliberately invalid JSON).
+  Result<std::string> CallRaw(const std::string& line);
+
+  // Call() + reconnect-and-retry on connection errors and retryable shed
+  // statuses. The returned response is the last attempt's — possibly
+  // still a shed response if max_attempts were exhausted.
+  Result<Response> CallWithRetry(const Request& req,
+                                 const RetryPolicy& policy);
+
+  uint64_t retries() const { return retries_; }
+
+ private:
+  ServeClient(std::string socket_path, uint16_t port, int fd);
+
+  Status Reconnect();
+
+  const std::string socket_path_;  // empty for TCP clients
+  const uint16_t port_;            // 0 for unix clients
+  std::unique_ptr<LineChannel> chan_;
+  uint64_t rng_state_ = 0;
+  uint64_t retries_ = 0;
+};
+
+}  // namespace serve
+}  // namespace seqhide
+
+#endif  // SEQHIDE_SERVE_CLIENT_H_

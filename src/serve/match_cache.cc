@@ -1,0 +1,131 @@
+#include "src/serve/match_cache.h"
+
+#include "src/common/fault_injection.h"
+#include "src/obs/macros.h"
+
+namespace seqhide {
+namespace serve {
+namespace {
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+}  // namespace
+
+uint64_t Fnv1a64(const void* data, size_t size, uint64_t seed) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t h = kFnvOffset ^ seed;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t FingerprintPatterns(std::string_view method,
+                             const std::vector<std::string>& patterns) {
+  uint64_t h = Fnv1a64(method.data(), method.size());
+  for (const std::string& p : patterns) {
+    // Length-prefix each text so ["ab","c"] and ["a","bc"] differ.
+    const uint64_t len = p.size();
+    h = Fnv1a64(&len, sizeof(len), h);
+    h = Fnv1a64(p.data(), p.size(), h);
+  }
+  return h;
+}
+
+uint64_t MatchInfoCache::Checksum(const std::vector<uint64_t>& values) {
+  return Fnv1a64(values.data(), values.size() * sizeof(uint64_t));
+}
+
+void MatchInfoCache::TouchLocked(const Key& key, Entry* entry) {
+  lru_.erase(entry->lru_it);
+  lru_.push_front(key);
+  entry->lru_it = lru_.begin();
+}
+
+std::optional<std::vector<uint64_t>> MatchInfoCache::Lookup(
+    uint64_t db_fp, uint64_t patterns_fp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Key key{db_fp, patterns_fp};
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    SEQHIDE_COUNTER_INC("serve.cache.miss");
+    return std::nullopt;
+  }
+  uint64_t checksum = Checksum(it->second.values);
+  if (SEQHIDE_FAULT_HIT("serve.cache.corrupt")) {
+    checksum ^= 1;  // simulate a flipped bit in the stored payload
+  }
+  if (checksum != it->second.checksum) {
+    // Corruption is a miss, not an error: drop the entry and let the
+    // caller recompute. One recomputation, never a wrong answer.
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+    ++corrupt_dropped_;
+    ++misses_;
+    SEQHIDE_COUNTER_INC("serve.cache.corrupt_dropped");
+    SEQHIDE_COUNTER_INC("serve.cache.miss");
+    return std::nullopt;
+  }
+  TouchLocked(key, &it->second);
+  ++hits_;
+  SEQHIDE_COUNTER_INC("serve.cache.hit");
+  return it->second.values;
+}
+
+void MatchInfoCache::Insert(uint64_t db_fp, uint64_t patterns_fp,
+                            std::vector<uint64_t> values) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const Key key{db_fp, patterns_fp};
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.checksum = Checksum(values);
+    it->second.values = std::move(values);
+    TouchLocked(key, &it->second);
+    return;
+  }
+  while (entries_.size() >= capacity_) {
+    const Key& oldest = lru_.back();
+    entries_.erase(oldest);
+    lru_.pop_back();
+    SEQHIDE_COUNTER_INC("serve.cache.evicted");
+  }
+  Entry entry;
+  entry.checksum = Checksum(values);
+  entry.values = std::move(values);
+  lru_.push_front(key);
+  entry.lru_it = lru_.begin();
+  entries_.emplace(key, std::move(entry));
+}
+
+void MatchInfoCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+}
+
+size_t MatchInfoCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+uint64_t MatchInfoCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t MatchInfoCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+uint64_t MatchInfoCache::corrupt_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return corrupt_dropped_;
+}
+
+}  // namespace serve
+}  // namespace seqhide

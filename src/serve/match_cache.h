@@ -1,0 +1,82 @@
+// Match-info cache for the serving front end: an LRU map from
+// (database fingerprint, pattern-set fingerprint) to the per-pattern
+// values of a support / match-count request.
+//
+// Entries carry an FNV-1a-64 checksum of their payload, verified on
+// every lookup: a corrupt entry (injected via serve.cache.corrupt, or a
+// real memory fault) is evicted and reported as a miss, so corruption
+// costs one recomputation, never a wrong answer. The database
+// fingerprint in the key means a server pointed at a different database
+// image can never serve stale values.
+
+#ifndef SEQHIDE_SERVE_MATCH_CACHE_H_
+#define SEQHIDE_SERVE_MATCH_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace seqhide {
+namespace serve {
+
+// FNV-1a-64 over a byte range; the serving layer's fingerprint/checksum
+// primitive (same function family the binary format uses for sections).
+uint64_t Fnv1a64(const void* data, size_t size, uint64_t seed = 0);
+
+// Order-sensitive fingerprint of a request's method + pattern texts.
+uint64_t FingerprintPatterns(std::string_view method,
+                             const std::vector<std::string>& patterns);
+
+class MatchInfoCache {
+ public:
+  explicit MatchInfoCache(size_t capacity) : capacity_(capacity) {}
+  MatchInfoCache(const MatchInfoCache&) = delete;
+  MatchInfoCache& operator=(const MatchInfoCache&) = delete;
+
+  // The cached per-pattern values, or nullopt on miss (including the
+  // checksum-failure path, which also evicts the bad entry).
+  std::optional<std::vector<uint64_t>> Lookup(uint64_t db_fp,
+                                              uint64_t patterns_fp);
+
+  // Inserts/overwrites; evicts the least recently used entry beyond
+  // capacity. A capacity of 0 disables the cache.
+  void Insert(uint64_t db_fp, uint64_t patterns_fp,
+              std::vector<uint64_t> values);
+
+  void Clear();
+
+  size_t size() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t corrupt_dropped() const;
+
+ private:
+  using Key = std::pair<uint64_t, uint64_t>;
+  struct Entry {
+    std::vector<uint64_t> values;
+    uint64_t checksum = 0;
+    std::list<Key>::iterator lru_it;
+  };
+
+  static uint64_t Checksum(const std::vector<uint64_t>& values);
+  void TouchLocked(const Key& key, Entry* entry);
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::map<Key, Entry> entries_;
+  std::list<Key> lru_;  // front = most recent
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t corrupt_dropped_ = 0;
+};
+
+}  // namespace serve
+}  // namespace seqhide
+
+#endif  // SEQHIDE_SERVE_MATCH_CACHE_H_

@@ -1,0 +1,316 @@
+#include "src/serve/protocol.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+
+#include "src/obs/json.h"
+#include "src/obs/stats_json.h"
+
+namespace seqhide {
+namespace serve {
+namespace {
+
+using obs::JsonValue;
+using obs::JsonWriter;
+
+Status BadField(std::string_view key, std::string_view want) {
+  return Status::InvalidArgument("request field '" + std::string(key) +
+                                 "' must be " + std::string(want));
+}
+
+// Non-negative integral number. The parser stores all numbers as double,
+// so values at or above 2^53 have already lost their low bits in transit;
+// values at or above 2^64 would make the cast undefined. Saturating to
+// uint64 max mirrors SatAdd: a count that big is already "saturated" on
+// the server side.
+Result<uint64_t> AsUint(const JsonValue& v, std::string_view key) {
+  if (!v.is_number()) return BadField(key, "a number");
+  const double d = v.AsNumber();
+  if (!(d >= 0.0) || d != std::floor(d)) {
+    return BadField(key, "a non-negative integer");
+  }
+  if (d >= 18446744073709551616.0) return UINT64_MAX;  // 2^64
+  return static_cast<uint64_t>(d);
+}
+
+// uint64 identities (fingerprints) must survive the double-typed JSON
+// number path bit-exactly, so they travel as 16-digit hex strings.
+std::string HexU64(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf, 16);
+}
+
+uint64_t ParseHexU64(std::string_view text) {
+  uint64_t v = 0;
+  for (const char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return 0;  // lenient response parsing: malformed → absent
+    }
+    v = (v << 4) | static_cast<uint64_t>(digit);
+  }
+  return v;
+}
+
+Result<std::vector<uint64_t>> AsUintArray(const JsonValue& v,
+                                          std::string_view key) {
+  if (!v.is_array()) return BadField(key, "an array");
+  std::vector<uint64_t> out;
+  out.reserve(v.AsArray().size());
+  for (const JsonValue& item : v.AsArray()) {
+    SEQHIDE_ASSIGN_OR_RETURN(uint64_t u, AsUint(item, key));
+    out.push_back(u);
+  }
+  return out;
+}
+
+void WriteUintArray(std::string_view key, const std::vector<uint64_t>& values,
+                    JsonWriter* w) {
+  w->Key(key);
+  w->BeginArray();
+  for (uint64_t v : values) w->Uint(v);
+  w->EndArray();
+}
+
+}  // namespace
+
+std::string_view MethodName(Method m) {
+  switch (m) {
+    case Method::kPing:
+      return "ping";
+    case Method::kSupport:
+      return "support";
+    case Method::kMatchCount:
+      return "match-count";
+    case Method::kSanitize:
+      return "sanitize";
+  }
+  return "?";
+}
+
+Result<Method> ParseMethod(std::string_view name) {
+  if (name == "ping") return Method::kPing;
+  if (name == "support") return Method::kSupport;
+  if (name == "match-count") return Method::kMatchCount;
+  if (name == "sanitize") return Method::kSanitize;
+  return Status::InvalidArgument("unknown method '" + std::string(name) +
+                                 "' (ping|support|match-count|sanitize)");
+}
+
+std::string_view WireStatus(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kIOError:
+      return "io_error";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kCancelled:
+      return "cancelled";
+  }
+  return "internal";
+}
+
+bool IsRetryableWireStatus(std::string_view status) {
+  return status == WireStatus(StatusCode::kResourceExhausted) ||
+         status == kStatusUnavailable;
+}
+
+Result<Request> ParseRequest(std::string_view line) {
+  SEQHIDE_ASSIGN_OR_RETURN(JsonValue doc, JsonValue::Parse(line));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  Request req;
+  bool saw_method = false;
+  for (const auto& [key, value] : doc.AsObject()) {
+    if (key == "id") {
+      SEQHIDE_ASSIGN_OR_RETURN(req.id, AsUint(value, key));
+    } else if (key == "method") {
+      if (!value.is_string()) return BadField(key, "a string");
+      SEQHIDE_ASSIGN_OR_RETURN(req.method, ParseMethod(value.AsString()));
+      saw_method = true;
+    } else if (key == "deadline_ms") {
+      if (!value.is_number()) return BadField(key, "a number");
+      req.deadline_ms = value.AsNumber();
+      if (std::isnan(req.deadline_ms) || req.deadline_ms < 0.0) {
+        return BadField(key, "a non-negative number");
+      }
+    } else if (key == "patterns") {
+      if (!value.is_array()) return BadField(key, "an array of strings");
+      for (const JsonValue& item : value.AsArray()) {
+        if (!item.is_string()) return BadField(key, "an array of strings");
+        req.patterns.push_back(item.AsString());
+      }
+    } else if (key == "psi") {
+      SEQHIDE_ASSIGN_OR_RETURN(req.psi, AsUint(value, key));
+    } else if (key == "algo") {
+      if (!value.is_string()) return BadField(key, "a string");
+      req.algo = value.AsString();
+    } else if (key == "seed") {
+      SEQHIDE_ASSIGN_OR_RETURN(req.seed, AsUint(value, key));
+    } else if (key == "out") {
+      if (!value.is_string()) return BadField(key, "a string");
+      req.out = value.AsString();
+    } else if (key == "job") {
+      if (!value.is_string()) return BadField(key, "a string");
+      req.job = value.AsString();
+    } else {
+      return Status::InvalidArgument("unknown request field '" + key + "'");
+    }
+  }
+  if (!saw_method) {
+    return Status::InvalidArgument("request is missing 'method'");
+  }
+  return req;
+}
+
+std::string SerializeRequest(const Request& req) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KeyUint("id", req.id);
+  w.KeyString("method", MethodName(req.method));
+  if (req.deadline_ms > 0.0) w.KeyDouble("deadline_ms", req.deadline_ms);
+  if (!req.patterns.empty()) {
+    w.Key("patterns");
+    w.BeginArray();
+    for (const std::string& p : req.patterns) w.String(p);
+    w.EndArray();
+  }
+  if (req.method == Method::kSanitize) {
+    w.KeyUint("psi", req.psi);
+    w.KeyString("algo", req.algo);
+    w.KeyUint("seed", req.seed);
+    w.KeyString("out", req.out);
+    if (!req.job.empty()) w.KeyString("job", req.job);
+  }
+  w.EndObject();
+  return w.str();
+}
+
+Result<Response> ParseResponse(std::string_view line) {
+  SEQHIDE_ASSIGN_OR_RETURN(JsonValue doc, JsonValue::Parse(line));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("response must be a JSON object");
+  }
+  Response resp;
+  const JsonValue* id = doc.Find("id");
+  if (id != nullptr) {
+    SEQHIDE_ASSIGN_OR_RETURN(resp.id, AsUint(*id, "id"));
+  }
+  resp.status = doc.StringOr("status", "internal");
+  resp.error = doc.StringOr("error", "");
+  resp.retry_after_ms =
+      static_cast<uint64_t>(doc.NumberOr("retry_after_ms", 0.0));
+  if (const JsonValue* values = doc.Find("values")) {
+    SEQHIDE_ASSIGN_OR_RETURN(resp.values, AsUintArray(*values, "values"));
+  }
+  resp.cache = doc.StringOr("cache", "");
+  resp.db_rows = static_cast<uint64_t>(doc.NumberOr("db_rows", 0.0));
+  resp.db_fingerprint = ParseHexU64(doc.StringOr("db_fingerprint", ""));
+  if (const JsonValue* draining = doc.Find("draining")) {
+    if (!draining->is_bool()) return BadField("draining", "a bool");
+    resp.draining = draining->AsBool();
+  }
+  if (const JsonValue* s = doc.Find("sanitize")) {
+    if (!s->is_object()) return BadField("sanitize", "an object");
+    resp.has_sanitize = true;
+    resp.sanitize.marks_introduced =
+        static_cast<uint64_t>(s->NumberOr("marks_introduced", 0.0));
+    resp.sanitize.sequences_sanitized =
+        static_cast<uint64_t>(s->NumberOr("sequences_sanitized", 0.0));
+    if (const JsonValue* v = s->Find("supports_before")) {
+      SEQHIDE_ASSIGN_OR_RETURN(resp.sanitize.supports_before,
+                               AsUintArray(*v, "supports_before"));
+    }
+    if (const JsonValue* v = s->Find("supports_after")) {
+      SEQHIDE_ASSIGN_OR_RETURN(resp.sanitize.supports_after,
+                               AsUintArray(*v, "supports_after"));
+    }
+    if (const JsonValue* v = s->Find("degraded")) {
+      if (!v->is_bool()) return BadField("degraded", "a bool");
+      resp.sanitize.degraded = v->AsBool();
+    }
+    resp.sanitize.stop_reason = s->StringOr("stop_reason", "");
+    resp.sanitize.rounds_completed =
+        static_cast<uint64_t>(s->NumberOr("rounds_completed", 0.0));
+    resp.sanitize.rounds_total =
+        static_cast<uint64_t>(s->NumberOr("rounds_total", 0.0));
+  }
+  resp.queue_us = static_cast<uint64_t>(doc.NumberOr("queue_us", 0.0));
+  resp.work_us = static_cast<uint64_t>(doc.NumberOr("work_us", 0.0));
+  return resp;
+}
+
+std::string SerializeResponse(const Response& resp) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KeyUint("id", resp.id);
+  w.KeyString("status", resp.status);
+  if (!resp.error.empty()) w.KeyString("error", resp.error);
+  if (resp.retry_after_ms > 0) w.KeyUint("retry_after_ms", resp.retry_after_ms);
+  if (!resp.values.empty()) WriteUintArray("values", resp.values, &w);
+  if (!resp.cache.empty()) w.KeyString("cache", resp.cache);
+  if (resp.db_rows > 0) w.KeyUint("db_rows", resp.db_rows);
+  if (resp.db_fingerprint > 0) {
+    w.KeyString("db_fingerprint", HexU64(resp.db_fingerprint));
+  }
+  if (resp.draining) w.KeyBool("draining", true);
+  if (resp.has_sanitize) {
+    w.Key("sanitize");
+    w.BeginObject();
+    w.KeyUint("marks_introduced", resp.sanitize.marks_introduced);
+    w.KeyUint("sequences_sanitized", resp.sanitize.sequences_sanitized);
+    WriteUintArray("supports_before", resp.sanitize.supports_before, &w);
+    WriteUintArray("supports_after", resp.sanitize.supports_after, &w);
+    w.KeyBool("degraded", resp.sanitize.degraded);
+    if (!resp.sanitize.stop_reason.empty()) {
+      w.KeyString("stop_reason", resp.sanitize.stop_reason);
+    }
+    w.KeyUint("rounds_completed", resp.sanitize.rounds_completed);
+    w.KeyUint("rounds_total", resp.sanitize.rounds_total);
+    w.EndObject();
+  }
+  w.KeyUint("queue_us", resp.queue_us);
+  w.KeyUint("work_us", resp.work_us);
+  w.EndObject();
+  return w.str();
+}
+
+Response ErrorResponse(uint64_t req_id, const Status& status) {
+  Response resp;
+  resp.id = req_id;
+  resp.status = std::string(WireStatus(status.code()));
+  resp.error = status.message();
+  return resp;
+}
+
+}  // namespace serve
+}  // namespace seqhide

@@ -22,6 +22,8 @@
 #include "src/obs/telemetry/run_ledger.h"
 #include "src/seq/binary_format.h"
 #include "src/seq/io.h"
+#include "src/serve/client.h"
+#include "src/serve/server.h"
 #include "tests/test_util.h"
 
 namespace seqhide {
@@ -35,6 +37,58 @@ SequenceDatabase SweepDb() {
   gen.alphabet_size = 4;
   gen.seed = 31337;
   return MakeRandomDatabase(gen);
+}
+
+// In-process server round trips: two supports (the second a cache hit,
+// where serve.cache.corrupt fires), one sanitize, through the retrying
+// client so shed/dropped-connection faults are absorbed.
+Status RunServeLeg(const std::string& dir, const std::string& db_path) {
+  serve::ServerOptions sopts;
+  sopts.db_path = db_path;
+  sopts.socket_path = dir + "/sweep.sock";
+  sopts.num_workers = 2;
+  sopts.cache_entries = 8;
+  SEQHIDE_ASSIGN_OR_RETURN(std::unique_ptr<serve::Server> server,
+                           serve::Server::Create(sopts));
+  SEQHIDE_RETURN_IF_ERROR(server->Start());
+
+  serve::RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.base_backoff_ms = 1;
+
+  const Status leg = [&]() -> Status {
+    SEQHIDE_ASSIGN_OR_RETURN(
+        std::unique_ptr<serve::ServeClient> client,
+        serve::ServeClient::ConnectUnix(sopts.socket_path));
+    for (uint64_t id = 1; id <= 2; ++id) {
+      serve::Request sup;
+      sup.id = id;
+      sup.method = serve::Method::kSupport;
+      sup.patterns = {"a -> b"};
+      SEQHIDE_ASSIGN_OR_RETURN(serve::Response resp,
+                               client->CallWithRetry(sup, policy));
+      if (resp.status != "ok") {
+        return Status::IOError("serve leg: support #" + std::to_string(id) +
+                               " ended " + resp.status + ": " + resp.error);
+      }
+    }
+    serve::Request san;
+    san.id = 3;
+    san.method = serve::Method::kSanitize;
+    san.patterns = {"a -> b"};
+    san.psi = 1;
+    san.out = dir + "/sweep_serve_out.txt";
+    SEQHIDE_ASSIGN_OR_RETURN(serve::Response resp,
+                             client->CallWithRetry(san, policy));
+    if (resp.status != "ok") {
+      return Status::IOError("serve leg: sanitize ended " + resp.status +
+                             ": " + resp.error);
+    }
+    return Status::OK();
+  }();
+  server->RequestDrain();
+  server->Join();
+  return leg;
 }
 
 // One end-to-end pipeline pass touching every fault site's subsystem.
@@ -119,6 +173,12 @@ Status RunPipeline(const std::string& dir, bool* out_db_written) {
   if (back.size() != db.size()) {
     return Status::Internal("binary round-trip changed the row count");
   }
+
+  // Serving leg: an in-process server plus a retrying client, reaching
+  // the net.* and serve.* sites. The shed/retry contract means every
+  // injected network fault must be absorbed by the client's retries —
+  // the leg as a whole must come back OK.
+  SEQHIDE_RETURN_IF_ERROR(RunServeLeg(dir, db_path));
   return Status::OK();
 }
 
@@ -170,7 +230,13 @@ TEST(FaultSweepTest, EverySiteFailsCleanOrRecovers) {
                               site == "sanitize.after_count" ||
                               site == "sanitize.after_select" ||
                               site == "sanitize.mark_round" ||
-                              site.rfind("io.telemetry.", 0) == 0;
+                              site.rfind("io.telemetry.", 0) == 0 ||
+                              // The serving contract: injected network
+                              // and overload faults surface as explicit
+                              // shed/drop responses the retrying client
+                              // absorbs, so the leg still succeeds.
+                              site.rfind("net.", 0) == 0 ||
+                              site.rfind("serve.", 0) == 0;
     if (must_recover) {
       EXPECT_TRUE(status.ok()) << what << ": " << status;
       EXPECT_TRUE(db_written) << what;

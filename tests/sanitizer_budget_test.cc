@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <vector>
 
 #include "src/common/random.h"
@@ -215,6 +216,11 @@ TEST(SanitizerBudgetTest, BudgetOptionsAreValidated) {
   std::vector<Sequence> patterns = Patterns(&db);
   SanitizeOptions opts = SanitizeOptions::HH();
   opts.budget.deadline_seconds = -1.0;
+  EXPECT_TRUE(Sanitize(&db, patterns, opts).status().IsInvalidArgument());
+  opts = SanitizeOptions::HH();
+  // NaN would compare false against every elapsed time and silently
+  // disable the deadline; it must be rejected like a negative one.
+  opts.budget.deadline_seconds = std::numeric_limits<double>::quiet_NaN();
   EXPECT_TRUE(Sanitize(&db, patterns, opts).status().IsInvalidArgument());
   opts = SanitizeOptions::HH();
   opts.mark_round_size = 0;

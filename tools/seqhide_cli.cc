@@ -7,7 +7,8 @@
 //                        [--psi N] [--algo HH|HR|RH|RR] [--seed N]
 //                        [--threads N] [--stage2 keep|delete|replace]
 //                        [--stats-json FILE] [--trace-json FILE]
-//                        [--deadline-seconds S] [--max-table-bytes N]
+//                        [--deadline-seconds S] [--deadline-ms MS]
+//                        [--max-table-bytes N]
 //                        [--max-rounds N] [--round-size N]
 //                        [--checkpoint FILE] [--checkpoint-every N]
 //                        [--resume]
@@ -114,7 +115,8 @@ void PrintUsage() {
       "           [--stats-json FILE] [--trace-json FILE]\n"
       "           [--ledger FILE] [--metrics-prom FILE]\n"
       "           [--telemetry-interval-ms N (default 500)]\n"
-      "           [--deadline-seconds S] [--max-table-bytes N]\n"
+      "           [--deadline-seconds S] [--deadline-ms MS]\n"
+      "           [--max-table-bytes N]\n"
       "           [--max-rounds N] [--round-size N]\n"
       "           [--checkpoint FILE] [--checkpoint-every N] [--resume]\n"
       "  convert  --db IN --out OUT --to text|binary [--prefix-k 0|2]\n"
@@ -181,7 +183,8 @@ Status ValidateFlags(const ParsedArgs& args) {
          "format",
          "db-format", "stats-json", "trace-json", "input-mode", "inject-fault",
          "ledger", "metrics-prom", "telemetry-interval-ms",
-         "deadline-seconds", "max-table-bytes", "max-rounds", "round-size",
+         "deadline-seconds", "deadline-ms", "max-table-bytes", "max-rounds",
+         "round-size",
          "checkpoint", "checkpoint-every", "resume"}}},
       {"convert",
        {false,
@@ -766,6 +769,15 @@ Status RunSanitize(const ParsedArgs& args) {
   }
   SEQHIDE_ASSIGN_OR_RETURN(opts.budget.deadline_seconds,
                            FlagAsDouble(args, "deadline-seconds", 0.0));
+  // --deadline-ms is the serving-world spelling of the same budget; when
+  // both are given the tighter one wins.
+  SEQHIDE_ASSIGN_OR_RETURN(const double deadline_ms,
+                           FlagAsDouble(args, "deadline-ms", 0.0));
+  if (deadline_ms > 0.0 && (opts.budget.deadline_seconds == 0.0 ||
+                            deadline_ms / 1000.0 <
+                                opts.budget.deadline_seconds)) {
+    opts.budget.deadline_seconds = deadline_ms / 1000.0;
+  }
   SEQHIDE_ASSIGN_OR_RETURN(opts.budget.max_table_bytes,
                            FlagAsSize(args, "max-table-bytes", 0));
   SEQHIDE_ASSIGN_OR_RETURN(opts.budget.max_mark_rounds,

@@ -1,0 +1,324 @@
+// seqhide_loadgen — load-generating client for seqhide_server.
+//
+//   seqhide_loadgen (--socket PATH | --port N)
+//                   [--method ping|support|match-count|sanitize]
+//                   [--pattern "a -> b"]... [--psi N] [--out FILE]
+//                   [--concurrency N] [--requests N | --duration-ms MS]
+//                   [--deadline-ms MS] [--max-attempts N]
+//                   [--base-backoff-ms MS] [--seed N] [--one FILE]
+//
+// Drives the server with --concurrency parallel connections, each
+// issuing requests through the retrying client (exponential backoff with
+// jitter, honoring the server's retry_after_ms hints) until --requests
+// requests have been sent or --duration-ms has elapsed.
+//
+// Every request must end in an explicit terminal outcome. The exit code
+// enforces the no-silent-drop contract:
+//   0  every request got a response: ok, or an explicit wire status
+//      (shed, deadline_exceeded, cancelled, invalid_argument, ...)
+//   1  at least one HARD failure — a transport error with no response
+//      after retries, or a response with status "internal"
+//
+// The summary line is machine-parsable:
+//   loadgen total=N ok=N shed=N deadline=N cancelled=N other=N hard=N
+//           retries=N p50_us=N p90_us=N p99_us=N
+//
+// --one FILE sends the file's first line verbatim (no retries, no JSON
+// validation) and prints the raw response — an escape hatch for
+// protocol-level testing.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/string_util.h"
+#include "src/serve/client.h"
+#include "src/serve/protocol.h"
+
+namespace seqhide {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Flags {
+  std::map<std::string, std::string> values;
+  std::vector<std::string> patterns;
+
+  bool Has(const std::string& name) const { return values.count(name) > 0; }
+  std::string Get(const std::string& name, const std::string& fallback) const {
+    auto it = values.find(name);
+    return it == values.end() ? fallback : it->second;
+  }
+  Result<size_t> GetSize(const std::string& name, size_t fallback) const {
+    auto it = values.find(name);
+    if (it == values.end()) return fallback;
+    auto v = ParseInt64(it->second);
+    if (!v.has_value() || *v < 0) {
+      return Status::InvalidArgument("--" + name +
+                                     " needs a non-negative int");
+    }
+    return static_cast<size_t>(*v);
+  }
+};
+
+constexpr const char* kKnownFlags[] = {
+    "socket",     "port",        "method",          "psi",
+    "out",        "concurrency", "requests",        "duration-ms",
+    "deadline-ms", "max-attempts", "base-backoff-ms", "seed",
+    "one",
+};
+
+bool ParseFlags(int argc, char** argv, Flags* out) {
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag.size() < 3 || flag[0] != '-' || flag[1] != '-') return false;
+    flag = flag.substr(2);
+    if (i + 1 >= argc) return false;
+    const std::string value = argv[++i];
+    if (flag == "pattern") {
+      out->patterns.push_back(value);
+      continue;
+    }
+    bool known = false;
+    for (const char* k : kKnownFlags) {
+      if (flag == k) known = true;
+    }
+    if (!known) return false;
+    out->values[flag] = value;
+  }
+  return true;
+}
+
+void Usage() {
+  std::cerr
+      << "usage: seqhide_loadgen (--socket PATH | --port N)\n"
+         "           [--method ping|support|match-count|sanitize]\n"
+         "           [--pattern TEXT]... [--psi N] [--out FILE]\n"
+         "           [--concurrency N] [--requests N | --duration-ms MS]\n"
+         "           [--deadline-ms MS] [--max-attempts N]\n"
+         "           [--base-backoff-ms MS] [--seed N] [--one FILE]\n";
+}
+
+struct Tally {
+  uint64_t total = 0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;  // still shed after all retry attempts
+  uint64_t deadline = 0;
+  uint64_t cancelled = 0;
+  uint64_t other = 0;  // explicit non-ok terminal statuses
+  uint64_t hard = 0;   // no response at all, or "internal"
+  uint64_t retries = 0;
+  std::vector<uint64_t> latencies_us;
+};
+
+Result<std::unique_ptr<serve::ServeClient>> Dial(const Flags& flags) {
+  if (flags.Has("socket")) {
+    return serve::ServeClient::ConnectUnix(flags.values.at("socket"));
+  }
+  auto port = flags.GetSize("port", 0);
+  SEQHIDE_RETURN_IF_ERROR(port.status());
+  return serve::ServeClient::ConnectTcp(static_cast<uint16_t>(*port));
+}
+
+// Sends the file's first line verbatim (even invalid JSON) and prints
+// the raw response line.
+int RunOne(const Flags& flags) {
+  std::ifstream in(flags.values.at("one"));
+  std::string line;
+  if (!in || !std::getline(in, line)) {
+    std::cerr << "error: cannot read " << flags.values.at("one") << "\n";
+    return 1;
+  }
+  auto client = Dial(flags);
+  if (!client.ok()) {
+    std::cerr << "error: " << client.status() << "\n";
+    return 1;
+  }
+  auto response = (*client)->CallRaw(line);
+  if (!response.ok()) {
+    std::cerr << "error: " << response.status() << "\n";
+    return 1;
+  }
+  std::cout << *response << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace seqhide
+
+int main(int argc, char** argv) {
+  using namespace seqhide;
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags) ||
+      flags.Has("socket") == flags.Has("port")) {
+    Usage();
+    return 1;
+  }
+
+  if (flags.Has("one")) {
+    return RunOne(flags);
+  }
+
+  const std::string method_name = flags.Get("method", "ping");
+  auto method = serve::ParseMethod(method_name);
+  if (!method.ok()) {
+    std::cerr << "error: " << method.status() << "\n";
+    return 1;
+  }
+  if ((*method == serve::Method::kSupport ||
+       *method == serve::Method::kMatchCount ||
+       *method == serve::Method::kSanitize) &&
+      flags.patterns.empty()) {
+    std::cerr << "error: --method " << method_name
+              << " needs at least one --pattern\n";
+    return 1;
+  }
+
+  auto concurrency = flags.GetSize("concurrency", 1);
+  auto requests = flags.GetSize("requests", 0);
+  auto duration_ms = flags.GetSize("duration-ms", 0);
+  auto deadline_ms = flags.GetSize("deadline-ms", 0);
+  auto max_attempts = flags.GetSize("max-attempts", 4);
+  auto base_backoff = flags.GetSize("base-backoff-ms", 10);
+  auto seed = flags.GetSize("seed", 1);
+  for (const auto* r : {&concurrency, &requests, &duration_ms, &deadline_ms,
+                        &max_attempts, &base_backoff, &seed}) {
+    if (!r->ok()) {
+      std::cerr << "error: " << r->status() << "\n";
+      return 1;
+    }
+  }
+  if (*concurrency == 0) {
+    std::cerr << "error: --concurrency must be >= 1\n";
+    return 1;
+  }
+  if ((*requests == 0) == (*duration_ms == 0)) {
+    std::cerr << "error: exactly one of --requests / --duration-ms\n";
+    return 1;
+  }
+
+  const Clock::time_point stop_at =
+      Clock::now() + std::chrono::milliseconds(*duration_ms);
+  std::atomic<uint64_t> remaining{*requests};
+  std::atomic<uint64_t> next_id{1};
+
+  std::mutex tally_mu;
+  Tally tally;
+
+  auto worker = [&](size_t worker_idx) {
+    Tally local;
+    serve::RetryPolicy policy;
+    policy.max_attempts = static_cast<uint32_t>(*max_attempts);
+    policy.base_backoff_ms = *base_backoff;
+    policy.seed = *seed + worker_idx;
+
+    auto client = Dial(flags);
+    for (;;) {
+      if (*requests > 0) {
+        // fetch_sub on 0 would wrap; claim optimistically and re-check.
+        uint64_t cur = remaining.load(std::memory_order_relaxed);
+        if (cur == 0 ||
+            !remaining.compare_exchange_weak(cur, cur - 1,
+                                             std::memory_order_relaxed)) {
+          if (cur == 0) break;
+          continue;
+        }
+      } else if (Clock::now() >= stop_at) {
+        break;
+      }
+
+      if (!client.ok()) {
+        client = Dial(flags);
+        if (!client.ok()) {
+          ++local.total;
+          ++local.hard;
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          continue;
+        }
+      }
+
+      serve::Request req;
+      req.id = next_id.fetch_add(1, std::memory_order_relaxed);
+      req.method = *method;
+      req.patterns = flags.patterns;
+      req.deadline_ms = static_cast<double>(*deadline_ms);
+      if (*method == serve::Method::kSanitize) {
+        req.psi = *flags.GetSize("psi", 0);
+        req.out = flags.Get("out", "/dev/null");
+        req.seed = *seed;
+      }
+
+      const Clock::time_point t0 = Clock::now();
+      auto resp = (*client)->CallWithRetry(req, policy);
+      const uint64_t us = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                t0)
+              .count());
+      ++local.total;
+      local.latencies_us.push_back(us);
+      if (!resp.ok()) {
+        ++local.hard;
+        client = Status::IOError("reconnect");  // force a fresh dial
+        continue;
+      }
+      if (resp->status == "ok") {
+        ++local.ok;
+      } else if (serve::IsRetryableWireStatus(resp->status)) {
+        ++local.shed;
+      } else if (resp->status == "deadline_exceeded") {
+        ++local.deadline;
+      } else if (resp->status == "cancelled") {
+        ++local.cancelled;
+      } else if (resp->status == "internal") {
+        ++local.hard;
+      } else {
+        ++local.other;
+      }
+    }
+    if (client.ok()) local.retries = (*client)->retries();
+    std::lock_guard<std::mutex> lock(tally_mu);
+    tally.total += local.total;
+    tally.ok += local.ok;
+    tally.shed += local.shed;
+    tally.deadline += local.deadline;
+    tally.cancelled += local.cancelled;
+    tally.other += local.other;
+    tally.hard += local.hard;
+    tally.retries += local.retries;
+    tally.latencies_us.insert(tally.latencies_us.end(),
+                              local.latencies_us.begin(),
+                              local.latencies_us.end());
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(*concurrency);
+  for (size_t i = 0; i < *concurrency; ++i) {
+    threads.emplace_back(worker, i);
+  }
+  for (std::thread& t : threads) t.join();
+
+  std::sort(tally.latencies_us.begin(), tally.latencies_us.end());
+  const auto pct = [&](double p) -> uint64_t {
+    if (tally.latencies_us.empty()) return 0;
+    const size_t idx = static_cast<size_t>(
+        p * static_cast<double>(tally.latencies_us.size() - 1));
+    return tally.latencies_us[idx];
+  };
+  std::cout << "loadgen total=" << tally.total << " ok=" << tally.ok
+            << " shed=" << tally.shed << " deadline=" << tally.deadline
+            << " cancelled=" << tally.cancelled << " other=" << tally.other
+            << " hard=" << tally.hard << " retries=" << tally.retries
+            << " p50_us=" << pct(0.50) << " p90_us=" << pct(0.90)
+            << " p99_us=" << pct(0.99) << "\n";
+  return tally.hard > 0 ? 1 : 0;
+}
