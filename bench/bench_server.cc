@@ -22,12 +22,15 @@
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bench/gbench_json.h"
 #include "src/common/random.h"
+#include "src/seq/alphabet.h"
 #include "src/seq/database.h"
 #include "src/seq/io.h"
 #include "src/serve/admission.h"
+#include "src/serve/batcher.h"
 #include "src/serve/client.h"
 #include "src/serve/match_cache.h"
 #include "src/serve/protocol.h"
@@ -94,7 +97,8 @@ struct LiveServer {
 };
 
 std::unique_ptr<LiveServer> StartServer(benchmark::State& state,
-                                        size_t cache_entries) {
+                                        size_t cache_entries,
+                                        size_t batch_max_size = 8) {
   auto live = std::make_unique<LiveServer>();
   live->socket_path =
       (std::filesystem::temp_directory_path() /
@@ -107,6 +111,7 @@ std::unique_ptr<LiveServer> StartServer(benchmark::State& state,
   opts.socket_path = live->socket_path;
   opts.num_workers = 2;
   opts.cache_entries = cache_entries;
+  opts.batch_max_size = batch_max_size;
   auto server = Server::Create(opts);
   if (!server.ok()) {
     state.SkipWithError("Server::Create failed");
@@ -263,6 +268,107 @@ void BM_AdmissionShedDeterministic(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(sheds));
 }
 BENCHMARK(BM_AdmissionShedDeterministic);
+
+// The batching headline: eight pipelined match-count clients per
+// iteration — the concurrency-8 shape of the overload smoke test, with
+// the cache off so every request really counts. Arg = batch_max_size:
+// /8 coalesces the volley into (ideally) one union trie pass, /1 pins
+// the legacy solo path where each request pays its own scalar pass. The
+// per-iteration value_sum is the identity check — batching may never
+// change a single count — and `stable` asserts it held on every
+// iteration.
+void BM_MatchCountConcurrent8(benchmark::State& state) {
+  constexpr size_t kClients = 8;
+  const auto batch_max_size = static_cast<size_t>(state.range(0));
+  auto live = StartServer(state, /*cache_entries=*/0, batch_max_size);
+  if (live == nullptr) return;
+
+  std::vector<std::unique_ptr<ServeClient>> clients;
+  for (size_t i = 0; i < kClients; ++i) {
+    auto client = ServeClient::ConnectUnix(live->socket_path);
+    if (!client.ok()) {
+      state.SkipWithError("ConnectUnix failed");
+      return;
+    }
+    clients.push_back(std::move(*client));
+  }
+  std::vector<Request> reqs(kClients);
+  for (size_t i = 0; i < kClients; ++i) {
+    reqs[i].method = Method::kMatchCount;
+    reqs[i].patterns = {"s" + std::to_string(i) + " -> s" +
+                        std::to_string(8 + i) + " -> s" +
+                        std::to_string(16 + i)};
+  }
+
+  uint64_t id = 0;
+  uint64_t first_sum = 0;
+  double stable = 1.0;
+  bool first = true;
+  for (auto _ : state) {
+    for (size_t i = 0; i < kClients; ++i) {
+      reqs[i].id = ++id;
+      const Status sent = clients[i]->Send(reqs[i]);
+      if (!sent.ok()) {
+        state.SkipWithError("send failed");
+        return;
+      }
+    }
+    uint64_t sum = 0;
+    for (size_t i = 0; i < kClients; ++i) {
+      auto resp = clients[i]->Receive();
+      if (!resp.ok() || resp->status != "ok" || resp->values.size() != 1) {
+        state.SkipWithError("match-count failed");
+        return;
+      }
+      sum += resp->values[0];
+    }
+    if (first) {
+      first_sum = sum;
+      first = false;
+    } else if (sum != first_sum) {
+      stable = 0.0;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kClients));
+  state.counters["value_sum"] =
+      benchmark::Counter(static_cast<double>(first_sum));
+  state.counters["stable_across_iters"] = benchmark::Counter(stable);
+}
+// Real time, not CPU time: the work happens on the server's worker
+// threads, so the driving thread's CPU clock would hide the speedup.
+BENCHMARK(BM_MatchCountConcurrent8)->Arg(8)->Arg(1)->UseRealTime();
+
+// The planner alone, no sockets: eight overlapping two-pattern requests
+// collapse to a fixed-size union. Pure CPU and exactly deterministic —
+// the union size and member count are behavioural fingerprints of the
+// dedup/attribution rules.
+void BM_BatchPlanUnion(benchmark::State& state) {
+  Alphabet alphabet;
+  for (size_t s = 0; s < 32; ++s) alphabet.Intern("s" + std::to_string(s));
+  std::vector<Request> reqs(8);
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    reqs[i].method = i % 2 == 0 ? Method::kMatchCount : Method::kSupport;
+    // Consecutive requests share their second pattern, so 16 texts dedup.
+    reqs[i].patterns = {
+        "s" + std::to_string(i) + " -> s" + std::to_string(i + 8),
+        "s" + std::to_string(i / 2) + " -> s" + std::to_string(i / 2 + 16)};
+  }
+  std::vector<const Request*> ptrs;
+  for (const Request& req : reqs) ptrs.push_back(&req);
+
+  size_t union_size = 0;
+  for (auto _ : state) {
+    serve::BatchPlan plan = serve::BuildBatchPlan(alphabet, ptrs);
+    union_size = plan.union_size();
+    benchmark::DoNotOptimize(plan);
+  }
+  state.counters["union_patterns"] =
+      benchmark::Counter(static_cast<double>(union_size));
+  state.counters["batch_members"] =
+      benchmark::Counter(static_cast<double>(ptrs.size()));
+}
+BENCHMARK(BM_BatchPlanUnion);
 
 }  // namespace
 }  // namespace seqhide

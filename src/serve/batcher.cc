@@ -1,0 +1,63 @@
+#include "src/serve/batcher.h"
+
+#include <utility>
+
+#include "src/obs/macros.h"
+
+namespace seqhide {
+namespace serve {
+
+bool BatchableMethod(Method method) {
+  return method == Method::kSupport || method == Method::kMatchCount;
+}
+
+BatchPlan BuildBatchPlan(const Alphabet& serving_alphabet,
+                         const std::vector<const Request*>& requests) {
+  BatchPlan plan;
+  plan.members.resize(requests.size());
+  Alphabet alphabet = serving_alphabet;
+  for (size_t m = 0; m < requests.size(); ++m) {
+    BatchMemberPlan& member = plan.members[m];
+    member.error = Status::OK();
+    member.parsed.reserve(requests[m]->patterns.size());
+    for (const std::string& text : requests[m]->patterns) {
+      auto p = ParseConstrainedPattern(&alphabet, text);
+      if (!p.ok()) {
+        member.error = p.status();
+        break;
+      }
+      member.parsed.push_back(std::move(p).value());
+    }
+    if (!member.error.ok()) continue;
+    // Solo-path precedence: every pattern parses before any constraint
+    // validates.
+    for (const ConstrainedPattern& cp : member.parsed) {
+      if (cp.constraints.IsUnconstrained()) continue;
+      const Status valid = cp.constraints.Validate(cp.pattern.size());
+      if (!valid.ok()) {
+        member.error = valid;
+        break;
+      }
+    }
+    if (!member.error.ok()) continue;
+    std::vector<Sequence> unconstrained;
+    for (const ConstrainedPattern& cp : member.parsed) {
+      if (cp.constraints.IsUnconstrained()) unconstrained.push_back(cp.pattern);
+    }
+    member.slots.assign(member.parsed.size(), BatchPlan::kSoloPattern);
+    if (!unconstrained.empty()) {
+      const size_t origin = plan.union_set.AddOrigin(unconstrained);
+      size_t k = 0;
+      for (size_t i = 0; i < member.parsed.size(); ++i) {
+        if (member.parsed[i].constraints.IsUnconstrained()) {
+          member.slots[i] = plan.union_set.slot(origin, k++);
+        }
+      }
+    }
+  }
+  SEQHIDE_COUNTER_ADD("serve.batch.union_patterns", plan.union_size());
+  return plan;
+}
+
+}  // namespace serve
+}  // namespace seqhide

@@ -101,6 +101,21 @@ Result<std::string> ServeClient::CallRaw(const std::string& line) {
   return response;
 }
 
+Status ServeClient::Send(const Request& req) {
+  return chan_->WriteLine(SerializeRequest(req));
+}
+
+void ServeClient::Shutdown() { chan_->Shutdown(); }
+
+Result<Response> ServeClient::Receive() {
+  std::string line;
+  SEQHIDE_ASSIGN_OR_RETURN(const bool got, chan_->ReadLine(&line));
+  if (!got) {
+    return Status::IOError("server closed the connection before responding");
+  }
+  return ParseResponse(line);
+}
+
 Result<Response> ServeClient::Call(const Request& req) {
   SEQHIDE_RETURN_IF_ERROR(chan_->WriteLine(SerializeRequest(req)));
   std::string line;

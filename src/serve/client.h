@@ -60,6 +60,18 @@ class ServeClient {
   Result<Response> CallWithRetry(const Request& req,
                                  const RetryPolicy& policy);
 
+  // Split halves of Call(), for pipelined and open-loop callers: Send
+  // writes one request line without waiting for its answer, Receive
+  // blocks for the next response line. With several requests in flight
+  // the server may answer out of request order — match responses to
+  // requests by id, never by position.
+  Status Send(const Request& req);
+  Result<Response> Receive();
+
+  // Half-closes the connection so a Receive() blocked on another thread
+  // returns; used by open-loop drivers to tear down their receiver.
+  void Shutdown();
+
   uint64_t retries() const { return retries_; }
 
  private:

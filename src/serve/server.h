@@ -35,6 +35,7 @@
 #define SEQHIDE_SERVE_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -47,6 +48,7 @@
 
 #include "src/common/result.h"
 #include "src/common/status.h"
+#include "src/constraints/constraints.h"
 #include "src/obs/telemetry/run_ledger.h"
 #include "src/seq/binary_format.h"
 #include "src/seq/database.h"
@@ -56,6 +58,9 @@
 #include "src/serve/protocol.h"
 
 namespace seqhide {
+
+struct MatchScratch;
+
 namespace serve {
 
 struct ServerOptions {
@@ -79,6 +84,16 @@ struct ServerOptions {
   AdmissionLimits admission;
   // Match-info cache entries; 0 disables the cache.
   size_t cache_entries = 128;
+
+  // Query batching (support / match-count only): a worker holding a
+  // cache-miss query keeps the coalescing window open for up to
+  // batch_max_wait_us, gathering further batchable requests (up to
+  // batch_max_size including its own), and answers them all with one
+  // union pattern-trie pass over the database. 1 pins batching off —
+  // every query runs the legacy solo path. Coalescing is never allowed
+  // to change a single response byte; only latency/throughput.
+  size_t batch_max_size = 8;
+  uint64_t batch_max_wait_us = 200;
 
   // Applied when a request carries no deadline_ms; 0 = none.
   double default_deadline_ms = 0.0;
@@ -107,6 +122,8 @@ struct ServerStats {
   uint64_t disconnects = 0;
   uint64_t responses_dropped = 0;  // client gone before the write
   uint64_t recovered_jobs = 0;
+  uint64_t batches = 0;    // union counting passes dispatched
+  uint64_t coalesced = 0;  // requests answered by a shared (size>1) pass
 };
 
 class Server {
@@ -158,6 +175,32 @@ class Server {
   Response DoQuery(const std::shared_ptr<WorkItem>& item);
   // `resume` re-runs a recovered job from its checkpoint.
   Response DoSanitize(const std::shared_ptr<WorkItem>& item, bool resume);
+
+  // Batch path (batch_max_size > 1). A popped batchable query first tries
+  // the fast path — cancel/deadline/malformed/cache-hit outcomes answer
+  // immediately without holding a coalescing window open; on false the
+  // item needs a counting pass and becomes the batch leader.
+  bool BatchEligible(const WorkItem& item) const;
+  bool TryQueryFastPath(const std::shared_ptr<WorkItem>& item,
+                        std::chrono::steady_clock::time_point start);
+  // Gathers further batchable items (queue_mu_ held via `lock`), waiting
+  // up to batch_max_wait_us for arrivals; non-batchable items are left
+  // queued for the other workers.
+  void CollectBatchLocked(std::unique_lock<std::mutex>& lock,
+                          std::vector<std::shared_ptr<WorkItem>>* batch);
+  void ProcessBatch(const std::vector<std::shared_ptr<WorkItem>>& batch,
+                    std::chrono::steady_clock::time_point leader_start);
+  // The solo per-pattern kernel selection, shared by DoQuery and the
+  // batch fallback so both paths produce the same bits by construction.
+  uint64_t ComputePatternValue(Method method, const ConstrainedPattern& cp,
+                               MatchScratch* scratch) const;
+  // Seals one request: timings, outcome stats, ledger record, response
+  // write (or drop). The single exit for solo, fast-path, and batch.
+  void FinishItem(const std::shared_ptr<WorkItem>& item, Response resp,
+                  std::chrono::steady_clock::time_point start);
+  // Removes the item's cancel flag from the drain sweep and its
+  // connection's in-flight list.
+  void RetireItem(const std::shared_ptr<WorkItem>& item);
 
   void WriteResponse(const std::shared_ptr<Connection>& conn, Response resp);
   void LedgerRecord(const Request& req, const Response& resp, bool shed,

@@ -8,11 +8,13 @@
 
 #include <sys/stat.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <limits>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/fault_injection.h"
@@ -190,6 +192,56 @@ TEST(MatchCacheTest, CorruptEntryIsDroppedNotServed) {
   ASSERT_TRUE(healed.has_value());
   EXPECT_EQ((*healed)[0], 42u);
   fi.Reset();
+}
+
+TEST(MatchCacheTest, ConcurrentHammerWithCorruptionSelfHeals) {
+#ifdef SEQHIDE_FAULTS_DISABLED
+  GTEST_SKIP() << "fault injection compiled out";
+#endif
+  // Several clients hammer one hot key while eviction churns the rest of
+  // the cache and corruption faults fire mid-stream. The contract under
+  // test: a lookup either misses or returns the exact inserted payload —
+  // corruption and concurrency may cost recomputations, never bytes.
+  FaultInjector& fi = FaultInjector::Default();
+  fi.Reset();
+  MatchInfoCache cache(4);
+  cache.Insert(1, 1, {42});
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> wrong{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {  // readers of the hot key
+      while (!stop.load(std::memory_order_acquire)) {
+        auto v = cache.Lookup(1, 1);
+        if (v.has_value() && (v->size() != 1 || (*v)[0] != 42)) ++wrong;
+      }
+    });
+    threads.emplace_back([&, t] {  // writers: heal the hot key, churn LRU
+      uint64_t k = 2 + static_cast<uint64_t>(t) * 1000;
+      while (!stop.load(std::memory_order_acquire)) {
+        cache.Insert(1, 1, {42});
+        cache.Insert(1, k, {k});
+        if (++k % 16 == 0) std::this_thread::yield();
+      }
+    });
+  }
+  for (int round = 0; round < 50; ++round) {
+    (void)fi.ArmSite("serve.cache.corrupt", 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& th : threads) th.join();
+  fi.Reset();
+
+  EXPECT_EQ(wrong.load(), 0u);
+  EXPECT_GE(cache.corrupt_dropped(), 1u);  // the faults really landed
+  EXPECT_LE(cache.size(), 4u);             // eviction held under races
+  // The hot key heals: one insert, and lookups serve it again.
+  cache.Insert(1, 1, {42});
+  auto healed = cache.Lookup(1, 1);
+  ASSERT_TRUE(healed.has_value());
+  EXPECT_EQ((*healed)[0], 42u);
 }
 
 // ------------------------------------------------------------------ server
@@ -463,6 +515,71 @@ TEST_F(ServerTest, DisconnectFaultCancelsWithoutResponse) {
   const ServerStats stats = server->stats();
   EXPECT_EQ(stats.cancelled, 1u);
   EXPECT_EQ(stats.requests_ok, 1u);
+}
+
+TEST_F(ServerTest, CorruptCachedEntryInsideBatchRecomputesThatRequestOnly) {
+#ifdef SEQHIDE_FAULTS_DISABLED
+  GTEST_SKIP() << "fault injection compiled out";
+#endif
+  FaultInjector& fi = FaultInjector::Default();
+  fi.Reset();
+  // One worker so the corruption fault deterministically lands on the
+  // first request of the pipelined pair (workers probe the cache in
+  // arrival order).
+  ServerOptions opts = BaseOptions();
+  opts.num_workers = 1;
+  auto server = StartServer(opts);
+  ASSERT_NE(server, nullptr);
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+
+  // Warm the cache with request A.
+  Request a;
+  a.id = 1;
+  a.method = Method::kMatchCount;
+  a.patterns = {"a -> b"};
+  auto warmed = client->Call(a);
+  ASSERT_TRUE(warmed.ok()) << warmed.status();
+  EXPECT_EQ(warmed->cache, "miss");
+
+  // Corrupt A's cached payload, then pipeline A and a fresh B so they
+  // share the batch window: A's lookup drops the corrupt entry and
+  // recomputes inside the batch, B computes normally — neither sees an
+  // internal error, and A's recomputed values match the originals.
+  ASSERT_TRUE(fi.ArmSite("serve.cache.corrupt", 1).ok());
+  a.id = 2;
+  Request b;
+  b.id = 3;
+  b.method = Method::kMatchCount;
+  b.patterns = {"b -> c"};
+  ASSERT_TRUE(client->Send(a).ok());
+  ASSERT_TRUE(client->Send(b).ok());
+  Response got_a;
+  Response got_b;
+  for (int i = 0; i < 2; ++i) {
+    auto resp = client->Receive();
+    ASSERT_TRUE(resp.ok()) << resp.status();
+    EXPECT_EQ(resp->status, "ok");
+    (resp->id == 2 ? got_a : got_b) = *resp;
+  }
+  EXPECT_EQ(fi.FaultsFired(), 1u);
+  EXPECT_EQ(got_a.cache, "miss");  // recomputed, not served corrupt
+  EXPECT_EQ(got_a.values, warmed->values);
+  EXPECT_EQ(got_b.cache, "miss");
+  EXPECT_EQ(server->cache().corrupt_dropped(), 1u);
+
+  // The recomputation healed the entry.
+  a.id = 4;
+  auto healed = client->Call(a);
+  ASSERT_TRUE(healed.ok()) << healed.status();
+  EXPECT_EQ(healed->cache, "hit");
+  EXPECT_EQ(healed->values, warmed->values);
+
+  fi.Reset();
+  server->RequestDrain();
+  server->Join();
+  EXPECT_EQ(server->stats().requests_ok, 4u);
+  EXPECT_EQ(server->stats().requests_error, 0u);
 }
 
 TEST_F(ServerTest, RecoverLeftoverJobOnStartup) {

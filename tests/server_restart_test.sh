@@ -5,6 +5,13 @@
 # same options — at several thread counts — and that the ledger records
 # both server boots and the recovered job.
 #
+# While the kill window is open, an open-loop query volley keeps
+# coalesced match-count batches in flight, so the SIGKILL also lands
+# mid-batch; those connections die without responses (expected — the
+# clients are gone with the process), and the checks are that recovery
+# is still byte-identical and that the restarted server answers query
+# traffic with zero hard failures.
+#
 # Usage: server_restart_test.sh SERVER LOADGEN CLI
 set -eu
 
@@ -70,6 +77,14 @@ for THREADS in 1 2 8; do
         > /dev/null 2>&1 &
     LG_PID=$!
 
+    # Query pressure so the SIGKILL lands mid-batch too. The volley dies
+    # with the server; its exit status is meaningless here.
+    "$LOADGEN" --socket "$WORK/s.sock" --method match-count \
+        --pattern "a -> b" --pattern "b -> c" \
+        --open-loop --target-qps 500 --duration-ms 5000 --concurrency 4 \
+        > /dev/null 2>&1 &
+    OL_PID=$!
+
     # Kill the server the moment the job's checkpoint is durably on disk
     # (i.e. mid-mark-stage, ~1/2000th of the way in). If the output file
     # shows up first the whole job outran the poll — that's the
@@ -83,6 +98,8 @@ for THREADS in 1 2 8; do
     kill -9 "$SRV_PID" 2>/dev/null || true
     wait "$SRV_PID" 2>/dev/null || true
     wait "$LG_PID" 2>/dev/null || true
+    kill "$OL_PID" 2>/dev/null || true
+    wait "$OL_PID" 2>/dev/null || true
 
     if [ -f "$OUT" ] || [ ! -f "$STATE/kill.job" ]; then
       # The job finished before the SIGKILL landed: too fast on this
@@ -97,6 +114,12 @@ for THREADS in 1 2 8; do
 
   # Restart: recovery runs to completion before the endpoint binds.
   start_server "$THREADS" "$STATE" "$LEDGER"
+
+  # The restarted server serves (batched) queries with no silent drops.
+  "$LOADGEN" --socket "$WORK/s.sock" --method match-count \
+      --pattern "a -> b -> c" --requests 32 --concurrency 4 > /dev/null \
+      || { echo "FAIL(threads=$THREADS): post-restart queries failed"; exit 1; }
+
   kill -TERM "$SRV_PID"
   wait "$SRV_PID" 2>/dev/null || true
 

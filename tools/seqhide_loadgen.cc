@@ -6,11 +6,24 @@
 //                   [--concurrency N] [--requests N | --duration-ms MS]
 //                   [--deadline-ms MS] [--max-attempts N]
 //                   [--base-backoff-ms MS] [--seed N] [--one FILE]
+//                   [--open-loop --target-qps N]
 //
-// Drives the server with --concurrency parallel connections, each
+// Closed loop (default): --concurrency parallel connections, each
 // issuing requests through the retrying client (exponential backoff with
 // jitter, honoring the server's retry_after_ms hints) until --requests
-// requests have been sent or --duration-ms has elapsed.
+// requests have been sent or --duration-ms has elapsed. A closed loop
+// can never hold more than one request in flight per connection — each
+// worker waits for its answer before sending the next — so it measures
+// latency under bounded concurrency, not overload.
+//
+// Open loop (--open-loop --target-qps N, requires --duration-ms): each
+// connection sends on a fixed schedule regardless of whether earlier
+// requests have answered (a dedicated receiver thread drains responses,
+// matching them by id). In-flight concurrency is created by the workload
+// itself and reported honestly in the summary (max_inflight /
+// mean_inflight / achieved_qps) instead of being silently capped by the
+// measurement loop. No retries: every terminal status is tallied as the
+// server sent it.
 //
 // Every request must end in an explicit terminal outcome. The exit code
 // enforces the no-silent-drop contract:
@@ -31,6 +44,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -75,7 +89,12 @@ constexpr const char* kKnownFlags[] = {
     "socket",     "port",        "method",          "psi",
     "out",        "concurrency", "requests",        "duration-ms",
     "deadline-ms", "max-attempts", "base-backoff-ms", "seed",
-    "one",
+    "one",        "target-qps",
+};
+
+// Flags that take no value.
+constexpr const char* kBoolFlags[] = {
+    "open-loop",
 };
 
 bool ParseFlags(int argc, char** argv, Flags* out) {
@@ -83,6 +102,14 @@ bool ParseFlags(int argc, char** argv, Flags* out) {
     std::string flag = argv[i];
     if (flag.size() < 3 || flag[0] != '-' || flag[1] != '-') return false;
     flag = flag.substr(2);
+    bool boolean = false;
+    for (const char* k : kBoolFlags) {
+      if (flag == k) boolean = true;
+    }
+    if (boolean) {
+      out->values.insert({flag, std::string("1")});
+      continue;
+    }
     if (i + 1 >= argc) return false;
     const std::string value = argv[++i];
     if (flag == "pattern") {
@@ -106,7 +133,8 @@ void Usage() {
          "           [--pattern TEXT]... [--psi N] [--out FILE]\n"
          "           [--concurrency N] [--requests N | --duration-ms MS]\n"
          "           [--deadline-ms MS] [--max-attempts N]\n"
-         "           [--base-backoff-ms MS] [--seed N] [--one FILE]\n";
+         "           [--base-backoff-ms MS] [--seed N] [--one FILE]\n"
+         "           [--open-loop --target-qps N]\n";
 }
 
 struct Tally {
@@ -120,6 +148,40 @@ struct Tally {
   uint64_t retries = 0;
   std::vector<uint64_t> latencies_us;
 };
+
+void TallyStatus(const std::string& status, Tally* tally) {
+  if (status == "ok") {
+    ++tally->ok;
+  } else if (serve::IsRetryableWireStatus(status)) {
+    ++tally->shed;
+  } else if (status == "deadline_exceeded") {
+    ++tally->deadline;
+  } else if (status == "cancelled") {
+    ++tally->cancelled;
+  } else if (status == "internal") {
+    ++tally->hard;
+  } else {
+    ++tally->other;
+  }
+}
+
+// Sorts latencies and prints the machine-parsable summary line; `extra`
+// (possibly empty) is appended after the shared fields.
+void PrintSummary(Tally* tally, const std::string& extra) {
+  std::sort(tally->latencies_us.begin(), tally->latencies_us.end());
+  const auto pct = [&](double p) -> uint64_t {
+    if (tally->latencies_us.empty()) return 0;
+    const size_t idx = static_cast<size_t>(
+        p * static_cast<double>(tally->latencies_us.size() - 1));
+    return tally->latencies_us[idx];
+  };
+  std::cout << "loadgen total=" << tally->total << " ok=" << tally->ok
+            << " shed=" << tally->shed << " deadline=" << tally->deadline
+            << " cancelled=" << tally->cancelled << " other=" << tally->other
+            << " hard=" << tally->hard << " retries=" << tally->retries
+            << " p50_us=" << pct(0.50) << " p90_us=" << pct(0.90)
+            << " p99_us=" << pct(0.99) << extra << "\n";
+}
 
 Result<std::unique_ptr<serve::ServeClient>> Dial(const Flags& flags) {
   if (flags.Has("socket")) {
@@ -151,6 +213,153 @@ int RunOne(const Flags& flags) {
   }
   std::cout << *response << "\n";
   return 0;
+}
+
+// Open-loop driver: every connection runs a fixed-schedule sender plus a
+// dedicated receiver thread, so a slow server accumulates genuinely
+// concurrent in-flight requests instead of throttling the generator.
+int RunOpenLoop(const Flags& flags, serve::Method method, size_t concurrency,
+                uint64_t duration_ms, uint64_t target_qps,
+                uint64_t deadline_ms, uint64_t seed) {
+  std::atomic<int64_t> inflight{0};
+  std::atomic<int64_t> max_inflight{0};
+  std::atomic<uint64_t> next_id{1};
+  std::mutex tally_mu;
+  Tally tally;
+
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point stop_at =
+      start + std::chrono::milliseconds(duration_ms);
+  // The schedule is per connection; the aggregate rate is target_qps.
+  const double interval_us = 1e6 * static_cast<double>(concurrency) /
+                             static_cast<double>(target_qps);
+
+  auto connection = [&] {
+    Tally local;
+    auto client = Dial(flags);
+    if (!client.ok()) {
+      std::lock_guard<std::mutex> lock(tally_mu);
+      ++tally.total;
+      ++tally.hard;  // a connection that never dialed is a hard failure
+      return;
+    }
+    std::mutex sent_mu;
+    std::map<uint64_t, Clock::time_point> sent;
+    std::atomic<uint64_t> outstanding{0};
+
+    std::thread receiver([&] {
+      for (;;) {
+        auto resp = (*client)->Receive();
+        if (!resp.ok()) {
+          // Clean teardown (sender shut the channel down with nothing
+          // outstanding) or a broken connection: whatever was still in
+          // flight got no response — report the breach, never hide it.
+          const uint64_t lost = outstanding.exchange(0);
+          local.hard += lost;
+          local.total += lost;
+          return;
+        }
+        Clock::time_point t0;
+        {
+          std::lock_guard<std::mutex> lock(sent_mu);
+          auto it = sent.find(resp->id);
+          if (it == sent.end()) continue;  // not one of ours
+          t0 = it->second;
+          sent.erase(it);
+        }
+        outstanding.fetch_sub(1, std::memory_order_acq_rel);
+        inflight.fetch_sub(1, std::memory_order_relaxed);
+        ++local.total;
+        local.latencies_us.push_back(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - t0)
+                .count()));
+        TallyStatus(resp->status, &local);
+      }
+    });
+
+    for (uint64_t k = 0;; ++k) {
+      const Clock::time_point at =
+          start + std::chrono::microseconds(
+                      static_cast<uint64_t>(static_cast<double>(k) *
+                                            interval_us));
+      if (at >= stop_at) break;
+      std::this_thread::sleep_until(at);
+      serve::Request req;
+      req.id = next_id.fetch_add(1, std::memory_order_relaxed);
+      req.method = method;
+      req.patterns = flags.patterns;
+      req.deadline_ms = static_cast<double>(deadline_ms);
+      if (method == serve::Method::kSanitize) {
+        req.psi = *flags.GetSize("psi", 0);
+        req.out = flags.Get("out", "/dev/null");
+        req.seed = seed;
+      }
+      // Register before sending: with a receiver racing us, the response
+      // can arrive before Send() even returns.
+      {
+        std::lock_guard<std::mutex> lock(sent_mu);
+        sent[req.id] = Clock::now();
+      }
+      outstanding.fetch_add(1, std::memory_order_acq_rel);
+      const int64_t cur = inflight.fetch_add(1, std::memory_order_relaxed) + 1;
+      int64_t prev = max_inflight.load(std::memory_order_relaxed);
+      while (cur > prev && !max_inflight.compare_exchange_weak(
+                               prev, cur, std::memory_order_relaxed)) {
+      }
+      if (!(*client)->Send(req).ok()) break;  // receiver reports the loss
+    }
+
+    // Drain: the wire contract says every accepted request gets exactly
+    // one response, so wait (bounded) for the stragglers, then shut the
+    // channel down to unblock the receiver.
+    const Clock::time_point drain_deadline =
+        Clock::now() + std::chrono::milliseconds(2000 + deadline_ms);
+    while (outstanding.load(std::memory_order_acquire) > 0 &&
+           Clock::now() < drain_deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    (*client)->Shutdown();
+    receiver.join();
+
+    std::lock_guard<std::mutex> lock(tally_mu);
+    tally.total += local.total;
+    tally.ok += local.ok;
+    tally.shed += local.shed;
+    tally.deadline += local.deadline;
+    tally.cancelled += local.cancelled;
+    tally.other += local.other;
+    tally.hard += local.hard;
+    tally.latencies_us.insert(tally.latencies_us.end(),
+                              local.latencies_us.begin(),
+                              local.latencies_us.end());
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(concurrency);
+  for (size_t i = 0; i < concurrency; ++i) threads.emplace_back(connection);
+  for (std::thread& t : threads) t.join();
+
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  uint64_t latency_sum_us = 0;
+  for (const uint64_t us : tally.latencies_us) latency_sum_us += us;
+  const double achieved_qps =
+      elapsed_s > 0.0
+          ? static_cast<double>(tally.latencies_us.size()) / elapsed_s
+          : 0.0;
+  // Little's law: mean concurrency = throughput * mean latency.
+  const double mean_inflight =
+      elapsed_s > 0.0 ? static_cast<double>(latency_sum_us) / 1e6 / elapsed_s
+                      : 0.0;
+  char extra[160];
+  std::snprintf(extra, sizeof(extra),
+                " open_loop=1 target_qps=%llu achieved_qps=%.1f"
+                " max_inflight=%lld mean_inflight=%.2f",
+                static_cast<unsigned long long>(target_qps), achieved_qps,
+                static_cast<long long>(max_inflight.load()), mean_inflight);
+  PrintSummary(&tally, extra);
+  return tally.hard > 0 ? 1 : 0;
 }
 
 }  // namespace
@@ -205,6 +414,17 @@ int main(int argc, char** argv) {
   if ((*requests == 0) == (*duration_ms == 0)) {
     std::cerr << "error: exactly one of --requests / --duration-ms\n";
     return 1;
+  }
+
+  if (flags.Has("open-loop")) {
+    auto target_qps = flags.GetSize("target-qps", 0);
+    if (!target_qps.ok() || *target_qps == 0 || *duration_ms == 0) {
+      std::cerr << "error: --open-loop needs --target-qps >= 1 and "
+                   "--duration-ms\n";
+      return 1;
+    }
+    return RunOpenLoop(flags, *method, *concurrency, *duration_ms,
+                       *target_qps, *deadline_ms, *seed);
   }
 
   const Clock::time_point stop_at =
@@ -271,19 +491,7 @@ int main(int argc, char** argv) {
         client = Status::IOError("reconnect");  // force a fresh dial
         continue;
       }
-      if (resp->status == "ok") {
-        ++local.ok;
-      } else if (serve::IsRetryableWireStatus(resp->status)) {
-        ++local.shed;
-      } else if (resp->status == "deadline_exceeded") {
-        ++local.deadline;
-      } else if (resp->status == "cancelled") {
-        ++local.cancelled;
-      } else if (resp->status == "internal") {
-        ++local.hard;
-      } else {
-        ++local.other;
-      }
+      TallyStatus(resp->status, &local);
     }
     if (client.ok()) local.retries = (*client)->retries();
     std::lock_guard<std::mutex> lock(tally_mu);
@@ -307,18 +515,6 @@ int main(int argc, char** argv) {
   }
   for (std::thread& t : threads) t.join();
 
-  std::sort(tally.latencies_us.begin(), tally.latencies_us.end());
-  const auto pct = [&](double p) -> uint64_t {
-    if (tally.latencies_us.empty()) return 0;
-    const size_t idx = static_cast<size_t>(
-        p * static_cast<double>(tally.latencies_us.size() - 1));
-    return tally.latencies_us[idx];
-  };
-  std::cout << "loadgen total=" << tally.total << " ok=" << tally.ok
-            << " shed=" << tally.shed << " deadline=" << tally.deadline
-            << " cancelled=" << tally.cancelled << " other=" << tally.other
-            << " hard=" << tally.hard << " retries=" << tally.retries
-            << " p50_us=" << pct(0.50) << " p90_us=" << pct(0.90)
-            << " p99_us=" << pct(0.99) << "\n";
+  PrintSummary(&tally, "");
   return tally.hard > 0 ? 1 : 0;
 }
